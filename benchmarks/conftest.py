@@ -1,0 +1,234 @@
+"""Shared benchmark harness.
+
+Every table/figure of the paper's evaluation (Section 5) has one bench
+module here. Each bench regenerates its artifact's rows/series on the
+synthetic Foursquare-Tokyo workload and writes the table to
+``benchmarks/results/<name>.txt`` (and stdout with ``-s``).
+
+Scale is selected with the ``REPRO_BENCH_SCALE`` environment variable:
+
+- ``smoke``  — minutes-total run that exercises every bench end to end on
+  a tiny workload; numbers are not meaningful.
+- ``default``— the scale validated to reproduce the paper's *shapes*
+  (4,000 users / 500 POIs; private runs train to their full privacy
+  budget). The full suite takes on the order of an hour.
+- ``paper``  — wider sweeps closer to the paper's grids.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    CheckinDataset,
+    LeaveOneOutEvaluator,
+    NonPrivateTrainer,
+    PLPConfig,
+    PrivateLocationPredictor,
+    SyntheticConfig,
+    UserLevelDPSGD,
+    generate_checkins,
+    holdout_users_split,
+    paper_preprocessing,
+    sessionize_dataset,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+_DATA_SEED = 7
+_HOLDOUT_SEED = 7
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """One benchmark scale profile."""
+
+    name: str
+    num_users: int
+    num_locations: int
+    num_clusters: int
+    mean_checkins: float
+    holdout_users: int
+    # Cap on private training steps; None trains to the privacy budget.
+    private_max_steps: int | None
+    nonprivate_epochs: int
+    seeds: tuple[int, ...]
+
+
+SCALES = {
+    "smoke": BenchScale(
+        name="smoke",
+        num_users=300,
+        num_locations=120,
+        num_clusters=10,
+        mean_checkins=20.0,
+        holdout_users=40,
+        private_max_steps=20,
+        nonprivate_epochs=2,
+        seeds=(3,),
+    ),
+    "default": BenchScale(
+        name="default",
+        num_users=4000,
+        num_locations=500,
+        num_clusters=20,
+        mean_checkins=30.0,
+        holdout_users=100,
+        private_max_steps=None,
+        nonprivate_epochs=5,
+        seeds=(3,),
+    ),
+    "paper": BenchScale(
+        name="paper",
+        num_users=4000,
+        num_locations=500,
+        num_clusters=20,
+        mean_checkins=30.0,
+        holdout_users=100,
+        private_max_steps=None,
+        nonprivate_epochs=5,
+        seeds=(3, 4),
+    ),
+}
+
+# PLP hyper-parameters validated (on this synthetic workload) to reproduce
+# the paper's qualitative results: grouping clearly beats both lambda=1 and
+# the DP-SGD baseline, with the lambda curve peaking around 4.
+BENCH_BASE = dict(
+    learning_rate=0.2,
+    sampling_probability=0.06,
+    noise_multiplier=2.5,
+    clip_bound=0.5,
+    grouping_factor=4,
+    epsilon=2.0,
+    delta=2e-4,
+)
+
+
+def bench_scale() -> BenchScale:
+    """The active scale profile (``REPRO_BENCH_SCALE``)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if name not in SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}, got {name!r}"
+        )
+    return SCALES[name]
+
+
+@dataclass
+class Workload:
+    """Prepared benchmark workload: datasets, evaluator, scale profile."""
+
+    scale: BenchScale
+    dataset: CheckinDataset
+    train: CheckinDataset
+    holdout: CheckinDataset
+    evaluator: LeaveOneOutEvaluator
+
+    def plp_config(self, **overrides) -> PLPConfig:
+        """The validated bench config with per-experiment overrides."""
+        base = dict(BENCH_BASE)
+        if self.scale.private_max_steps is not None:
+            base.setdefault("max_steps", self.scale.private_max_steps)
+        base.update(overrides)
+        return PLPConfig(**base)
+
+    def run_private(
+        self, config: PLPConfig, seed: int, baseline: bool = False
+    ) -> dict[str, float]:
+        """Train one private model and evaluate HR@10.
+
+        Returns a row with accuracy, executed steps, spent epsilon, and
+        wall-clock training time.
+        """
+        trainer_cls = UserLevelDPSGD if baseline else PrivateLocationPredictor
+        trainer = trainer_cls(config, rng=seed)
+        started = time.perf_counter()
+        history = trainer.fit(self.train)
+        seconds = time.perf_counter() - started
+        result = self.evaluator.evaluate(trainer.recommender())
+        return {
+            "hr10": result.hit_rate[10],
+            "steps": float(len(history)),
+            "epsilon": history.final_epsilon,
+            "seconds": seconds,
+        }
+
+    def run_private_mean(
+        self, config: PLPConfig, baseline: bool = False
+    ) -> dict[str, float]:
+        """Average :meth:`run_private` over the scale's seeds."""
+        rows = [
+            self.run_private(config, seed, baseline=baseline)
+            for seed in self.scale.seeds
+        ]
+        return {
+            key: sum(row[key] for row in rows) / len(rows) for key in rows[0]
+        }
+
+    def run_nonprivate(
+        self, seed: int = 1, epochs: int | None = None, **trainer_kwargs
+    ) -> tuple[NonPrivateTrainer, dict[int, float]]:
+        """Train the non-private baseline; returns (trainer, HR@k dict)."""
+        trainer = NonPrivateTrainer(rng=seed, **trainer_kwargs)
+        trainer.fit(self.train, epochs=epochs or self.scale.nonprivate_epochs)
+        result = self.evaluator.evaluate(trainer.recommender())
+        return trainer, result.hit_rate
+
+
+def _build_workload() -> Workload:
+    scale = bench_scale()
+    config = SyntheticConfig(
+        num_users=scale.num_users,
+        num_locations=scale.num_locations,
+        num_clusters=scale.num_clusters,
+        mean_checkins_per_user=scale.mean_checkins,
+        checkins_sigma=0.8,
+    )
+    checkins = paper_preprocessing(generate_checkins(config, rng=_DATA_SEED))
+    dataset = CheckinDataset(checkins)
+    train, holdout = holdout_users_split(
+        dataset, scale.holdout_users, rng=_HOLDOUT_SEED
+    )
+    trajectories = sessionize_dataset(holdout)
+    evaluator = LeaveOneOutEvaluator(trajectories, k_values=(5, 10, 20))
+    return Workload(
+        scale=scale,
+        dataset=dataset,
+        train=train,
+        holdout=holdout,
+        evaluator=evaluator,
+    )
+
+
+@pytest.fixture(scope="session")
+def workload() -> Workload:
+    """Session-cached benchmark workload."""
+    return _build_workload()
+
+
+def write_table(name: str, title: str, headers: list[str], rows: list[list]) -> str:
+    """Render a fixed-width table, print it, and save it under results/."""
+    widths = [
+        max(len(str(header)), *(len(_fmt(row[i])) for row in rows)) if rows else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        lines.append("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+    text = "\n".join(lines) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+    print("\n" + text)
+    return text
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,90 @@
+"""X-BASE: non-neural related-work baselines (Section 6).
+
+Positions the skip-gram against the recommenders the paper's related work
+discusses: global popularity, order-m Markov chains, and implicit-feedback
+matrix factorization. The skip-gram (even at few epochs) should beat
+popularity; the Markov chain is a strong sequence baseline.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_table
+from repro import LeaveOneOutEvaluator, NonPrivateTrainer, sessionize_dataset
+from repro.baselines import (
+    MarkovChainRecommender,
+    MatrixFactorizationRecommender,
+    PopularityRecommender,
+)
+from repro.types import Trajectory
+
+_SUBSET = {"smoke": 150, "default": 1200, "paper": 2400}
+
+
+def test_ablation_related_work_baselines(benchmark, workload):
+    limit = _SUBSET[workload.scale.name]
+    users = workload.train.users[:limit]
+    train = (
+        workload.train.subset(users)
+        if len(users) < workload.train.num_users
+        else workload.train
+    )
+    epochs = {"smoke": 2, "default": 5, "paper": 8}[workload.scale.name]
+
+    def sweep():
+        skipgram = NonPrivateTrainer(rng=1)
+        skipgram.fit(train, epochs=epochs)
+        vocabulary = skipgram.vocabulary
+
+        # Token-space holdout trajectories shared by every baseline.
+        token_trajectories = []
+        for trajectory in sessionize_dataset(workload.holdout):
+            tokens = vocabulary.encode_known(trajectory.locations)
+            if len(tokens) >= 2:
+                token_trajectories.append(
+                    Trajectory(user=trajectory.user, locations=tuple(tokens))
+                )
+        evaluator = LeaveOneOutEvaluator(token_trajectories, k_values=(10,))
+
+        sequences = [
+            vocabulary.encode_known(history.locations()) for history in train
+        ]
+        models = {
+            "popularity": PopularityRecommender(sequences, vocabulary.size),
+            "markov order-1": MarkovChainRecommender(
+                sequences, vocabulary.size, order=1
+            ),
+            "markov order-2": MarkovChainRecommender(
+                sequences, vocabulary.size, order=2
+            ),
+            "matrix factorization": MatrixFactorizationRecommender(
+                sequences, vocabulary.size, factors=16, epochs=2, rng=1
+            ),
+        }
+        rows = []
+        for name, model in models.items():
+            result = evaluator.evaluate(model)
+            rows.append([name, result.hit_rate[10], result.num_cases])
+        # Token-space evaluation for comparability with the baselines.
+        skipgram_result = evaluator.evaluate(_token_recommender(skipgram))
+        rows.append(["skip-gram (non-private)", skipgram_result.hit_rate[10],
+                     skipgram_result.num_cases])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "ablation_baselines",
+        f"X-BASE: related-work baselines, non-private "
+        f"(HR@10, scale={workload.scale.name})",
+        ["model", "HR@10", "cases"],
+        rows,
+    )
+    if workload.scale.name != "smoke":
+        scores = {row[0]: row[1] for row in rows}
+        assert scores["skip-gram (non-private)"] > scores["popularity"]
+
+
+def _token_recommender(trainer: NonPrivateTrainer):
+    """The trained skip-gram as a token-space recommender."""
+    from repro.models.recommender import NextLocationRecommender
+
+    return NextLocationRecommender(trainer.embeddings())

@@ -1,0 +1,40 @@
+"""X-GROUP: random vs equal-frequency grouping (Section 4.1).
+
+"As a separate method, we also tried equal frequency grouping ... However,
+we noticed no statistically significant benefit in model accuracy from
+equal frequency grouping than with a random grouping." This ablation
+checks the two strategies land in the same accuracy neighborhood.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_table
+
+_STEPS = {"smoke": 15, "default": 300, "paper": 460}
+
+
+def test_ablation_grouping_strategy(benchmark, workload):
+    steps = _STEPS[workload.scale.name]
+
+    def sweep():
+        rows = []
+        for strategy in ("random", "equal_frequency"):
+            config = workload.plp_config(
+                grouping_strategy=strategy, epsilon=1e6, max_steps=steps
+            )
+            outcome = workload.run_private_mean(config)
+            rows.append([strategy, outcome["hr10"], int(outcome["steps"])])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "ablation_grouping",
+        f"X-GROUP: grouping strategy (fixed {steps} steps, lambda=4, "
+        f"scale={workload.scale.name})",
+        ["strategy", "HR@10", "steps"],
+        rows,
+    )
+    if workload.scale.name != "smoke":
+        random_hr, equal_hr = rows[0][1], rows[1][1]
+        # "No statistically significant benefit": same neighborhood.
+        assert abs(random_hr - equal_hr) < 0.08

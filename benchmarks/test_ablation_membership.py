@@ -1,0 +1,58 @@
+"""X-MIA: empirical membership-inference audit (Section 1 motivation).
+
+The paper motivates DP training with membership-inference attacks against
+location models. This bench audits the released embeddings of the
+non-private and the PLP-trained model with the affinity-threshold attack:
+the DP model's attack AUC must sit near chance (0.5), empirically
+confirming what the (epsilon, delta) guarantee promises analytically.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_table
+from repro import NonPrivateTrainer, PrivateLocationPredictor
+from repro.attacks import MembershipInferenceAttack
+
+_AUDIT_USERS = {"smoke": 30, "default": 100, "paper": 100}
+
+
+def test_ablation_membership_inference(benchmark, workload):
+    num_audit = min(
+        _AUDIT_USERS[workload.scale.name], workload.holdout.num_users
+    )
+
+    def sweep():
+        nonprivate = NonPrivateTrainer(rng=1)
+        nonprivate.fit(workload.train, epochs=workload.scale.nonprivate_epochs)
+
+        plp = PrivateLocationPredictor(workload.plp_config(), rng=3)
+        plp.fit(workload.train)
+
+        members = [
+            [history.locations()] for history in workload.train
+        ][:num_audit]
+        nonmembers = [
+            [history.locations()] for history in workload.holdout
+        ][:num_audit]
+
+        rows = []
+        for label, trainer in (("non-private", nonprivate), ("PLP (eps=2)", plp)):
+            attack = MembershipInferenceAttack(
+                trainer.embeddings(), vocabulary=trainer.vocabulary
+            )
+            result = attack.audit(members, nonmembers)
+            rows.append([label, result.auc, result.advantage, result.num_members])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "ablation_membership",
+        f"X-MIA: membership-inference audit of released embeddings "
+        f"(scale={workload.scale.name})",
+        ["model", "attack AUC", "advantage", "audited users"],
+        rows,
+    )
+    if workload.scale.name != "smoke":
+        plp_auc = rows[1][1]
+        # DP model: attack near chance.
+        assert 0.3 < plp_auc < 0.7

@@ -1,0 +1,43 @@
+"""X-OMEGA: the split factor omega (Section 4.2, Case 2).
+
+"We experimented with omega = 2 by splitting a user's data to exactly two
+random buckets. We found that the signal-to-noise ratio is adversely
+affected, since the marginally improved signal from the split data is
+offset by the now quadrupled (proportional to omega^2) noise variance."
+
+Both settings run for the same number of steps so the only difference is
+the omega-scaled noise and the data split.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_table
+
+_STEPS = {"smoke": 15, "default": 300, "paper": 460}
+
+
+def test_ablation_split_factor(benchmark, workload):
+    steps = _STEPS[workload.scale.name]
+
+    def sweep():
+        rows = []
+        for omega in (1, 2):
+            config = workload.plp_config(
+                split_factor=omega, epsilon=1e6, max_steps=steps
+            )
+            outcome = workload.run_private_mean(config)
+            noise_std = config.noise_multiplier * omega * config.clip_bound
+            rows.append([omega, noise_std, outcome["hr10"], int(outcome["steps"])])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "ablation_omega",
+        f"X-OMEGA: split factor (fixed {steps} steps, lambda=4, "
+        f"scale={workload.scale.name})",
+        ["omega", "noise_std", "HR@10", "steps"],
+        rows,
+    )
+    if workload.scale.name != "smoke":
+        # omega = 2 must not beat omega = 1 (quadrupled noise variance).
+        assert rows[0][2] >= rows[1][2] * 0.95

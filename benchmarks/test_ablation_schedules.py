@@ -1,0 +1,58 @@
+"""X-SCHED: flexible budget allocation (the paper's future work, Section 7).
+
+"We plan to investigate flexible privacy budget allocation strategies
+across different stages of the learning process." This bench compares the
+constant-sigma schedule the paper uses against decaying schedules that
+spend more budget (less noise) late in training, all at the same total
+epsilon, with the ledger accounting each step's actual sigma.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_table
+from repro import PrivateLocationPredictor
+from repro.core.schedules import (
+    ConstantSchedule,
+    LinearDecaySchedule,
+    StepDecaySchedule,
+)
+
+_DECAY_HORIZON = {"smoke": 20, "default": 460, "paper": 460}
+
+
+def test_ablation_noise_schedules(benchmark, workload):
+    horizon = _DECAY_HORIZON[workload.scale.name]
+    schedules = {
+        "constant sigma=2.5": ConstantSchedule(sigma=2.5),
+        "linear 3.0 -> 2.0": LinearDecaySchedule(
+            start_sigma=3.0, end_sigma=2.0, decay_steps=horizon
+        ),
+        "step 3.0 x0.85/quarter": StepDecaySchedule(
+            start_sigma=3.0, period=max(1, horizon // 4), factor=0.85, floor=1.5
+        ),
+    }
+
+    def sweep():
+        rows = []
+        for label, schedule in schedules.items():
+            config = workload.plp_config(epsilon=2.0)
+            trainer = PrivateLocationPredictor(config, rng=3, noise_schedule=schedule)
+            history = trainer.fit(workload.train)
+            result = workload.evaluator.evaluate(trainer.recommender())
+            rows.append(
+                [label, result.hit_rate[10], len(history), history.final_epsilon]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "ablation_schedules",
+        f"X-SCHED: noise schedules at equal total budget "
+        f"(epsilon=2, lambda=4, scale={workload.scale.name})",
+        ["schedule", "HR@10", "steps", "epsilon_spent"],
+        rows,
+    )
+    # Every schedule must respect the budget.
+    assert all(row[3] >= 0 for row in rows)
+    if workload.scale.name != "smoke":
+        assert all(row[3] <= 2.1 for row in rows)

@@ -1,0 +1,61 @@
+"""Figure 10: effect of the grouping factor lambda.
+
+The paper's shape: "initially, when lambda increases there is a pronounced
+increase in accuracy. After a certain point, the accuracy levels off, and
+reaches a plateau around the value of lambda = 5", then declines as the
+noise (scaled to the per-bucket sensitivity but averaged over fewer
+buckets) dominates. On the synthetic workload the peak lands around
+lambda = 4.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_table
+
+_LAMBDAS = {
+    "smoke": [1, 4],
+    "default": [1, 2, 3, 4, 5, 6],
+    "paper": [1, 2, 3, 4, 5, 6],
+}
+_SETTINGS = {
+    "smoke": [(0.1, 2.5)],
+    "default": [(0.06, 2.5)],
+    "paper": [(0.06, 2.5), (0.10, 2.5)],
+}
+
+
+def test_fig10_vary_grouping_factor(benchmark, workload):
+    lambdas = _LAMBDAS[workload.scale.name]
+    settings = _SETTINGS[workload.scale.name]
+
+    def sweep():
+        rows = []
+        for q, sigma in settings:
+            for lam in lambdas:
+                config = workload.plp_config(
+                    sampling_probability=q,
+                    noise_multiplier=sigma,
+                    grouping_factor=lam,
+                    epsilon=2.0,
+                )
+                outcome = workload.run_private_mean(config)
+                rows.append([q, sigma, lam, outcome["hr10"], int(outcome["steps"])])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "fig10_vary_lambda",
+        f"Figure 10: effect of grouping factor lambda "
+        f"(epsilon=2, C=0.5, scale={workload.scale.name})",
+        ["q", "sigma", "lambda", "HR@10", "steps"],
+        rows,
+    )
+    if workload.scale.name != "smoke":
+        # Shape: the best grouping factor beats no grouping (lambda = 1).
+        q, sigma = settings[0]
+        series = {
+            lam: hr
+            for qq, ss, lam, hr, _ in rows
+            if (qq, ss) == (q, sigma)
+        }
+        assert max(series[lam] for lam in lambdas if lam > 1) > series[1]

@@ -1,0 +1,64 @@
+"""Figure 11: effect of the noise scale sigma.
+
+"For the lower-range of sigma values, the accuracy is rather poor ...
+too little noise is added per step, and the privacy consumption per step
+is high. As a result, only a small number of steps can be executed before
+the privacy budget is exhausted, leading to insufficient learning. ...
+a larger sigma allows more steps to be executed, so the best accuracy is
+obtained for the largest sigma = 3.0 setting. However ... the accuracy
+levels off towards that setting."
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_table
+
+_SIGMAS = {
+    "smoke": [2.5],
+    "default": [1.5, 2.0, 2.5, 3.0],
+    "paper": [1.0, 1.5, 2.0, 2.5, 3.0],
+}
+_SETTINGS = {
+    "smoke": [(0.1, 2.0)],
+    "default": [(0.06, 2.0)],
+    "paper": [(0.06, 2.0), (0.06, 4.0), (0.10, 2.0)],
+}
+
+
+def test_fig11_vary_noise_scale(benchmark, workload):
+    sigmas = _SIGMAS[workload.scale.name]
+    settings = _SETTINGS[workload.scale.name]
+
+    def sweep():
+        rows = []
+        for q, epsilon in settings:
+            for sigma in sigmas:
+                config = workload.plp_config(
+                    sampling_probability=q,
+                    noise_multiplier=sigma,
+                    epsilon=epsilon,
+                )
+                outcome = workload.run_private_mean(config)
+                rows.append(
+                    [q, epsilon, sigma, outcome["hr10"], int(outcome["steps"])]
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "fig11_vary_sigma",
+        f"Figure 11: effect of noise scale sigma "
+        f"(lambda=4, C=0.5, scale={workload.scale.name})",
+        ["q", "epsilon", "sigma", "HR@10", "steps"],
+        rows,
+    )
+    if workload.scale.name != "smoke":
+        # More noise per step -> more steps within the same budget.
+        q, epsilon = _SETTINGS[workload.scale.name][0]
+        steps = [
+            s for qq, ee, _, _, s in rows if (qq, ee) == (q, epsilon)
+        ]
+        assert steps == sorted(steps)
+        # Largest sigma must beat the smallest (insufficient steps there).
+        series = [hr for qq, ee, _, hr, _ in rows if (qq, ee) == (q, epsilon)]
+        assert series[-1] > series[0]

@@ -1,0 +1,67 @@
+"""Figure 13: effect of the number of negative samples.
+
+"We can observe a clear 'U'-shaped dependency, reaching a maximum at
+neg = 16 ... if the number of negative samples is too low, training is
+slowed down, due to the fact that only a small part of the layers are
+updated per step. Conversely, if too many samples are drawn, then the
+correspondingly many parameters that need to be updated lead to a large
+norm" that clipping then destroys.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_table
+
+_NEGS = {
+    "smoke": [16],
+    "default": [4, 16, 64],
+    "paper": [4, 8, 16, 32, 64],
+}
+_SETTINGS = {
+    "smoke": [(0.1, 0.5)],
+    "default": [(0.06, 0.5)],
+    "paper": [(0.06, 0.5), (0.06, 0.3), (0.10, 0.5)],
+}
+
+
+def test_fig13_vary_negative_samples(benchmark, workload):
+    negs = _NEGS[workload.scale.name]
+    settings = _SETTINGS[workload.scale.name]
+
+    sharings = (
+        ("batch",) if workload.scale.name == "smoke" else ("batch", "per_pair")
+    )
+
+    def sweep():
+        rows = []
+        for q, clip in settings:
+            for sharing in sharings:
+                # The per-pair regime costs ~neg x more per batch; run it at
+                # a smaller budget — the within-series shape (the U) is what
+                # the figure is about.
+                epsilon = 2.0 if sharing == "batch" else 1.0
+                for neg in negs:
+                    config = workload.plp_config(
+                        sampling_probability=q,
+                        clip_bound=clip,
+                        num_negatives=neg,
+                        negative_sharing=sharing,
+                        epsilon=epsilon,
+                    )
+                    outcome = workload.run_private_mean(config)
+                    rows.append(
+                        [q, clip, sharing, neg, outcome["hr10"], int(outcome["steps"])]
+                    )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "fig13_vary_neg",
+        f"Figure 13: effect of negative samples "
+        f"(epsilon=2, sigma=2.5, lambda=4, scale={workload.scale.name}; "
+        "'per_pair' is the textbook SGNS regime where the paper's U-shape lives)",
+        ["q", "C", "sharing", "neg", "HR@10", "steps"],
+        rows,
+    )
+    if workload.scale.name != "smoke":
+        assert all(0.0 <= row[4] <= 1.0 for row in rows)

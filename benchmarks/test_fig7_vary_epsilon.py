@@ -1,0 +1,63 @@
+"""Figure 7: PLP vs DP-SGD while varying the privacy budget epsilon.
+
+The paper's shape: accuracy grows with epsilon for every method; PLP
+(grouping factors 4 and 6) clearly dominates DP-SGD at every budget, and
+DP-SGD stays near the floor because a single user's clipped update
+carries too little signal.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_table
+
+_EPSILONS = {
+    "smoke": [1.0],
+    "default": [0.5, 1.0, 2.0],
+    "paper": [0.5, 1.0, 2.0, 3.0],
+}
+
+
+def test_fig7_plp_vs_dpsgd_vary_epsilon(benchmark, workload):
+    epsilons = _EPSILONS[workload.scale.name]
+
+    def sweep():
+        rows = []
+        for epsilon in epsilons:
+            for label, overrides, baseline in (
+                ("PLP lambda=4", {"grouping_factor": 4}, False),
+                ("PLP lambda=6", {"grouping_factor": 6}, False),
+                ("DP-SGD", {}, True),
+            ):
+                config = workload.plp_config(epsilon=epsilon, **overrides)
+                outcome = workload.run_private_mean(config, baseline=baseline)
+                rows.append(
+                    [
+                        epsilon,
+                        label,
+                        outcome["hr10"],
+                        int(outcome["steps"]),
+                        outcome["seconds"],
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "fig7_vary_epsilon",
+        f"Figure 7: prediction accuracy vs privacy budget "
+        f"(q=0.06, sigma=2.5, scale={workload.scale.name})",
+        ["epsilon", "method", "HR@10", "steps", "train_s"],
+        rows,
+    )
+    if workload.scale.name != "smoke":
+        by_method = {}
+        for epsilon, label, hr10, *_ in rows:
+            by_method.setdefault(label, []).append((epsilon, hr10))
+        # Shape check 1: at the largest budget, PLP lambda=4 beats DP-SGD.
+        top = max(epsilons)
+        plp_top = dict(by_method["PLP lambda=4"])[top]
+        dpsgd_top = dict(by_method["DP-SGD"])[top]
+        assert plp_top > dpsgd_top
+        # Shape check 2: PLP accuracy grows with budget.
+        plp_curve = [hr for _, hr in sorted(by_method["PLP lambda=4"])]
+        assert plp_curve[-1] > plp_curve[0]

@@ -1,0 +1,75 @@
+"""Figure 9: running-time improvement factor of PLP over DP-SGD vs lambda.
+
+"Linearly scaling the grouping factor has two opposing effects: fewer
+buckets implies that equally few bucket gradients need to be computed and
+averaged; on the other hand, as each bucket gets assigned more users, it
+takes longer to compute each bucket gradient." The per-bucket fixed cost
+(model snapshot/delta/clip) dominates at small lambda, so grouping speeds
+training up — more at higher sampling rates where more users are sampled
+per step.
+
+Runs a fixed number of steps per configuration (the ratio of *per-step*
+times is what the figure shape is about; total steps at equal budget are
+identical across lambda). The runtime comparator is per-user local SGD
+(PLP at lambda = 1): the paper's runtime argument is about amortizing the
+per-bucket fixed cost over grouped users, so both sides must do the same
+kind of local work. (The *accuracy* benches use the single-gradient
+DP-SGD baseline, which does strictly less work per step.)
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import write_table
+from repro import PrivateLocationPredictor
+
+_LAMBDAS = {
+    "smoke": [2, 4],
+    "default": [2, 3, 4, 5, 6],
+    "paper": [2, 3, 4, 5, 6],
+}
+_QS = {"smoke": [0.1], "default": [0.06, 0.10], "paper": [0.06, 0.10]}
+
+
+def test_fig9_runtime_factor(benchmark, workload):
+    lambdas = _LAMBDAS[workload.scale.name]
+    qs = _QS[workload.scale.name]
+    steps = 10 if workload.scale.name == "smoke" else 25
+
+    def timed_run(config) -> float:
+        trainer = PrivateLocationPredictor(config, rng=3)
+        started = time.perf_counter()
+        trainer.fit(workload.train)
+        return time.perf_counter() - started
+
+    def sweep():
+        rows = []
+        for q in qs:
+            base = workload.plp_config(
+                sampling_probability=q, epsilon=1e6, max_steps=steps
+            )
+            # Per-user local SGD (lambda = 1) is the runtime comparator.
+            ungrouped_seconds = timed_run(base.with_overrides(grouping_factor=1))
+            for lam in lambdas:
+                plp_seconds = timed_run(base.with_overrides(grouping_factor=lam))
+                rows.append(
+                    [q, lam, ungrouped_seconds / plp_seconds, plp_seconds,
+                     ungrouped_seconds]
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "fig9_runtime",
+        f"Figure 9: running-time factor improvement of grouped PLP over "
+        f"ungrouped per-user training ({steps} steps each, "
+        f"scale={workload.scale.name})",
+        ["q", "lambda", "speedup_factor", "plp_s", "ungrouped_s"],
+        rows,
+    )
+    if workload.scale.name != "smoke":
+        # Grouped PLP should be faster than per-user training on average
+        # (per-row timings are sensitive to background load).
+        mean_speedup = sum(row[2] for row in rows) / len(rows)
+        assert mean_speedup > 1.0

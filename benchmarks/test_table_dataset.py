@@ -1,0 +1,63 @@
+"""T-DATA: dataset statistics (Section 5.1's dataset paragraph).
+
+The paper's Foursquare-Tokyo slice: 739,828 check-ins, 4,602 users, 5,069
+POIs over 22 months, check-in density around 0.1%. This bench prints the
+synthetic workload's statistics next to the paper's so the substitution is
+auditable.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_table
+from repro.data.analysis import (
+    location_frequency_zipf_fit,
+    session_summary,
+    user_activity_summary,
+)
+
+_PAPER = {
+    "users": 4602,
+    "locations": 5069,
+    "checkins": 739_828,
+    "mean_user_checkins": 739_828 / 4602,
+    "duration_days": 22 * 30,
+}
+
+
+def test_table_dataset_stats(benchmark, workload):
+    def build():
+        return workload.dataset.stats()
+
+    stats = benchmark.pedantic(build, rounds=1, iterations=1)
+    ours = stats.as_dict()
+    rows = [
+        ["users", _PAPER["users"], ours["users"]],
+        ["locations (POIs)", _PAPER["locations"], ours["locations"]],
+        ["check-ins", _PAPER["checkins"], ours["checkins"]],
+        ["mean check-ins/user", round(_PAPER["mean_user_checkins"], 1),
+         round(ours["mean_user_checkins"], 1)],
+        ["duration (days)", _PAPER["duration_days"], round(ours["duration_days"], 1)],
+        ["density", "~0.001 (cited typical)", round(ours["density"], 4)],
+        ["min check-ins/user (filter)", 10, ours["min_user_checkins"]],
+    ]
+    zipf = location_frequency_zipf_fit(workload.dataset)
+    activity = user_activity_summary(workload.dataset)
+    sessions = session_summary(workload.dataset)
+    rows += [
+        ["Zipf exponent (frequency-rank)", "~1 (Cho et al.)", round(zipf.exponent, 2)],
+        ["activity tail p99/p50", "long-tailed", round(activity.tail_ratio, 1)],
+        ["mean session length (6h rule)", "n/a", round(sessions.mean_length, 2)],
+        [
+            "within-session repeat rate",
+            "low (venues rarely revisited)",
+            round(sessions.repeat_visit_rate, 3),
+        ],
+    ]
+    write_table(
+        "table_dataset",
+        f"T-DATA: dataset statistics (scale={workload.scale.name})",
+        ["statistic", "paper (Foursquare Tokyo)", "synthetic workload"],
+        rows,
+    )
+    assert ours["min_user_checkins"] >= 10
+    assert ours["users"] > 0

@@ -1,0 +1,111 @@
+"""Client-side location protection with geo-indistinguishability.
+
+Section 3.3 of the paper: when the trained model is hosted by an
+*untrusted* location-based service, the querying user must protect her
+recent check-in set locally before sending it. The paper points to
+geo-indistinguishability (Andres et al. 2013). This example:
+
+1. trains a (non-private, server-side) location model,
+2. obfuscates a user's recent check-in coordinates with the planar
+   Laplace mechanism,
+3. snaps the noisy coordinates back to the nearest POI,
+4. queries the recommender with the obfuscated history,
+
+and reports how recommendation quality degrades as the protection radius
+grows — the client-side privacy/utility trade-off.
+
+Run:
+    python examples/geoind_client.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import (
+    CheckinDataset,
+    LeaveOneOutEvaluator,
+    NonPrivateTrainer,
+    SyntheticConfig,
+    generate_checkins,
+    holdout_users_split,
+    paper_preprocessing,
+    sessionize_dataset,
+)
+from repro.geoind import PlanarLaplaceMechanism
+
+_METERS_PER_DEGREE = 111_320.0
+
+
+def _poi_coordinates(dataset: CheckinDataset) -> dict[int, tuple[float, float]]:
+    coords: dict[int, tuple[float, float]] = {}
+    for history in dataset:
+        for checkin in history.checkins:
+            coords.setdefault(checkin.location, (checkin.latitude, checkin.longitude))
+    return coords
+
+
+def _snap_to_nearest_poi(
+    lat: float, lon: float, coords: dict[int, tuple[float, float]]
+) -> int:
+    best, best_distance = -1, math.inf
+    for poi, (plat, plon) in coords.items():
+        distance = math.hypot(lat - plat, lon - plon)
+        if distance < best_distance:
+            best, best_distance = poi, distance
+    return best
+
+
+def main() -> None:
+    print("Preparing workload and server-side model ...")
+    raw = generate_checkins(
+        SyntheticConfig(num_users=500, num_locations=250, num_clusters=12), rng=7
+    )
+    dataset = CheckinDataset(paper_preprocessing(raw))
+    train, holdout = holdout_users_split(dataset, num_holdout=60, rng=7)
+    trainer = NonPrivateTrainer(rng=1)
+    trainer.fit(train, epochs=5)
+    recommender = trainer.recommender()
+
+    coords = _poi_coordinates(dataset)
+    trajectories = [t for t in sessionize_dataset(holdout) if len(t) >= 3]
+    evaluator = LeaveOneOutEvaluator(trajectories, k_values=(10,))
+    clean = evaluator.evaluate(recommender)
+    print(f"Clean queries: HR@10 = {clean.hit_rate[10]:.4f} over {clean.num_cases} cases")
+
+    rng = np.random.default_rng(3)
+    print("\nObfuscated queries (planar Laplace, ln(4) protection level):")
+    for radius in (100.0, 300.0, 1000.0, 3000.0):
+        mechanism = PlanarLaplaceMechanism.for_protection_radius(math.log(4), radius)
+        hits = cases = 0
+        for trajectory in trajectories:
+            recent, target = trajectory.locations[:-1], trajectory.locations[-1]
+            noisy_recent = []
+            for poi in recent:
+                if poi not in coords:
+                    continue
+                lat, lon = coords[poi]
+                nlat, nlon = mechanism.perturb_latlon(lat, lon, rng)
+                noisy_recent.append(_snap_to_nearest_poi(nlat, nlon, coords))
+            if not noisy_recent:
+                continue
+            try:
+                hits += recommender.hit(noisy_recent, target, top_k=10)
+                cases += 1
+            except Exception:
+                continue
+        print(
+            f"  protection radius {radius:6.0f} m: HR@10 = {hits / cases:.4f} "
+            f"({cases} cases)"
+        )
+    print(
+        "\nLarger protection radii scramble which POIs the server sees, so"
+        "\nrecommendation quality decays toward the popularity floor — the"
+        "\nclient chooses the radius that matches her threat model."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+"""repro: Differentially-Private Next-Location Prediction with Neural Networks.
+
+A from-scratch reproduction of Ahuja, Ghinita & Shahabi (EDBT 2020). The
+public API re-exported here covers the end-to-end workflow::
+
+    from repro import (
+        SyntheticConfig, generate_checkins, CheckinDataset, paper_preprocessing,
+        holdout_users_split, sessionize_dataset,
+        PLPConfig, PrivateLocationPredictor, UserLevelDPSGD, NonPrivateTrainer,
+        LeaveOneOutEvaluator,
+    )
+
+    checkins = paper_preprocessing(generate_checkins(SyntheticConfig(), rng=7))
+    train, holdout = holdout_users_split(CheckinDataset(checkins), 30, rng=7)
+    plp = PrivateLocationPredictor(PLPConfig(epsilon=2.0), rng=7)
+    plp.fit(train)
+    evaluator = LeaveOneOutEvaluator(sessionize_dataset(holdout))
+    print(evaluator.evaluate(plp.recommender()).summary())
+
+Subpackages:
+    - :mod:`repro.core` — Algorithm 1 (PLP) and the paper's baselines.
+    - :mod:`repro.privacy` — mechanisms, clipping, moments accountant.
+    - :mod:`repro.models` — the skip-gram location model.
+    - :mod:`repro.nn` — NumPy neural-network substrate.
+    - :mod:`repro.data` — synthetic/real check-in data and preprocessing.
+    - :mod:`repro.eval` — leave-one-out Hit-Rate evaluation.
+    - :mod:`repro.baselines` — popularity / Markov / MF recommenders.
+    - :mod:`repro.geoind` — geo-indistinguishability extension.
+"""
+
+from repro.exceptions import (
+    ConfigError,
+    DataError,
+    NotFittedError,
+    PrivacyBudgetExceeded,
+    ReproError,
+    VocabularyError,
+)
+from repro.types import CheckIn, Trajectory
+from repro.core import (
+    NonPrivateTrainer,
+    PLPConfig,
+    PrivateLocationPredictor,
+    UserLevelDPSGD,
+)
+from repro.data import (
+    CheckinDataset,
+    SyntheticConfig,
+    TOKYO_BBOX,
+    generate_checkins,
+    holdout_users_split,
+    load_foursquare_tsv,
+    paper_preprocessing,
+    sessionize_dataset,
+)
+from repro.eval import LeaveOneOutEvaluator, hit_rate_at_k, paired_t_test
+from repro.models import (
+    EmbeddingMatrix,
+    LocationVocabulary,
+    NextLocationRecommender,
+    SkipGramModel,
+)
+from repro.privacy import (
+    GaussianMechanism,
+    MomentsAccountant,
+    PrivacyLedger,
+    calibrate_noise_multiplier,
+    compute_epsilon,
+    max_steps_for_budget,
+)
+from repro.attacks import MembershipInferenceAttack
+from repro.experiments import ExperimentRunner, SweepSpec
+from repro.models.serialization import (
+    load_deployable_model,
+    load_recommender,
+    save_deployable_model,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "ConfigError",
+    "DataError",
+    "PrivacyBudgetExceeded",
+    "NotFittedError",
+    "VocabularyError",
+    # types
+    "CheckIn",
+    "Trajectory",
+    # core
+    "PLPConfig",
+    "PrivateLocationPredictor",
+    "UserLevelDPSGD",
+    "NonPrivateTrainer",
+    # data
+    "CheckinDataset",
+    "SyntheticConfig",
+    "TOKYO_BBOX",
+    "generate_checkins",
+    "load_foursquare_tsv",
+    "paper_preprocessing",
+    "holdout_users_split",
+    "sessionize_dataset",
+    # eval
+    "LeaveOneOutEvaluator",
+    "hit_rate_at_k",
+    "paired_t_test",
+    # models
+    "SkipGramModel",
+    "LocationVocabulary",
+    "EmbeddingMatrix",
+    "NextLocationRecommender",
+    # privacy
+    "GaussianMechanism",
+    "MomentsAccountant",
+    "PrivacyLedger",
+    "compute_epsilon",
+    "calibrate_noise_multiplier",
+    "max_steps_for_budget",
+    # extensions
+    "MembershipInferenceAttack",
+    "ExperimentRunner",
+    "SweepSpec",
+    "save_deployable_model",
+    "load_deployable_model",
+    "load_recommender",
+]

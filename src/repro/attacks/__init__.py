@@ -1,0 +1,24 @@
+"""Privacy attacks for auditing trained location models.
+
+The paper's introduction motivates DP training with concrete threats:
+"membership inference, where an adversary who has access to the model and
+some information about a targeted individual can learn whether the
+target's data was used to train the model" (Shokri et al. 2017; Hayes et
+al. 2019). This package implements a user-level membership-inference
+audit against released location embeddings, so the DP guarantee can be
+checked *empirically* as well as analytically.
+"""
+
+from repro.attacks.membership import (
+    AttackResult,
+    MembershipInferenceAttack,
+    attack_auc,
+    trajectory_affinity,
+)
+
+__all__ = [
+    "MembershipInferenceAttack",
+    "AttackResult",
+    "attack_auc",
+    "trajectory_affinity",
+]

@@ -1,0 +1,176 @@
+"""User-level membership inference against location embeddings.
+
+Threat model: the adversary holds the *released artifact* (the normalized
+embedding matrix + vocabulary — exactly what Section 3.3 deploys) and the
+full check-in history of a target user, and must decide whether that user
+was in the training set.
+
+Attack statistic: skip-gram training pulls the embeddings of co-visited
+locations together, so a training user's *own* co-visit pairs score higher
+cosine affinity under the model than a non-member's. The attack computes
+each user's mean within-window embedding affinity
+(:func:`trajectory_affinity`) and thresholds it. Its success is summarized
+by the ROC AUC over member/non-member scores and by the *membership
+advantage* ``max_t (TPR(t) - FPR(t))`` (Yeom et al. 2018).
+
+A user-level (epsilon, delta)-DP model bounds any such attack:
+``advantage <= e^epsilon - 1 + 2*delta`` (loose for large epsilon but
+meaningful for small). Empirically, DP-trained embeddings should drive
+the AUC toward 0.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.models.embeddings import EmbeddingMatrix
+from repro.models.vocabulary import LocationVocabulary
+from repro.models.windowing import pairs_from_sequence
+
+
+def trajectory_affinity(
+    embeddings: EmbeddingMatrix,
+    sequences: Sequence[Sequence[int]],
+    window: int = 2,
+) -> float:
+    """Mean cosine affinity of a user's within-window location pairs.
+
+    Args:
+        embeddings: released (normalized) location embeddings.
+        sequences: the user's location-token sequences.
+        window: context radius matching the training configuration.
+
+    Returns:
+        Mean ``cos(emb[target], emb[context])`` over all window pairs; 0.0
+        when the user has no pairs (affinity indistinguishable from noise).
+    """
+    matrix = embeddings.matrix
+    total = 0.0
+    count = 0
+    for sequence in sequences:
+        pairs = pairs_from_sequence(list(sequence), window) if len(sequence) > 1 else []
+        for target, context in pairs:
+            if target == context:
+                continue  # self-pairs are trivially affine
+            total += float(matrix[target] @ matrix[context])
+            count += 1
+    return total / count if count else 0.0
+
+
+def attack_auc(
+    member_scores: Sequence[float], nonmember_scores: Sequence[float]
+) -> float:
+    """ROC AUC of the thresholding attack (Mann-Whitney U statistic).
+
+    Args:
+        member_scores: attack scores of true training users.
+        nonmember_scores: attack scores of users outside the training set.
+
+    Returns:
+        P(member score > non-member score) + 0.5 P(tie), in [0, 1]; 0.5
+        means the attack cannot distinguish membership.
+    """
+    members = np.asarray(member_scores, dtype=np.float64)
+    nonmembers = np.asarray(nonmember_scores, dtype=np.float64)
+    if members.size == 0 or nonmembers.size == 0:
+        raise ConfigError("both member and non-member scores are required")
+    greater = (members[:, None] > nonmembers[None, :]).sum()
+    ties = (members[:, None] == nonmembers[None, :]).sum()
+    return float((greater + 0.5 * ties) / (members.size * nonmembers.size))
+
+
+def membership_advantage(
+    member_scores: Sequence[float], nonmember_scores: Sequence[float]
+) -> float:
+    """Best-threshold membership advantage ``max_t (TPR(t) - FPR(t))``."""
+    members = np.asarray(member_scores, dtype=np.float64)
+    nonmembers = np.asarray(nonmember_scores, dtype=np.float64)
+    if members.size == 0 or nonmembers.size == 0:
+        raise ConfigError("both member and non-member scores are required")
+    thresholds = np.unique(np.concatenate([members, nonmembers]))
+    best = 0.0
+    for threshold in thresholds:
+        tpr = float((members >= threshold).mean())
+        fpr = float((nonmembers >= threshold).mean())
+        best = max(best, tpr - fpr)
+    return best
+
+
+@dataclass(frozen=True, slots=True)
+class AttackResult:
+    """Outcome of a membership-inference audit."""
+
+    auc: float
+    advantage: float
+    num_members: int
+    num_nonmembers: int
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"MIA AUC={self.auc:.3f} advantage={self.advantage:.3f} "
+            f"({self.num_members} members vs {self.num_nonmembers} non-members)"
+        )
+
+
+class MembershipInferenceAttack:
+    """Affinity-threshold membership inference against released embeddings.
+
+    Args:
+        embeddings: the released embedding matrix.
+        vocabulary: the released vocabulary (maps raw POI ids to tokens;
+            unknown POIs in a user's history are dropped, as the adversary
+            cannot score them).
+        window: context radius assumed by the adversary (the training
+            default of 2 is public knowledge via the paper).
+    """
+
+    def __init__(
+        self,
+        embeddings: EmbeddingMatrix,
+        vocabulary: LocationVocabulary | None = None,
+        window: int = 2,
+    ) -> None:
+        if window < 1:
+            raise ConfigError(f"window must be >= 1, got {window}")
+        self.embeddings = embeddings
+        self.vocabulary = vocabulary
+        self.window = window
+
+    def score_user(self, sequences: Sequence[Sequence] ) -> float:
+        """Attack score for one user (higher = more likely a member)."""
+        if self.vocabulary is not None:
+            encoded = [
+                self.vocabulary.encode_known(sequence) for sequence in sequences
+            ]
+        else:
+            encoded = [list(map(int, sequence)) for sequence in sequences]
+        return trajectory_affinity(self.embeddings, encoded, self.window)
+
+    def audit(
+        self,
+        member_histories: Sequence[Sequence[Sequence]],
+        nonmember_histories: Sequence[Sequence[Sequence]],
+    ) -> AttackResult:
+        """Run the audit over known member/non-member user histories.
+
+        Args:
+            member_histories: per-user lists of location sequences for
+                users known to be in the training set.
+            nonmember_histories: same, for users known to be outside it.
+
+        Returns:
+            The attack's AUC and best-threshold advantage.
+        """
+        member_scores = [self.score_user(h) for h in member_histories]
+        nonmember_scores = [self.score_user(h) for h in nonmember_histories]
+        return AttackResult(
+            auc=attack_auc(member_scores, nonmember_scores),
+            advantage=membership_advantage(member_scores, nonmember_scores),
+            num_members=len(member_scores),
+            num_nonmembers=len(nonmember_scores),
+        )

@@ -1,0 +1,19 @@
+"""Related-work baseline recommenders (Section 6).
+
+Non-neural next-location predictors the paper positions itself against:
+global popularity ranking, order-m Markov chains (Zhang et al.), and
+implicit-feedback matrix factorization (Lian et al.). They share the
+scoring interface of :class:`repro.models.recommender.NextLocationRecommender`
+(``score_all`` / ``recommend``) so the leave-one-out evaluator runs on all
+of them unchanged.
+"""
+
+from repro.baselines.popularity import PopularityRecommender
+from repro.baselines.markov import MarkovChainRecommender
+from repro.baselines.matrix_factorization import MatrixFactorizationRecommender
+
+__all__ = [
+    "PopularityRecommender",
+    "MarkovChainRecommender",
+    "MatrixFactorizationRecommender",
+]

@@ -1,0 +1,107 @@
+"""Order-m Markov chain next-location predictor.
+
+"MC-based methods utilize a per-user transition matrix comprised of
+location-location transition probabilities computed from the historical
+record of check-ins. The m-th-order Markov chains emit the probability of
+the user visiting the next location based on the latest m visited
+locations" (Section 6). This implementation pools transitions across users
+(a *global* chain), since the evaluation targets held-out users for whom
+no personal matrix exists, and backs off to lower orders — ultimately to
+global popularity — when a context was never observed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigError, DataError
+from repro.models.embeddings import top_k_indices
+
+
+class MarkovChainRecommender:
+    """Global order-m Markov chain with back-off smoothing.
+
+    Args:
+        sequences: training location-token sequences.
+        num_locations: vocabulary size L.
+        order: chain order m (>= 1).
+        smoothing: additive (Laplace) smoothing weight blended with the
+            empirical transition distribution.
+    """
+
+    def __init__(
+        self,
+        sequences: Iterable[Sequence[int]],
+        num_locations: int,
+        order: int = 1,
+        smoothing: float = 1e-3,
+    ) -> None:
+        if num_locations < 1:
+            raise DataError(f"num_locations must be >= 1, got {num_locations}")
+        if order < 1:
+            raise ConfigError(f"order must be >= 1, got {order}")
+        if smoothing < 0.0:
+            raise ConfigError(f"smoothing must be >= 0, got {smoothing}")
+        self.num_locations = int(num_locations)
+        self.order = int(order)
+        self.smoothing = float(smoothing)
+        # transitions[k][context_tuple] = Counter(next_location)
+        self._transitions: list[dict[tuple[int, ...], Counter]] = [
+            defaultdict(Counter) for _ in range(self.order)
+        ]
+        self._popularity = np.zeros(self.num_locations, dtype=np.float64)
+        for sequence in sequences:
+            self._ingest(list(sequence))
+        total = self._popularity.sum()
+        if total > 0:
+            self._popularity /= total
+
+    vocabulary = None
+
+    def _ingest(self, sequence: list[int]) -> None:
+        for token in sequence:
+            if not 0 <= token < self.num_locations:
+                raise DataError(f"token {token} out of range [0, {self.num_locations})")
+            self._popularity[token] += 1.0
+        for position in range(1, len(sequence)):
+            next_location = sequence[position]
+            for k in range(1, self.order + 1):
+                if position - k < 0:
+                    break
+                context = tuple(sequence[position - k : position])
+                self._transitions[k - 1][context][next_location] += 1.0
+
+    def score_all(self, recent: Sequence[Hashable]) -> np.ndarray:
+        """Next-location distribution given the recent tokens.
+
+        Uses the longest available context with observed transitions, then
+        backs off; unseen contexts fall back to global popularity. A
+        uniform smoothing mass keeps every location scoreable.
+        """
+        recent_tokens = [int(token) for token in recent]
+        scores = None
+        for k in range(min(self.order, len(recent_tokens)), 0, -1):
+            context = tuple(recent_tokens[-k:])
+            counter = self._transitions[k - 1].get(context)
+            if counter:
+                scores = np.zeros(self.num_locations, dtype=np.float64)
+                total = sum(counter.values())
+                for token, count in counter.items():
+                    scores[token] = count / total
+                break
+        if scores is None:
+            scores = self._popularity.copy()
+        if self.smoothing > 0.0:
+            scores = (1.0 - self.smoothing) * scores + self.smoothing / self.num_locations
+        return scores
+
+    def recommend(
+        self, recent: Sequence[Hashable], top_k: int = 10
+    ) -> list[tuple[int, float]]:
+        """Top-K next locations under the backed-off chain."""
+        scores = self.score_all(recent)
+        top = top_k_indices(scores, top_k)
+        return [(int(token), float(scores[token])) for token in top]

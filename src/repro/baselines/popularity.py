@@ -1,0 +1,54 @@
+"""Global-popularity recommender: the weakest sensible baseline.
+
+Ranks every location by its training-set check-in count, ignoring the
+query user's recent locations entirely. Any model exploiting sequence
+structure should beat it — the X-BASE ablation bench checks that the
+skip-gram does.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.models.embeddings import top_k_indices
+
+
+class PopularityRecommender:
+    """Ranks locations by global visit frequency."""
+
+    def __init__(self, sequences: Iterable[Sequence[int]], num_locations: int) -> None:
+        if num_locations < 1:
+            raise DataError(f"num_locations must be >= 1, got {num_locations}")
+        self.num_locations = int(num_locations)
+        counts: Counter[int] = Counter()
+        for sequence in sequences:
+            counts.update(sequence)
+        self._scores = np.zeros(self.num_locations, dtype=np.float64)
+        for token, count in counts.items():
+            if not 0 <= token < self.num_locations:
+                raise DataError(f"token {token} out of range [0, {self.num_locations})")
+            self._scores[token] = float(count)
+        total = self._scores.sum()
+        if total > 0:
+            self._scores /= total
+
+    # vocabulary is part of the shared recommender interface; popularity
+    # works directly on tokens.
+    vocabulary = None
+
+    def score_all(self, recent: Sequence[Hashable]) -> np.ndarray:
+        """Popularity scores (identical for every query)."""
+        del recent
+        return self._scores.copy()
+
+    def recommend(
+        self, recent: Sequence[Hashable], top_k: int = 10
+    ) -> list[tuple[int, float]]:
+        """Top-K most popular locations."""
+        scores = self.score_all(recent)
+        top = top_k_indices(scores, top_k)
+        return [(int(token), float(scores[token])) for token in top]

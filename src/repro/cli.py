@@ -1,0 +1,231 @@
+"""Command-line interface for the PLP reproduction.
+
+Subcommands cover the full workflow::
+
+    repro generate  --users 600 --locations 300 --out checkins.csv
+    repro train     --data checkins.csv --method plp --epsilon 2.0 --out model.npz
+    repro evaluate  --data checkins.csv --model model.npz
+    repro recommend --model model.npz --recent 17,42,8 --top-k 10
+    repro audit     --data checkins.csv --model model.npz
+
+``repro train --synthetic`` skips the CSV and trains straight on a fresh
+synthetic workload. All commands are deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.attacks import MembershipInferenceAttack
+from repro.core.config import PLPConfig
+from repro.core.dpsgd import UserLevelDPSGD
+from repro.core.nonprivate import NonPrivateTrainer
+from repro.core.trainer import PrivateLocationPredictor
+from repro.data.checkins import CheckinDataset
+from repro.data.io import load_checkins_csv, save_checkins_csv
+from repro.data.preprocessing import paper_preprocessing
+from repro.data.splitting import holdout_users_split, sessionize_dataset
+from repro.data.synthetic import SyntheticConfig, generate_checkins
+from repro.eval.evaluator import LeaveOneOutEvaluator
+from repro.exceptions import ReproError
+from repro.models.serialization import load_recommender, save_deployable_model
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Differentially-private next-location prediction (EDBT 2020 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate synthetic check-ins")
+    generate.add_argument("--users", type=int, default=600)
+    generate.add_argument("--locations", type=int, default=300)
+    generate.add_argument("--clusters", type=int, default=15)
+    generate.add_argument("--mean-checkins", type=float, default=30.0)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", required=True, help="output CSV path")
+
+    train = subparsers.add_parser("train", help="train a next-location model")
+    source = train.add_mutually_exclusive_group(required=True)
+    source.add_argument("--data", help="input check-in CSV")
+    source.add_argument(
+        "--synthetic", action="store_true", help="train on a fresh synthetic workload"
+    )
+    train.add_argument(
+        "--method", choices=("plp", "dpsgd", "nonprivate"), default="plp"
+    )
+    train.add_argument("--epsilon", type=float, default=2.0)
+    train.add_argument("--delta", type=float, default=2e-4)
+    train.add_argument("--grouping-factor", type=int, default=4)
+    train.add_argument("--sampling-probability", type=float, default=0.06)
+    train.add_argument("--noise-multiplier", type=float, default=2.5)
+    train.add_argument("--clip-bound", type=float, default=0.5)
+    train.add_argument("--learning-rate", type=float, default=0.2)
+    train.add_argument("--embedding-dim", type=int, default=50)
+    train.add_argument("--negatives", type=int, default=16)
+    train.add_argument("--max-steps", type=int, default=None)
+    train.add_argument("--epochs", type=int, default=5, help="non-private epochs")
+    train.add_argument("--seed", type=int, default=7)
+    train.add_argument("--out", required=True, help="output model .npz path")
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="leave-one-out HR@k of a model on held-out users"
+    )
+    evaluate.add_argument("--data", required=True, help="check-in CSV")
+    evaluate.add_argument("--model", required=True, help="model .npz")
+    evaluate.add_argument("--holdout", type=int, default=50, help="users to hold out")
+    evaluate.add_argument("--seed", type=int, default=7)
+
+    recommend = subparsers.add_parser(
+        "recommend", help="top-K next locations for recent check-ins"
+    )
+    recommend.add_argument("--model", required=True, help="model .npz")
+    recommend.add_argument(
+        "--recent", required=True, help="comma-separated recent POI ids"
+    )
+    recommend.add_argument("--top-k", type=int, default=10)
+
+    audit = subparsers.add_parser(
+        "audit", help="membership-inference audit of a released model"
+    )
+    audit.add_argument("--data", required=True, help="check-in CSV")
+    audit.add_argument("--model", required=True, help="model .npz")
+    audit.add_argument("--holdout", type=int, default=50)
+    audit.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = SyntheticConfig(
+        num_users=args.users,
+        num_locations=args.locations,
+        num_clusters=args.clusters,
+        mean_checkins_per_user=args.mean_checkins,
+    )
+    checkins = paper_preprocessing(generate_checkins(config, rng=args.seed))
+    count = save_checkins_csv(args.out, checkins)
+    stats = CheckinDataset(checkins).stats()
+    print(f"wrote {count} check-ins to {args.out}")
+    print(f"  {stats.as_dict()}")
+    return 0
+
+
+def _load_dataset(args: argparse.Namespace) -> CheckinDataset:
+    if getattr(args, "synthetic", False):
+        checkins = paper_preprocessing(generate_checkins(SyntheticConfig(), rng=args.seed))
+    else:
+        checkins = load_checkins_csv(args.data)
+    return CheckinDataset(checkins)
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    print(f"training on {dataset.num_users} users / {dataset.num_locations} POIs")
+
+    if args.method == "nonprivate":
+        trainer = NonPrivateTrainer(
+            embedding_dim=args.embedding_dim,
+            num_negatives=args.negatives,
+            learning_rate=args.learning_rate,
+            rng=args.seed,
+        )
+        history = trainer.fit(dataset, epochs=args.epochs)
+        privacy = {"mechanism": "none", "epsilon": "inf"}
+    else:
+        config = PLPConfig(
+            epsilon=args.epsilon,
+            delta=args.delta,
+            grouping_factor=args.grouping_factor,
+            sampling_probability=args.sampling_probability,
+            noise_multiplier=args.noise_multiplier,
+            clip_bound=args.clip_bound,
+            learning_rate=args.learning_rate,
+            embedding_dim=args.embedding_dim,
+            num_negatives=args.negatives,
+            max_steps=args.max_steps,
+        )
+        trainer_cls = UserLevelDPSGD if args.method == "dpsgd" else PrivateLocationPredictor
+        trainer = trainer_cls(config, rng=args.seed)
+        history = trainer.fit(dataset)
+        privacy = {
+            "mechanism": args.method,
+            "epsilon": history.final_epsilon,
+            "delta": args.delta,
+            "steps": len(history),
+        }
+        print(
+            f"  {len(history)} steps ({history.stop_reason}); "
+            f"epsilon spent = {history.final_epsilon:.3f}"
+        )
+        from repro.reporting import sparkline
+
+        print(f"  loss {sparkline(history.losses())}")
+
+    save_deployable_model(
+        args.out, trainer.embeddings(), trainer.vocabulary, privacy
+    )
+    print(f"saved deployable model to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    _, holdout = holdout_users_split(dataset, args.holdout, rng=args.seed)
+    recommender = load_recommender(args.model)
+    evaluator = LeaveOneOutEvaluator(sessionize_dataset(holdout), k_values=(5, 10, 20))
+    result = evaluator.evaluate(recommender)
+    print(result.summary())
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    recommender = load_recommender(args.model)
+    recent = [int(token.strip()) for token in args.recent.split(",") if token.strip()]
+    results = recommender.recommend(recent, top_k=args.top_k)
+    print(f"recent check-ins: {recent}")
+    for rank, (location, score) in enumerate(results, start=1):
+        print(f"  {rank:2d}. POI {location} (score {score:.4f})")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    train, holdout = holdout_users_split(dataset, args.holdout, rng=args.seed)
+    from repro.models.serialization import load_deployable_model
+
+    embeddings, vocabulary, privacy = load_deployable_model(args.model)
+    attack = MembershipInferenceAttack(embeddings, vocabulary=vocabulary)
+    members = [[history.locations()] for history in train][: args.holdout]
+    nonmembers = [[history.locations()] for history in holdout]
+    result = attack.audit(members, nonmembers)
+    print(f"model privacy metadata: {privacy}")
+    print(result.summary())
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "recommend": _cmd_recommend,
+    "audit": _cmd_audit,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Shared training-data preparation: vocabulary + per-user window pairs.
+
+Both the private and non-private trainers tokenize the training users'
+check-in sequences and expand them into (target, context) window pairs.
+"Given the set of check-ins of a user, we treat the consecutively visited
+locations as a trajectory that reflects her visit patterns" (Section 3.2);
+by default sequences are sessionized with the paper's 6-hour rule so a
+window never spans a multi-day gap, with the full-history alternative
+available.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.checkins import CheckinDataset
+from repro.data.splitting import SIX_HOURS_SECONDS, sessionize
+from repro.exceptions import DataError
+from repro.models.vocabulary import LocationVocabulary
+from repro.models.windowing import pairs_from_sequences
+
+_EMPTY_PAIRS = np.empty((0, 2), dtype=np.int64)
+
+
+def build_training_data(
+    dataset: CheckinDataset,
+    window: int,
+    sessionize_training: bool = True,
+    max_session_seconds: float = SIX_HOURS_SECONDS,
+) -> tuple[LocationVocabulary, dict[int, np.ndarray]]:
+    """Tokenize training sequences and expand per-user window pairs.
+
+    Args:
+        dataset: the training users' check-ins.
+        window: the symmetric context radius ``win``.
+        sessionize_training: split each history into 6-hour sessions before
+            window expansion (recommended; prevents cross-session windows).
+        max_session_seconds: session duration bound.
+
+    Returns:
+        ``(vocabulary, user_pairs)`` where ``user_pairs[user]`` is an
+        ``(n_u, 2)`` int array of that user's (target, context) token pairs.
+
+    Raises:
+        DataError: when no user yields a single training pair.
+    """
+    per_user_sequences: dict[int, list[list[int]]] = {}
+    for history in dataset:
+        if sessionize_training:
+            sequences = [
+                list(trajectory.locations)
+                for trajectory in sessionize(history, max_session_seconds)
+            ]
+        else:
+            sequences = [history.locations()]
+        per_user_sequences[history.user] = sequences
+
+    vocabulary = LocationVocabulary.from_sequences(
+        sequence
+        for sequences in per_user_sequences.values()
+        for sequence in sequences
+    )
+
+    user_pairs: dict[int, np.ndarray] = {}
+    total = 0
+    for user, sequences in per_user_sequences.items():
+        encoded = [vocabulary.encode(sequence) for sequence in sequences]
+        pairs = pairs_from_sequences(encoded, window)
+        user_pairs[user] = pairs if pairs.shape[0] else _EMPTY_PAIRS
+        total += pairs.shape[0]
+    if total == 0:
+        raise DataError(
+            "no training pairs produced; sequences are too short for the window"
+        )
+    return vocabulary, user_pairs

@@ -1,0 +1,235 @@
+"""Per-bucket local training: ``ModelUpdateFromBucket`` (Algorithm 1, 15-22).
+
+Starting from the current global model ``theta_t``, the bucket's pairs are
+batched and trained with plain SGD; the resulting model delta
+``g_h = Phi - theta_t`` is clipped — per-layer to ``C / sqrt(|theta|)``
+(the paper's choice, McMahan & Andrew 2018) or globally to ``C`` — and
+returned for the Gaussian sum query.
+
+Implementation note: local SGD only touches the parameter rows involved in
+the bucket's pairs (plus their negative samples), so instead of copying the
+full model per bucket, training runs *in place* on ``theta`` while saving
+the pre-bucket values of each touched row; the delta is assembled sparsely
+and ``theta`` is restored afterwards. This makes the per-bucket cost
+proportional to the bucket's data, not to the model size — the dominant
+cost at small grouping factors where hundreds of buckets run per step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.models.skipgram import BIAS, CONTEXT, EMBEDDING, SkipGramModel
+from repro.models.windowing import BatchIterator
+from repro.nn.parameters import ParameterSet
+from repro.privacy.clipping import per_layer_clip_bound
+from repro.rng import RngLike, ensure_rng
+
+_TENSOR_NAMES = (EMBEDDING, CONTEXT, BIAS)
+
+
+@dataclass(slots=True)
+class BucketUpdate:
+    """Result of one bucket's local training pass (sparse representation).
+
+    Attributes:
+        rows: per-tensor row indices that received updates (unique).
+        values: per-tensor update values aligned with ``rows``; the clipped
+            delta is zero everywhere else.
+        shapes: per-tensor full shapes (to materialize a dense delta).
+        mean_loss: mean local-SGD batch loss (nan for an empty bucket).
+        num_batches: local batches executed.
+        unclipped_norm: joint l2 norm of the delta before clipping.
+    """
+
+    rows: dict[str, np.ndarray]
+    values: dict[str, np.ndarray]
+    shapes: dict[str, tuple[int, ...]]
+    mean_loss: float
+    num_batches: int
+    unclipped_norm: float
+
+    @property
+    def clipped_norm(self) -> float:
+        """Joint l2 norm of the clipped delta."""
+        squared = sum(
+            float(np.sum(np.square(values))) for values in self.values.values()
+        )
+        return math.sqrt(squared)
+
+    @property
+    def delta(self) -> dict[str, np.ndarray]:
+        """The clipped delta as dense tensors (for tests and analysis)."""
+        dense: dict[str, np.ndarray] = {}
+        for name, shape in self.shapes.items():
+            tensor = np.zeros(shape)
+            if self.rows[name].size:
+                tensor[self.rows[name]] = self.values[name]
+            dense[name] = tensor
+        return dense
+
+    def add_into(self, accumulators: dict[str, np.ndarray]) -> None:
+        """Scatter-add the clipped delta into dense accumulator tensors."""
+        for name, rows in self.rows.items():
+            if rows.size:
+                accumulators[name][rows] += self.values[name]
+
+
+class _RowSaver:
+    """Tracks and snapshots the pre-bucket value of every touched row."""
+
+    def __init__(self, params: ParameterSet) -> None:
+        self._params = params
+        self._mask = {
+            name: np.zeros(params[name].shape[0], dtype=bool)
+            for name in _TENSOR_NAMES
+        }
+        self._rows: dict[str, list[np.ndarray]] = {n: [] for n in _TENSOR_NAMES}
+        self._saved: dict[str, list[np.ndarray]] = {n: [] for n in _TENSOR_NAMES}
+
+    def save(self, name: str, rows: np.ndarray) -> None:
+        """Snapshot rows not yet saved (before they are modified)."""
+        rows = np.unique(rows)
+        mask = self._mask[name]
+        fresh = rows[~mask[rows]]
+        if fresh.size:
+            mask[fresh] = True
+            self._rows[name].append(fresh)
+            self._saved[name].append(self._params[name][fresh].copy())
+
+    def collect_delta(self) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        """Row indices and ``current - saved`` values per tensor."""
+        rows_out: dict[str, np.ndarray] = {}
+        values_out: dict[str, np.ndarray] = {}
+        for name in _TENSOR_NAMES:
+            if self._rows[name]:
+                rows = np.concatenate(self._rows[name])
+                saved = np.concatenate(self._saved[name])
+                rows_out[name] = rows
+                values_out[name] = self._params[name][rows] - saved
+            else:
+                rows_out[name] = np.empty(0, dtype=np.int64)
+                trailing = self._params[name].shape[1:]
+                values_out[name] = np.empty((0, *trailing))
+        return rows_out, values_out
+
+    def restore(self) -> None:
+        """Put every saved row back to its pre-bucket value."""
+        for name in _TENSOR_NAMES:
+            for rows, saved in zip(self._rows[name], self._saved[name]):
+                self._params[name][rows] = saved
+
+
+def _touched_rows(pieces: dict) -> dict[str, np.ndarray]:
+    """Rows each tensor's update will touch, from the gradient pieces."""
+    if pieces.get("shared"):
+        context_rows = np.concatenate([pieces["contexts"], pieces["negatives"]])
+    else:
+        context_rows = pieces["candidates"].ravel()
+    return {
+        EMBEDDING: pieces["targets"],
+        CONTEXT: context_rows,
+        BIAS: context_rows,
+    }
+
+
+def model_update_from_bucket(
+    model: SkipGramModel,
+    theta: ParameterSet,
+    bucket_pairs: np.ndarray,
+    batch_size: int,
+    learning_rate: float,
+    clip_bound: float,
+    clipping: str = "per_layer",
+    local_update: str = "sgd",
+    rng: RngLike = None,
+) -> BucketUpdate:
+    """Compute the clipped model delta for one data bucket.
+
+    ``theta`` is unchanged on return (rows are modified during local
+    training and restored afterwards).
+
+    Args:
+        model: the skip-gram architecture (provides forward/backward).
+        theta: the global parameters ``theta_t``.
+        bucket_pairs: ``(n, 2)`` (target, context) pairs of the bucket.
+        batch_size: pairs per local SGD batch (the paper's ``b``).
+        learning_rate: local SGD learning rate ``eta``.
+        clip_bound: the overall clipping magnitude ``C``.
+        clipping: ``"per_layer"`` (paper) or ``"global"``.
+        local_update: ``"sgd"`` = multi-batch local SGD (PLP, lines 17-19);
+            ``"gradient"`` = one gradient step over the whole bucket data
+            (the classic DP-SGD update, used by the baseline).
+        rng: randomness for batch shuffling and negative sampling.
+
+    Returns:
+        The clipped delta (sparse) plus local-training diagnostics.
+    """
+    if clipping not in ("per_layer", "global"):
+        raise ConfigError(f"unknown clipping mode {clipping!r}")
+    if local_update not in ("sgd", "gradient"):
+        raise ConfigError(f"unknown local_update mode {local_update!r}")
+    generator = ensure_rng(rng)
+    bucket_pairs = np.asarray(bucket_pairs, dtype=np.int64).reshape(-1, 2)
+
+    saver = _RowSaver(theta)
+    losses: list[float] = []
+
+    def train_batch(targets: np.ndarray, contexts: np.ndarray) -> None:
+        if model.negative_sharing == "batch":
+            negatives = generator.integers(
+                0, model.num_locations, size=model.num_negatives, dtype=np.int64
+            )
+            loss, pieces = model.loss_and_shared_grads(
+                theta, targets, contexts, negatives
+            )
+        else:
+            negatives = model.sample_negatives(len(targets), generator)
+            loss, pieces = model.loss_and_sparse_grads(
+                theta, targets, contexts, negatives
+            )
+        for name, rows in _touched_rows(pieces).items():
+            saver.save(name, rows)
+        model.apply_sparse_update(theta, pieces, learning_rate)
+        losses.append(loss)
+
+    if bucket_pairs.shape[0] > 0:
+        if local_update == "gradient":
+            train_batch(bucket_pairs[:, 0], bucket_pairs[:, 1])
+        else:
+            for targets, contexts in BatchIterator(
+                bucket_pairs, batch_size, rng=generator
+            ):
+                train_batch(targets, contexts)
+
+    rows, values = saver.collect_delta()
+    saver.restore()
+
+    squared = sum(float(np.sum(np.square(v))) for v in values.values())
+    unclipped_norm = math.sqrt(squared)
+
+    if clipping == "per_layer":
+        bound = per_layer_clip_bound(clip_bound, len(_TENSOR_NAMES))
+        for name in _TENSOR_NAMES:
+            norm = float(np.linalg.norm(values[name]))
+            if norm > bound:
+                values[name] *= bound / norm
+    else:
+        if unclipped_norm > clip_bound:
+            scale = clip_bound / unclipped_norm
+            for name in _TENSOR_NAMES:
+                values[name] *= scale
+
+    shapes = {name: theta[name].shape for name in _TENSOR_NAMES}
+    return BucketUpdate(
+        rows=rows,
+        values=values,
+        shapes=shapes,
+        mean_loss=float(np.mean(losses)) if losses else float("nan"),
+        num_batches=len(losses),
+        unclipped_norm=unclipped_norm,
+    )

@@ -1,0 +1,152 @@
+"""Non-private skip-gram training: baseline (i) of Section 5.2.
+
+Standard SGNS training over the pooled training pairs — no sampling, no
+clipping, no noise. Used to establish the accuracy ceiling (the paper's
+non-private model reaches HR@10 = 29.5% on its data) and for the
+hyper-parameter tuning of Figure 5.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core._pairs import build_training_data
+from repro.core.history import StepRecord, TrainingHistory
+from repro.data.checkins import CheckinDataset
+from repro.exceptions import ConfigError, NotFittedError
+from repro.models.embeddings import EmbeddingMatrix
+from repro.models.recommender import NextLocationRecommender
+from repro.models.skipgram import SkipGramModel
+from repro.models.vocabulary import LocationVocabulary
+from repro.models.windowing import BatchIterator
+from repro.core.trainer import EvalFn
+from repro.rng import RngLike, ensure_rng
+
+
+class NonPrivateTrainer:
+    """Plain (epoch-based) SGNS trainer over location sequences.
+
+    Args:
+        embedding_dim: the paper's ``dim`` (default 50).
+        num_negatives: the paper's ``neg`` (default 16).
+        window: the paper's ``win`` (default 2).
+        batch_size: the paper's ``b`` (default 32).
+        learning_rate: the paper's ``eta`` (default 0.06).
+        loss: candidate-sampling loss name.
+        negative_sharing: "batch" (TF-style shared negatives) or "per_pair".
+        sessionize_training: expand windows within 6-hour sessions.
+        rng: seed or generator.
+    """
+
+    def __init__(
+        self,
+        embedding_dim: int = 50,
+        num_negatives: int = 16,
+        window: int = 2,
+        batch_size: int = 32,
+        learning_rate: float = 0.06,
+        loss: str = "sampled_softmax",
+        negative_sharing: str = "batch",
+        sessionize_training: bool = True,
+        rng: RngLike = None,
+    ) -> None:
+        if embedding_dim < 1:
+            raise ConfigError(f"embedding_dim must be >= 1, got {embedding_dim}")
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        if learning_rate <= 0.0:
+            raise ConfigError(f"learning_rate must be positive, got {learning_rate}")
+        self.embedding_dim = int(embedding_dim)
+        self.num_negatives = int(num_negatives)
+        self.window = int(window)
+        self.batch_size = int(batch_size)
+        self.learning_rate = float(learning_rate)
+        self.loss = loss
+        self.negative_sharing = negative_sharing
+        self.sessionize_training = bool(sessionize_training)
+        self._rng = ensure_rng(rng)
+        self.model: SkipGramModel | None = None
+        self.vocabulary: LocationVocabulary | None = None
+        self.history = TrainingHistory()
+
+    def fit(
+        self,
+        dataset: CheckinDataset,
+        epochs: int = 20,
+        eval_fn: EvalFn | None = None,
+        eval_every_epochs: int = 5,
+    ) -> TrainingHistory:
+        """Train for a fixed number of epochs over all pooled pairs.
+
+        Args:
+            dataset: training users' check-ins.
+            epochs: full passes over the pair set.
+            eval_fn: optional embeddings -> metrics callback.
+            eval_every_epochs: evaluation cadence.
+
+        Returns:
+            The populated training history (one step record per epoch).
+        """
+        if epochs < 1:
+            raise ConfigError(f"epochs must be >= 1, got {epochs}")
+        if eval_every_epochs < 1:
+            raise ConfigError(f"eval_every_epochs must be >= 1, got {eval_every_epochs}")
+        self.vocabulary, user_pairs = build_training_data(
+            dataset, self.window, self.sessionize_training
+        )
+        pairs = np.concatenate(
+            [array for array in user_pairs.values() if array.shape[0]], axis=0
+        )
+        self.model = SkipGramModel(
+            num_locations=self.vocabulary.size,
+            embedding_dim=self.embedding_dim,
+            num_negatives=self.num_negatives,
+            loss=self.loss,
+            negative_sharing=self.negative_sharing,
+            rng=self._rng,
+        )
+        self.history = TrainingHistory()
+        params = self.model.params
+
+        for epoch in range(1, epochs + 1):
+            started = time.perf_counter()
+            losses: list[float] = []
+            for targets, contexts in BatchIterator(pairs, self.batch_size, self._rng):
+                losses.append(
+                    self.model.sgd_step(
+                        params, targets, contexts, self.learning_rate, self._rng
+                    )
+                )
+            self.history.record_step(
+                StepRecord(
+                    step=epoch,
+                    mean_loss=float(np.mean(losses)),
+                    epsilon_spent=float("inf"),  # non-private: no protection
+                    num_sampled_users=len(user_pairs),
+                    num_buckets=0,
+                    mean_unclipped_norm=0.0,
+                    wall_time_seconds=time.perf_counter() - started,
+                )
+            )
+            if eval_fn is not None and epoch % eval_every_epochs == 0:
+                self.history.record_evaluation(epoch, eval_fn(self.embeddings()))
+        self.history.stop_reason = "epochs_completed"
+        if eval_fn is not None and epochs % eval_every_epochs != 0:
+            self.history.record_evaluation(epochs, eval_fn(self.embeddings()))
+        return self.history
+
+    def embeddings(self) -> EmbeddingMatrix:
+        """The trained, unit-normalized location embeddings."""
+        if self.model is None:
+            raise NotFittedError("call fit() before using the trained model")
+        return EmbeddingMatrix(self.model.params["W"])
+
+    def recommender(self, exclude_input: bool = False) -> NextLocationRecommender:
+        """A next-location recommender over the trained embeddings."""
+        return NextLocationRecommender(
+            self.embeddings(),
+            vocabulary=self.vocabulary,
+            exclude_input=exclude_input,
+        )

@@ -1,0 +1,39 @@
+"""Check-in data substrate.
+
+The paper evaluates on Foursquare check-ins restricted to Tokyo. That
+dataset is not redistributable, so this package provides (a) a synthetic
+generator reproducing its statistical profile — Zipf location popularity,
+long-tailed per-user activity, spatial clustering, session structure
+(:mod:`repro.data.synthetic`) — (b) a loader for the real Foursquare TSV
+format if a copy is available (:mod:`repro.data.foursquare`), (c) the
+paper's preprocessing pipeline (:mod:`repro.data.preprocessing`), and
+(d) the holdout-users split and 6-hour sessionization used for evaluation
+(:mod:`repro.data.splitting`).
+"""
+
+from repro.data.checkins import CheckinDataset, DatasetStats
+from repro.data.synthetic import SyntheticConfig, TOKYO_BBOX, generate_checkins
+from repro.data.foursquare import load_foursquare_tsv
+from repro.data.preprocessing import (
+    filter_bounding_box,
+    filter_min_location_users,
+    filter_min_user_checkins,
+    paper_preprocessing,
+)
+from repro.data.splitting import holdout_users_split, sessionize, sessionize_dataset
+
+__all__ = [
+    "CheckinDataset",
+    "DatasetStats",
+    "SyntheticConfig",
+    "TOKYO_BBOX",
+    "generate_checkins",
+    "load_foursquare_tsv",
+    "filter_min_user_checkins",
+    "filter_min_location_users",
+    "filter_bounding_box",
+    "paper_preprocessing",
+    "holdout_users_split",
+    "sessionize",
+    "sessionize_dataset",
+]

@@ -1,0 +1,170 @@
+"""The check-in dataset container.
+
+Wraps per-user time-sorted histories with the summary statistics the paper
+reports (users N, locations L, check-in count, density) and the accessors
+the training pipeline needs (per-user location sequences).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.exceptions import DataError
+from repro.types import CheckIn, UserHistory, group_by_user
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetStats:
+    """Summary statistics, mirroring the paper's Section 5.1 description."""
+
+    num_users: int
+    num_locations: int
+    num_checkins: int
+    density: float
+    min_user_checkins: int
+    max_user_checkins: int
+    mean_user_checkins: float
+    duration_seconds: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for tabular printing."""
+        return {
+            "users": self.num_users,
+            "locations": self.num_locations,
+            "checkins": self.num_checkins,
+            "density": self.density,
+            "min_user_checkins": self.min_user_checkins,
+            "max_user_checkins": self.max_user_checkins,
+            "mean_user_checkins": self.mean_user_checkins,
+            "duration_days": self.duration_seconds / 86_400.0,
+        }
+
+
+class CheckinDataset:
+    """User-partitioned check-in data.
+
+    Construction groups raw check-ins by user and sorts each history by
+    time; an empty dataset is rejected.
+    """
+
+    def __init__(self, checkins: Iterable[CheckIn]) -> None:
+        self._histories = group_by_user(checkins)
+        if not self._histories:
+            raise DataError("dataset contains no check-ins")
+
+    # -- container protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of users."""
+        return len(self._histories)
+
+    def __iter__(self) -> Iterator[UserHistory]:
+        return iter(self._histories.values())
+
+    def __contains__(self, user: int) -> bool:
+        return user in self._histories
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def users(self) -> list[int]:
+        """User identifiers, in insertion order."""
+        return list(self._histories)
+
+    @property
+    def num_users(self) -> int:
+        """The paper's N."""
+        return len(self._histories)
+
+    def history(self, user: int) -> UserHistory:
+        """One user's check-in history.
+
+        Raises:
+            DataError: for an unknown user.
+        """
+        history = self._histories.get(user)
+        if history is None:
+            raise DataError(f"unknown user {user}")
+        return history
+
+    def all_checkins(self) -> list[CheckIn]:
+        """Every check-in of every user (users in order, time within user)."""
+        return [
+            checkin
+            for history in self._histories.values()
+            for checkin in history.checkins
+        ]
+
+    def location_set(self) -> set[int]:
+        """Distinct location ids appearing in the data (the paper's P)."""
+        return {
+            checkin.location
+            for history in self._histories.values()
+            for checkin in history.checkins
+        }
+
+    @property
+    def num_locations(self) -> int:
+        """The paper's L = |P|."""
+        return len(self.location_set())
+
+    @property
+    def num_checkins(self) -> int:
+        """Total check-in record count."""
+        return sum(len(history) for history in self._histories.values())
+
+    def user_sequences(self) -> dict[int, list[int]]:
+        """Per-user location sequences in visit order (training input)."""
+        return {user: history.locations() for user, history in self._histories.items()}
+
+    # -- statistics -----------------------------------------------------------------
+
+    def density(self) -> float:
+        """Fraction of the N x L user-location matrix that is non-zero.
+
+        The paper cites typical check-in densities around 0.1% as the core
+        sparsity challenge.
+        """
+        distinct_pairs = sum(
+            len(set(history.locations())) for history in self._histories.values()
+        )
+        cells = self.num_users * self.num_locations
+        return distinct_pairs / cells if cells else 0.0
+
+    def stats(self) -> DatasetStats:
+        """Summary statistics of the dataset."""
+        counts = [len(history) for history in self._histories.values()]
+        timestamps = [
+            checkin.timestamp
+            for history in self._histories.values()
+            for checkin in history.checkins
+        ]
+        duration = (max(timestamps) - min(timestamps)) if timestamps else 0.0
+        return DatasetStats(
+            num_users=self.num_users,
+            num_locations=self.num_locations,
+            num_checkins=self.num_checkins,
+            density=self.density(),
+            min_user_checkins=min(counts),
+            max_user_checkins=max(counts),
+            mean_user_checkins=sum(counts) / len(counts),
+            duration_seconds=duration,
+        )
+
+    def subset(self, users: Iterable[int]) -> "CheckinDataset":
+        """Dataset restricted to the given users.
+
+        Raises:
+            DataError: if the restriction is empty or names unknown users.
+        """
+        wanted = set(users)
+        unknown = wanted - set(self._histories)
+        if unknown:
+            raise DataError(f"unknown users in subset: {sorted(unknown)[:5]}")
+        checkins = [
+            checkin
+            for user in wanted
+            for checkin in self._histories[user].checkins
+        ]
+        return CheckinDataset(checkins)

@@ -1,0 +1,87 @@
+"""CSV interchange for check-in data.
+
+A minimal, dependency-free on-disk format so datasets can move between the
+CLI, notebooks, and external tools::
+
+    user,location,timestamp,latitude,longitude
+    0,17,1333475000.0,35.681,139.767
+
+Coordinates are optional (empty fields load as NaN).
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Iterable
+
+from repro.exceptions import DataError
+from repro.types import CheckIn
+
+_HEADER = ["user", "location", "timestamp", "latitude", "longitude"]
+
+
+def save_checkins_csv(path: str | Path, checkins: Iterable[CheckIn]) -> int:
+    """Write check-ins to ``path`` in the library CSV format.
+
+    Returns:
+        The number of rows written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for checkin in checkins:
+            writer.writerow(
+                [
+                    checkin.user,
+                    checkin.location,
+                    repr(checkin.timestamp),
+                    "" if math.isnan(checkin.latitude) else repr(checkin.latitude),
+                    "" if math.isnan(checkin.longitude) else repr(checkin.longitude),
+                ]
+            )
+            count += 1
+    return count
+
+
+def load_checkins_csv(path: str | Path) -> list[CheckIn]:
+    """Read check-ins from a CSV written by :func:`save_checkins_csv`.
+
+    Raises:
+        DataError: on a missing file, wrong header, or malformed row.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"check-in file not found: {path}")
+    checkins: list[CheckIn] = []
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != _HEADER:
+            raise DataError(
+                f"{path}: expected header {_HEADER}, got {header}"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(_HEADER):
+                raise DataError(f"{path}:{line_number}: expected {len(_HEADER)} fields")
+            try:
+                checkins.append(
+                    CheckIn(
+                        user=int(row[0]),
+                        location=int(row[1]),
+                        timestamp=float(row[2]),
+                        latitude=float(row[3]) if row[3] else float("nan"),
+                        longitude=float(row[4]) if row[4] else float("nan"),
+                    )
+                )
+            except ValueError as error:
+                raise DataError(f"{path}:{line_number}: {error}") from error
+    if not checkins:
+        raise DataError(f"no check-ins in {path}")
+    return checkins

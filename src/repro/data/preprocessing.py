@@ -1,0 +1,106 @@
+"""The paper's data preprocessing pipeline (Section 5.1).
+
+"We focus on check-ins within a single urban area ... We filter out the
+users with fewer than ten check-ins, as well as the locations visited by
+fewer than two users (such filtering is commonly performed in the location
+recommendation literature)."
+
+The two frequency filters interact (dropping a location may push a user
+below the check-in threshold and vice versa), so :func:`paper_preprocessing`
+applies them alternately until a fixed point.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Iterable, Sequence
+
+from repro.exceptions import DataError
+from repro.types import CheckIn
+
+
+def filter_bounding_box(
+    checkins: Iterable[CheckIn],
+    bbox: tuple[float, float, float, float],
+) -> list[CheckIn]:
+    """Keep only check-ins inside ``(lat_south, lat_north, lon_west, lon_east)``.
+
+    Check-ins without coordinates are dropped (their location cannot be
+    verified to lie inside the area).
+    """
+    lat_south, lat_north, lon_west, lon_east = bbox
+    if lat_south >= lat_north or lon_west >= lon_east:
+        raise DataError(f"degenerate bounding box {bbox}")
+    return [
+        checkin
+        for checkin in checkins
+        if checkin.has_coordinates()
+        and lat_south <= checkin.latitude <= lat_north
+        and lon_west <= checkin.longitude <= lon_east
+    ]
+
+
+def filter_min_user_checkins(
+    checkins: Iterable[CheckIn], min_checkins: int
+) -> list[CheckIn]:
+    """Drop all records of users with fewer than ``min_checkins`` check-ins."""
+    if min_checkins < 1:
+        raise DataError(f"min_checkins must be >= 1, got {min_checkins}")
+    checkins = list(checkins)
+    counts = Counter(checkin.user for checkin in checkins)
+    return [checkin for checkin in checkins if counts[checkin.user] >= min_checkins]
+
+
+def filter_min_location_users(
+    checkins: Iterable[CheckIn], min_users: int
+) -> list[CheckIn]:
+    """Drop locations visited by fewer than ``min_users`` distinct users."""
+    if min_users < 1:
+        raise DataError(f"min_users must be >= 1, got {min_users}")
+    checkins = list(checkins)
+    visitors: dict[int, set[int]] = defaultdict(set)
+    for checkin in checkins:
+        visitors[checkin.location].add(checkin.user)
+    return [
+        checkin
+        for checkin in checkins
+        if len(visitors[checkin.location]) >= min_users
+    ]
+
+
+def paper_preprocessing(
+    checkins: Sequence[CheckIn],
+    min_user_checkins: int = 10,
+    min_location_users: int = 2,
+    bbox: tuple[float, float, float, float] | None = None,
+    max_rounds: int = 20,
+) -> list[CheckIn]:
+    """The full Section 5.1 pipeline, iterated to a fixed point.
+
+    Args:
+        checkins: raw records.
+        min_user_checkins: user-activity threshold (paper: 10).
+        min_location_users: location-support threshold (paper: 2).
+        bbox: optional geographic restriction applied first.
+        max_rounds: safety cap on filter alternation.
+
+    Returns:
+        The filtered records.
+
+    Raises:
+        DataError: if filtering empties the dataset.
+    """
+    current = list(checkins)
+    if bbox is not None:
+        current = filter_bounding_box(current, bbox)
+    for _ in range(max_rounds):
+        before = len(current)
+        current = filter_min_user_checkins(current, min_user_checkins)
+        current = filter_min_location_users(current, min_location_users)
+        if len(current) == before:
+            break
+    if not current:
+        raise DataError(
+            "preprocessing removed every check-in; thresholds too strict for the data"
+        )
+    return current

@@ -1,0 +1,21 @@
+"""Evaluation protocol: leave-one-out Hit-Rate (Section 5.1).
+
+"Given a time-ordered user check-in sequence, recommendation models utilize
+the first (t-1) location visits as an input and predict the t-th location
+as the recommended location. The recommendation quality is measured by
+Hit-Rate (HR). HR@k is a recall-based metric, measuring whether the test
+location is in the top-k locations of the recommendation list."
+"""
+
+from repro.eval.metrics import hit_rate_at_k, mean_reciprocal_rank, ndcg_at_k
+from repro.eval.evaluator import EvaluationResult, LeaveOneOutEvaluator
+from repro.eval.stats import paired_t_test
+
+__all__ = [
+    "hit_rate_at_k",
+    "mean_reciprocal_rank",
+    "ndcg_at_k",
+    "LeaveOneOutEvaluator",
+    "EvaluationResult",
+    "paired_t_test",
+]

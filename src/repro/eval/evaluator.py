@@ -1,0 +1,156 @@
+"""The leave-one-out evaluator (Section 5.1, "Evaluation Metric").
+
+For each held-out trajectory, the first ``t - 1`` visits are the input and
+the ``t``-th visit is the prediction target; the evaluator records the
+1-based rank of the target in the model's full ranking and aggregates
+HR@k / MRR / NDCG over all cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.eval.metrics import hit_rate_at_k, mean_reciprocal_rank, ndcg_at_k
+from repro.exceptions import ConfigError
+from repro.models.embeddings import EmbeddingMatrix
+from repro.models.recommender import NextLocationRecommender
+from repro.types import Trajectory
+
+
+@dataclass(slots=True)
+class EvaluationResult:
+    """Aggregated leave-one-out outcomes.
+
+    Attributes:
+        hit_rate: mapping ``k -> HR@k``.
+        mrr: mean reciprocal rank.
+        ndcg: mapping ``k -> NDCG@k``.
+        num_cases: trajectories actually evaluated.
+        num_skipped: trajectories skipped (input or target outside the
+            model vocabulary, or too short).
+        ranks: per-case 1-based rank of the true next location.
+    """
+
+    hit_rate: dict[int, float] = field(default_factory=dict)
+    mrr: float = float("nan")
+    ndcg: dict[int, float] = field(default_factory=dict)
+    num_cases: int = 0
+    num_skipped: int = 0
+    ranks: list[int] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        parts = [f"HR@{k}={v:.4f}" for k, v in sorted(self.hit_rate.items())]
+        parts.append(f"MRR={self.mrr:.4f}")
+        parts.append(f"cases={self.num_cases}")
+        return " ".join(parts)
+
+
+class LeaveOneOutEvaluator:
+    """Evaluates a recommender on held-out trajectories via leave-one-out.
+
+    Accepts any recommender exposing ``score_all(recent) -> scores`` and a
+    ``vocabulary`` attribute (``None`` for token-space models) — the
+    skip-gram recommender and every baseline in :mod:`repro.baselines`.
+
+    Args:
+        trajectories: held-out-user trajectories (length >= 2). Both token
+            and raw-POI-id trajectories are supported; when a vocabulary is
+            attached to the recommender, trajectories must carry raw ids.
+        k_values: the k's to report HR@k / NDCG@k for (paper: 5, 10, 20).
+        input_scope: what the model sees as "recent check-ins" (the paper's
+            Section 3.3 describes both): ``"session"`` (default) uses the
+            current trajectory's first ``t - 1`` visits; ``"history"``
+            additionally prepends all of the user's *earlier* trajectories
+            (her movement profile).
+    """
+
+    def __init__(
+        self,
+        trajectories: Sequence[Trajectory],
+        k_values: Sequence[int] = (5, 10, 20),
+        input_scope: str = "session",
+    ) -> None:
+        if not k_values:
+            raise ConfigError("k_values must be non-empty")
+        if any(k < 1 for k in k_values):
+            raise ConfigError(f"all k values must be >= 1, got {list(k_values)}")
+        if input_scope not in ("session", "history"):
+            raise ConfigError(
+                f"input_scope must be 'session' or 'history', got {input_scope!r}"
+            )
+        self.trajectories = list(trajectories)
+        self.k_values = tuple(sorted(set(int(k) for k in k_values)))
+        self.input_scope = input_scope
+
+    def _input_locations(self, index: int) -> list:
+        """The model input for case ``index`` under the configured scope."""
+        trajectory = self.trajectories[index]
+        recent = list(trajectory.locations[:-1])
+        if self.input_scope == "session":
+            return recent
+        profile: list = []
+        for earlier in self.trajectories[:index]:
+            if earlier.user == trajectory.user:
+                profile.extend(earlier.locations)
+        return profile + recent
+
+    def evaluate(self, recommender: NextLocationRecommender) -> EvaluationResult:
+        """Run the protocol and aggregate the metrics.
+
+        Each trajectory contributes one case: input = the configured scope's
+        locations (those known to the model), target = the last location.
+        Cases whose target is unknown to the model, or whose input contains
+        no known location, are counted as skipped.
+        """
+        ranks: list[int] = []
+        skipped = 0
+        vocabulary = recommender.vocabulary
+        for index, trajectory in enumerate(self.trajectories):
+            if len(trajectory) < 2:
+                skipped += 1
+                continue
+            recent = self._input_locations(index)
+            target = trajectory.locations[-1]
+            if vocabulary is not None:
+                if target not in vocabulary:
+                    skipped += 1
+                    continue
+                target_token = vocabulary.token(target)
+            else:
+                target_token = int(target)
+            try:
+                scores = recommender.score_all(recent)
+            except ConfigError:
+                skipped += 1
+                continue
+            if not 0 <= target_token < scores.shape[0]:
+                skipped += 1
+                continue
+            # 1-based rank of the target among all locations.
+            target_score = scores[target_token]
+            rank = 1 + int(np.sum(scores > target_score))
+            ranks.append(rank)
+
+        result = EvaluationResult(
+            num_cases=len(ranks), num_skipped=skipped, ranks=ranks
+        )
+        result.hit_rate = {k: hit_rate_at_k(ranks, k) for k in self.k_values}
+        result.ndcg = {k: ndcg_at_k(ranks, k) for k in self.k_values}
+        result.mrr = mean_reciprocal_rank(ranks)
+        return result
+
+    def evaluate_embeddings(
+        self,
+        embeddings: EmbeddingMatrix,
+        vocabulary=None,
+        exclude_input: bool = False,
+    ) -> EvaluationResult:
+        """Convenience: wrap embeddings in a recommender and evaluate."""
+        recommender = NextLocationRecommender(
+            embeddings, vocabulary=vocabulary, exclude_input=exclude_input
+        )
+        return self.evaluate(recommender)

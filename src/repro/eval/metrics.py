@@ -1,0 +1,67 @@
+"""Ranking metrics for single-target next-location prediction.
+
+Each evaluation case has exactly one relevant item (the true next
+location), so all metrics reduce to functions of the target's rank in the
+recommendation list.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.exceptions import ConfigError
+
+
+def _validate_ranks(ranks: Sequence[int | None]) -> None:
+    for rank in ranks:
+        if rank is not None and rank < 1:
+            raise ConfigError(f"ranks are 1-based; got {rank}")
+
+
+def hit_rate_at_k(ranks: Sequence[int | None], k: int) -> float:
+    """HR@k: fraction of cases whose target ranks within the top k.
+
+    Args:
+        ranks: 1-based rank of the true next location per case, or ``None``
+            when the target was not ranked at all (e.g. out of vocabulary).
+        k: list length.
+
+    Returns:
+        The hit rate in [0, 1]; ``nan`` for an empty input.
+    """
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    _validate_ranks(ranks)
+    if not ranks:
+        return float("nan")
+    hits = sum(1 for rank in ranks if rank is not None and rank <= k)
+    return hits / len(ranks)
+
+
+def mean_reciprocal_rank(ranks: Sequence[int | None]) -> float:
+    """MRR: mean of ``1/rank`` (0 contribution for unranked targets)."""
+    _validate_ranks(ranks)
+    if not ranks:
+        return float("nan")
+    total = sum(1.0 / rank for rank in ranks if rank is not None)
+    return total / len(ranks)
+
+
+def ndcg_at_k(ranks: Sequence[int | None], k: int) -> float:
+    """NDCG@k for a single relevant item: ``1/log2(1+rank)`` if rank <= k.
+
+    With one relevant item the ideal DCG is 1, so NDCG is the mean
+    discounted gain.
+    """
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    _validate_ranks(ranks)
+    if not ranks:
+        return float("nan")
+    total = sum(
+        1.0 / math.log2(1.0 + rank)
+        for rank in ranks
+        if rank is not None and rank <= k
+    )
+    return total / len(ranks)

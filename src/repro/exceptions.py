@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to distinguish the failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration object or hyper-parameter value is invalid.
+
+    Raised eagerly, at construction time, so that a bad experiment
+    configuration fails before any (potentially privacy-budget-consuming)
+    work is performed.
+    """
+
+
+class DataError(ReproError, ValueError):
+    """The input check-in data are malformed or insufficient for the task."""
+
+
+class PrivacyBudgetExceeded(ReproError):
+    """The cumulative privacy cost passed the configured budget ``epsilon``.
+
+    Trainers normally *stop* cleanly when the ledger reports exhaustion and
+    never raise this; it is raised only when a caller explicitly asks a
+    mechanism to spend budget that is no longer available.
+    """
+
+    def __init__(self, spent: float, budget: float) -> None:
+        self.spent = float(spent)
+        self.budget = float(budget)
+        super().__init__(
+            f"privacy budget exceeded: spent epsilon={self.spent:.4f} "
+            f"> budget epsilon={self.budget:.4f}"
+        )
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a trained model was called before training."""
+
+
+class VocabularyError(ReproError, KeyError):
+    """A location identifier is not present in the model vocabulary."""

@@ -1,0 +1,22 @@
+"""Experiment framework: reusable parameter sweeps over PLP training.
+
+The paper's evaluation is a family of one-factor sweeps (epsilon, q,
+lambda, sigma, C, neg). This package provides the programmatic API to run
+such sweeps on any dataset — the benchmark suite regenerates the paper's
+figures with it, and downstream users can script their own studies::
+
+    from repro.experiments import ExperimentRunner, SweepSpec
+
+    runner = ExperimentRunner(train, holdout, base_config=PLPConfig(), seed=3)
+    table = runner.sweep(SweepSpec(field="grouping_factor", values=[1, 2, 4, 6]))
+    print(table.render())
+"""
+
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ResultTable,
+    RunOutcome,
+    SweepSpec,
+)
+
+__all__ = ["ExperimentRunner", "SweepSpec", "RunOutcome", "ResultTable"]

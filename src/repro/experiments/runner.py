@@ -1,0 +1,224 @@
+"""Parameter-sweep runner for private location prediction experiments.
+
+One :class:`ExperimentRunner` owns a (train, holdout) pair and evaluates
+training configurations on the paper's leave-one-out protocol; a
+:class:`SweepSpec` names a :class:`repro.core.config.PLPConfig` field and
+the values to sweep. Results come back as a :class:`ResultTable` with
+plain-text rendering and simple series extraction for plotting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.config import PLPConfig
+from repro.core.dpsgd import UserLevelDPSGD
+from repro.core.trainer import PrivateLocationPredictor
+from repro.data.checkins import CheckinDataset
+from repro.data.splitting import sessionize_dataset
+from repro.eval.evaluator import LeaveOneOutEvaluator
+from repro.exceptions import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class SweepSpec:
+    """One swept hyper-parameter.
+
+    Attributes:
+        field: a :class:`PLPConfig` field name (e.g. ``"grouping_factor"``).
+        values: the values to try, in report order.
+        label: column label in the rendered table (defaults to ``field``).
+    """
+
+    field: str
+    values: tuple
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ConfigError("SweepSpec.values must be non-empty")
+        if self.field not in PLPConfig.__dataclass_fields__:
+            raise ConfigError(f"unknown PLPConfig field {self.field!r}")
+        if not self.label:
+            object.__setattr__(self, "label", self.field)
+
+
+@dataclass(frozen=True, slots=True)
+class RunOutcome:
+    """One training run's results."""
+
+    parameters: dict[str, Any]
+    method: str
+    hit_rate: dict[int, float]
+    steps: int
+    epsilon_spent: float
+    train_seconds: float
+
+    def hr(self, k: int = 10) -> float:
+        """HR@k shortcut."""
+        return self.hit_rate[k]
+
+
+@dataclass(slots=True)
+class ResultTable:
+    """Sweep results with text rendering and series extraction."""
+
+    title: str
+    outcomes: list[RunOutcome] = field(default_factory=list)
+
+    def append(self, outcome: RunOutcome) -> None:
+        """Add one run's outcome."""
+        self.outcomes.append(outcome)
+
+    def series(self, parameter: str, k: int = 10) -> list[tuple[Any, float]]:
+        """``(parameter value, HR@k)`` points in insertion order."""
+        return [
+            (outcome.parameters.get(parameter), outcome.hr(k))
+            for outcome in self.outcomes
+        ]
+
+    def best(self, k: int = 10) -> RunOutcome:
+        """The outcome with the highest HR@k.
+
+        Raises:
+            ConfigError: on an empty table.
+        """
+        if not self.outcomes:
+            raise ConfigError("result table is empty")
+        return max(self.outcomes, key=lambda outcome: outcome.hr(k))
+
+    def render(self, k_values: Sequence[int] = (10,)) -> str:
+        """Fixed-width text table of the results."""
+        parameter_names = sorted(
+            {name for outcome in self.outcomes for name in outcome.parameters}
+        )
+        headers = (
+            ["method"]
+            + parameter_names
+            + [f"HR@{k}" for k in k_values]
+            + ["steps", "eps", "sec"]
+        )
+        rows = []
+        for outcome in self.outcomes:
+            rows.append(
+                [outcome.method]
+                + [str(outcome.parameters.get(name, "")) for name in parameter_names]
+                + [f"{outcome.hr(k):.4f}" for k in k_values]
+                + [str(outcome.steps), f"{outcome.epsilon_spent:.2f}",
+                   f"{outcome.train_seconds:.1f}"]
+            )
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [self.title, "-" * max(len(self.title), 1)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        for row in rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+class ExperimentRunner:
+    """Runs PLP/DP-SGD configurations against one evaluation split.
+
+    Args:
+        train: training users' check-ins.
+        holdout: held-out users for leave-one-out evaluation.
+        base_config: defaults that every run starts from.
+        seed: base seed; run ``i`` of a sweep uses ``seed + i`` so sweeps
+            are deterministic yet independent.
+        k_values: HR@k values to record.
+    """
+
+    def __init__(
+        self,
+        train: CheckinDataset,
+        holdout: CheckinDataset,
+        base_config: PLPConfig | None = None,
+        seed: int = 0,
+        k_values: Sequence[int] = (5, 10, 20),
+    ) -> None:
+        self.train = train
+        self.base_config = base_config or PLPConfig()
+        self.seed = int(seed)
+        self.evaluator = LeaveOneOutEvaluator(
+            sessionize_dataset(holdout), k_values=k_values
+        )
+
+    def run_one(
+        self,
+        overrides: dict[str, Any] | None = None,
+        method: str = "plp",
+        seed_offset: int = 0,
+    ) -> RunOutcome:
+        """Train one configuration and evaluate it.
+
+        Args:
+            overrides: PLPConfig field overrides for this run.
+            method: ``"plp"`` or ``"dpsgd"``.
+            seed_offset: added to the runner's base seed.
+        """
+        if method not in ("plp", "dpsgd"):
+            raise ConfigError(f"method must be 'plp' or 'dpsgd', got {method!r}")
+        overrides = overrides or {}
+        config = self.base_config.with_overrides(**overrides)
+        trainer_cls = UserLevelDPSGD if method == "dpsgd" else PrivateLocationPredictor
+        trainer = trainer_cls(config, rng=self.seed + seed_offset)
+        started = time.perf_counter()
+        history = trainer.fit(self.train)
+        seconds = time.perf_counter() - started
+        result = self.evaluator.evaluate(trainer.recommender())
+        return RunOutcome(
+            parameters=dict(overrides),
+            method=method,
+            hit_rate=dict(result.hit_rate),
+            steps=len(history),
+            epsilon_spent=history.final_epsilon,
+            train_seconds=seconds,
+        )
+
+    def sweep(
+        self,
+        spec: SweepSpec,
+        methods: Sequence[str] = ("plp",),
+        title: str | None = None,
+    ) -> ResultTable:
+        """One-factor sweep: every value of ``spec`` for every method."""
+        table = ResultTable(
+            title=title or f"Sweep over {spec.label} ({len(spec.values)} values)"
+        )
+        offset = 0
+        for value in spec.values:
+            for method in methods:
+                table.append(
+                    self.run_one(
+                        overrides={spec.field: value},
+                        method=method,
+                        seed_offset=offset,
+                    )
+                )
+                offset += 1
+        return table
+
+    def grid(
+        self,
+        specs: Sequence[SweepSpec],
+        method: str = "plp",
+        title: str | None = None,
+    ) -> ResultTable:
+        """Full cartesian grid over several swept fields."""
+        table = ResultTable(title=title or "Grid sweep")
+        combos: list[dict[str, Any]] = [{}]
+        for spec in specs:
+            combos = [
+                {**combo, spec.field: value}
+                for combo in combos
+                for value in spec.values
+            ]
+        for offset, overrides in enumerate(combos):
+            table.append(
+                self.run_one(overrides=overrides, method=method, seed_offset=offset)
+            )
+        return table

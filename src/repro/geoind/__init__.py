@@ -1,0 +1,11 @@
+"""Geo-indistinguishability extension (Sections 3.3 and 6).
+
+When the trained model is hosted by an *untrusted* location-based service,
+the querying user must protect her recent check-in set locally before
+sending it. The paper points to geo-indistinguishability (Andres et al.
+2013) for this: the planar Laplace mechanism implemented here.
+"""
+
+from repro.geoind.planar_laplace import PlanarLaplaceMechanism
+
+__all__ = ["PlanarLaplaceMechanism"]

@@ -1,0 +1,31 @@
+"""The skip-gram location model (Figure 2 of the paper).
+
+Locations are tokenized like words (:mod:`repro.models.vocabulary`), user
+check-in histories are treated as sentences from which symmetric context
+windows produce (target, context) training pairs
+(:mod:`repro.models.windowing`), and the SGNS network with parameters
+``theta = {W, W', B'}`` is trained with a candidate-sampling loss
+(:mod:`repro.models.skipgram`). Trained embeddings are unit-normalized
+(:mod:`repro.models.embeddings`) and ranked by cosine similarity for
+next-location recommendation (:mod:`repro.models.recommender`).
+"""
+
+from repro.models.vocabulary import LocationVocabulary
+from repro.models.windowing import (
+    BatchIterator,
+    pairs_from_sequence,
+    pairs_from_sequences,
+)
+from repro.models.skipgram import SkipGramModel
+from repro.models.embeddings import EmbeddingMatrix
+from repro.models.recommender import NextLocationRecommender
+
+__all__ = [
+    "LocationVocabulary",
+    "pairs_from_sequence",
+    "pairs_from_sequences",
+    "BatchIterator",
+    "SkipGramModel",
+    "EmbeddingMatrix",
+    "NextLocationRecommender",
+]

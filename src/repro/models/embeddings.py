@@ -1,0 +1,89 @@
+"""Normalized embedding matrices and similarity operations.
+
+"The embedded vectors are normalized to unit length ... normalizing the
+vectors assists similarity calculation by making cosine similarity and
+dot-product equivalent" (Section 3.2). :class:`EmbeddingMatrix` is the
+deployable artifact: the paper notes that "to reduce communication costs,
+only the embedding matrix is deployed" to user devices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.nn.functional import normalize_rows
+
+
+class EmbeddingMatrix:
+    """A unit-normalized ``(L, dim)`` location-embedding matrix."""
+
+    def __init__(self, matrix: np.ndarray, normalize: bool = True) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ConfigError(f"embedding matrix must be 2-D, got shape {matrix.shape}")
+        self._matrix = normalize_rows(matrix) if normalize else matrix.copy()
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The normalized matrix (no copy; treat read-only)."""
+        return self._matrix
+
+    @property
+    def num_locations(self) -> int:
+        """Number of embedded locations L."""
+        return self._matrix.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality."""
+        return self._matrix.shape[1]
+
+    def vector(self, token: int) -> np.ndarray:
+        """The unit embedding vector ``w(l_i)`` of one location token."""
+        if not 0 <= token < self.num_locations:
+            raise ConfigError(f"token {token} out of range [0, {self.num_locations})")
+        return self._matrix[token]
+
+    def profile(self, tokens: np.ndarray) -> np.ndarray:
+        """The paper's ``F(zeta)``: element-wise mean of stacked vectors.
+
+        "The embedding vectors w(l_i) are extracted and stacked on top of
+        each other ... the average of elements across dimensions of the
+        stacked vectors is computed to produce a representation F(zeta)".
+
+        Args:
+            tokens: the user's recent check-in tokens (non-empty).
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.size == 0:
+            raise ConfigError("profile requires at least one check-in token")
+        return self._matrix[tokens].mean(axis=0)
+
+    def scores(self, query: np.ndarray) -> np.ndarray:
+        """Cosine-similarity scores of ``query`` against every location.
+
+        Rows are unit vectors, so the dot product equals cosine similarity
+        up to the (constant) norm of ``query`` — the ranking is identical.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.dim,):
+            raise ConfigError(f"query must have shape ({self.dim},), got {query.shape}")
+        return self._matrix @ query
+
+    def most_similar(self, token: int, top_k: int = 10) -> list[tuple[int, float]]:
+        """Top-k most cosine-similar locations to ``token`` (itself excluded)."""
+        scores = self.scores(self.vector(token))
+        scores[token] = -np.inf
+        top = top_k_indices(scores, top_k)
+        return [(int(index), float(scores[index])) for index in top]
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest scores, in descending score order."""
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    scores = np.asarray(scores)
+    k = min(k, scores.shape[0])
+    partition = np.argpartition(-scores, k - 1)[:k]
+    return partition[np.argsort(-scores[partition], kind="stable")]

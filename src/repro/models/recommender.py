@@ -1,0 +1,99 @@
+"""Next-location recommendation from trained embeddings (Section 3.3).
+
+Given a user's recent check-ins ``zeta``, the recommender computes the
+profile vector ``F(zeta)`` (mean of the normalized embeddings of the recent
+locations), scores every location in the universe by cosine similarity, and
+returns the top-K as candidates. Model utilization is local — "neither the
+input, nor the output to the model are shared, so there is no privacy
+concern" once the model itself was trained privately.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigError, NotFittedError
+from repro.models.embeddings import EmbeddingMatrix, top_k_indices
+from repro.models.vocabulary import LocationVocabulary
+
+
+class NextLocationRecommender:
+    """Ranks candidate next locations for a user's recent check-in set.
+
+    Args:
+        embeddings: trained (normalized) location embeddings.
+        vocabulary: optional POI-id <-> token mapping; when provided, the
+            recommender accepts and returns raw POI ids, and silently drops
+            input locations unknown to the model.
+        exclude_input: when True, locations present in the input ``zeta``
+            are removed from the recommendation list.
+    """
+
+    def __init__(
+        self,
+        embeddings: EmbeddingMatrix,
+        vocabulary: LocationVocabulary | None = None,
+        exclude_input: bool = False,
+    ) -> None:
+        if embeddings is None:
+            raise NotFittedError("recommender requires trained embeddings")
+        self.embeddings = embeddings
+        self.vocabulary = vocabulary
+        self.exclude_input = exclude_input
+
+    def _encode(self, recent: Sequence[Hashable]) -> np.ndarray:
+        if self.vocabulary is not None:
+            tokens = self.vocabulary.encode_known(recent)
+        else:
+            tokens = [int(t) for t in recent]
+            out_of_range = [
+                t for t in tokens if not 0 <= t < self.embeddings.num_locations
+            ]
+            if out_of_range:
+                raise ConfigError(f"tokens out of range: {out_of_range[:5]}")
+        return np.asarray(tokens, dtype=np.int64)
+
+    def score_all(self, recent: Sequence[Hashable]) -> np.ndarray:
+        """Similarity score of every location token given recent check-ins.
+
+        Raises:
+            ConfigError: if no input location is known to the model.
+        """
+        tokens = self._encode(recent)
+        if tokens.size == 0:
+            raise ConfigError("none of the recent check-ins is in the model vocabulary")
+        profile = self.embeddings.profile(tokens)
+        scores = self.embeddings.scores(profile)
+        if self.exclude_input:
+            scores[tokens] = -np.inf
+        return scores
+
+    def recommend(
+        self, recent: Sequence[Hashable], top_k: int = 10
+    ) -> list[tuple[Hashable, float]]:
+        """Top-K next-location candidates with their similarity scores.
+
+        Returns ``(location, score)`` pairs, best first; locations are raw
+        POI ids when a vocabulary was supplied, tokens otherwise.
+        """
+        scores = self.score_all(recent)
+        top = top_k_indices(scores, top_k)
+        results: list[tuple[Hashable, float]] = []
+        for token in top:
+            location: Hashable = (
+                self.vocabulary.location(int(token))
+                if self.vocabulary is not None
+                else int(token)
+            )
+            results.append((location, float(scores[token])))
+        return results
+
+    def hit(self, recent: Sequence[Hashable], actual_next: Hashable, top_k: int) -> bool:
+        """Whether ``actual_next`` is among the top-K recommendations.
+
+        This is the binary outcome of the paper's leave-one-out HR@k metric.
+        """
+        recommended = self.recommend(recent, top_k)
+        return any(location == actual_next for location, _ in recommended)

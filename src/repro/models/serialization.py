@@ -1,0 +1,117 @@
+"""Model persistence: deployable artifacts.
+
+Section 3.3 of the paper: after private training, the model is shared with
+consumers — "a mobile user downloads it to her device ... to reduce
+communication costs, only the embedding matrix is deployed." This module
+saves and loads exactly that artifact: the unit-normalized embedding
+matrix plus the location vocabulary, as one ``.npz`` file.
+
+Because the model was trained under DP, the artifact can be distributed
+freely (post-processing preserves the guarantee); the file also records
+the privacy metadata so consumers can audit what they received.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Hashable
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.models.embeddings import EmbeddingMatrix
+from repro.models.recommender import NextLocationRecommender
+from repro.models.vocabulary import LocationVocabulary
+
+_FORMAT_VERSION = 1
+
+
+def save_deployable_model(
+    path: str | Path,
+    embeddings: EmbeddingMatrix,
+    vocabulary: LocationVocabulary,
+    privacy_metadata: dict | None = None,
+) -> None:
+    """Save the deployable artifact (embedding matrix + vocabulary).
+
+    Args:
+        path: output ``.npz`` path.
+        embeddings: the trained, unit-normalized location embeddings.
+        vocabulary: the POI-id <-> token mapping used in training.
+        privacy_metadata: optional audit record (e.g. ``{"epsilon": 2.0,
+            "delta": 2e-4, "mechanism": "PLP"}``); values must be
+            JSON-serializable.
+
+    Raises:
+        DataError: when embeddings and vocabulary disagree on size.
+    """
+    if embeddings.num_locations != vocabulary.size:
+        raise DataError(
+            f"embedding rows ({embeddings.num_locations}) != vocabulary size "
+            f"({vocabulary.size})"
+        )
+    locations = [vocabulary.location(token) for token in range(vocabulary.size)]
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "locations": locations,
+        "privacy": privacy_metadata or {},
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        embeddings=embeddings.matrix,
+        metadata=np.frombuffer(
+            json.dumps(payload, default=str).encode("utf-8"), dtype=np.uint8
+        ),
+    )
+
+
+def load_deployable_model(
+    path: str | Path,
+) -> tuple[EmbeddingMatrix, LocationVocabulary, dict]:
+    """Load a deployable artifact saved by :func:`save_deployable_model`.
+
+    Returns:
+        ``(embeddings, vocabulary, privacy_metadata)``.
+
+    Raises:
+        DataError: when the file is missing or malformed.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"model file not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            matrix = archive["embeddings"]
+            metadata_bytes = archive["metadata"].tobytes()
+    except (KeyError, ValueError, OSError) as error:
+        raise DataError(f"malformed model file {path}: {error}") from error
+    try:
+        payload = json.loads(metadata_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise DataError(f"corrupt metadata in {path}") from error
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise DataError(
+            f"unsupported model format version {payload.get('format_version')!r}"
+        )
+    locations: list[Hashable] = payload["locations"]
+    if len(locations) != matrix.shape[0]:
+        raise DataError(
+            f"vocabulary size {len(locations)} != embedding rows {matrix.shape[0]}"
+        )
+    vocabulary = LocationVocabulary.from_sequences([locations])
+    # Matrix was normalized before save; normalization is idempotent.
+    embeddings = EmbeddingMatrix(matrix, normalize=True)
+    return embeddings, vocabulary, payload.get("privacy", {})
+
+
+def load_recommender(
+    path: str | Path, exclude_input: bool = False
+) -> NextLocationRecommender:
+    """Load an artifact straight into a ready-to-serve recommender."""
+    embeddings, vocabulary, _ = load_deployable_model(path)
+    return NextLocationRecommender(
+        embeddings, vocabulary=vocabulary, exclude_input=exclude_input
+    )

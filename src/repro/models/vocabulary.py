@@ -1,0 +1,109 @@
+"""Location vocabulary: tokenizing POIs.
+
+"Every location in P is tokenized to a word in a vocabulary of size
+L = |P|" (Section 3.2). :class:`LocationVocabulary` maps arbitrary hashable
+POI identifiers to contiguous integer tokens and back, and keeps occurrence
+counts (used by non-private ablations; the private path never consults the
+counts — the candidate distribution must stay uniform).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable, Sequence
+
+from repro.exceptions import VocabularyError
+
+
+class LocationVocabulary:
+    """Bidirectional POI-id <-> token mapping with occurrence counts."""
+
+    def __init__(self) -> None:
+        self._id_to_token: dict[Hashable, int] = {}
+        self._token_to_id: list[Hashable] = []
+        self._counts: Counter[int] = Counter()
+
+    def __len__(self) -> int:
+        return len(self._token_to_id)
+
+    def __contains__(self, location_id: Hashable) -> bool:
+        return location_id in self._id_to_token
+
+    @property
+    def size(self) -> int:
+        """Vocabulary size L."""
+        return len(self._token_to_id)
+
+    @classmethod
+    def from_sequences(
+        cls, sequences: Iterable[Sequence[Hashable]]
+    ) -> "LocationVocabulary":
+        """Build a vocabulary from an iterable of location-id sequences.
+
+        Tokens are assigned in first-appearance order, making construction
+        deterministic for a fixed input ordering.
+        """
+        vocabulary = cls()
+        for sequence in sequences:
+            for location_id in sequence:
+                vocabulary.add(location_id)
+        return vocabulary
+
+    def add(self, location_id: Hashable) -> int:
+        """Register one occurrence of ``location_id``; return its token."""
+        token = self._id_to_token.get(location_id)
+        if token is None:
+            token = len(self._token_to_id)
+            self._id_to_token[location_id] = token
+            self._token_to_id.append(location_id)
+        self._counts[token] += 1
+        return token
+
+    def token(self, location_id: Hashable) -> int:
+        """Token of a known location id.
+
+        Raises:
+            VocabularyError: if the location was never added.
+        """
+        token = self._id_to_token.get(location_id)
+        if token is None:
+            raise VocabularyError(f"unknown location id {location_id!r}")
+        return token
+
+    def location(self, token: int) -> Hashable:
+        """Location id of a token.
+
+        Raises:
+            VocabularyError: if the token is out of range.
+        """
+        if not 0 <= token < len(self._token_to_id):
+            raise VocabularyError(f"token {token} out of range [0, {self.size})")
+        return self._token_to_id[token]
+
+    def encode(self, sequence: Sequence[Hashable]) -> list[int]:
+        """Map a sequence of location ids to tokens."""
+        return [self.token(location_id) for location_id in sequence]
+
+    def encode_known(self, sequence: Sequence[Hashable]) -> list[int]:
+        """Like :meth:`encode` but silently drops unknown locations.
+
+        Used at evaluation time: held-out users may visit POIs absent from
+        the training vocabulary; the model cannot score those.
+        """
+        return [
+            self._id_to_token[location_id]
+            for location_id in sequence
+            if location_id in self._id_to_token
+        ]
+
+    def decode(self, tokens: Sequence[int]) -> list[Hashable]:
+        """Map tokens back to location ids."""
+        return [self.location(token) for token in tokens]
+
+    def count(self, token: int) -> int:
+        """Number of recorded occurrences of ``token``."""
+        return self._counts[token]
+
+    def counts(self) -> Counter:
+        """Copy of the full occurrence counter (token -> count)."""
+        return Counter(self._counts)

@@ -1,0 +1,103 @@
+"""Symmetric context windows and training-batch generation.
+
+"Given a target location check-in c, a symmetric window of ``win`` context
+locations to the left and ``win`` to the right is created to output
+multiple pairs of target and context locations as training samples"
+(Section 3.2). Algorithm 1's ``generateBatches()`` (line 17) then packs a
+batch-size number of pairs per batch; :class:`BatchIterator` implements it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.rng import RngLike, ensure_rng
+
+
+def pairs_from_sequence(
+    sequence: Sequence[int], window: int
+) -> list[tuple[int, int]]:
+    """All (target, context) pairs from one trajectory.
+
+    For each position ``i`` the context positions are
+    ``[i - window, i + window]`` excluding ``i`` itself, truncated at the
+    sequence boundaries.
+
+    Args:
+        sequence: location tokens in visit order.
+        window: the paper's ``win`` (>= 1); total window size ``2*win + 1``.
+    """
+    if window < 1:
+        raise ConfigError(f"window must be >= 1, got {window}")
+    pairs: list[tuple[int, int]] = []
+    length = len(sequence)
+    for i, target in enumerate(sequence):
+        low = max(0, i - window)
+        high = min(length, i + window + 1)
+        for j in range(low, high):
+            if j != i:
+                pairs.append((target, sequence[j]))
+    return pairs
+
+
+def pairs_from_sequences(
+    sequences: Iterable[Sequence[int]], window: int
+) -> np.ndarray:
+    """Stack the window pairs of many trajectories into an ``(n, 2)`` array.
+
+    Returns an empty ``(0, 2)`` int array when no pairs exist (all
+    sequences shorter than 2).
+    """
+    all_pairs: list[tuple[int, int]] = []
+    for sequence in sequences:
+        all_pairs.extend(pairs_from_sequence(sequence, window))
+    if not all_pairs:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.asarray(all_pairs, dtype=np.int64)
+
+
+class BatchIterator:
+    """Shuffled mini-batches of (target, context) pairs: ``generateBatches()``.
+
+    Args:
+        pairs: ``(n, 2)`` int array of (target, context) pairs.
+        batch_size: the paper's ``b``; the final short batch is kept.
+        rng: shuffle randomness; pass ``None`` to keep the input order.
+    """
+
+    def __init__(
+        self,
+        pairs: np.ndarray,
+        batch_size: int,
+        rng: RngLike = None,
+        shuffle: bool = True,
+    ) -> None:
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ConfigError(f"pairs must have shape (n, 2), got {pairs.shape}")
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        self._pairs = pairs
+        self.batch_size = int(batch_size)
+        self._shuffle = shuffle
+        self._rng = ensure_rng(rng)
+
+    def __len__(self) -> int:
+        """Number of batches per pass (ceil division)."""
+        n = self._pairs.shape[0]
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(targets, contexts)`` index arrays per batch."""
+        n = self._pairs.shape[0]
+        if n == 0:
+            return
+        order = np.arange(n)
+        if self._shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, n, self.batch_size):
+            chunk = self._pairs[order[start : start + self.batch_size]]
+            yield chunk[:, 0], chunk[:, 1]

@@ -1,0 +1,101 @@
+"""Numerically stable tensor primitives used across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def logsumexp(x: np.ndarray, axis: int = -1, keepdims: bool = False) -> np.ndarray:
+    """Stable ``log(sum(exp(x)))`` along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    maximum = np.max(x, axis=axis, keepdims=True)
+    maximum = np.where(np.isfinite(maximum), maximum, 0.0)
+    result = np.log(np.sum(np.exp(x - maximum), axis=axis, keepdims=True)) + maximum
+    return result if keepdims else np.squeeze(result, axis=axis)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable log-softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    return x - logsumexp(x, axis=axis, keepdims=True)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Stable logistic sigmoid, exact in both tails."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def log_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Stable ``log(sigmoid(x)) = -log(1 + exp(-x))``."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.where(x >= 0, -np.log1p(np.exp(-np.abs(x))), x - np.log1p(np.exp(-np.abs(x))))
+
+
+def one_hot(indices: np.ndarray, depth: int) -> np.ndarray:
+    """One-hot encode integer ``indices`` into vectors of length ``depth``.
+
+    This is the encoding step of Figure 2 in the paper (locations -> binary
+    vectors of size L); the fast paths elsewhere index rows directly, which
+    is mathematically identical to multiplying by a one-hot vector.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if np.any(indices < 0) or np.any(indices >= depth):
+        raise ValueError("one_hot indices out of range")
+    encoded = np.zeros(indices.shape + (depth,), dtype=np.float64)
+    np.put_along_axis(encoded, indices[..., None], 1.0, axis=-1)
+    return encoded
+
+
+def scatter_add_rows(matrix: np.ndarray, rows: np.ndarray, values: np.ndarray) -> None:
+    """In-place ``matrix[rows] += values`` with correct duplicate handling.
+
+    Equivalent to ``np.add.at(matrix, rows, values)`` but implemented via a
+    stable sort + ``np.add.reduceat``, which is several times faster for
+    the small-batch scatter shapes skip-gram training produces.
+
+    Args:
+        matrix: target array, first axis indexed by ``rows``.
+        rows: 1-D int array of row indices (duplicates allowed).
+        values: array whose leading axis aligns with ``rows``; trailing
+            shape must match ``matrix``'s trailing shape.
+    """
+    rows = np.asarray(rows)
+    if rows.size == 0:
+        return
+    if rows.size == 1:
+        matrix[rows[0]] += values[0]
+        return
+    order = np.argsort(rows, kind="stable")
+    rows_sorted = rows[order]
+    values_sorted = values[order]
+    boundaries = np.empty(rows_sorted.size, dtype=bool)
+    boundaries[0] = True
+    np.not_equal(rows_sorted[1:], rows_sorted[:-1], out=boundaries[1:])
+    starts = np.flatnonzero(boundaries)
+    sums = np.add.reduceat(values_sorted, starts, axis=0)
+    matrix[rows_sorted[starts]] += sums
+
+
+def normalize_rows(matrix: np.ndarray, epsilon: float = 1e-12) -> np.ndarray:
+    """Scale each row of ``matrix`` to unit l2 norm.
+
+    The paper normalizes embedding vectors to unit length so cosine
+    similarity and dot product coincide (Section 3.2).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.maximum(norms, epsilon)

@@ -1,0 +1,146 @@
+"""Candidate-sampling losses for skip-gram training.
+
+All three losses operate on a *candidate logit matrix* of shape
+``(batch, 1 + neg)`` whose column 0 is the true context location and whose
+remaining columns are the sampled negatives. Each loss returns the mean
+per-example loss together with the exact gradient w.r.t. the logits, from
+which the skip-gram back-propagates into its three tensors.
+
+The paper uses a **sampled softmax with a uniform sampling distribution**
+("this is a necessity for preserving privacy, since estimating the
+frequency distribution of locations from user-submitted data will cause
+privacy leakage", Section 3.2). NCE and sigmoid negative sampling are
+provided for the non-private ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.nn.functional import log_softmax, sigmoid
+
+
+@dataclass(frozen=True, slots=True)
+class LossOutput:
+    """Loss value and the gradient w.r.t. the candidate logits."""
+
+    loss: float
+    grad_logits: np.ndarray
+
+
+class CandidateSamplingLoss:
+    """Interface: compute loss and d(loss)/d(logits) for candidate logits."""
+
+    def value_and_grad(self, logits: np.ndarray) -> LossOutput:
+        """Mean loss over the batch and its gradient w.r.t. ``logits``.
+
+        Args:
+            logits: array of shape ``(batch, 1 + neg)``; column 0 is the
+                positive (true context) candidate.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(logits: np.ndarray) -> np.ndarray:
+        logits = np.asarray(logits, dtype=np.float64)
+        if logits.ndim != 2 or logits.shape[1] < 2:
+            raise ConfigError(
+                f"candidate logits must have shape (batch, 1 + neg), got {logits.shape}"
+            )
+        return logits
+
+
+class SampledSoftmaxLoss(CandidateSamplingLoss):
+    """Sampled softmax: full-softmax cross-entropy restricted to candidates.
+
+    With a **uniform** candidate distribution the sampled-softmax logit
+    correction ``log(expected_count)`` is identical for every candidate and
+    cancels inside the softmax, so no correction term is needed — one more
+    reason uniform sampling is convenient for the private setting.
+
+    Loss per example: ``-log softmax(z)[0]``.
+    Gradient: ``softmax(z) - onehot(0)``.
+    """
+
+    def value_and_grad(self, logits: np.ndarray) -> LossOutput:
+        logits = self._validate(logits)
+        batch = logits.shape[0]
+        log_probs = log_softmax(logits, axis=1)
+        loss = float(-np.mean(log_probs[:, 0]))
+        grad = np.exp(log_probs)  # softmax, reusing the log-softmax pass
+        grad[:, 0] -= 1.0
+        return LossOutput(loss=loss, grad_logits=grad / batch)
+
+
+class NegativeSamplingLoss(CandidateSamplingLoss):
+    """Sigmoid negative sampling (Mikolov et al. 2013, SGNS objective).
+
+    Loss per example: ``-log sigmoid(z_0) - sum_j log sigmoid(-z_j)``.
+    Gradient: ``sigmoid(z) - y`` with ``y = onehot(0)``.
+    """
+
+    def value_and_grad(self, logits: np.ndarray) -> LossOutput:
+        logits = self._validate(logits)
+        batch = logits.shape[0]
+        probs = sigmoid(logits)
+        # -log sigma(z0): stable via softplus(-z0); -log sigma(-zj) = softplus(zj)
+        positive_term = np.logaddexp(0.0, -logits[:, 0])
+        negative_term = np.sum(np.logaddexp(0.0, logits[:, 1:]), axis=1)
+        loss = float(np.mean(positive_term + negative_term))
+        grad = probs.copy()
+        grad[:, 0] -= 1.0
+        return LossOutput(loss=loss, grad_logits=grad / batch)
+
+
+class NoiseContrastiveEstimationLoss(CandidateSamplingLoss):
+    """NCE (Gutmann & Hyvarinen 2012) with a uniform noise distribution.
+
+    Each candidate is classified data-vs-noise with the corrected logit
+    ``z - log(k * p_noise)``; with uniform noise over ``L`` locations,
+    ``p_noise = 1/L`` so the correction is the constant ``log(k / L)``.
+
+    Args:
+        num_locations: vocabulary size ``L`` defining the uniform noise
+            distribution.
+    """
+
+    def __init__(self, num_locations: int) -> None:
+        if num_locations < 1:
+            raise ConfigError(f"num_locations must be >= 1, got {num_locations}")
+        self.num_locations = int(num_locations)
+
+    def value_and_grad(self, logits: np.ndarray) -> LossOutput:
+        logits = self._validate(logits)
+        batch, width = logits.shape
+        num_negatives = width - 1
+        correction = math.log(num_negatives / self.num_locations)
+        corrected = logits - correction
+        labels = np.zeros_like(corrected)
+        labels[:, 0] = 1.0
+        # Binary cross-entropy per candidate, stable form.
+        loss_matrix = np.logaddexp(0.0, corrected) - labels * corrected
+        loss = float(np.mean(np.sum(loss_matrix, axis=1)))
+        grad = sigmoid(corrected) - labels
+        return LossOutput(loss=loss, grad_logits=grad / batch)
+
+
+def make_loss(name: str, num_locations: int | None = None) -> CandidateSamplingLoss:
+    """Factory by name: ``"sampled_softmax"``, ``"negative_sampling"``, ``"nce"``.
+
+    Args:
+        name: loss identifier.
+        num_locations: required for ``"nce"`` (defines the noise distribution).
+    """
+    if name == "sampled_softmax":
+        return SampledSoftmaxLoss()
+    if name == "negative_sampling":
+        return NegativeSamplingLoss()
+    if name == "nce":
+        if num_locations is None:
+            raise ConfigError("nce loss requires num_locations")
+        return NoiseContrastiveEstimationLoss(num_locations)
+    raise ConfigError(f"unknown loss {name!r}")

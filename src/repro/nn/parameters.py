@@ -1,0 +1,130 @@
+"""Named parameter sets.
+
+A :class:`ParameterSet` is an ordered mapping from tensor name to NumPy
+array with the vector-space operations Algorithm 1 needs: copying model
+state before local training, computing a model *delta* (``Phi - theta_t``),
+scaling/accumulating deltas, and measuring per-tensor and joint l2 norms
+for clipping.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Mapping
+
+import numpy as np
+
+
+class ParameterSet:
+    """An ordered collection of named float64 tensors.
+
+    Construction copies the input arrays, so a ``ParameterSet`` never
+    aliases caller memory unless explicitly asked to (``copy=False``).
+    """
+
+    def __init__(self, tensors: Mapping[str, np.ndarray], copy: bool = True) -> None:
+        self._tensors: dict[str, np.ndarray] = {}
+        for name, tensor in tensors.items():
+            array = np.asarray(tensor, dtype=np.float64)
+            self._tensors[name] = array.copy() if copy else array
+
+    # -- mapping protocol ---------------------------------------------------
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._tensors[name]
+
+    def __setitem__(self, name: str, tensor: np.ndarray) -> None:
+        self._tensors[name] = np.asarray(tensor, dtype=np.float64)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tensors
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tensors)
+
+    def __len__(self) -> int:
+        return len(self._tensors)
+
+    def names(self) -> list[str]:
+        """Tensor names, in insertion order."""
+        return list(self._tensors)
+
+    def items(self):
+        """``(name, tensor)`` pairs, in insertion order."""
+        return self._tensors.items()
+
+    def as_dict(self) -> dict[str, np.ndarray]:
+        """The underlying name -> tensor mapping (no copy; treat read-only)."""
+        return self._tensors
+
+    # -- vector-space operations ---------------------------------------------
+
+    def copy(self) -> "ParameterSet":
+        """Deep copy of all tensors."""
+        return ParameterSet(self._tensors, copy=True)
+
+    def zeros_like(self) -> "ParameterSet":
+        """A ParameterSet of zeros with matching shapes."""
+        return ParameterSet(
+            {name: np.zeros_like(tensor) for name, tensor in self._tensors.items()},
+            copy=False,
+        )
+
+    def add_(self, other: Mapping[str, np.ndarray], scale: float = 1.0) -> "ParameterSet":
+        """In-place ``self += scale * other``; returns self for chaining."""
+        for name, tensor in other.items():
+            self._tensors[name] += scale * tensor
+        return self
+
+    def scale_(self, factor: float) -> "ParameterSet":
+        """In-place multiplication of every tensor by ``factor``."""
+        for tensor in self._tensors.values():
+            tensor *= factor
+        return self
+
+    def delta_from(self, reference: "ParameterSet") -> dict[str, np.ndarray]:
+        """The update ``self - reference`` as a plain name -> array mapping.
+
+        This is Algorithm 1's ``g_h = Phi - theta_t`` (line 20).
+        """
+        return {
+            name: self._tensors[name] - reference[name] for name in self._tensors
+        }
+
+    # -- norms ----------------------------------------------------------------
+
+    def per_tensor_norms(self) -> dict[str, float]:
+        """l2 norm of each tensor."""
+        return {
+            name: float(np.linalg.norm(tensor))
+            for name, tensor in self._tensors.items()
+        }
+
+    def l2_norm(self) -> float:
+        """l2 norm of the concatenation of all tensors."""
+        squared = sum(
+            float(np.sum(np.square(tensor))) for tensor in self._tensors.values()
+        )
+        return math.sqrt(squared)
+
+    @property
+    def num_parameters(self) -> int:
+        """Total scalar parameter count across all tensors."""
+        return sum(tensor.size for tensor in self._tensors.values())
+
+    def shapes(self) -> dict[str, tuple[int, ...]]:
+        """Shape of each tensor."""
+        return {name: tensor.shape for name, tensor in self._tensors.items()}
+
+    def allclose(self, other: "ParameterSet", rtol: float = 1e-9, atol: float = 1e-12) -> bool:
+        """Whether two parameter sets are element-wise close."""
+        if self.names() != other.names():
+            return False
+        return all(
+            np.allclose(self._tensors[name], other[name], rtol=rtol, atol=atol)
+            for name in self._tensors
+        )
+
+    def __repr__(self) -> str:
+        shapes = ", ".join(f"{name}:{tensor.shape}" for name, tensor in self.items())
+        return f"ParameterSet({shapes})"

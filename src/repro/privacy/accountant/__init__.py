@@ -1,0 +1,53 @@
+"""Privacy accounting for iterative DP training.
+
+Implements the moments-accountant machinery the paper relies on (Abadi et
+al. 2016; Mironov 2017; Wang, Balle & Kasiviswanathan 2019): the Renyi
+differential privacy (RDP) of the Sampled Gaussian Mechanism, composition
+across steps, conversion to (epsilon, delta), plus the simpler naive and
+advanced composition theorems for comparison, a step-wise
+:class:`MomentsAccountant`, the :class:`PrivacyLedger` used by Algorithm 1,
+and noise / step-count calibration utilities.
+"""
+
+from repro.privacy.accountant.rdp import (
+    DEFAULT_RDP_ORDERS,
+    compute_epsilon,
+    compute_rdp_sampled_gaussian,
+    rdp_to_epsilon,
+)
+from repro.privacy.accountant.moments import MomentsAccountant
+from repro.privacy.accountant.ledger import LedgerEntry, PrivacyLedger
+from repro.privacy.accountant.composition import (
+    advanced_composition_epsilon,
+    naive_composition_epsilon,
+)
+from repro.privacy.accountant.calibration import (
+    calibrate_noise_multiplier,
+    max_steps_for_budget,
+)
+from repro.privacy.accountant.zcdp import (
+    compose_zcdp,
+    epsilon_to_zcdp,
+    gaussian_steps_epsilon_zcdp,
+    gaussian_zcdp,
+    zcdp_to_epsilon,
+)
+
+__all__ = [
+    "DEFAULT_RDP_ORDERS",
+    "compute_rdp_sampled_gaussian",
+    "rdp_to_epsilon",
+    "compute_epsilon",
+    "MomentsAccountant",
+    "PrivacyLedger",
+    "LedgerEntry",
+    "naive_composition_epsilon",
+    "advanced_composition_epsilon",
+    "calibrate_noise_multiplier",
+    "max_steps_for_budget",
+    "gaussian_zcdp",
+    "compose_zcdp",
+    "zcdp_to_epsilon",
+    "epsilon_to_zcdp",
+    "gaussian_steps_epsilon_zcdp",
+]

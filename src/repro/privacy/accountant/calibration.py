@@ -1,0 +1,141 @@
+"""Calibration utilities: solve the accountant for sigma or for step count.
+
+Two inverse problems come up constantly when reproducing the paper's
+figures:
+
+- Figures 10/12/13 fix (epsilon, sigma, q) and train "until the budget is
+  exhausted" — :func:`max_steps_for_budget` computes exactly how many steps
+  that allows.
+- Planning an experiment for a target epsilon at a known step count needs
+  the minimal sigma — :func:`calibrate_noise_multiplier`.
+
+Both exploit monotonicity of epsilon in the free variable and use bisection.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ConfigError
+from repro.privacy.accountant.rdp import (
+    DEFAULT_RDP_ORDERS,
+    compute_epsilon,
+    compute_rdp_sampled_gaussian,
+    rdp_to_epsilon,
+)
+
+
+def calibrate_noise_multiplier(
+    target_epsilon: float,
+    delta: float,
+    sampling_probability: float,
+    steps: int,
+    orders: Sequence[float] = DEFAULT_RDP_ORDERS,
+    sigma_bounds: tuple[float, float] = (1e-2, 1e3),
+    tolerance: float = 1e-3,
+) -> float:
+    """Smallest noise multiplier achieving ``(target_epsilon, delta)`` over ``steps``.
+
+    Args:
+        target_epsilon: the privacy budget to meet.
+        delta: failure probability.
+        sampling_probability: Poisson rate q per step.
+        steps: number of training steps to support.
+        orders: Renyi order grid.
+        sigma_bounds: bisection bracket for sigma.
+        tolerance: absolute tolerance on the returned sigma.
+
+    Returns:
+        A sigma such that ``compute_epsilon(...) <= target_epsilon``.
+
+    Raises:
+        ConfigError: if the bracket does not contain a solution.
+    """
+    if target_epsilon <= 0.0:
+        raise ConfigError(f"target_epsilon must be positive, got {target_epsilon}")
+    if steps <= 0:
+        raise ConfigError(f"steps must be positive, got {steps}")
+    low, high = sigma_bounds
+    if low <= 0.0 or high <= low:
+        raise ConfigError(f"invalid sigma bounds {sigma_bounds}")
+
+    def eps_at(sigma: float) -> float:
+        return compute_epsilon(sampling_probability, sigma, steps, delta, orders)
+
+    if eps_at(high) > target_epsilon:
+        raise ConfigError(
+            f"even sigma={high} cannot reach epsilon={target_epsilon}; widen the bracket"
+        )
+    if eps_at(low) <= target_epsilon:
+        return low
+    while high - low > tolerance:
+        mid = 0.5 * (low + high)
+        if eps_at(mid) > target_epsilon:
+            low = mid
+        else:
+            high = mid
+    return high
+
+
+def max_steps_for_budget(
+    epsilon_budget: float,
+    delta: float,
+    sampling_probability: float,
+    noise_multiplier: float,
+    orders: Sequence[float] = DEFAULT_RDP_ORDERS,
+    max_steps: int = 10_000_000,
+) -> int:
+    """Largest step count whose cumulative epsilon stays *below* the budget.
+
+    Matches Algorithm 1's stopping rule: training halts at the first step
+    where ``cumulative_budget_spent() >= epsilon``; the returned value is
+    the number of steps that execute before that happens.
+
+    Returns:
+        The maximal number of steps (possibly 0 when even one step exceeds
+        the budget, or ``max_steps`` when the budget is effectively
+        unbounded at this noise level).
+    """
+    if epsilon_budget <= 0.0:
+        raise ConfigError(f"epsilon_budget must be positive, got {epsilon_budget}")
+    if noise_multiplier <= 0.0:
+        # Zero noise means each step has infinite epsilon.
+        return 0
+    base_rdp = compute_rdp_sampled_gaussian(
+        sampling_probability, noise_multiplier, 1, orders
+    )
+
+    def eps_at(steps: int) -> float:
+        epsilon, _ = rdp_to_epsilon(orders, base_rdp * steps, delta)
+        return epsilon
+
+    if eps_at(1) >= epsilon_budget:
+        return 0
+    # Exponential search for an upper bracket, then bisection.
+    low, high = 1, 2
+    while high <= max_steps and eps_at(high) < epsilon_budget:
+        low, high = high, high * 2
+    if high > max_steps:
+        high = max_steps
+        if eps_at(high) < epsilon_budget:
+            return max_steps
+    while high - low > 1:
+        mid = (low + high) // 2
+        if eps_at(mid) < epsilon_budget:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def steps_per_epoch(sampling_probability: float) -> int:
+    """Number of steps per data epoch: ``1/q`` (Section 5.1).
+
+    The paper: "the sampling ratio of each lot is q = m/N, so each epoch
+    consists of 1/q steps".
+    """
+    if not 0.0 < sampling_probability <= 1.0:
+        raise ConfigError(
+            f"sampling probability must be in (0, 1], got {sampling_probability}"
+        )
+    return max(1, round(1.0 / sampling_probability))

@@ -1,0 +1,118 @@
+"""Privacy ledger: the budget tracker of Algorithm 1.
+
+Algorithm 1 maintains "a privacy ledger ... to keep track of the privacy
+budget spent in each iteration by recording the values of sigma and C"
+(lines 3 and 11), and checks ``cumulative_budget_spent() >= epsilon`` to
+decide when to stop (line 12). :class:`PrivacyLedger` is exactly that
+object: an append-only log of per-step mechanism parameters, backed by a
+:class:`MomentsAccountant` for the cumulative-epsilon query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.exceptions import ConfigError, PrivacyBudgetExceeded
+from repro.privacy.accountant.moments import MomentsAccountant
+from repro.privacy.accountant.rdp import DEFAULT_RDP_ORDERS
+
+
+@dataclass(frozen=True, slots=True)
+class LedgerEntry:
+    """One recorded training step: the mechanism parameters that were used."""
+
+    step: int
+    clip_bound: float
+    noise_multiplier: float
+    sampling_probability: float
+
+
+class PrivacyLedger:
+    """Append-only record of private steps with cumulative budget queries.
+
+    Args:
+        delta: the fixed failure probability of the overall guarantee (the
+            paper fixes ``delta = 2e-4 < 1/N``).
+        sampling_probability: default Poisson rate q used when
+            ``track_budget`` is called without an explicit rate.
+        orders: Renyi order grid for the underlying accountant.
+    """
+
+    def __init__(
+        self,
+        delta: float,
+        sampling_probability: float,
+        orders: Sequence[float] = DEFAULT_RDP_ORDERS,
+    ) -> None:
+        if not 0.0 < delta < 1.0:
+            raise ConfigError(f"delta must be in (0, 1), got {delta}")
+        if not 0.0 <= sampling_probability <= 1.0:
+            raise ConfigError(
+                f"sampling probability must be in [0, 1], got {sampling_probability}"
+            )
+        self.delta = float(delta)
+        self.default_sampling_probability = float(sampling_probability)
+        self._accountant = MomentsAccountant(orders)
+        self._entries: list[LedgerEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LedgerEntry]:
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> list[LedgerEntry]:
+        """A copy of the recorded entries, in step order."""
+        return list(self._entries)
+
+    def track_budget(
+        self,
+        clip_bound: float,
+        noise_multiplier: float,
+        sampling_probability: float | None = None,
+    ) -> None:
+        """Record one private step (Algorithm 1, line 11: ``A.track_budget(C, sigma)``).
+
+        Args:
+            clip_bound: the sensitivity bound C used this step.
+            noise_multiplier: the noise scale sigma used this step.
+            sampling_probability: the Poisson rate; defaults to the ledger's
+                configured rate.
+        """
+        if clip_bound <= 0.0:
+            raise ConfigError(f"clip_bound must be positive, got {clip_bound}")
+        if noise_multiplier < 0.0:
+            raise ConfigError(f"noise_multiplier must be >= 0, got {noise_multiplier}")
+        q = (
+            self.default_sampling_probability
+            if sampling_probability is None
+            else float(sampling_probability)
+        )
+        self._accountant.step(noise_multiplier, q)
+        self._entries.append(
+            LedgerEntry(
+                step=len(self._entries),
+                clip_bound=float(clip_bound),
+                noise_multiplier=float(noise_multiplier),
+                sampling_probability=q,
+            )
+        )
+
+    def cumulative_budget_spent(self) -> float:
+        """Total epsilon spent so far, at this ledger's delta (line 12)."""
+        if not self._entries:
+            return 0.0
+        return self._accountant.get_epsilon(self.delta)
+
+    def assert_within_budget(self, epsilon_budget: float) -> None:
+        """Raise :class:`PrivacyBudgetExceeded` if the budget is already spent."""
+        spent = self.cumulative_budget_spent()
+        if spent >= epsilon_budget:
+            raise PrivacyBudgetExceeded(spent=spent, budget=epsilon_budget)
+
+    def reset(self) -> None:
+        """Erase all entries and accumulated budget."""
+        self._accountant.reset()
+        self._entries.clear()

@@ -1,0 +1,93 @@
+"""Zero-concentrated differential privacy (zCDP) accounting.
+
+The paper's related work (Section 6) lists zCDP (Bun & Steinke 2016) among
+the privacy definitions that "lend themselves to tighter composition". This
+module implements the zCDP calculus for the *unsampled* Gaussian mechanism:
+
+- a Gaussian mechanism with noise multiplier sigma satisfies
+  ``rho = 1 / (2 sigma^2)``-zCDP;
+- zCDP composes additively: k mechanisms of ``rho_i``-zCDP give
+  ``(sum rho_i)``-zCDP;
+- ``rho``-zCDP implies ``(rho + 2 sqrt(rho ln(1/delta)), delta)``-DP.
+
+Privacy amplification by subsampling does **not** carry over cleanly to
+zCDP (the reason the paper — and this library's trainers — use the
+RDP-based moments accountant instead); these functions therefore refuse
+sampling rates other than 1 and exist for analysis, comparison, and the
+library's accountant cross-checks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigError
+
+
+def gaussian_zcdp(noise_multiplier: float) -> float:
+    """The zCDP parameter ``rho = 1 / (2 sigma^2)`` of a Gaussian mechanism.
+
+    Raises:
+        ConfigError: for non-positive sigma (zero noise is not zCDP).
+    """
+    if noise_multiplier <= 0.0:
+        raise ConfigError(f"noise_multiplier must be positive, got {noise_multiplier}")
+    return 1.0 / (2.0 * noise_multiplier**2)
+
+
+def compose_zcdp(rhos: list[float] | tuple[float, ...]) -> float:
+    """Additive composition of zCDP parameters."""
+    if any(rho < 0.0 for rho in rhos):
+        raise ConfigError("zCDP parameters must be non-negative")
+    return float(sum(rhos))
+
+
+def zcdp_to_epsilon(rho: float, delta: float) -> float:
+    """Convert ``rho``-zCDP to an ``(epsilon, delta)``-DP guarantee.
+
+    Uses the standard conversion (Bun & Steinke, Proposition 1.3):
+    ``epsilon = rho + 2 sqrt(rho ln(1/delta))``.
+    """
+    if rho < 0.0:
+        raise ConfigError(f"rho must be >= 0, got {rho}")
+    if not 0.0 < delta < 1.0:
+        raise ConfigError(f"delta must be in (0, 1), got {delta}")
+    return rho + 2.0 * math.sqrt(rho * math.log(1.0 / delta))
+
+
+def epsilon_to_zcdp(epsilon: float) -> float:
+    """The zCDP parameter implied by pure epsilon-DP: ``rho = eps^2 / 2``.
+
+    (Every epsilon-DP mechanism is ``(eps^2 / 2)``-zCDP.)
+    """
+    if epsilon < 0.0:
+        raise ConfigError(f"epsilon must be >= 0, got {epsilon}")
+    return epsilon**2 / 2.0
+
+
+def gaussian_steps_epsilon_zcdp(
+    noise_multiplier: float, steps: int, delta: float, sampling_probability: float = 1.0
+) -> float:
+    """Epsilon of ``steps`` unsampled Gaussian mechanisms via zCDP.
+
+    Args:
+        noise_multiplier: sigma of each step.
+        steps: number of composed steps.
+        delta: target failure probability.
+        sampling_probability: must be 1.0 — zCDP has no clean subsampling
+            amplification; use the RDP accountant for sampled training.
+
+    Raises:
+        ConfigError: when ``sampling_probability != 1``.
+    """
+    if sampling_probability != 1.0:
+        raise ConfigError(
+            "zCDP accounting does not support subsampling amplification; "
+            "use the RDP moments accountant for sampled mechanisms"
+        )
+    if steps < 0:
+        raise ConfigError(f"steps must be >= 0, got {steps}")
+    if steps == 0:
+        return 0.0
+    rho = compose_zcdp([gaussian_zcdp(noise_multiplier)] * steps)
+    return zcdp_to_epsilon(rho, delta)

@@ -1,0 +1,92 @@
+"""l2-norm clipping of model updates.
+
+Implements both clipping flavors discussed in the paper (Section 4.1):
+
+- **per-layer clipping** (McMahan & Andrew 2018): given an overall magnitude
+  ``C`` and ``n`` tensors, each tensor is clipped to ``C / sqrt(n)``, so the
+  concatenated update has norm at most ``C``;
+- **global clipping**: the flat concatenation of all tensors is scaled down
+  when its joint norm exceeds ``C`` (the original DP-SGD rule).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+
+
+def per_layer_clip_bound(overall_bound: float, num_tensors: int) -> float:
+    """Per-tensor bound ``C / sqrt(n)`` for an overall l2 bound ``C``.
+
+    With each of ``n`` tensors clipped to ``C / sqrt(n)``, the l2 norm of the
+    stacked update is at most ``sqrt(n * (C/sqrt(n))^2) = C``. The paper's
+    skip-gram has ``theta = {W, W', B'}`` hence ``n = 3`` and each tensor is
+    clipped to ``C / sqrt(3)``.
+    """
+    if overall_bound <= 0.0:
+        raise ConfigError(f"clipping bound must be positive, got {overall_bound}")
+    if num_tensors <= 0:
+        raise ConfigError(f"num_tensors must be positive, got {num_tensors}")
+    return overall_bound / math.sqrt(num_tensors)
+
+
+def clip_tensor(tensor: np.ndarray, bound: float) -> np.ndarray:
+    """Scale ``tensor`` so its l2 norm is at most ``bound``.
+
+    Implements the paper's rule (line 21 of Algorithm 1):
+    ``g / max(1, ||g||_2 / C)``. Returns a new array; the input is never
+    modified.
+    """
+    if bound <= 0.0:
+        raise ConfigError(f"clipping bound must be positive, got {bound}")
+    tensor = np.asarray(tensor, dtype=np.float64)
+    norm = float(np.linalg.norm(tensor))
+    divisor = max(1.0, norm / bound)
+    return tensor / divisor
+
+
+def clip_parameters(
+    tensors: Mapping[str, np.ndarray], overall_bound: float
+) -> dict[str, np.ndarray]:
+    """Per-layer clip every tensor in ``tensors`` to ``overall_bound / sqrt(n)``.
+
+    Args:
+        tensors: named update tensors (e.g. ``{"W": ..., "Wc": ..., "b": ...}``).
+        overall_bound: the overall clipping magnitude ``C``.
+
+    Returns:
+        New mapping with each tensor individually clipped; the joint l2 norm
+        of the result never exceeds ``overall_bound``.
+    """
+    bound = per_layer_clip_bound(overall_bound, len(tensors))
+    return {name: clip_tensor(tensor, bound) for name, tensor in tensors.items()}
+
+
+def clip_by_global_norm(
+    tensors: Mapping[str, np.ndarray], overall_bound: float
+) -> dict[str, np.ndarray]:
+    """Clip the *joint* l2 norm of all tensors to ``overall_bound``.
+
+    All tensors are scaled by the same factor, preserving the update's
+    direction in the full parameter space (unlike per-layer clipping which
+    can rotate it).
+    """
+    if overall_bound <= 0.0:
+        raise ConfigError(f"clipping bound must be positive, got {overall_bound}")
+    squared = sum(float(np.sum(np.square(t, dtype=np.float64))) for t in tensors.values())
+    norm = math.sqrt(squared)
+    divisor = max(1.0, norm / overall_bound)
+    return {
+        name: np.asarray(tensor, dtype=np.float64) / divisor
+        for name, tensor in tensors.items()
+    }
+
+
+def joint_l2_norm(tensors: Mapping[str, np.ndarray]) -> float:
+    """Return the l2 norm of the concatenation of all tensors."""
+    squared = sum(float(np.sum(np.square(t, dtype=np.float64))) for t in tensors.values())
+    return math.sqrt(squared)

@@ -1,0 +1,136 @@
+"""Tests for the membership-inference audit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.membership import (
+    MembershipInferenceAttack,
+    attack_auc,
+    membership_advantage,
+    trajectory_affinity,
+)
+from repro.exceptions import ConfigError
+from repro.models.embeddings import EmbeddingMatrix
+from repro.models.vocabulary import LocationVocabulary
+
+
+class TestAttackAuc:
+    def test_perfect_separation(self):
+        assert attack_auc([2.0, 3.0], [0.0, 1.0]) == 1.0
+
+    def test_inverted_separation(self):
+        assert attack_auc([0.0, 1.0], [2.0, 3.0]) == 0.0
+
+    def test_indistinguishable(self):
+        assert attack_auc([1.0, 2.0], [1.0, 2.0]) == 0.5
+
+    def test_ties_half_weight(self):
+        assert attack_auc([1.0], [1.0]) == 0.5
+
+    def test_requires_both_groups(self):
+        with pytest.raises(ConfigError):
+            attack_auc([], [1.0])
+
+
+class TestMembershipAdvantage:
+    def test_perfect_attack(self):
+        assert membership_advantage([2.0, 3.0], [0.0, 1.0]) == 1.0
+
+    def test_useless_attack(self):
+        assert membership_advantage([1.0, 1.0], [1.0, 1.0]) == 0.0
+
+    def test_partial(self):
+        advantage = membership_advantage([1.0, 3.0], [0.0, 2.0])
+        assert 0.0 < advantage < 1.0
+
+
+class TestTrajectoryAffinity:
+    def test_coherent_cluster_scores_high(self):
+        # Locations 0, 1 nearly parallel; 2 orthogonal.
+        matrix = EmbeddingMatrix(
+            np.array([[1.0, 0.01], [1.0, -0.01], [0.0, 1.0]])
+        )
+        coherent = trajectory_affinity(matrix, [[0, 1, 0, 1]])
+        incoherent = trajectory_affinity(matrix, [[0, 2, 0, 2]])
+        assert coherent > incoherent
+
+    def test_empty_user_scores_zero(self):
+        matrix = EmbeddingMatrix(np.eye(3))
+        assert trajectory_affinity(matrix, [[5][:0], [0]]) == 0.0
+
+    def test_self_pairs_ignored(self):
+        matrix = EmbeddingMatrix(np.eye(3))
+        # Sequence of one repeated location: all pairs are self-pairs.
+        assert trajectory_affinity(matrix, [[1, 1, 1]]) == 0.0
+
+
+class TestMembershipInferenceAttack:
+    def test_detects_memorizing_model(self):
+        # Embeddings hand-crafted to memorize members' co-visit structure:
+        # members co-visit within {0,1} and {2,3}; non-members' pairs span
+        # the two groups.
+        rng = np.random.default_rng(0)
+        matrix = np.array(
+            [[1.0, 0.0], [1.0, 0.05], [0.0, 1.0], [0.05, 1.0]]
+        ) + rng.normal(scale=0.01, size=(4, 2))
+        attack = MembershipInferenceAttack(EmbeddingMatrix(matrix))
+        members = [[[0, 1, 0, 1]], [[2, 3, 2]]]
+        nonmembers = [[[0, 2, 0, 2]], [[1, 3, 1]]]
+        result = attack.audit(members, nonmembers)
+        assert result.auc == 1.0
+        assert result.advantage == 1.0
+        assert "AUC" in result.summary()
+
+    def test_random_embeddings_near_chance(self):
+        rng = np.random.default_rng(1)
+        attack = MembershipInferenceAttack(
+            EmbeddingMatrix(rng.normal(size=(60, 16)))
+        )
+        members = [
+            [list(rng.integers(0, 60, size=12))] for _ in range(25)
+        ]
+        nonmembers = [
+            [list(rng.integers(0, 60, size=12))] for _ in range(25)
+        ]
+        result = attack.audit(members, nonmembers)
+        assert 0.2 < result.auc < 0.8  # no systematic separation
+
+    def test_vocabulary_mode_drops_unknowns(self):
+        vocabulary = LocationVocabulary.from_sequences([["a", "b", "c"]])
+        attack = MembershipInferenceAttack(
+            EmbeddingMatrix(np.eye(3)), vocabulary=vocabulary
+        )
+        score = attack.score_user([["a", "b", "ghost"]])
+        assert np.isfinite(score)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigError):
+            MembershipInferenceAttack(EmbeddingMatrix(np.eye(2)), window=0)
+
+
+class TestEndToEndAudit:
+    def test_private_model_resists_attack(self, split_dataset):
+        # Train a PLP model and audit it: at epsilon = 2 with real noise
+        # the attack must stay near chance level.
+        from repro.core.config import PLPConfig
+        from repro.core.trainer import PrivateLocationPredictor
+
+        train, holdout = split_dataset
+        config = PLPConfig(
+            embedding_dim=8,
+            num_negatives=4,
+            sampling_probability=0.2,
+            noise_multiplier=2.0,
+            epsilon=2.0,
+        )
+        trainer = PrivateLocationPredictor(config, rng=0)
+        trainer.fit(train)
+        attack = MembershipInferenceAttack(
+            trainer.embeddings(), vocabulary=trainer.vocabulary
+        )
+        members = [[history.locations()] for history in train][:30]
+        nonmembers = [[history.locations()] for history in holdout]
+        result = attack.audit(members, nonmembers)
+        assert 0.25 < result.auc < 0.75

@@ -1,0 +1,70 @@
+"""Tests for the Markov-chain baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.markov import MarkovChainRecommender
+from repro.exceptions import ConfigError, DataError
+
+
+class TestOrderOne:
+    def test_learns_transitions(self):
+        # 0 -> 1 always; 1 -> 2 always.
+        sequences = [[0, 1, 2], [0, 1, 2], [0, 1]]
+        model = MarkovChainRecommender(sequences, num_locations=3, order=1)
+        scores = model.score_all([0])
+        assert np.argmax(scores) == 1
+        scores = model.score_all([1])
+        assert np.argmax(scores) == 2
+
+    def test_transition_probabilities(self):
+        # From 0: goes to 1 twice, to 2 once.
+        sequences = [[0, 1], [0, 1], [0, 2]]
+        model = MarkovChainRecommender(sequences, num_locations=3, order=1, smoothing=0.0)
+        scores = model.score_all([0])
+        assert scores[1] == pytest.approx(2 / 3)
+        assert scores[2] == pytest.approx(1 / 3)
+
+    def test_unseen_context_backs_off_to_popularity(self):
+        sequences = [[0, 1], [1, 1]]
+        model = MarkovChainRecommender(sequences, num_locations=4, order=1)
+        scores = model.score_all([3])  # 3 never seen as context
+        assert np.argmax(scores) == 1  # most popular overall
+
+
+class TestHigherOrder:
+    def test_order_two_disambiguates(self):
+        # After (0, 1) -> 2; after (3, 1) -> 4. Order-1 alone cannot tell.
+        sequences = [[0, 1, 2]] * 3 + [[3, 1, 4]] * 3
+        model = MarkovChainRecommender(sequences, num_locations=5, order=2)
+        assert np.argmax(model.score_all([0, 1])) == 2
+        assert np.argmax(model.score_all([3, 1])) == 4
+
+    def test_backoff_to_lower_order(self):
+        sequences = [[0, 1, 2]]
+        model = MarkovChainRecommender(sequences, num_locations=4, order=2)
+        # Context (3, 1) unseen at order 2; backs off to context (1,).
+        assert np.argmax(model.score_all([3, 1])) == 2
+
+
+class TestValidation:
+    def test_rejects_order_zero(self):
+        with pytest.raises(ConfigError):
+            MarkovChainRecommender([[0, 1]], num_locations=2, order=0)
+
+    def test_rejects_out_of_range_tokens(self):
+        with pytest.raises(DataError):
+            MarkovChainRecommender([[9]], num_locations=2)
+
+    def test_smoothing_keeps_everything_scoreable(self):
+        model = MarkovChainRecommender([[0, 1]], num_locations=3, order=1)
+        scores = model.score_all([0])
+        assert np.all(scores > 0)
+
+    def test_recommend_interface(self):
+        model = MarkovChainRecommender([[0, 1, 2]], num_locations=3, order=1)
+        results = model.recommend([0], top_k=2)
+        assert len(results) == 2
+        assert results[0][0] == 1

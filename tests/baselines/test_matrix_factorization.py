@@ -1,0 +1,71 @@
+"""Tests for the matrix-factorization baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.matrix_factorization import MatrixFactorizationRecommender
+from repro.exceptions import ConfigError, DataError
+
+
+def _block_sequences() -> list[list[int]]:
+    """Users 0-4 visit locations {0..3}; users 5-9 visit {4..7}."""
+    rng = np.random.default_rng(0)
+    sequences = []
+    for _ in range(5):
+        sequences.append(list(rng.integers(0, 4, size=12)))
+    for _ in range(5):
+        sequences.append(list(rng.integers(4, 8, size=12)))
+    return sequences
+
+
+class TestMatrixFactorization:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return MatrixFactorizationRecommender(
+            _block_sequences(), num_locations=8, factors=8, epochs=12, rng=1
+        )
+
+    def test_block_structure_recovered(self, model):
+        # Folding in block-A locations should score block A above block B.
+        scores = model.score_all([0, 1, 2])
+        assert scores[:4].mean() > scores[4:].mean()
+
+    def test_other_block(self, model):
+        scores = model.score_all([4, 5])
+        assert scores[4:].mean() > scores[:4].mean()
+
+    def test_recommend_interface(self, model):
+        results = model.recommend([0, 1], top_k=4)
+        assert len(results) == 4
+        tokens = [token for token, _ in results]
+        # Mostly same-block recommendations.
+        assert sum(1 for t in tokens if t < 4) >= 3
+
+    def test_empty_recent_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.score_all([])
+
+    def test_out_of_range_recent_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.score_all([99])
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(DataError):
+            MatrixFactorizationRecommender([[9]], num_locations=2)
+        with pytest.raises(DataError):
+            MatrixFactorizationRecommender([], num_locations=2)
+        with pytest.raises(ConfigError):
+            MatrixFactorizationRecommender([[0]], num_locations=2, factors=0)
+        with pytest.raises(ConfigError):
+            MatrixFactorizationRecommender([[0]], num_locations=2, epochs=0)
+
+    def test_deterministic(self):
+        a = MatrixFactorizationRecommender(
+            _block_sequences(), num_locations=8, factors=4, epochs=2, rng=5
+        )
+        b = MatrixFactorizationRecommender(
+            _block_sequences(), num_locations=8, factors=4, epochs=2, rng=5
+        )
+        assert np.allclose(a.score_all([0]), b.score_all([0]))

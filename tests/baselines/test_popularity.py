@@ -1,0 +1,41 @@
+"""Tests for the popularity baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.popularity import PopularityRecommender
+from repro.exceptions import DataError
+
+
+class TestPopularityRecommender:
+    def test_ranks_by_frequency(self):
+        sequences = [[0, 0, 0, 1, 1, 2]]
+        model = PopularityRecommender(sequences, num_locations=4)
+        top = [token for token, _ in model.recommend([3], top_k=3)]
+        assert top == [0, 1, 2]
+
+    def test_scores_are_a_distribution(self):
+        model = PopularityRecommender([[0, 1, 1]], num_locations=3)
+        scores = model.score_all([0])
+        assert scores.sum() == pytest.approx(1.0)
+        assert np.all(scores >= 0)
+
+    def test_query_independent(self):
+        model = PopularityRecommender([[0, 1, 2]], num_locations=3)
+        assert np.array_equal(model.score_all([0]), model.score_all([2]))
+
+    def test_unvisited_locations_score_zero(self):
+        model = PopularityRecommender([[0]], num_locations=3)
+        scores = model.score_all([0])
+        assert scores[1] == 0.0
+        assert scores[2] == 0.0
+
+    def test_out_of_range_token_rejected(self):
+        with pytest.raises(DataError):
+            PopularityRecommender([[5]], num_locations=3)
+
+    def test_empty_training(self):
+        model = PopularityRecommender([], num_locations=3)
+        assert np.all(model.score_all([0]) == 0.0)

@@ -1,0 +1,54 @@
+"""Shared fixtures: a small but structured synthetic dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.checkins import CheckinDataset
+from repro.data.preprocessing import paper_preprocessing
+from repro.data.splitting import holdout_users_split, sessionize_dataset
+from repro.data.synthetic import SyntheticConfig, generate_checkins
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SyntheticConfig:
+    """Generator configuration small enough for unit tests."""
+    return SyntheticConfig(
+        num_users=80,
+        num_locations=60,
+        num_clusters=6,
+        mean_checkins_per_user=25.0,
+        checkins_sigma=0.5,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_checkins(small_config):
+    """Raw synthetic check-ins (session scope: generation is deterministic)."""
+    return generate_checkins(small_config, rng=123)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_checkins) -> CheckinDataset:
+    """Preprocessed dataset under the paper's filters."""
+    return CheckinDataset(paper_preprocessing(small_checkins))
+
+
+@pytest.fixture(scope="session")
+def split_dataset(small_dataset):
+    """(train, holdout) split with 15 held-out users."""
+    return holdout_users_split(small_dataset, 15, rng=5)
+
+
+@pytest.fixture(scope="session")
+def holdout_trajectories(split_dataset):
+    """Sessionized holdout trajectories for evaluation."""
+    _, holdout = split_dataset
+    return sessionize_dataset(holdout)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(2024)

@@ -1,0 +1,79 @@
+"""Tests for PLPConfig validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PLPConfig
+from repro.exceptions import ConfigError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = PLPConfig()
+        assert config.embedding_dim == 50
+        assert config.num_negatives == 16
+        assert config.window == 2
+        assert config.batch_size == 32
+        assert config.learning_rate == pytest.approx(0.06)
+        assert config.grouping_factor == 4
+        assert config.sampling_probability == pytest.approx(0.06)
+        assert config.clip_bound == pytest.approx(0.5)
+        assert config.noise_multiplier == pytest.approx(2.5)
+        assert config.delta == pytest.approx(2e-4)
+        assert config.split_factor == 1
+
+    def test_steps_per_epoch(self):
+        assert PLPConfig(sampling_probability=0.06).steps_per_epoch() == 17
+        assert PLPConfig(sampling_probability=0.5).steps_per_epoch() == 2
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("embedding_dim", 0),
+            ("num_negatives", 0),
+            ("window", 0),
+            ("loss", "hinge"),
+            ("negative_sharing", "sometimes"),
+            ("batch_size", 0),
+            ("learning_rate", 0.0),
+            ("local_update", "magic"),
+            ("grouping_factor", 0),
+            ("grouping_strategy", "sorted"),
+            ("sampling_probability", 0.0),
+            ("sampling_probability", 1.5),
+            ("clip_bound", 0.0),
+            ("clipping", "l1"),
+            ("noise_multiplier", -1.0),
+            ("split_factor", 0),
+            ("epsilon", 0.0),
+            ("delta", 1.0),
+            ("server_optimizer", "lbfgs"),
+            ("server_learning_rate", 0.0),
+            ("max_steps", 0),
+            ("eval_every", 0),
+        ],
+    )
+    def test_rejects_invalid(self, field, value):
+        with pytest.raises(ConfigError):
+            PLPConfig(**{field: value})
+
+    def test_frozen(self):
+        config = PLPConfig()
+        with pytest.raises(AttributeError):
+            config.epsilon = 5.0  # type: ignore[misc]
+
+
+class TestOverrides:
+    def test_with_overrides(self):
+        config = PLPConfig().with_overrides(grouping_factor=6, epsilon=1.0)
+        assert config.grouping_factor == 6
+        assert config.epsilon == 1.0
+        # Untouched fields preserved.
+        assert config.batch_size == 32
+
+    def test_overrides_revalidate(self):
+        with pytest.raises(ConfigError):
+            PLPConfig().with_overrides(grouping_factor=-1)

@@ -1,0 +1,159 @@
+"""Tests for the data-grouping machinery (Section 4.1/4.2 semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grouping import (
+    assign_equal_frequency_buckets,
+    assign_random_buckets,
+    bucket_user_assignment_invariant,
+    build_bucket_arrays,
+    group_data,
+    split_pairs,
+)
+from repro.exceptions import ConfigError
+
+
+def _pairs(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 100, size=(n, 2)).astype(np.int64)
+
+
+class TestRandomBuckets:
+    def test_partition(self):
+        users = list(range(10))
+        buckets = assign_random_buckets(users, 3, rng=0)
+        flattened = [user for bucket in buckets for user in bucket]
+        assert sorted(flattened) == users
+
+    def test_bucket_sizes(self):
+        buckets = assign_random_buckets(list(range(10)), 3, rng=0)
+        assert [len(bucket) for bucket in buckets] == [3, 3, 3, 1]
+
+    def test_invariant_helper(self):
+        buckets = assign_random_buckets(list(range(10)), 4, rng=1)
+        assert bucket_user_assignment_invariant(buckets, 4)
+        assert not bucket_user_assignment_invariant([[1, 1]], 4)
+        assert not bucket_user_assignment_invariant([[1, 2, 3]], 2)
+
+    @given(
+        num_users=st.integers(1, 60),
+        grouping_factor=st.integers(1, 10),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, num_users, grouping_factor, seed):
+        users = list(range(num_users))
+        buckets = assign_random_buckets(users, grouping_factor, rng=seed)
+        assert bucket_user_assignment_invariant(buckets, grouping_factor)
+        assert sorted(u for bucket in buckets for u in bucket) == users
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ConfigError):
+            assign_random_buckets([1], 0)
+
+
+class TestEqualFrequencyBuckets:
+    def test_balances_records(self):
+        counts = {1: 100, 2: 100, 3: 1, 4: 1, 5: 1, 6: 1}
+        buckets = assign_equal_frequency_buckets(counts, 3)
+        # Two buckets; the heavy users must not share a bucket.
+        loads = [sum(counts[user] for user in bucket) for bucket in buckets]
+        assert max(loads) < 150
+
+    def test_no_user_split(self):
+        counts = {i: i + 1 for i in range(9)}
+        buckets = assign_equal_frequency_buckets(counts, 3)
+        flattened = [user for bucket in buckets for user in bucket]
+        assert sorted(flattened) == list(range(9))
+
+    def test_empty(self):
+        assert assign_equal_frequency_buckets({}, 3) == []
+
+
+class TestSplitPairs:
+    def test_split_one_is_identity(self):
+        pairs = _pairs(10)
+        chunks = split_pairs(pairs, 1, rng=0)
+        assert len(chunks) == 1
+        assert np.array_equal(chunks[0], pairs)
+
+    def test_split_preserves_multiset(self):
+        pairs = _pairs(11)
+        chunks = split_pairs(pairs, 3, rng=0)
+        assert len(chunks) == 3
+        recombined = np.concatenate(chunks, axis=0)
+        assert sorted(map(tuple, recombined)) == sorted(map(tuple, pairs))
+
+    def test_chunks_roughly_even(self):
+        chunks = split_pairs(_pairs(10), 2, rng=0)
+        assert {chunk.shape[0] for chunk in chunks} == {5}
+
+
+class TestBuildBucketArrays:
+    def test_concatenates(self):
+        user_pairs = {1: _pairs(3, 1), 2: _pairs(4, 2)}
+        arrays = build_bucket_arrays([[1, 2]], user_pairs)
+        assert arrays[0].shape == (7, 2)
+
+    def test_empty_bucket(self):
+        arrays = build_bucket_arrays([[1]], {1: np.empty((0, 2), dtype=np.int64)})
+        assert arrays[0].shape == (0, 2)
+
+
+class TestGroupData:
+    def _user_pairs(self, num_users: int) -> dict[int, np.ndarray]:
+        return {user: _pairs(5 + user, seed=user) for user in range(num_users)}
+
+    def test_total_pairs_conserved(self):
+        user_pairs = self._user_pairs(9)
+        buckets = group_data(user_pairs, grouping_factor=4, rng=0)
+        total = sum(bucket.shape[0] for bucket in buckets)
+        assert total == sum(p.shape[0] for p in user_pairs.values())
+
+    def test_bucket_count(self):
+        buckets = group_data(self._user_pairs(9), grouping_factor=4, rng=0)
+        assert len(buckets) == 3  # ceil(9 / 4)
+
+    def test_equal_frequency_strategy(self):
+        buckets = group_data(
+            self._user_pairs(9), grouping_factor=3, strategy="equal_frequency", rng=0
+        )
+        total = sum(bucket.shape[0] for bucket in buckets)
+        assert total == sum(5 + u for u in range(9))
+
+    def test_omega_two_conserves_pairs(self):
+        user_pairs = self._user_pairs(6)
+        buckets = group_data(user_pairs, grouping_factor=2, split_factor=2, rng=0)
+        total = sum(bucket.shape[0] for bucket in buckets)
+        assert total == sum(p.shape[0] for p in user_pairs.values())
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigError):
+            group_data({}, 2, strategy="alphabetical")
+
+    @given(seed=st.integers(0, 200), lam=st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_random_grouping_bucket_sizes(self, seed, lam):
+        user_pairs = self._user_pairs(11)
+        buckets = group_data(user_pairs, grouping_factor=lam, rng=seed)
+        assert len(buckets) == -(-11 // lam)  # ceil division
+
+
+class TestOmegaSeparation:
+    def test_no_bucket_holds_two_chunks_of_one_user(self):
+        # With omega = 2, each user's two chunks must land in two buckets.
+        from repro.core.grouping import _separate_same_owner
+
+        owner_of = {0: 10, 1: 10, 2: 20, 3: 20}
+        assignment = [[0, 1], [2, 3]]  # both invalid: same owner twice
+        fixed = _separate_same_owner(assignment, owner_of)
+        for bucket in fixed:
+            owners = [owner_of[v] for v in bucket]
+            assert len(owners) == len(set(owners))
+        # All chunks still present.
+        assert sorted(v for bucket in fixed for v in bucket) == [0, 1, 2, 3]

@@ -1,0 +1,111 @@
+"""Property-based invariants of the PLP trainer (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PLPConfig
+from repro.core.grouping import group_data
+from repro.core.trainer import PrivateLocationPredictor
+from repro.data.checkins import CheckinDataset
+from repro.types import CheckIn
+
+
+def _tiny_dataset(seed: int) -> CheckinDataset:
+    rng = np.random.default_rng(seed)
+    checkins = []
+    for user in range(12):
+        t = 0.0
+        for _ in range(8):
+            checkins.append(
+                CheckIn(user=user, location=int(rng.integers(0, 10)), timestamp=t)
+            )
+            t += 600.0
+    return CheckinDataset(checkins)
+
+
+class TestTrainerInvariants:
+    @given(
+        max_steps=st.integers(1, 4),
+        grouping_factor=st.integers(1, 6),
+        clip_bound=st.floats(0.05, 2.0),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_steps_ledger_history_agree(
+        self, max_steps, grouping_factor, clip_bound, seed
+    ):
+        config = PLPConfig(
+            embedding_dim=4,
+            num_negatives=2,
+            sampling_probability=0.5,
+            grouping_factor=grouping_factor,
+            clip_bound=clip_bound,
+            noise_multiplier=1.0,
+            epsilon=1e6,
+            max_steps=max_steps,
+        )
+        trainer = PrivateLocationPredictor(config, rng=seed)
+        history = trainer.fit(_tiny_dataset(seed))
+        assert len(history) == max_steps
+        assert len(trainer.ledger) == max_steps
+        # Epsilon strictly increases step over step.
+        epsilons = history.epsilons()
+        assert all(a < b for a, b in zip(epsilons, epsilons[1:]))
+        # Parameters remain finite whatever the configuration.
+        for name in trainer.model.params.names():
+            assert np.all(np.isfinite(trainer.model.params[name]))
+
+    @given(
+        grouping_factor=st.integers(1, 6),
+        split_factor=st.integers(1, 3),
+        strategy=st.sampled_from(["random", "equal_frequency"]),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_group_data_conserves_pairs(
+        self, grouping_factor, split_factor, strategy, seed
+    ):
+        rng = np.random.default_rng(seed)
+        user_pairs = {
+            user: rng.integers(0, 20, size=(int(rng.integers(0, 15)), 2)).astype(
+                np.int64
+            )
+            for user in range(int(rng.integers(1, 10)))
+        }
+        buckets = group_data(
+            user_pairs,
+            grouping_factor=grouping_factor,
+            split_factor=split_factor,
+            strategy=strategy,
+            rng=seed,
+        )
+        total_out = sum(bucket.shape[0] for bucket in buckets)
+        total_in = sum(pairs.shape[0] for pairs in user_pairs.values())
+        assert total_out == total_in
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=8, deadline=None)
+    def test_rollback_restores_previous_model_exactly(self, seed):
+        # Budget-exhausted stop must return theta_{t-1}: training one step
+        # fewer with the same seed yields identical parameters.
+        dataset = _tiny_dataset(seed)
+        config = PLPConfig(
+            embedding_dim=4,
+            num_negatives=2,
+            sampling_probability=0.1,  # with sigma=2, eps=0.5 allows ~4 steps
+            noise_multiplier=2.0,
+            epsilon=0.5,
+        )
+        full = PrivateLocationPredictor(config, rng=seed)
+        history = full.fit(dataset)
+        if history.stop_reason != "budget_exhausted" or len(history) < 2:
+            pytest.skip("budget not exhausted at these parameters")
+        truncated = PrivateLocationPredictor(
+            config.with_overrides(max_steps=len(history) - 1), rng=seed
+        )
+        truncated.fit(dataset)
+        assert full.model.params.allclose(truncated.model.params)

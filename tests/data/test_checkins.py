@@ -1,0 +1,99 @@
+"""Tests for repro.data.checkins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.checkins import CheckinDataset
+from repro.exceptions import DataError
+from repro.types import CheckIn
+
+
+def _make(user: int, locations: list[int], start: float = 0.0) -> list[CheckIn]:
+    return [
+        CheckIn(user=user, location=location, timestamp=start + i)
+        for i, location in enumerate(locations)
+    ]
+
+
+@pytest.fixture()
+def dataset() -> CheckinDataset:
+    checkins = _make(1, [10, 11, 10]) + _make(2, [11, 12]) + _make(3, [13])
+    return CheckinDataset(checkins)
+
+
+class TestBasics:
+    def test_counts(self, dataset):
+        assert dataset.num_users == 3
+        assert dataset.num_locations == 4
+        assert dataset.num_checkins == 6
+
+    def test_users(self, dataset):
+        assert set(dataset.users) == {1, 2, 3}
+        assert 1 in dataset
+        assert 9 not in dataset
+
+    def test_history(self, dataset):
+        assert dataset.history(1).locations() == [10, 11, 10]
+
+    def test_unknown_user_raises(self, dataset):
+        with pytest.raises(DataError):
+            dataset.history(99)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            CheckinDataset([])
+
+    def test_location_set(self, dataset):
+        assert dataset.location_set() == {10, 11, 12, 13}
+
+    def test_user_sequences(self, dataset):
+        sequences = dataset.user_sequences()
+        assert sequences[2] == [11, 12]
+
+
+class TestStats:
+    def test_density(self, dataset):
+        # Distinct (user, location) pairs: u1 -> {10,11}, u2 -> {11,12}, u3 -> {13}.
+        assert dataset.density() == pytest.approx(5 / (3 * 4))
+
+    def test_stats_fields(self, dataset):
+        stats = dataset.stats()
+        assert stats.num_users == 3
+        assert stats.min_user_checkins == 1
+        assert stats.max_user_checkins == 3
+        assert stats.mean_user_checkins == pytest.approx(2.0)
+
+    def test_stats_as_dict(self, dataset):
+        row = dataset.stats().as_dict()
+        assert row["users"] == 3
+        assert "density" in row
+
+
+class TestSubset:
+    def test_restricts_users(self, dataset):
+        subset = dataset.subset([1, 3])
+        assert set(subset.users) == {1, 3}
+        assert subset.num_checkins == 4
+
+    def test_unknown_user_rejected(self, dataset):
+        with pytest.raises(DataError):
+            dataset.subset([1, 42])
+
+
+class TestSyntheticIntegration:
+    def test_fixture_respects_filters(self, small_dataset):
+        # After paper preprocessing: every user >= 10 check-ins, every
+        # location visited by >= 2 users.
+        for history in small_dataset:
+            assert len(history) >= 10
+        visitors: dict[int, set[int]] = {}
+        for history in small_dataset:
+            for checkin in history.checkins:
+                visitors.setdefault(checkin.location, set()).add(checkin.user)
+        assert all(len(users) >= 2 for users in visitors.values())
+
+    def test_histories_time_sorted(self, small_dataset):
+        for history in small_dataset:
+            timestamps = history.timestamps()
+            assert timestamps == sorted(timestamps)

@@ -1,0 +1,92 @@
+"""Tests for the real-data Foursquare TSV loader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.foursquare import load_foursquare_tsv
+from repro.exceptions import DataError
+
+_ROW = (
+    "{user}\t{venue}\tcat-id\tBar\t{lat}\t{lon}\t540\t"
+    "Tue Apr 03 18:0{sec}:06 +0000 2012\n"
+)
+
+
+def _write_sample(path, rows):
+    path.write_text("".join(rows), encoding="utf-8")
+    return path
+
+
+class TestLoader:
+    def test_parses_rows(self, tmp_path):
+        rows = [
+            _ROW.format(user="u1", venue="vA", lat="35.6", lon="139.7", sec=1),
+            _ROW.format(user="u2", venue="vB", lat="35.7", lon="139.8", sec=2),
+            _ROW.format(user="u1", venue="vB", lat="35.7", lon="139.8", sec=3),
+        ]
+        path = _write_sample(tmp_path / "tky.txt", rows)
+        checkins = load_foursquare_tsv(path)
+        assert len(checkins) == 3
+        # Dense remapping in first-appearance order.
+        assert checkins[0].user == 0
+        assert checkins[1].user == 1
+        assert checkins[2].user == 0
+        assert checkins[0].location == 0
+        assert checkins[2].location == 1
+
+    def test_coordinates_parsed(self, tmp_path):
+        path = _write_sample(
+            tmp_path / "a.txt",
+            [_ROW.format(user="u", venue="v", lat="35.61", lon="139.72", sec=1)],
+        )
+        checkin = load_foursquare_tsv(path)[0]
+        assert checkin.latitude == pytest.approx(35.61)
+        assert checkin.longitude == pytest.approx(139.72)
+
+    def test_timestamps_ordered(self, tmp_path):
+        rows = [
+            _ROW.format(user="u", venue="v", lat="35.6", lon="139.7", sec=i)
+            for i in range(1, 4)
+        ]
+        path = _write_sample(tmp_path / "a.txt", rows)
+        checkins = load_foursquare_tsv(path)
+        timestamps = [c.timestamp for c in checkins]
+        assert timestamps == sorted(timestamps)
+
+    def test_epoch_timestamps_accepted(self, tmp_path):
+        path = _write_sample(
+            tmp_path / "a.txt",
+            ["u\tv\tc\tBar\t35.6\t139.7\t540\t1333475000.0\n"],
+        )
+        assert load_foursquare_tsv(path)[0].timestamp == pytest.approx(1333475000.0)
+
+    def test_max_rows(self, tmp_path):
+        rows = [
+            _ROW.format(user=f"u{i}", venue="v", lat="35.6", lon="139.7", sec=1)
+            for i in range(5)
+        ]
+        path = _write_sample(tmp_path / "a.txt", rows)
+        assert len(load_foursquare_tsv(path, max_rows=2)) == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_foursquare_tsv(tmp_path / "nope.txt")
+
+    def test_malformed_row(self, tmp_path):
+        path = _write_sample(tmp_path / "a.txt", ["too\tfew\tfields\n"])
+        with pytest.raises(DataError):
+            load_foursquare_tsv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = _write_sample(tmp_path / "a.txt", [])
+        with pytest.raises(DataError):
+            load_foursquare_tsv(path)
+
+    def test_bad_coordinates(self, tmp_path):
+        path = _write_sample(
+            tmp_path / "a.txt",
+            ["u\tv\tc\tBar\tnot-a-number\t139.7\t540\t1333475000.0\n"],
+        )
+        with pytest.raises(DataError):
+            load_foursquare_tsv(path)

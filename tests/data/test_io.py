@@ -1,0 +1,69 @@
+"""Tests for CSV check-in interchange."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.data.io import load_checkins_csv, save_checkins_csv
+from repro.exceptions import DataError
+from repro.types import CheckIn
+
+
+class TestRoundTrip:
+    def test_preserves_records(self, tmp_path):
+        checkins = [
+            CheckIn(user=1, location=7, timestamp=100.5, latitude=35.6, longitude=139.7),
+            CheckIn(user=2, location=8, timestamp=200.25),
+        ]
+        path = tmp_path / "c.csv"
+        assert save_checkins_csv(path, checkins) == 2
+        loaded = load_checkins_csv(path)
+        assert loaded[0] == checkins[0]
+        assert loaded[1].user == 2
+        assert math.isnan(loaded[1].latitude)
+
+    def test_timestamp_precision(self, tmp_path):
+        checkin = CheckIn(user=1, location=1, timestamp=1333475000.123456)
+        path = tmp_path / "c.csv"
+        save_checkins_csv(path, [checkin])
+        assert load_checkins_csv(path)[0].timestamp == checkin.timestamp
+
+    def test_synthetic_round_trip(self, tmp_path, small_checkins):
+        path = tmp_path / "synthetic.csv"
+        save_checkins_csv(path, small_checkins)
+        loaded = load_checkins_csv(path)
+        assert loaded == small_checkins
+
+    def test_creates_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "c.csv"
+        save_checkins_csv(path, [CheckIn(user=1, location=1, timestamp=0.0)])
+        assert path.exists()
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_checkins_csv(tmp_path / "nope.csv")
+
+    def test_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n", encoding="utf-8")
+        with pytest.raises(DataError):
+            load_checkins_csv(path)
+
+    def test_malformed_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "user,location,timestamp,latitude,longitude\nx,2,3.0,,\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(DataError):
+            load_checkins_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("user,location,timestamp,latitude,longitude\n", encoding="utf-8")
+        with pytest.raises(DataError):
+            load_checkins_csv(path)

@@ -1,0 +1,109 @@
+"""Tests for the paper's preprocessing pipeline."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+import pytest
+
+from repro.data.preprocessing import (
+    filter_bounding_box,
+    filter_min_location_users,
+    filter_min_user_checkins,
+    paper_preprocessing,
+)
+from repro.exceptions import DataError
+from repro.types import CheckIn
+
+
+def _checkin(user, location, t=0.0, lat=35.6, lon=139.7):
+    return CheckIn(user=user, location=location, timestamp=t, latitude=lat, longitude=lon)
+
+
+class TestUserFilter:
+    def test_drops_sparse_users(self):
+        checkins = [_checkin(1, i, t=i) for i in range(5)] + [_checkin(2, 9)]
+        kept = filter_min_user_checkins(checkins, 3)
+        assert {c.user for c in kept} == {1}
+
+    def test_threshold_inclusive(self):
+        checkins = [_checkin(1, i, t=i) for i in range(3)]
+        assert len(filter_min_user_checkins(checkins, 3)) == 3
+
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(DataError):
+            filter_min_user_checkins([], 0)
+
+
+class TestLocationFilter:
+    def test_drops_single_visitor_locations(self):
+        checkins = [
+            _checkin(1, 100),
+            _checkin(2, 100),
+            _checkin(1, 200),  # only user 1 visits 200
+        ]
+        kept = filter_min_location_users(checkins, 2)
+        assert {c.location for c in kept} == {100}
+
+    def test_repeat_visits_by_one_user_do_not_count(self):
+        checkins = [_checkin(1, 100, t=0), _checkin(1, 100, t=1)]
+        assert filter_min_location_users(checkins, 2) == []
+
+
+class TestBboxFilter:
+    def test_keeps_inside(self):
+        inside = _checkin(1, 1, lat=35.6, lon=139.7)
+        outside = _checkin(1, 2, lat=40.0, lon=139.7)
+        kept = filter_bounding_box([inside, outside], (35.5, 35.8, 139.4, 139.9))
+        assert kept == [inside]
+
+    def test_drops_missing_coordinates(self):
+        no_coords = CheckIn(user=1, location=1, timestamp=0.0)
+        assert filter_bounding_box([no_coords], (35.5, 35.8, 139.4, 139.9)) == []
+
+    def test_degenerate_box_rejected(self):
+        with pytest.raises(DataError):
+            filter_bounding_box([], (36.0, 35.0, 139.0, 140.0))
+
+
+class TestPaperPipeline:
+    def test_fixed_point_invariants(self, small_checkins):
+        kept = paper_preprocessing(small_checkins, 10, 2)
+        user_counts = Counter(c.user for c in kept)
+        assert all(count >= 10 for count in user_counts.values())
+        visitors = defaultdict(set)
+        for checkin in kept:
+            visitors[checkin.location].add(checkin.user)
+        assert all(len(users) >= 2 for users in visitors.values())
+
+    def test_cascading_filters(self):
+        # Location 200 has one visitor -> dropped -> user 2 falls below the
+        # check-in threshold -> dropped entirely; users 1 and 3 both keep
+        # location 100 alive and survive.
+        checkins = (
+            [_checkin(1, 100, t=i) for i in range(3)]
+            + [_checkin(3, 100, t=i) for i in range(3)]
+            + [_checkin(2, 100, t=i) for i in range(2)]
+            + [_checkin(2, 200, t=10 + i) for i in range(1)]
+        )
+        kept = paper_preprocessing(checkins, min_user_checkins=3, min_location_users=2)
+        assert {c.user for c in kept} == {1, 3}
+        assert {c.location for c in kept} == {100}
+
+    def test_everything_filtered_raises(self):
+        checkins = [_checkin(1, 100)]
+        with pytest.raises(DataError):
+            paper_preprocessing(checkins, min_user_checkins=10, min_location_users=2)
+
+    def test_bbox_applied_first(self):
+        inside = [_checkin(1, 100, t=i) for i in range(2)] + [
+            _checkin(2, 100, t=i) for i in range(2)
+        ]
+        outside = [_checkin(3, 100, lat=50.0)]
+        kept = paper_preprocessing(
+            inside + outside,
+            min_user_checkins=2,
+            min_location_users=2,
+            bbox=(35.5, 35.8, 139.4, 139.9),
+        )
+        assert {c.user for c in kept} == {1, 2}

@@ -1,0 +1,103 @@
+"""Tests for holdout splitting and 6-hour sessionization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.splitting import (
+    SIX_HOURS_SECONDS,
+    holdout_users_split,
+    sessionize,
+    sessionize_dataset,
+)
+from repro.exceptions import DataError
+from repro.types import CheckIn, UserHistory
+
+
+def _history(user: int, times: list[float]) -> UserHistory:
+    history = UserHistory(user=user)
+    for i, t in enumerate(times):
+        history.add(CheckIn(user=user, location=i, timestamp=t))
+    return history
+
+
+class TestSessionize:
+    def test_single_session_within_six_hours(self):
+        history = _history(1, [0.0, 3600.0, 7200.0])
+        trajectories = sessionize(history)
+        assert len(trajectories) == 1
+        assert trajectories[0].locations == (0, 1, 2)
+
+    def test_splits_on_duration(self):
+        history = _history(1, [0.0, 3600.0, SIX_HOURS_SECONDS + 3600.0])
+        trajectories = sessionize(history)
+        assert len(trajectories) == 2
+        assert trajectories[0].locations == (0, 1)
+        assert trajectories[1].locations == (2,)
+
+    def test_duration_is_measured_from_trajectory_start(self):
+        # Check-ins every 4 hours: each pair fits in 6h, but the third is
+        # 8h after the first -> split after two.
+        hours = 3600.0
+        history = _history(1, [0.0, 4 * hours, 8 * hours, 12 * hours])
+        trajectories = sessionize(history)
+        assert [len(t) for t in trajectories] == [2, 2]
+
+    def test_every_trajectory_within_bound(self):
+        history = _history(1, [float(i) * 7000.0 for i in range(20)])
+        for trajectory in sessionize(history):
+            assert trajectory.duration <= SIX_HOURS_SECONDS
+
+    def test_empty_history(self):
+        assert sessionize(UserHistory(user=1)) == []
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(DataError):
+            sessionize(_history(1, [0.0]), max_duration_seconds=0.0)
+
+
+class TestSessionizeDataset:
+    def test_min_length_filter(self, small_dataset):
+        trajectories = sessionize_dataset(small_dataset, min_length=2)
+        assert all(len(t) >= 2 for t in trajectories)
+
+    def test_preserves_user_attribution(self, small_dataset):
+        trajectories = sessionize_dataset(small_dataset)
+        users = {t.user for t in trajectories}
+        assert users <= set(small_dataset.users)
+
+    def test_checkin_conservation(self, small_dataset):
+        # With min_length=1, sessionization is a partition of all check-ins.
+        trajectories = sessionize_dataset(small_dataset, min_length=1)
+        assert sum(len(t) for t in trajectories) == small_dataset.num_checkins
+
+    def test_bad_min_length(self, small_dataset):
+        with pytest.raises(DataError):
+            sessionize_dataset(small_dataset, min_length=0)
+
+
+class TestHoldoutSplit:
+    def test_disjoint_and_complete(self, small_dataset):
+        train, holdout = holdout_users_split(small_dataset, 10, rng=1)
+        train_users = set(train.users)
+        holdout_users = set(holdout.users)
+        assert not train_users & holdout_users
+        assert train_users | holdout_users == set(small_dataset.users)
+        assert len(holdout_users) == 10
+
+    def test_checkins_conserved(self, small_dataset):
+        train, holdout = holdout_users_split(small_dataset, 10, rng=1)
+        assert (
+            train.num_checkins + holdout.num_checkins == small_dataset.num_checkins
+        )
+
+    def test_deterministic(self, small_dataset):
+        _, holdout_a = holdout_users_split(small_dataset, 10, rng=9)
+        _, holdout_b = holdout_users_split(small_dataset, 10, rng=9)
+        assert set(holdout_a.users) == set(holdout_b.users)
+
+    def test_invalid_sizes_rejected(self, small_dataset):
+        with pytest.raises(DataError):
+            holdout_users_split(small_dataset, 0)
+        with pytest.raises(DataError):
+            holdout_users_split(small_dataset, small_dataset.num_users)

@@ -1,0 +1,85 @@
+"""Tests for repro.eval.metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import hit_rate_at_k, mean_reciprocal_rank, ndcg_at_k
+from repro.exceptions import ConfigError
+
+_rank_lists = st.lists(
+    st.one_of(st.none(), st.integers(1, 1000)), min_size=1, max_size=50
+)
+
+
+class TestHitRate:
+    def test_basic(self):
+        assert hit_rate_at_k([1, 5, 11], k=10) == pytest.approx(2 / 3)
+
+    def test_boundary_inclusive(self):
+        assert hit_rate_at_k([10], k=10) == 1.0
+        assert hit_rate_at_k([11], k=10) == 0.0
+
+    def test_none_counts_as_miss(self):
+        assert hit_rate_at_k([None, 1], k=5) == pytest.approx(0.5)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(hit_rate_at_k([], k=5))
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigError):
+            hit_rate_at_k([1], k=0)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ConfigError):
+            hit_rate_at_k([0], k=5)
+
+    @given(ranks=_rank_lists, k=st.integers(1, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded(self, ranks, k):
+        value = hit_rate_at_k(ranks, k)
+        assert 0.0 <= value <= 1.0
+
+    @given(ranks=_rank_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_k(self, ranks):
+        assert hit_rate_at_k(ranks, 5) <= hit_rate_at_k(ranks, 10) <= hit_rate_at_k(
+            ranks, 20
+        )
+
+
+class TestMrr:
+    def test_perfect(self):
+        assert mean_reciprocal_rank([1, 1]) == 1.0
+
+    def test_mixed(self):
+        assert mean_reciprocal_rank([1, 2, 4]) == pytest.approx((1 + 0.5 + 0.25) / 3)
+
+    def test_none_contributes_zero(self):
+        assert mean_reciprocal_rank([1, None]) == pytest.approx(0.5)
+
+    @given(ranks=_rank_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_bounded(self, ranks):
+        assert 0.0 <= mean_reciprocal_rank(ranks) <= 1.0
+
+
+class TestNdcg:
+    def test_rank_one_is_one(self):
+        assert ndcg_at_k([1], k=10) == pytest.approx(1.0)
+
+    def test_rank_three(self):
+        assert ndcg_at_k([3], k=10) == pytest.approx(1.0 / math.log2(4.0))
+
+    def test_beyond_k_is_zero(self):
+        assert ndcg_at_k([11], k=10) == 0.0
+
+    @given(ranks=_rank_lists, k=st.integers(1, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_ndcg_below_hit_rate(self, ranks, k):
+        # Discounted gain <= binary gain case by case.
+        assert ndcg_at_k(ranks, k) <= hit_rate_at_k(ranks, k) + 1e-12

@@ -1,0 +1,42 @@
+"""Tests for repro.eval.stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.stats import paired_t_test
+from repro.exceptions import ConfigError
+
+
+class TestPairedTTest:
+    def test_clear_difference_significant(self):
+        rng = np.random.default_rng(0)
+        baseline = rng.normal(0.10, 0.01, size=30)
+        improved = baseline + 0.05 + rng.normal(0.0, 0.005, size=30)
+        result = paired_t_test(improved, baseline)
+        assert result.p_value < 0.01
+        assert result.significant(alpha=0.01)
+        assert result.mean_difference == pytest.approx(0.05, abs=0.01)
+        assert result.num_pairs == 30
+
+    def test_identical_distributions_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.2, 0.02, size=30)
+        b = a + rng.normal(0.0, 0.001, size=30)
+        result = paired_t_test(a, b)
+        assert not result.significant(alpha=0.001)
+
+    def test_sign_of_statistic(self):
+        result = paired_t_test([2.0, 3.1, 4.0], [1.0, 2.0, 3.05])
+        assert result.statistic > 0
+        result = paired_t_test([1.0, 2.0, 3.05], [2.0, 3.1, 4.0])
+        assert result.statistic < 0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigError):
+            paired_t_test([1.0, 2.0], [1.0])
+
+    def test_too_few_pairs(self):
+        with pytest.raises(ConfigError):
+            paired_t_test([1.0], [2.0])

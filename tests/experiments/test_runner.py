@@ -1,0 +1,107 @@
+"""Tests for the experiment-sweep framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PLPConfig
+from repro.exceptions import ConfigError
+from repro.experiments import ExperimentRunner, ResultTable, RunOutcome, SweepSpec
+
+
+@pytest.fixture()
+def runner(split_dataset) -> ExperimentRunner:
+    train, holdout = split_dataset
+    base = PLPConfig(
+        embedding_dim=8,
+        num_negatives=4,
+        sampling_probability=0.2,
+        noise_multiplier=2.0,
+        epsilon=50.0,
+        max_steps=4,
+    )
+    return ExperimentRunner(train, holdout, base_config=base, seed=5)
+
+
+class TestSweepSpec:
+    def test_defaults_label_to_field(self):
+        spec = SweepSpec(field="grouping_factor", values=(1, 2))
+        assert spec.label == "grouping_factor"
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(field="warp_drive", values=(1,))
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(field="grouping_factor", values=())
+
+
+class TestRunOne:
+    def test_returns_outcome(self, runner):
+        outcome = runner.run_one({"grouping_factor": 2})
+        assert outcome.method == "plp"
+        assert outcome.steps == 4
+        assert 0.0 <= outcome.hr(10) <= 1.0
+        assert outcome.parameters == {"grouping_factor": 2}
+
+    def test_dpsgd_method(self, runner):
+        outcome = runner.run_one(method="dpsgd")
+        assert outcome.method == "dpsgd"
+
+    def test_unknown_method_rejected(self, runner):
+        with pytest.raises(ConfigError):
+            runner.run_one(method="magic")
+
+    def test_deterministic_per_offset(self, runner):
+        a = runner.run_one({"grouping_factor": 2}, seed_offset=1)
+        b = runner.run_one({"grouping_factor": 2}, seed_offset=1)
+        assert a.hr(10) == b.hr(10)
+
+
+class TestSweep:
+    def test_covers_all_values_and_methods(self, runner):
+        spec = SweepSpec(field="grouping_factor", values=(1, 3))
+        table = runner.sweep(spec, methods=("plp", "dpsgd"))
+        assert len(table.outcomes) == 4
+        methods = {outcome.method for outcome in table.outcomes}
+        assert methods == {"plp", "dpsgd"}
+
+    def test_series_extraction(self, runner):
+        spec = SweepSpec(field="grouping_factor", values=(1, 3))
+        table = runner.sweep(spec)
+        series = table.series("grouping_factor")
+        assert [value for value, _ in series] == [1, 3]
+
+    def test_render_contains_headers_and_rows(self, runner):
+        spec = SweepSpec(field="grouping_factor", values=(2,))
+        text = runner.sweep(spec).render()
+        assert "grouping_factor" in text
+        assert "HR@10" in text
+        assert "plp" in text
+
+    def test_best(self, runner):
+        spec = SweepSpec(field="grouping_factor", values=(1, 3))
+        table = runner.sweep(spec)
+        best = table.best(10)
+        assert best.hr(10) == max(outcome.hr(10) for outcome in table.outcomes)
+
+    def test_best_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            ResultTable(title="empty").best()
+
+
+class TestGrid:
+    def test_cartesian_product(self, runner):
+        table = runner.grid(
+            [
+                SweepSpec(field="grouping_factor", values=(1, 2)),
+                SweepSpec(field="clip_bound", values=(0.3, 0.5)),
+            ]
+        )
+        assert len(table.outcomes) == 4
+        combos = {
+            (o.parameters["grouping_factor"], o.parameters["clip_bound"])
+            for o in table.outcomes
+        }
+        assert combos == {(1, 0.3), (1, 0.5), (2, 0.3), (2, 0.5)}

@@ -1,0 +1,86 @@
+"""Tests for the geo-indistinguishability planar Laplace mechanism."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.geoind.planar_laplace import PlanarLaplaceMechanism
+
+
+class TestRadiusDistribution:
+    def test_mean_radius(self):
+        # The planar Laplace radius follows Gamma(2, 1/eps): mean 2/eps.
+        mechanism = PlanarLaplaceMechanism(epsilon=0.01)
+        rng = np.random.default_rng(0)
+        radii = [mechanism.sample_radius(rng) for _ in range(4000)]
+        assert np.mean(radii) == pytest.approx(200.0, rel=0.05)
+        assert mechanism.expected_radius() == pytest.approx(200.0)
+
+    def test_radii_positive(self):
+        mechanism = PlanarLaplaceMechanism(epsilon=0.05)
+        rng = np.random.default_rng(1)
+        assert all(mechanism.sample_radius(rng) > 0 for _ in range(200))
+
+    def test_larger_epsilon_smaller_noise(self):
+        rng_a = np.random.default_rng(2)
+        rng_b = np.random.default_rng(2)
+        strict = PlanarLaplaceMechanism(epsilon=0.001)
+        loose = PlanarLaplaceMechanism(epsilon=0.1)
+        strict_mean = np.mean([strict.sample_radius(rng_a) for _ in range(1000)])
+        loose_mean = np.mean([loose.sample_radius(rng_b) for _ in range(1000)])
+        assert loose_mean < strict_mean
+
+
+class TestPerturbation:
+    def test_xy_displacement_statistics(self):
+        mechanism = PlanarLaplaceMechanism(epsilon=0.02)
+        rng = np.random.default_rng(3)
+        displacements = []
+        for _ in range(2000):
+            x, y = mechanism.perturb_xy(0.0, 0.0, rng)
+            displacements.append(math.hypot(x, y))
+        assert np.mean(displacements) == pytest.approx(100.0, rel=0.07)
+
+    def test_angles_roughly_uniform(self):
+        mechanism = PlanarLaplaceMechanism(epsilon=0.02)
+        rng = np.random.default_rng(4)
+        angles = []
+        for _ in range(4000):
+            x, y = mechanism.perturb_xy(0.0, 0.0, rng)
+            angles.append(math.atan2(y, x))
+        counts, _ = np.histogram(angles, bins=8, range=(-math.pi, math.pi))
+        assert counts.min() > 0.7 * counts.mean()
+
+    def test_latlon_stays_near_origin(self):
+        # 200 m protection radius noise moves Tokyo coordinates by
+        # thousandths of a degree, not degrees.
+        mechanism = PlanarLaplaceMechanism.for_protection_radius(math.log(4), 200.0)
+        rng = np.random.default_rng(5)
+        lat, lon = mechanism.perturb_latlon(35.68, 139.76, rng)
+        assert abs(lat - 35.68) < 0.1
+        assert abs(lon - 139.76) < 0.1
+
+    def test_latlon_validation(self):
+        mechanism = PlanarLaplaceMechanism(epsilon=0.01)
+        with pytest.raises(ConfigError):
+            mechanism.perturb_latlon(95.0, 0.0)
+        with pytest.raises(ConfigError):
+            mechanism.perturb_latlon(0.0, 190.0)
+
+
+class TestConstruction:
+    def test_for_protection_radius(self):
+        mechanism = PlanarLaplaceMechanism.for_protection_radius(math.log(4), 200.0)
+        assert mechanism.epsilon == pytest.approx(math.log(4) / 200.0)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigError):
+            PlanarLaplaceMechanism(epsilon=0.0)
+        with pytest.raises(ConfigError):
+            PlanarLaplaceMechanism.for_protection_radius(0.0, 100.0)
+        with pytest.raises(ConfigError):
+            PlanarLaplaceMechanism.for_protection_radius(1.0, -5.0)

@@ -1,0 +1,99 @@
+"""Tests for repro.models.embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigError
+from repro.models.embeddings import EmbeddingMatrix, top_k_indices
+
+
+@pytest.fixture()
+def embeddings() -> EmbeddingMatrix:
+    rng = np.random.default_rng(0)
+    return EmbeddingMatrix(rng.normal(size=(10, 4)))
+
+
+class TestEmbeddingMatrix:
+    def test_rows_normalized(self, embeddings):
+        assert np.allclose(np.linalg.norm(embeddings.matrix, axis=1), 1.0)
+
+    def test_dimensions(self, embeddings):
+        assert embeddings.num_locations == 10
+        assert embeddings.dim == 4
+
+    def test_vector_lookup(self, embeddings):
+        assert np.array_equal(embeddings.vector(3), embeddings.matrix[3])
+
+    def test_vector_out_of_range(self, embeddings):
+        with pytest.raises(ConfigError):
+            embeddings.vector(10)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigError):
+            EmbeddingMatrix(np.zeros(5))
+
+    def test_normalize_false_keeps_raw(self):
+        raw = np.array([[3.0, 4.0]])
+        matrix = EmbeddingMatrix(raw, normalize=False)
+        assert np.array_equal(matrix.matrix, raw)
+
+
+class TestProfile:
+    def test_single_token_is_its_vector(self, embeddings):
+        assert np.allclose(embeddings.profile(np.array([2])), embeddings.vector(2))
+
+    def test_mean_of_stacked_vectors(self, embeddings):
+        tokens = np.array([1, 4, 7])
+        expected = embeddings.matrix[tokens].mean(axis=0)
+        assert np.allclose(embeddings.profile(tokens), expected)
+
+    def test_empty_rejected(self, embeddings):
+        with pytest.raises(ConfigError):
+            embeddings.profile(np.array([], dtype=np.int64))
+
+
+class TestScores:
+    def test_self_similarity_maximal(self, embeddings):
+        scores = embeddings.scores(embeddings.vector(5))
+        assert np.argmax(scores) == 5
+
+    def test_shape_validated(self, embeddings):
+        with pytest.raises(ConfigError):
+            embeddings.scores(np.zeros(3))
+
+    def test_most_similar_excludes_self(self, embeddings):
+        results = embeddings.most_similar(2, top_k=3)
+        assert len(results) == 3
+        assert all(token != 2 for token, _ in results)
+        scores = [score for _, score in results]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestTopKIndices:
+    def test_order(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        assert top_k_indices(scores, 2).tolist() == [1, 3]
+
+    def test_k_larger_than_array(self):
+        scores = np.array([3.0, 1.0, 2.0])
+        assert top_k_indices(scores, 10).tolist() == [0, 2, 1]
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            top_k_indices(np.array([1.0]), 0)
+
+    @given(
+        values=st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=1, max_size=30, unique=True
+        ),
+        k=st.integers(1, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_argsort(self, values, k):
+        scores = np.array(values)
+        expected = np.argsort(-scores)[: min(k, len(values))]
+        assert top_k_indices(scores, k).tolist() == expected.tolist()

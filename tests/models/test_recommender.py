@@ -1,0 +1,83 @@
+"""Tests for repro.models.recommender."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError, NotFittedError
+from repro.models.embeddings import EmbeddingMatrix
+from repro.models.recommender import NextLocationRecommender
+from repro.models.vocabulary import LocationVocabulary
+
+
+@pytest.fixture()
+def clustered_embeddings() -> EmbeddingMatrix:
+    """Six locations in two tight clusters: {0,1,2} and {3,4,5}."""
+    rng = np.random.default_rng(0)
+    base_a = np.array([1.0, 0.0, 0.0, 0.0])
+    base_b = np.array([0.0, 1.0, 0.0, 0.0])
+    rows = [base_a + rng.normal(scale=0.05, size=4) for _ in range(3)]
+    rows += [base_b + rng.normal(scale=0.05, size=4) for _ in range(3)]
+    return EmbeddingMatrix(np.stack(rows))
+
+
+class TestTokenMode:
+    def test_recommends_same_cluster(self, clustered_embeddings):
+        recommender = NextLocationRecommender(clustered_embeddings)
+        top = [token for token, _ in recommender.recommend([0, 1], top_k=3)]
+        assert set(top) == {0, 1, 2}
+
+    def test_exclude_input(self, clustered_embeddings):
+        recommender = NextLocationRecommender(
+            clustered_embeddings, exclude_input=True
+        )
+        top = [token for token, _ in recommender.recommend([0, 1], top_k=2)]
+        assert 0 not in top
+        assert 1 not in top
+        assert 2 in top
+
+    def test_scores_descending(self, clustered_embeddings):
+        recommender = NextLocationRecommender(clustered_embeddings)
+        results = recommender.recommend([3], top_k=6)
+        scores = [score for _, score in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_out_of_range_token_rejected(self, clustered_embeddings):
+        recommender = NextLocationRecommender(clustered_embeddings)
+        with pytest.raises(ConfigError):
+            recommender.score_all([99])
+
+    def test_hit(self, clustered_embeddings):
+        recommender = NextLocationRecommender(clustered_embeddings)
+        assert recommender.hit([0, 1], actual_next=2, top_k=3)
+        assert not recommender.hit([0, 1], actual_next=4, top_k=2)
+
+
+class TestVocabularyMode:
+    @pytest.fixture()
+    def recommender(self, clustered_embeddings):
+        vocabulary = LocationVocabulary.from_sequences(
+            [["cafe", "bar", "club", "gym", "pool", "spa"]]
+        )
+        return NextLocationRecommender(clustered_embeddings, vocabulary=vocabulary)
+
+    def test_raw_ids_in_and_out(self, recommender):
+        results = recommender.recommend(["cafe", "bar"], top_k=3)
+        names = [name for name, _ in results]
+        assert set(names) == {"cafe", "bar", "club"}
+
+    def test_unknown_inputs_dropped(self, recommender):
+        scores_clean = recommender.score_all(["cafe"])
+        scores_noisy = recommender.score_all(["cafe", "atlantis"])
+        assert np.allclose(scores_clean, scores_noisy)
+
+    def test_all_unknown_rejected(self, recommender):
+        with pytest.raises(ConfigError):
+            recommender.score_all(["atlantis", "elDorado"])
+
+
+class TestConstruction:
+    def test_requires_embeddings(self):
+        with pytest.raises(NotFittedError):
+            NextLocationRecommender(None)  # type: ignore[arg-type]

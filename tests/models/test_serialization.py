@@ -1,0 +1,92 @@
+"""Tests for the deployable-model save/load round trip."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.models.embeddings import EmbeddingMatrix
+from repro.models.serialization import (
+    load_deployable_model,
+    load_recommender,
+    save_deployable_model,
+)
+from repro.models.vocabulary import LocationVocabulary
+
+
+@pytest.fixture()
+def artifact():
+    rng = np.random.default_rng(0)
+    embeddings = EmbeddingMatrix(rng.normal(size=(6, 4)))
+    vocabulary = LocationVocabulary.from_sequences(
+        [["cafe", "bar", "gym", "park", "pier", "zoo"]]
+    )
+    return embeddings, vocabulary
+
+
+class TestRoundTrip:
+    def test_embeddings_and_vocabulary_preserved(self, tmp_path, artifact):
+        embeddings, vocabulary = artifact
+        path = tmp_path / "model.npz"
+        save_deployable_model(path, embeddings, vocabulary, {"epsilon": 2.0})
+        loaded_embeddings, loaded_vocabulary, privacy = load_deployable_model(path)
+        assert np.allclose(loaded_embeddings.matrix, embeddings.matrix)
+        assert loaded_vocabulary.size == 6
+        for name in ("cafe", "zoo"):
+            assert loaded_vocabulary.token(name) == vocabulary.token(name)
+        assert privacy == {"epsilon": 2.0}
+
+    def test_recommendations_identical_after_reload(self, tmp_path, artifact):
+        embeddings, vocabulary = artifact
+        path = tmp_path / "model.npz"
+        save_deployable_model(path, embeddings, vocabulary)
+        from repro.models.recommender import NextLocationRecommender
+
+        original = NextLocationRecommender(embeddings, vocabulary=vocabulary)
+        reloaded = load_recommender(path)
+        original_recs = original.recommend(["cafe", "bar"], top_k=3)
+        reloaded_recs = reloaded.recommend(["cafe", "bar"], top_k=3)
+        assert [name for name, _ in original_recs] == [
+            name for name, _ in reloaded_recs
+        ]
+        assert [score for _, score in original_recs] == pytest.approx(
+            [score for _, score in reloaded_recs]
+        )
+
+    def test_default_privacy_metadata_empty(self, tmp_path, artifact):
+        embeddings, vocabulary = artifact
+        path = tmp_path / "model.npz"
+        save_deployable_model(path, embeddings, vocabulary)
+        _, _, privacy = load_deployable_model(path)
+        assert privacy == {}
+
+    def test_creates_parent_directories(self, tmp_path, artifact):
+        embeddings, vocabulary = artifact
+        path = tmp_path / "deep" / "nested" / "model.npz"
+        save_deployable_model(path, embeddings, vocabulary)
+        assert path.exists()
+
+
+class TestValidation:
+    def test_size_mismatch_rejected(self, tmp_path, artifact):
+        embeddings, _ = artifact
+        small_vocabulary = LocationVocabulary.from_sequences([["a", "b"]])
+        with pytest.raises(DataError):
+            save_deployable_model(tmp_path / "m.npz", embeddings, small_vocabulary)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_deployable_model(tmp_path / "nope.npz")
+
+    def test_malformed_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(DataError):
+            load_deployable_model(path)
+
+    def test_wrong_keys(self, tmp_path):
+        path = tmp_path / "wrong.npz"
+        np.savez(path, something_else=np.zeros(3))
+        with pytest.raises(DataError):
+            load_deployable_model(path)

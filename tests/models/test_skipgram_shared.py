@@ -1,0 +1,123 @@
+"""Tests for the shared-negative (TF sampled-softmax style) fast path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.models.skipgram import BIAS, CONTEXT, EMBEDDING, SkipGramModel
+
+
+@pytest.fixture()
+def model() -> SkipGramModel:
+    model = SkipGramModel(
+        num_locations=15, embedding_dim=6, num_negatives=4,
+        negative_sharing="batch", rng=0,
+    )
+    rng = np.random.default_rng(5)
+    model.params[CONTEXT][:] = rng.normal(scale=0.2, size=(15, 6))
+    model.params[BIAS][:] = rng.normal(scale=0.2, size=15)
+    return model
+
+
+def _dense_from_pieces(model, pieces):
+    grads = {
+        EMBEDDING: np.zeros_like(model.params[EMBEDDING]),
+        CONTEXT: np.zeros_like(model.params[CONTEXT]),
+        BIAS: np.zeros_like(model.params[BIAS]),
+    }
+    np.add.at(grads[EMBEDDING], pieces["targets"], pieces["grad_hidden"])
+    np.add.at(grads[CONTEXT], pieces["contexts"], pieces["grad_context_pos"])
+    np.add.at(grads[CONTEXT], pieces["negatives"], pieces["grad_context_neg"])
+    np.add.at(grads[BIAS], pieces["contexts"], pieces["grad_bias_pos"])
+    np.add.at(grads[BIAS], pieces["negatives"], pieces["grad_bias_neg"])
+    return grads
+
+
+class TestSharedGradients:
+    def test_matches_finite_differences(self, model):
+        rng = np.random.default_rng(1)
+        targets = rng.integers(0, 15, size=5)
+        contexts = rng.integers(0, 15, size=5)
+        negatives = rng.integers(0, 15, size=4)
+        _, pieces = model.loss_and_shared_grads(
+            model.params, targets, contexts, negatives
+        )
+        grads = _dense_from_pieces(model, pieces)
+
+        step = 1e-6
+        for name in (EMBEDDING, CONTEXT, BIAS):
+            tensor = model.params[name]
+            for flat in np.random.default_rng(2).choice(
+                tensor.size, size=10, replace=False
+            ):
+                index = np.unravel_index(flat, tensor.shape)
+                original = tensor[index]
+                tensor[index] = original + step
+                up, _ = model.loss_and_shared_grads(
+                    model.params, targets, contexts, negatives
+                )
+                tensor[index] = original - step
+                down, _ = model.loss_and_shared_grads(
+                    model.params, targets, contexts, negatives
+                )
+                tensor[index] = original
+                assert grads[name][index] == pytest.approx(
+                    (up - down) / (2 * step), abs=1e-5
+                )
+
+    def test_loss_matches_per_pair_with_same_candidates(self, model):
+        # When the shared negatives are replicated per pair, the two paths
+        # compute the same logits and therefore the same loss.
+        targets = np.array([1, 2, 3])
+        contexts = np.array([4, 5, 6])
+        negatives = np.array([7, 8, 9, 10])
+        shared_loss, _ = model.loss_and_shared_grads(
+            model.params, targets, contexts, negatives
+        )
+        replicated = np.tile(negatives, (3, 1))
+        per_pair_loss, _ = model.loss_and_sparse_grads(
+            model.params, targets, contexts, replicated
+        )
+        assert shared_loss == pytest.approx(per_pair_loss)
+
+    def test_update_matches_per_pair_with_same_candidates(self, model):
+        targets = np.array([1, 2, 3])
+        contexts = np.array([4, 5, 6])
+        negatives = np.array([7, 8, 9, 10])
+
+        shared_params = model.params.copy()
+        _, shared_pieces = model.loss_and_shared_grads(
+            shared_params, targets, contexts, negatives
+        )
+        model.apply_sparse_update(shared_params, shared_pieces, 0.1)
+
+        per_pair_params = model.params.copy()
+        _, per_pair_pieces = model.loss_and_sparse_grads(
+            per_pair_params, targets, contexts, np.tile(negatives, (3, 1))
+        )
+        model.apply_sparse_update(per_pair_params, per_pair_pieces, 0.1)
+
+        assert shared_params.allclose(per_pair_params)
+
+    def test_shape_validation(self, model):
+        with pytest.raises(ConfigError):
+            model.loss_and_shared_grads(
+                model.params, np.array([1]), np.array([2]), np.array([1, 2])
+            )
+
+    def test_sgd_step_uses_shared_path(self, model):
+        # A model in "batch" mode must produce a valid step and reduce the
+        # loss on repeated identical batches.
+        rng = np.random.default_rng(3)
+        targets = np.array([1, 2, 3, 1])
+        contexts = np.array([2, 3, 1, 3])
+        first = model.sgd_step(model.params, targets, contexts, 0.5, rng)
+        for _ in range(60):
+            last = model.sgd_step(model.params, targets, contexts, 0.5, rng)
+        assert last < first
+
+    def test_invalid_sharing_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            SkipGramModel(num_locations=10, negative_sharing="everything")

@@ -1,0 +1,73 @@
+"""Tests for repro.models.vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import VocabularyError
+from repro.models.vocabulary import LocationVocabulary
+
+
+class TestConstruction:
+    def test_from_sequences_first_appearance_order(self):
+        vocabulary = LocationVocabulary.from_sequences([["b", "a"], ["a", "c"]])
+        assert vocabulary.token("b") == 0
+        assert vocabulary.token("a") == 1
+        assert vocabulary.token("c") == 2
+        assert vocabulary.size == 3
+
+    def test_counts(self):
+        vocabulary = LocationVocabulary.from_sequences([["a", "a", "b"]])
+        assert vocabulary.count(vocabulary.token("a")) == 2
+        assert vocabulary.count(vocabulary.token("b")) == 1
+
+    def test_empty(self):
+        vocabulary = LocationVocabulary()
+        assert len(vocabulary) == 0
+        assert "x" not in vocabulary
+
+
+class TestLookup:
+    def test_unknown_location_raises(self):
+        vocabulary = LocationVocabulary.from_sequences([["a"]])
+        with pytest.raises(VocabularyError):
+            vocabulary.token("z")
+
+    def test_token_out_of_range_raises(self):
+        vocabulary = LocationVocabulary.from_sequences([["a"]])
+        with pytest.raises(VocabularyError):
+            vocabulary.location(5)
+
+    def test_contains(self):
+        vocabulary = LocationVocabulary.from_sequences([["a"]])
+        assert "a" in vocabulary
+        assert "b" not in vocabulary
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        vocabulary = LocationVocabulary.from_sequences([["x", "y", "z"]])
+        sequence = ["z", "x", "y", "x"]
+        assert vocabulary.decode(vocabulary.encode(sequence)) == sequence
+
+    def test_encode_known_drops_unknowns(self):
+        vocabulary = LocationVocabulary.from_sequences([["a", "b"]])
+        tokens = vocabulary.encode_known(["a", "mystery", "b"])
+        assert tokens == [vocabulary.token("a"), vocabulary.token("b")]
+
+    @given(
+        sequence=st.lists(st.integers(0, 30), min_size=1, max_size=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, sequence):
+        vocabulary = LocationVocabulary.from_sequences([sequence])
+        assert vocabulary.decode(vocabulary.encode(sequence)) == sequence
+
+    @given(sequence=st.lists(st.integers(0, 30), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_tokens_contiguous(self, sequence):
+        vocabulary = LocationVocabulary.from_sequences([sequence])
+        tokens = sorted({vocabulary.token(loc) for loc in sequence})
+        assert tokens == list(range(vocabulary.size))

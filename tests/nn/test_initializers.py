@@ -1,0 +1,54 @@
+"""Tests for repro.nn.initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import (
+    normal_init,
+    uniform_embedding_init,
+    xavier_uniform_init,
+    zeros_init,
+)
+
+
+class TestUniformEmbeddingInit:
+    def test_range(self):
+        matrix = uniform_embedding_init((100, 50), rng=0)
+        assert matrix.min() >= -0.5 / 50
+        assert matrix.max() < 0.5 / 50
+
+    def test_deterministic(self):
+        a = uniform_embedding_init((5, 10), rng=7)
+        b = uniform_embedding_init((5, 10), rng=7)
+        assert np.array_equal(a, b)
+
+    def test_shape(self):
+        assert uniform_embedding_init((3, 4), rng=0).shape == (3, 4)
+
+
+class TestXavierInit:
+    def test_bound(self):
+        matrix = xavier_uniform_init((64, 32), rng=0)
+        bound = np.sqrt(6.0 / (64 + 32))
+        assert np.abs(matrix).max() <= bound
+
+    def test_one_dimensional(self):
+        vector = xavier_uniform_init((10,), rng=0)
+        assert vector.shape == (10,)
+
+
+class TestNormalInit:
+    def test_statistics(self):
+        matrix = normal_init((200, 200), stddev=0.05, rng=0)
+        assert abs(matrix.mean()) < 0.001
+        assert matrix.std() == np.float64(matrix.std())
+        assert abs(matrix.std() - 0.05) < 0.002
+
+
+class TestZerosInit:
+    def test_all_zero(self):
+        assert not zeros_init((4, 4)).any()
+
+    def test_rng_ignored(self):
+        assert np.array_equal(zeros_init((2,), rng=1), zeros_init((2,), rng=2))

@@ -1,0 +1,91 @@
+"""Tests for repro.nn.parameters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.parameters import ParameterSet
+
+
+@pytest.fixture()
+def params() -> ParameterSet:
+    return ParameterSet(
+        {"W": np.arange(6, dtype=float).reshape(2, 3), "b": np.array([1.0, -1.0])}
+    )
+
+
+class TestConstruction:
+    def test_copies_by_default(self, params):
+        source = np.zeros((2, 2))
+        param_set = ParameterSet({"x": source})
+        param_set["x"][0, 0] = 9.0
+        assert source[0, 0] == 0.0
+
+    def test_no_copy_aliases(self):
+        source = np.zeros((2, 2))
+        param_set = ParameterSet({"x": source}, copy=False)
+        param_set["x"][0, 0] = 9.0
+        assert source[0, 0] == 9.0
+
+    def test_casts_to_float64(self):
+        param_set = ParameterSet({"x": np.array([1, 2], dtype=np.int32)})
+        assert param_set["x"].dtype == np.float64
+
+
+class TestMappingProtocol:
+    def test_names_order(self, params):
+        assert params.names() == ["W", "b"]
+
+    def test_len_and_contains(self, params):
+        assert len(params) == 2
+        assert "W" in params
+        assert "z" not in params
+
+    def test_shapes(self, params):
+        assert params.shapes() == {"W": (2, 3), "b": (2,)}
+
+    def test_num_parameters(self, params):
+        assert params.num_parameters == 8
+
+
+class TestVectorOps:
+    def test_copy_is_deep(self, params):
+        clone = params.copy()
+        clone["W"][0, 0] = 100.0
+        assert params["W"][0, 0] == 0.0
+
+    def test_zeros_like(self, params):
+        zeros = params.zeros_like()
+        assert zeros.shapes() == params.shapes()
+        assert zeros.l2_norm() == 0.0
+
+    def test_add_in_place(self, params):
+        params.add_({"W": np.ones((2, 3)), "b": np.ones(2)}, scale=2.0)
+        assert params["W"][0, 0] == 2.0
+        assert params["b"][0] == 3.0
+
+    def test_scale_in_place(self, params):
+        params.scale_(0.5)
+        assert params["b"][0] == 0.5
+
+    def test_delta_from(self, params):
+        reference = params.copy()
+        params.add_({"W": np.ones((2, 3)), "b": np.zeros(2)})
+        delta = params.delta_from(reference)
+        assert np.allclose(delta["W"], 1.0)
+        assert np.allclose(delta["b"], 0.0)
+
+    def test_l2_norm_matches_concatenation(self, params):
+        flat = np.concatenate([params["W"].ravel(), params["b"].ravel()])
+        assert params.l2_norm() == pytest.approx(np.linalg.norm(flat))
+
+    def test_per_tensor_norms(self, params):
+        norms = params.per_tensor_norms()
+        assert norms["b"] == pytest.approx(np.sqrt(2.0))
+
+    def test_allclose(self, params):
+        assert params.allclose(params.copy())
+        other = params.copy()
+        other["b"][0] += 1e-3
+        assert not params.allclose(other)

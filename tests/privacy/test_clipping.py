@@ -1,0 +1,129 @@
+"""Tests for repro.privacy.clipping, including hypothesis properties."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.exceptions import ConfigError
+from repro.privacy.clipping import (
+    clip_by_global_norm,
+    clip_parameters,
+    clip_tensor,
+    joint_l2_norm,
+    per_layer_clip_bound,
+)
+
+_finite_arrays = arrays(
+    dtype=np.float64,
+    shape=array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=8),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+class TestPerLayerClipBound:
+    def test_paper_value(self):
+        # theta = {W, W', B'} -> each tensor clipped to C / sqrt(3).
+        assert per_layer_clip_bound(0.5, 3) == pytest.approx(0.5 / math.sqrt(3))
+
+    def test_single_tensor(self):
+        assert per_layer_clip_bound(1.0, 1) == 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            per_layer_clip_bound(0.0, 3)
+        with pytest.raises(ConfigError):
+            per_layer_clip_bound(1.0, 0)
+
+
+class TestClipTensor:
+    def test_small_tensor_unchanged(self):
+        tensor = np.array([0.1, 0.2])
+        assert np.allclose(clip_tensor(tensor, 1.0), tensor)
+
+    def test_large_tensor_scaled_to_bound(self):
+        tensor = np.array([3.0, 4.0])  # norm 5
+        clipped = clip_tensor(tensor, 1.0)
+        assert np.linalg.norm(clipped) == pytest.approx(1.0)
+        # Direction preserved.
+        assert np.allclose(clipped / np.linalg.norm(clipped), tensor / 5.0)
+
+    def test_input_not_mutated(self):
+        tensor = np.array([3.0, 4.0])
+        clip_tensor(tensor, 1.0)
+        assert np.array_equal(tensor, [3.0, 4.0])
+
+    @given(tensor=_finite_arrays, bound=st.floats(1e-3, 1e3))
+    @settings(max_examples=60, deadline=None)
+    def test_norm_never_exceeds_bound(self, tensor, bound):
+        clipped = clip_tensor(tensor, bound)
+        assert np.linalg.norm(clipped) <= bound * (1 + 1e-9)
+
+    @given(tensor=_finite_arrays, bound=st.floats(1e-3, 1e3))
+    @settings(max_examples=60, deadline=None)
+    def test_never_increases_norm(self, tensor, bound):
+        clipped = clip_tensor(tensor, bound)
+        assert np.linalg.norm(clipped) <= np.linalg.norm(tensor) + 1e-9
+
+
+class TestClipParameters:
+    def test_joint_norm_bounded_by_overall(self):
+        tensors = {
+            "W": np.full((4, 4), 10.0),
+            "Wc": np.full((4, 4), -7.0),
+            "b": np.full(4, 3.0),
+        }
+        clipped = clip_parameters(tensors, overall_bound=0.5)
+        assert joint_l2_norm(clipped) <= 0.5 + 1e-9
+
+    def test_each_tensor_bounded(self):
+        tensors = {"a": np.full(9, 5.0), "b": np.full(9, 5.0)}
+        clipped = clip_parameters(tensors, overall_bound=1.0)
+        bound = 1.0 / math.sqrt(2)
+        for tensor in clipped.values():
+            assert np.linalg.norm(tensor) <= bound + 1e-9
+
+    def test_small_updates_pass_through(self):
+        tensors = {"a": np.array([0.01, 0.0]), "b": np.array([0.0, 0.02])}
+        clipped = clip_parameters(tensors, overall_bound=1.0)
+        for name in tensors:
+            assert np.allclose(clipped[name], tensors[name])
+
+
+class TestClipByGlobalNorm:
+    def test_preserves_direction_jointly(self):
+        tensors = {"a": np.array([3.0, 0.0]), "b": np.array([0.0, 4.0])}
+        clipped = clip_by_global_norm(tensors, overall_bound=1.0)
+        # Joint norm was 5; everything scaled by 1/5.
+        assert np.allclose(clipped["a"], [0.6, 0.0])
+        assert np.allclose(clipped["b"], [0.0, 0.8])
+
+    def test_noop_when_under_bound(self):
+        tensors = {"a": np.array([0.1]), "b": np.array([0.1])}
+        clipped = clip_by_global_norm(tensors, overall_bound=1.0)
+        assert np.allclose(clipped["a"], tensors["a"])
+
+    @given(
+        scale=st.floats(0.01, 100.0),
+        bound=st.floats(0.1, 10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_joint_norm_bounded(self, scale, bound):
+        tensors = {"a": np.full(5, scale), "b": np.full((2, 2), -scale)}
+        clipped = clip_by_global_norm(tensors, bound)
+        assert joint_l2_norm(clipped) <= bound + 1e-9
+
+
+class TestJointL2Norm:
+    def test_matches_concatenation(self):
+        tensors = {"a": np.array([1.0, 2.0]), "b": np.array([[2.0], [4.0]])}
+        expected = np.linalg.norm([1.0, 2.0, 2.0, 4.0])
+        assert joint_l2_norm(tensors) == pytest.approx(expected)
+
+    def test_empty_mapping_is_zero(self):
+        assert joint_l2_norm({}) == 0.0

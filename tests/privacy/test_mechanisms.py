@@ -1,0 +1,102 @@
+"""Tests for repro.privacy.mechanisms."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.privacy.mechanisms import (
+    GaussianMechanism,
+    LaplaceMechanism,
+    RandomizedResponse,
+    gaussian_sigma_for_epsilon_delta,
+)
+
+
+class TestGaussianSigmaCalibration:
+    def test_matches_theorem(self):
+        sigma = gaussian_sigma_for_epsilon_delta(1.0, 1e-5, sensitivity=1.0)
+        assert sigma == pytest.approx(math.sqrt(2 * math.log(1.25e5)))
+
+    def test_scales_with_sensitivity(self):
+        a = gaussian_sigma_for_epsilon_delta(0.5, 1e-5, sensitivity=1.0)
+        b = gaussian_sigma_for_epsilon_delta(0.5, 1e-5, sensitivity=2.0)
+        assert b == pytest.approx(2 * a)
+
+    def test_rejects_epsilon_above_one(self):
+        with pytest.raises(ConfigError):
+            gaussian_sigma_for_epsilon_delta(1.5, 1e-5)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ConfigError):
+            gaussian_sigma_for_epsilon_delta(0.5, 0.0)
+
+
+class TestGaussianMechanism:
+    def test_stddev(self):
+        mechanism = GaussianMechanism(noise_multiplier=2.0, sensitivity=0.5)
+        assert mechanism.stddev == 1.0
+
+    def test_zero_noise_is_identity(self):
+        mechanism = GaussianMechanism(noise_multiplier=0.0)
+        value = np.array([1.0, 2.0])
+        assert np.array_equal(mechanism.add_noise(value, rng=0), value)
+
+    def test_noise_statistics(self):
+        mechanism = GaussianMechanism(noise_multiplier=2.0, sensitivity=1.0)
+        noisy = mechanism.add_noise(np.zeros(200_000), rng=1)
+        assert abs(noisy.mean()) < 0.05
+        assert noisy.std() == pytest.approx(2.0, rel=0.02)
+
+    def test_does_not_mutate_input(self):
+        value = np.zeros(3)
+        GaussianMechanism(noise_multiplier=1.0).add_noise(value, rng=0)
+        assert np.array_equal(value, np.zeros(3))
+
+    def test_epsilon_inverts_calibration(self):
+        sigma = gaussian_sigma_for_epsilon_delta(0.5, 1e-5)
+        mechanism = GaussianMechanism(noise_multiplier=sigma)
+        assert mechanism.epsilon(1e-5) == pytest.approx(0.5)
+
+    def test_negative_multiplier_rejected(self):
+        with pytest.raises(ConfigError):
+            GaussianMechanism(noise_multiplier=-1.0)
+
+
+class TestLaplaceMechanism:
+    def test_scale(self):
+        mechanism = LaplaceMechanism(epsilon=0.5, sensitivity=2.0)
+        assert mechanism.scale == 4.0
+
+    def test_noise_statistics(self):
+        mechanism = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        noisy = mechanism.add_noise(np.zeros(200_000), rng=1)
+        # Laplace(b) has std b * sqrt(2).
+        assert noisy.std() == pytest.approx(math.sqrt(2.0), rel=0.02)
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ConfigError):
+            LaplaceMechanism(epsilon=0.0)
+
+
+class TestRandomizedResponse:
+    def test_truth_probability(self):
+        rr = RandomizedResponse(epsilon=math.log(3.0))
+        assert rr.truth_probability == pytest.approx(0.75)
+
+    def test_flip_rate(self):
+        rr = RandomizedResponse(epsilon=math.log(3.0))
+        bits = np.ones(100_000, dtype=bool)
+        reported = rr.randomize(bits, rng=3)
+        assert reported.mean() == pytest.approx(0.75, abs=0.01)
+
+    def test_frequency_estimation_debiases(self):
+        rr = RandomizedResponse(epsilon=1.0)
+        true_frequency = 0.3
+        rng = np.random.default_rng(9)
+        bits = rng.random(200_000) < true_frequency
+        reported = rr.randomize(bits, rng=rng)
+        assert rr.estimate_frequency(reported) == pytest.approx(true_frequency, abs=0.01)

@@ -1,0 +1,47 @@
+"""Tests for repro.privacy.sensitivity (Section 4.2 of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.privacy.sensitivity import GaussianSumQuerySensitivity
+
+
+class TestGaussianSumQuerySensitivity:
+    def test_case1_omega_one(self):
+        # Case 1: a user in exactly one bucket -> sensitivity C.
+        sensitivity = GaussianSumQuerySensitivity(clip_bound=0.5, split_factor=1)
+        assert sensitivity.value == 0.5
+
+    def test_case2_omega_two(self):
+        # Case 2: data split over two buckets -> sensitivity 2C.
+        sensitivity = GaussianSumQuerySensitivity(clip_bound=0.5, split_factor=2)
+        assert sensitivity.value == 1.0
+
+    def test_noise_std_scales_linearly_with_omega(self):
+        base = GaussianSumQuerySensitivity(clip_bound=0.5, split_factor=1)
+        split = GaussianSumQuerySensitivity(clip_bound=0.5, split_factor=2)
+        assert split.noise_stddev(2.5) == pytest.approx(2 * base.noise_stddev(2.5))
+
+    def test_noise_variance_quadruples_at_omega_two(self):
+        # The paper: "the now quadrupled (proportional to omega^2) noise variance".
+        base = GaussianSumQuerySensitivity(clip_bound=0.5, split_factor=1)
+        split = GaussianSumQuerySensitivity(clip_bound=0.5, split_factor=2)
+        assert split.noise_variance(1.5) == pytest.approx(4 * base.noise_variance(1.5))
+
+    def test_noise_std_value(self):
+        sensitivity = GaussianSumQuerySensitivity(clip_bound=0.5, split_factor=1)
+        assert sensitivity.noise_stddev(2.5) == pytest.approx(1.25)
+
+    def test_zero_noise_multiplier(self):
+        sensitivity = GaussianSumQuerySensitivity(clip_bound=0.5)
+        assert sensitivity.noise_stddev(0.0) == 0.0
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigError):
+            GaussianSumQuerySensitivity(clip_bound=0.0)
+        with pytest.raises(ConfigError):
+            GaussianSumQuerySensitivity(clip_bound=1.0, split_factor=0)
+        with pytest.raises(ConfigError):
+            GaussianSumQuerySensitivity(clip_bound=1.0).noise_stddev(-1.0)

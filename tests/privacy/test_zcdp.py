@@ -1,0 +1,79 @@
+"""Tests for the zCDP accountant."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.privacy.accountant import compute_epsilon
+from repro.privacy.accountant.zcdp import (
+    compose_zcdp,
+    epsilon_to_zcdp,
+    gaussian_steps_epsilon_zcdp,
+    gaussian_zcdp,
+    zcdp_to_epsilon,
+)
+
+
+class TestGaussianZcdp:
+    def test_closed_form(self):
+        assert gaussian_zcdp(1.0) == pytest.approx(0.5)
+        assert gaussian_zcdp(2.0) == pytest.approx(0.125)
+
+    def test_rejects_zero_noise(self):
+        with pytest.raises(ConfigError):
+            gaussian_zcdp(0.0)
+
+
+class TestComposition:
+    def test_additive(self):
+        assert compose_zcdp([0.1, 0.2, 0.3]) == pytest.approx(0.6)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            compose_zcdp([0.1, -0.1])
+
+    def test_empty_is_zero(self):
+        assert compose_zcdp([]) == 0.0
+
+
+class TestConversion:
+    def test_formula(self):
+        rho, delta = 0.25, 1e-5
+        expected = rho + 2 * math.sqrt(rho * math.log(1.0 / delta))
+        assert zcdp_to_epsilon(rho, delta) == pytest.approx(expected)
+
+    def test_monotone_in_rho(self):
+        assert zcdp_to_epsilon(0.1, 1e-5) < zcdp_to_epsilon(0.5, 1e-5)
+
+    def test_epsilon_to_zcdp_round(self):
+        assert epsilon_to_zcdp(2.0) == pytest.approx(2.0)
+        assert epsilon_to_zcdp(0.0) == 0.0
+
+    def test_invalid_delta(self):
+        with pytest.raises(ConfigError):
+            zcdp_to_epsilon(0.1, 0.0)
+
+
+class TestGaussianSteps:
+    def test_zero_steps(self):
+        assert gaussian_steps_epsilon_zcdp(2.0, 0, 1e-5) == 0.0
+
+    def test_rejects_subsampling(self):
+        with pytest.raises(ConfigError):
+            gaussian_steps_epsilon_zcdp(2.0, 10, 1e-5, sampling_probability=0.1)
+
+    def test_comparable_to_rdp_accountant_unsampled(self):
+        # Both accountants bound the same mechanism; they must land within
+        # a small factor of each other for unsampled Gaussian composition.
+        sigma, steps, delta = 4.0, 500, 1e-6
+        zcdp_eps = gaussian_steps_epsilon_zcdp(sigma, steps, delta)
+        rdp_eps = compute_epsilon(1.0, sigma, steps, delta)
+        assert 0.5 < zcdp_eps / rdp_eps < 2.0
+
+    def test_grows_with_steps(self):
+        a = gaussian_steps_epsilon_zcdp(3.0, 10, 1e-5)
+        b = gaussian_steps_epsilon_zcdp(3.0, 100, 1e-5)
+        assert a < b

@@ -1,0 +1,146 @@
+"""Tests for the command-line interface (in-process invocation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def data_csv(tmp_path):
+    """A small generated dataset on disk."""
+    path = tmp_path / "checkins.csv"
+    code = main(
+        [
+            "generate",
+            "--users", "80",
+            "--locations", "60",
+            "--clusters", "6",
+            "--mean-checkins", "25",
+            "--seed", "3",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture()
+def model_npz(tmp_path, data_csv):
+    """A PLP model trained on the small dataset."""
+    path = tmp_path / "model.npz"
+    code = main(
+        [
+            "train",
+            "--data", str(data_csv),
+            "--method", "plp",
+            "--epsilon", "5",
+            "--sampling-probability", "0.2",
+            "--embedding-dim", "8",
+            "--negatives", "4",
+            "--max-steps", "6",
+            "--seed", "3",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_csv(self, data_csv, capsys):
+        assert data_csv.exists()
+        content = data_csv.read_text(encoding="utf-8")
+        assert content.startswith("user,location,timestamp")
+
+
+class TestTrain:
+    def test_plp(self, model_npz):
+        assert model_npz.exists()
+
+    def test_dpsgd(self, tmp_path, data_csv):
+        path = tmp_path / "dpsgd.npz"
+        code = main(
+            [
+                "train",
+                "--data", str(data_csv),
+                "--method", "dpsgd",
+                "--epsilon", "5",
+                "--sampling-probability", "0.2",
+                "--embedding-dim", "8",
+                "--negatives", "4",
+                "--max-steps", "4",
+                "--out", str(path),
+            ]
+        )
+        assert code == 0
+        assert path.exists()
+
+    def test_nonprivate(self, tmp_path, data_csv):
+        path = tmp_path / "np.npz"
+        code = main(
+            [
+                "train",
+                "--data", str(data_csv),
+                "--method", "nonprivate",
+                "--embedding-dim", "8",
+                "--epochs", "2",
+                "--out", str(path),
+            ]
+        )
+        assert code == 0
+        assert path.exists()
+
+    def test_missing_data_file(self, tmp_path, capsys):
+        code = main(
+            [
+                "train",
+                "--data", str(tmp_path / "nope.csv"),
+                "--out", str(tmp_path / "m.npz"),
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_prints_hit_rates(self, data_csv, model_npz, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--data", str(data_csv),
+                "--model", str(model_npz),
+                "--holdout", "15",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HR@10" in out
+
+
+class TestRecommend:
+    def test_prints_top_k(self, model_npz, capsys):
+        code = main(
+            ["recommend", "--model", str(model_npz), "--recent", "0,1", "--top-k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "POI" in out
+        assert out.count("\n") >= 3
+
+
+class TestAudit:
+    def test_reports_auc(self, data_csv, model_npz, capsys):
+        code = main(
+            [
+                "audit",
+                "--data", str(data_csv),
+                "--model", str(model_npz),
+                "--holdout", "15",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MIA AUC" in out
+        assert "epsilon" in out

@@ -1,0 +1,155 @@
+"""Edge-case and failure-injection tests across the pipeline."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    CheckinDataset,
+    LeaveOneOutEvaluator,
+    NextLocationRecommender,
+    PLPConfig,
+    PrivateLocationPredictor,
+)
+from repro.exceptions import ConfigError, DataError
+from repro.models.embeddings import EmbeddingMatrix
+from repro.models.vocabulary import LocationVocabulary
+from repro.types import CheckIn, Trajectory
+
+
+def _dataset(rows: list[tuple[int, int, float]]) -> CheckinDataset:
+    return CheckinDataset(
+        [CheckIn(user=u, location=l, timestamp=t) for u, l, t in rows]
+    )
+
+
+class TestDegenerateTrainingData:
+    def test_single_location_vocabulary_rejected(self):
+        # Two users visiting the same single POI: window pairs exist, but a
+        # skip-gram over one location is meaningless (model requires >= 2).
+        dataset = _dataset(
+            [(1, 0, 0.0), (1, 0, 60.0), (2, 0, 0.0), (2, 0, 60.0)]
+        )
+        trainer = PrivateLocationPredictor(
+            PLPConfig(max_steps=1, epsilon=50.0), rng=0
+        )
+        with pytest.raises(ConfigError):
+            trainer.fit(dataset)
+
+    def test_no_window_pairs_rejected(self):
+        # Every check-in 10 hours apart: sessionization isolates each one.
+        dataset = _dataset(
+            [(1, i, i * 36_000.0) for i in range(4)]
+            + [(2, i, i * 36_000.0) for i in range(4)]
+        )
+        trainer = PrivateLocationPredictor(
+            PLPConfig(max_steps=1, epsilon=50.0), rng=0
+        )
+        with pytest.raises(DataError):
+            trainer.fit(dataset)
+
+    def test_trainer_survives_users_with_no_pairs(self):
+        # One normal user plus one whose visits never co-occur in a window:
+        # the pairless user contributes empty buckets, not crashes.
+        dataset = _dataset(
+            [(1, i % 3, float(i)) for i in range(8)]
+            + [(2, i, i * 36_000.0) for i in range(4)]
+        )
+        config = PLPConfig(
+            embedding_dim=4,
+            num_negatives=2,
+            sampling_probability=1.0,
+            max_steps=2,
+            epsilon=50.0,
+        )
+        history = PrivateLocationPredictor(config, rng=0).fit(dataset)
+        assert len(history) == 2
+
+
+class TestDegenerateEvaluation:
+    def test_all_targets_unknown(self):
+        vocabulary = LocationVocabulary.from_sequences([["a", "b"]])
+        recommender = NextLocationRecommender(
+            EmbeddingMatrix(np.eye(2)), vocabulary=vocabulary
+        )
+        trajectories = [Trajectory(user=1, locations=("a", "ghost"))]
+        result = LeaveOneOutEvaluator(trajectories).evaluate(recommender)
+        assert result.num_cases == 0
+        assert result.num_skipped == 1
+        assert math.isnan(result.hit_rate[10])
+        assert math.isnan(result.mrr)
+
+    def test_empty_trajectory_list(self):
+        recommender = NextLocationRecommender(EmbeddingMatrix(np.eye(3)))
+        result = LeaveOneOutEvaluator([]).evaluate(recommender)
+        assert result.num_cases == 0
+
+    def test_ndcg_populated(self):
+        recommender = NextLocationRecommender(EmbeddingMatrix(np.eye(3)))
+        trajectories = [Trajectory(user=1, locations=(0, 1))]
+        result = LeaveOneOutEvaluator(trajectories, k_values=(2,)).evaluate(
+            recommender
+        )
+        assert 0.0 <= result.ndcg[2] <= 1.0
+
+
+class TestExtremePrivacyParameters:
+    def test_huge_noise_still_terminates(self, split_dataset):
+        train, _ = split_dataset
+        config = PLPConfig(
+            embedding_dim=4,
+            num_negatives=2,
+            sampling_probability=0.2,
+            noise_multiplier=100.0,
+            epsilon=0.01,
+            max_steps=50,
+        )
+        history = PrivateLocationPredictor(config, rng=0).fit(train)
+        assert history.stop_reason in ("budget_exhausted", "max_steps")
+        assert np.all(
+            np.isfinite(
+                PrivateLocationPredictor(config, rng=0).config.noise_multiplier
+            )
+        )
+
+    def test_tiny_clip_bound_trains(self, split_dataset):
+        train, _ = split_dataset
+        config = PLPConfig(
+            embedding_dim=4,
+            num_negatives=2,
+            sampling_probability=0.2,
+            clip_bound=1e-4,
+            max_steps=2,
+            epsilon=50.0,
+        )
+        history = PrivateLocationPredictor(config, rng=0).fit(train)
+        assert len(history) == 2
+
+    def test_q_one_samples_everyone(self, split_dataset):
+        train, _ = split_dataset
+        config = PLPConfig(
+            embedding_dim=4,
+            num_negatives=2,
+            sampling_probability=1.0,
+            max_steps=1,
+            epsilon=50.0,
+        )
+        trainer = PrivateLocationPredictor(config, rng=0)
+        history = trainer.fit(train)
+        assert history.steps[0].num_sampled_users == train.num_users
+
+
+class TestRecommenderEdges:
+    def test_top_k_larger_than_vocabulary(self):
+        recommender = NextLocationRecommender(EmbeddingMatrix(np.eye(3)))
+        results = recommender.recommend([0], top_k=50)
+        assert len(results) == 3
+
+    def test_duplicate_recent_locations(self):
+        recommender = NextLocationRecommender(EmbeddingMatrix(np.eye(3)))
+        scores_dup = recommender.score_all([1, 1, 1])
+        scores_single = recommender.score_all([1])
+        assert np.allclose(scores_dup, scores_single)

@@ -1,0 +1,50 @@
+"""Tests for repro.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import derive, ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_passthrough_generator(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_seed_determinism(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn(1, 3)
+        assert len(children) == 3
+
+    def test_children_independent_streams(self):
+        children = spawn(1, 2)
+        assert not np.array_equal(children[0].random(10), children[1].random(10))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(1, -1)
+
+
+class TestDerive:
+    def test_deterministic_for_same_tags(self):
+        a = derive(np.random.default_rng(7), 3, 5).random(4)
+        b = derive(np.random.default_rng(7), 3, 5).random(4)
+        assert np.array_equal(a, b)
+
+    def test_different_tags_differ(self):
+        parent = np.random.default_rng(7)
+        a = derive(parent, 1).random(4)
+        parent2 = np.random.default_rng(7)
+        b = derive(parent2, 2).random(4)
+        assert not np.array_equal(a, b)
