@@ -31,6 +31,7 @@ Subpackages:
 from repro.exceptions import (
     ConfigError,
     DataError,
+    ExecutorError,
     NotFittedError,
     PrivacyBudgetExceeded,
     ReproError,
@@ -38,9 +39,14 @@ from repro.exceptions import (
 )
 from repro.types import CheckIn, Trajectory
 from repro.core import (
+    BucketExecutor,
     NonPrivateTrainer,
+    ParallelExecutor,
     PLPConfig,
     PrivateLocationPredictor,
+    SerialExecutor,
+    StepObserver,
+    TrainingEngine,
     UserLevelDPSGD,
 )
 from repro.data import (
@@ -73,7 +79,9 @@ from repro.experiments import ExperimentRunner, SweepSpec
 from repro.models.serialization import (
     load_deployable_model,
     load_recommender,
+    load_training_checkpoint,
     save_deployable_model,
+    save_training_checkpoint,
 )
 
 __version__ = "1.0.0"
@@ -84,6 +92,7 @@ __all__ = [
     "ReproError",
     "ConfigError",
     "DataError",
+    "ExecutorError",
     "PrivacyBudgetExceeded",
     "NotFittedError",
     "VocabularyError",
@@ -95,6 +104,12 @@ __all__ = [
     "PrivateLocationPredictor",
     "UserLevelDPSGD",
     "NonPrivateTrainer",
+    # engine
+    "TrainingEngine",
+    "BucketExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "StepObserver",
     # data
     "CheckinDataset",
     "SyntheticConfig",
@@ -127,4 +142,6 @@ __all__ = [
     "save_deployable_model",
     "load_deployable_model",
     "load_recommender",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
 ]

@@ -69,6 +69,23 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--max-steps", type=int, default=None)
     train.add_argument("--epochs", type=int, default=5, help="non-private epochs")
     train.add_argument("--seed", type=int, default=7)
+    train.add_argument(
+        "--executor",
+        choices=("serial", "parallel"),
+        default="serial",
+        help="bucket execution backend (results are identical either way)",
+    )
+    train.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --executor parallel (default: all cores)",
+    )
+    train.add_argument(
+        "--metrics-jsonl",
+        default=None,
+        help="stream per-step metrics to this JSON-lines file",
+    )
     train.add_argument("--out", required=True, help="output model .npz path")
 
     evaluate = subparsers.add_parser(
@@ -126,12 +143,22 @@ def _cmd_train(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args)
     print(f"training on {dataset.num_users} users / {dataset.num_locations} POIs")
 
+    observers = []
+    if args.metrics_jsonl:
+        from repro.core.engine import JsonlMetricsObserver
+
+        observers.append(JsonlMetricsObserver(args.metrics_jsonl))
+    engine_opts = dict(
+        executor=args.executor, workers=args.workers, observers=observers
+    )
+
     if args.method == "nonprivate":
         trainer = NonPrivateTrainer(
             embedding_dim=args.embedding_dim,
             num_negatives=args.negatives,
             learning_rate=args.learning_rate,
             rng=args.seed,
+            **engine_opts,
         )
         history = trainer.fit(dataset, epochs=args.epochs)
         privacy = {"mechanism": "none", "epsilon": "inf"}
@@ -149,7 +176,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             max_steps=args.max_steps,
         )
         trainer_cls = UserLevelDPSGD if args.method == "dpsgd" else PrivateLocationPredictor
-        trainer = trainer_cls(config, rng=args.seed)
+        trainer = trainer_cls(config, rng=args.seed, **engine_opts)
         history = trainer.fit(dataset)
         privacy = {
             "mechanism": args.method,

@@ -31,11 +31,33 @@ from repro.core.schedules import (
     StepDecaySchedule,
     make_schedule,
 )
+from repro.core.engine import (
+    BucketExecutor,
+    CheckpointObserver,
+    JsonlMetricsObserver,
+    ParallelExecutor,
+    SerialExecutor,
+    StepObserver,
+    StepPipeline,
+    StepResult,
+    TrainingEngine,
+    make_executor,
+)
 from repro.core.trainer import PrivateLocationPredictor
 from repro.core.nonprivate import NonPrivateTrainer
 from repro.core.dpsgd import UserLevelDPSGD
 
 __all__ = [
+    "TrainingEngine",
+    "StepPipeline",
+    "StepResult",
+    "BucketExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "StepObserver",
+    "JsonlMetricsObserver",
+    "CheckpointObserver",
     "PLPConfig",
     "poisson_sample",
     "expected_sample_size",

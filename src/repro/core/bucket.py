@@ -8,11 +8,17 @@ returned for the Gaussian sum query.
 
 Implementation note: local SGD only touches the parameter rows involved in
 the bucket's pairs (plus their negative samples), so instead of copying the
-full model per bucket, training runs *in place* on ``theta`` while saving
-the pre-bucket values of each touched row; the delta is assembled sparsely
-and ``theta`` is restored afterwards. This makes the per-bucket cost
-proportional to the bucket's data, not to the model size — the dominant
-cost at small grouping factors where hundreds of buckets run per step.
+full model per bucket, training runs on a *copy-on-write overlay* of
+``theta``: each touched row is materialized into a scratch buffer right
+before its first read, all reads and updates go through the scratch
+buffer, and the sparse delta is the difference between the materialized
+rows and the corresponding ``theta`` rows. ``theta`` itself is never
+written — the function is safe to run concurrently against one shared
+snapshot (thread workers) or a pickled copy (process workers), and an
+exception mid-bucket cannot corrupt the global model. The per-bucket cost
+stays proportional to the bucket's data, not to the model size — the
+dominant cost at small grouping factors where hundreds of buckets run per
+step.
 """
 
 from __future__ import annotations
@@ -79,62 +85,55 @@ class BucketUpdate:
                 accumulators[name][rows] += self.values[name]
 
 
-class _RowSaver:
-    """Tracks and snapshots the pre-bucket value of every touched row."""
+class _CowOverlay:
+    """Copy-on-write row overlay of ``theta`` for one bucket's local SGD.
 
-    def __init__(self, params: ParameterSet) -> None:
-        self._params = params
+    The scratch buffers start uninitialized (``np.empty_like``); a row is
+    only valid after :meth:`materialize` copied it from ``theta``. The
+    batch loop materializes a batch's full read set (targets, contexts,
+    negatives) before the forward pass, so every row the model reads or
+    writes is backed by real values. The bias buffer is zero-initialized
+    because the shared-negative fast path updates it through a dense
+    ``bincount`` subtraction that touches every entry.
+    """
+
+    def __init__(self, theta: ParameterSet) -> None:
+        self._theta = theta
+        work: dict[str, np.ndarray] = {}
+        for name in _TENSOR_NAMES:
+            source = theta[name]
+            work[name] = (
+                np.zeros_like(source) if source.ndim == 1 else np.empty_like(source)
+            )
+        self.params = ParameterSet(work, copy=False)
         self._mask = {
-            name: np.zeros(params[name].shape[0], dtype=bool)
+            name: np.zeros(theta[name].shape[0], dtype=bool)
             for name in _TENSOR_NAMES
         }
-        self._rows: dict[str, list[np.ndarray]] = {n: [] for n in _TENSOR_NAMES}
-        self._saved: dict[str, list[np.ndarray]] = {n: [] for n in _TENSOR_NAMES}
 
-    def save(self, name: str, rows: np.ndarray) -> None:
-        """Snapshot rows not yet saved (before they are modified)."""
+    def materialize(self, name: str, rows: np.ndarray) -> None:
+        """Copy not-yet-materialized ``theta`` rows into the scratch buffer."""
         rows = np.unique(rows)
         mask = self._mask[name]
         fresh = rows[~mask[rows]]
         if fresh.size:
+            self.params[name][fresh] = self._theta[name][fresh]
             mask[fresh] = True
-            self._rows[name].append(fresh)
-            self._saved[name].append(self._params[name][fresh].copy())
 
     def collect_delta(self) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
-        """Row indices and ``current - saved`` values per tensor."""
+        """Row indices and ``scratch - theta`` values for every touched row."""
         rows_out: dict[str, np.ndarray] = {}
         values_out: dict[str, np.ndarray] = {}
         for name in _TENSOR_NAMES:
-            if self._rows[name]:
-                rows = np.concatenate(self._rows[name])
-                saved = np.concatenate(self._saved[name])
+            rows = np.flatnonzero(self._mask[name])
+            if rows.size:
                 rows_out[name] = rows
-                values_out[name] = self._params[name][rows] - saved
+                values_out[name] = self.params[name][rows] - self._theta[name][rows]
             else:
                 rows_out[name] = np.empty(0, dtype=np.int64)
-                trailing = self._params[name].shape[1:]
+                trailing = self._theta[name].shape[1:]
                 values_out[name] = np.empty((0, *trailing))
         return rows_out, values_out
-
-    def restore(self) -> None:
-        """Put every saved row back to its pre-bucket value."""
-        for name in _TENSOR_NAMES:
-            for rows, saved in zip(self._rows[name], self._saved[name]):
-                self._params[name][rows] = saved
-
-
-def _touched_rows(pieces: dict) -> dict[str, np.ndarray]:
-    """Rows each tensor's update will touch, from the gradient pieces."""
-    if pieces.get("shared"):
-        context_rows = np.concatenate([pieces["contexts"], pieces["negatives"]])
-    else:
-        context_rows = pieces["candidates"].ravel()
-    return {
-        EMBEDDING: pieces["targets"],
-        CONTEXT: context_rows,
-        BIAS: context_rows,
-    }
 
 
 def model_update_from_bucket(
@@ -150,8 +149,9 @@ def model_update_from_bucket(
 ) -> BucketUpdate:
     """Compute the clipped model delta for one data bucket.
 
-    ``theta`` is unchanged on return (rows are modified during local
-    training and restored afterwards).
+    ``theta`` is treated as **read-only**: local training runs on a
+    copy-on-write overlay, so the function is safe to call concurrently
+    from executor workers sharing (or holding copies of) one θ snapshot.
 
     Args:
         model: the skip-gram architecture (provides forward/backward).
@@ -176,25 +176,33 @@ def model_update_from_bucket(
     generator = ensure_rng(rng)
     bucket_pairs = np.asarray(bucket_pairs, dtype=np.int64).reshape(-1, 2)
 
-    saver = _RowSaver(theta)
+    overlay = _CowOverlay(theta)
+    work = overlay.params
     losses: list[float] = []
 
     def train_batch(targets: np.ndarray, contexts: np.ndarray) -> None:
+        # Negatives are drawn before the forward pass, so the batch's full
+        # read set is known up front and can be materialized in one go.
         if model.negative_sharing == "batch":
             negatives = generator.integers(
                 0, model.num_locations, size=model.num_negatives, dtype=np.int64
             )
-            loss, pieces = model.loss_and_shared_grads(
-                theta, targets, contexts, negatives
-            )
+            context_rows = np.concatenate([contexts, negatives])
         else:
             negatives = model.sample_negatives(len(targets), generator)
-            loss, pieces = model.loss_and_sparse_grads(
-                theta, targets, contexts, negatives
+            context_rows = np.concatenate([contexts, negatives.ravel()])
+        overlay.materialize(EMBEDDING, targets)
+        overlay.materialize(CONTEXT, context_rows)
+        overlay.materialize(BIAS, context_rows)
+        if model.negative_sharing == "batch":
+            loss, pieces = model.loss_and_shared_grads(
+                work, targets, contexts, negatives
             )
-        for name, rows in _touched_rows(pieces).items():
-            saver.save(name, rows)
-        model.apply_sparse_update(theta, pieces, learning_rate)
+        else:
+            loss, pieces = model.loss_and_sparse_grads(
+                work, targets, contexts, negatives
+            )
+        model.apply_sparse_update(work, pieces, learning_rate)
         losses.append(loss)
 
     if bucket_pairs.shape[0] > 0:
@@ -206,8 +214,7 @@ def model_update_from_bucket(
             ):
                 train_batch(targets, contexts)
 
-    rows, values = saver.collect_delta()
-    saver.restore()
+    rows, values = overlay.collect_delta()
 
     squared = sum(float(np.sum(np.square(v))) for v in values.values())
     unclipped_norm = math.sqrt(squared)

@@ -18,7 +18,10 @@ limited signal, which is often offset by the introduced Gaussian noise"
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.core.config import PLPConfig
+from repro.core.engine import BucketExecutor, StepObserver
 from repro.core.trainer import EvalFn, PrivateLocationPredictor
 from repro.data.checkins import CheckinDataset
 from repro.rng import RngLike
@@ -32,9 +35,18 @@ class UserLevelDPSGD(PrivateLocationPredictor):
     the local update to "gradient" (one clipped gradient step per user).
     All other mechanics — Poisson sampling, clipping, noise, ledger — are
     identical to PLP, which makes accuracy comparisons apples-to-apples.
+    Executor and observer options are passed through unchanged; parallel
+    execution pays off most here, where every sampled user is a bucket.
     """
 
-    def __init__(self, config: PLPConfig | None = None, rng: RngLike = None) -> None:
+    def __init__(
+        self,
+        config: PLPConfig | None = None,
+        rng: RngLike = None,
+        executor: "str | BucketExecutor" = "serial",
+        workers: int | None = None,
+        observers: Sequence[StepObserver] = (),
+    ) -> None:
         base = config or PLPConfig()
         super().__init__(
             base.with_overrides(
@@ -43,6 +55,9 @@ class UserLevelDPSGD(PrivateLocationPredictor):
                 local_update="gradient",
             ),
             rng=rng,
+            executor=executor,
+            workers=workers,
+            observers=observers,
         )
 
     def fit(

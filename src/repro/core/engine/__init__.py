@@ -1,0 +1,76 @@
+"""Layered training engine for Algorithm 1.
+
+Three layers, composed by the trainers in :mod:`repro.core`:
+
+- **Stages** (:mod:`~repro.core.engine.stages`): Algorithm 1 as the
+  explicit pipeline ``sample -> group -> local_train -> aggregate ->
+  noise -> apply -> account``, each stage returning a typed result.
+- **Executors** (:mod:`~repro.core.engine.executors`): pluggable bucket
+  execution backends — :class:`SerialExecutor` and the process-pool
+  :class:`ParallelExecutor` — that are bit-identical for the same seed.
+- **Observers** (:mod:`~repro.core.engine.observers`): callbacks carrying
+  history recording, stop conditions, evaluation scheduling, JSONL
+  metrics, and checkpointing.
+
+:class:`TrainingEngine` (:mod:`~repro.core.engine.engine`) wires the three
+together.
+"""
+
+from repro.core.engine.engine import EngineContext, TrainingEngine
+from repro.core.engine.executors import (
+    BucketExecutor,
+    BucketJob,
+    LocalTrainSpec,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+    run_bucket_job,
+)
+from repro.core.engine.observers import (
+    BudgetStopObserver,
+    CheckpointObserver,
+    EvalObserver,
+    HistoryObserver,
+    JsonlMetricsObserver,
+    MaxStepsObserver,
+    StepObserver,
+)
+from repro.core.engine.stages import (
+    AccountResult,
+    AggregateResult,
+    ApplyResult,
+    GroupResult,
+    LocalTrainResult,
+    NoiseResult,
+    SampleResult,
+    StepPipeline,
+    StepResult,
+)
+
+__all__ = [
+    "TrainingEngine",
+    "EngineContext",
+    "StepPipeline",
+    "StepResult",
+    "SampleResult",
+    "GroupResult",
+    "LocalTrainResult",
+    "AggregateResult",
+    "NoiseResult",
+    "ApplyResult",
+    "AccountResult",
+    "BucketExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "BucketJob",
+    "LocalTrainSpec",
+    "make_executor",
+    "run_bucket_job",
+    "StepObserver",
+    "HistoryObserver",
+    "BudgetStopObserver",
+    "MaxStepsObserver",
+    "EvalObserver",
+    "JsonlMetricsObserver",
+    "CheckpointObserver",
+]

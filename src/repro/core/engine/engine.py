@@ -1,0 +1,166 @@
+"""The training engine: drives the stage pipeline until an observer stops it.
+
+:class:`TrainingEngine` is pure orchestration. Per step it derives the
+step's RNG sub-stream, runs the stage pipeline
+(``sample -> group -> local_train -> aggregate -> noise -> apply ->
+account``) through the configured :class:`BucketExecutor`, times the step,
+and notifies observers. Observers own every policy decision: what to
+record, when to evaluate, and when to stop (via
+:meth:`EngineContext.request_stop`).
+
+Rollback: before applying an update, the engine asks the pipeline whether
+this step's accounting could reach the budget
+(:meth:`StepPipeline.budget_would_cross`, a draw-free ledger preview) and
+requests a pre-apply parameter snapshot only then — the full-parameter
+copy that a naive implementation pays every step happens on at most one
+step per run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core.engine.executors import BucketExecutor, SerialExecutor
+from repro.core.engine.observers import StepObserver
+from repro.core.engine.stages import StepPipeline, StepResult
+from repro.core.schedules import NoiseSchedule
+from repro.models.embeddings import EmbeddingMatrix
+from repro.models.skipgram import EMBEDDING
+from repro.rng import derive
+
+
+class EngineContext:
+    """Run state shared with observers.
+
+    Attributes:
+        config: the run's :class:`~repro.core.config.PLPConfig`.
+        model: the model being trained.
+        ledger: the privacy ledger (``None`` for non-private runs).
+        step: index of the last started step (0 before the first).
+        stop_reason: the winning stop reason, or ``None`` while running.
+    """
+
+    def __init__(self, pipeline: StepPipeline) -> None:
+        self._pipeline = pipeline
+        self.config = pipeline.config
+        self.model = pipeline.model
+        self.ledger = pipeline.ledger
+        self.step = 0
+        self.stop_reason: str | None = None
+        self.stop_rollback = False
+
+    @property
+    def stop_requested(self) -> bool:
+        """Whether some observer already requested a stop this run."""
+        return self.stop_reason is not None
+
+    def request_stop(self, reason: str, rollback: bool = False) -> None:
+        """Request the run to stop after the current step.
+
+        First reason wins: later requests (including their rollback flag)
+        are ignored, so observer registration order defines stop priority.
+
+        Args:
+            reason: stop reason recorded in the history.
+            rollback: roll the current step's update back before stopping
+                (Algorithm 1 line 13). Only honored when the engine took a
+                pre-apply snapshot this step, which it does exactly when
+                the budget preview said the step could cross.
+        """
+        if self.stop_reason is None:
+            self.stop_reason = reason
+            self.stop_rollback = bool(rollback)
+
+    def embeddings(self) -> EmbeddingMatrix:
+        """Current (unit-normalized) location embeddings."""
+        return EmbeddingMatrix(self.model.params[EMBEDDING])
+
+
+class TrainingEngine:
+    """Runs Algorithm 1 steps until an observer requests a stop.
+
+    Args:
+        pipeline: the stage pipeline (owns model, data, config, ledger).
+        executor: bucket execution backend (default: serial).
+        observers: notified in registration order at every hook; stop
+            priority follows that order.
+        noise_schedule: optional per-step sigma schedule; ``None`` uses the
+            config's constant ``noise_multiplier``.
+        start_step: step counter to resume from (0 = fresh run). When
+            resuming from a checkpoint, pass the checkpoint's step so the
+            derived per-step RNG streams continue where the original run
+            left off.
+    """
+
+    def __init__(
+        self,
+        pipeline: StepPipeline,
+        executor: BucketExecutor | None = None,
+        observers: Sequence[StepObserver] = (),
+        noise_schedule: NoiseSchedule | None = None,
+        start_step: int = 0,
+    ) -> None:
+        self.pipeline = pipeline
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.observers = list(observers)
+        self.noise_schedule = noise_schedule
+        self.start_step = int(start_step)
+
+    def run(self) -> str:
+        """Execute steps until a stop is requested; returns the stop reason."""
+        pipeline = self.pipeline
+        config = pipeline.config
+        context = EngineContext(pipeline)
+        context.step = self.start_step
+        while not context.stop_requested:
+            step = context.step + 1
+            context.step = step
+            started = time.perf_counter()
+            for observer in self.observers:
+                observer.on_step_start(context, step)
+
+            sigma = (
+                self.noise_schedule.sigma_at(step)
+                if self.noise_schedule is not None
+                else config.noise_multiplier
+            )
+            # One derived stream per step, consumed in fixed stage order
+            # (sample, group, noise); bucket streams are derived separately
+            # inside local_train. Draw-free derivation makes step t's
+            # randomness a pure function of (root seed, t).
+            step_rng = derive(pipeline.root, step)
+
+            sample = pipeline.sample(step_rng)
+            group = pipeline.group(sample, step_rng)
+            local = pipeline.local_train(step, group, self.executor)
+            for update in local.updates:
+                for observer in self.observers:
+                    observer.on_bucket_done(context, step, update)
+            aggregate = pipeline.aggregate(local)
+            noise = pipeline.noise(aggregate, sigma, step_rng)
+            applied = pipeline.apply(
+                aggregate, snapshot_needed=pipeline.budget_would_cross(sigma)
+            )
+            account = pipeline.account(sigma)
+
+            result = StepResult(
+                step=step,
+                sample=sample,
+                group=group,
+                local_train=local,
+                aggregate=aggregate,
+                noise=noise,
+                apply=applied,
+                account=account,
+                wall_time_seconds=time.perf_counter() - started,
+            )
+            for observer in self.observers:
+                observer.on_step_end(context, result)
+
+        if context.stop_rollback:
+            pipeline.rollback()
+        reason = context.stop_reason or ""
+        for observer in self.observers:
+            observer.on_stop(context, reason)
+        return reason

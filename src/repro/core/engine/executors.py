@@ -1,0 +1,237 @@
+"""Bucket execution backends for the local-training stage.
+
+A :class:`BucketExecutor` runs one step's worth of bucket jobs (Algorithm 1
+lines 7-8: per-bucket local SGD + clipping) and returns the resulting
+:class:`~repro.core.bucket.BucketUpdate` list **in bucket-index order**.
+Two implementations are provided:
+
+- :class:`SerialExecutor` — runs buckets in-process, one after another.
+- :class:`ParallelExecutor` — fans buckets out over a persistent
+  :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Both are **bit-identical** for the same seed: every bucket job carries its
+own pre-derived :class:`numpy.random.SeedSequence` (from
+``repro.rng.derive_seed_sequence(root, step, bucket_index)``), local
+training never mutates shared state (``theta`` is read-only, see
+:mod:`repro.core.bucket`), and results are reassembled in index order so
+the downstream floating-point summation order matches the serial run.
+
+Failure contract: if any bucket job raises — or a worker process dies —
+the step fails eagerly with :class:`repro.exceptions.ExecutorError`
+(original exception chained as ``__cause__``); the executor never leaves
+the caller hanging on dead workers.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bucket import BucketUpdate, model_update_from_bucket
+from repro.exceptions import ConfigError, ExecutorError
+from repro.models.skipgram import SkipGramModel
+
+
+@dataclass(frozen=True, slots=True)
+class LocalTrainSpec:
+    """Step-constant inputs of the local-training stage.
+
+    The spec (including the model with its ``theta_t`` snapshot) is shared
+    by all bucket jobs of one step; process workers receive a pickled copy
+    per chunk.
+    """
+
+    model: SkipGramModel
+    batch_size: int
+    learning_rate: float
+    clip_bound: float
+    clipping: str
+    local_update: str
+
+
+@dataclass(frozen=True, slots=True)
+class BucketJob:
+    """One bucket's job: its pairs plus a pre-derived RNG sub-stream.
+
+    Carrying the ``SeedSequence`` (not a live generator) keeps the job
+    cheaply picklable and makes the bucket's randomness independent of
+    where and when the job runs.
+    """
+
+    index: int
+    pairs: np.ndarray
+    seed: np.random.SeedSequence
+
+
+def run_bucket_job(spec: LocalTrainSpec, job: BucketJob) -> BucketUpdate:
+    """Execute one bucket job (the function both executors agree on)."""
+    return model_update_from_bucket(
+        spec.model,
+        spec.model.params,
+        job.pairs,
+        batch_size=spec.batch_size,
+        learning_rate=spec.learning_rate,
+        clip_bound=spec.clip_bound,
+        clipping=spec.clipping,
+        local_update=spec.local_update,
+        rng=np.random.default_rng(job.seed),
+    )
+
+
+def _run_bucket_chunk(
+    spec: LocalTrainSpec, jobs: list[BucketJob]
+) -> list[BucketUpdate]:
+    """Worker entry point: run a contiguous chunk of bucket jobs."""
+    return [run_bucket_job(spec, job) for job in jobs]
+
+
+class BucketExecutor(abc.ABC):
+    """Runs one training step's bucket jobs and gathers the updates."""
+
+    @abc.abstractmethod
+    def run_step(
+        self, spec: LocalTrainSpec, jobs: list[BucketJob]
+    ) -> list[BucketUpdate]:
+        """Execute all jobs; return their updates in bucket-index order.
+
+        Raises:
+            ExecutorError: when any job raises or a worker dies.
+        """
+
+    def close(self) -> None:
+        """Release any backing resources (idempotent)."""
+
+    def __enter__(self) -> "BucketExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialExecutor(BucketExecutor):
+    """In-process reference executor: buckets run one after another."""
+
+    def run_step(
+        self, spec: LocalTrainSpec, jobs: list[BucketJob]
+    ) -> list[BucketUpdate]:
+        updates: list[BucketUpdate] = []
+        for job in jobs:
+            try:
+                updates.append(run_bucket_job(spec, job))
+            except Exception as error:
+                raise ExecutorError(
+                    f"bucket {job.index} failed during local training: {error}"
+                ) from error
+        return updates
+
+
+class ParallelExecutor(BucketExecutor):
+    """Process-pool executor: buckets fan out over worker processes.
+
+    Jobs are split into at most ``max_workers`` contiguous chunks — one
+    submission per worker per step — so the per-step overhead is bounded
+    by ``max_workers`` pickled copies of the model snapshot rather than
+    one per bucket. The pool is created lazily and persists across steps.
+
+    Results are identical (bitwise) to :class:`SerialExecutor` for the
+    same jobs: each bucket's randomness comes from its own pre-derived
+    seed, and updates are reassembled in bucket-index order before the
+    order-sensitive floating-point aggregation downstream.
+
+    Args:
+        max_workers: worker process count (default: ``os.cpu_count()``).
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def run_step(
+        self, spec: LocalTrainSpec, jobs: list[BucketJob]
+    ) -> list[BucketUpdate]:
+        if not jobs:
+            return []
+        pool = self._ensure_pool()
+        chunks = _chunk_evenly(jobs, self.max_workers)
+        futures = [pool.submit(_run_bucket_chunk, spec, chunk) for chunk in chunks]
+        updates: list[BucketUpdate] = []
+        failure: BaseException | None = None
+        failed_index: int | None = None
+        for chunk, future in zip(chunks, futures):
+            if failure is not None:
+                future.cancel()
+                continue
+            try:
+                updates.extend(future.result())
+            except BrokenProcessPool as error:
+                # The pool is unusable after a worker death; rebuild lazily
+                # on the next step if the caller decides to continue.
+                self.close()
+                raise ExecutorError(
+                    "a worker process died while executing bucket jobs "
+                    f"{chunk[0].index}..{chunk[-1].index}"
+                ) from error
+            except Exception as error:  # noqa: BLE001 - rewrapped with context
+                failure = error
+                failed_index = chunk[0].index
+        if failure is not None:
+            raise ExecutorError(
+                f"a bucket job in chunk starting at bucket {failed_index} "
+                f"failed during local training: {failure}"
+            ) from failure
+        return updates
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+def _chunk_evenly(jobs: list[BucketJob], parts: int) -> list[list[BucketJob]]:
+    """Split ``jobs`` into at most ``parts`` contiguous, near-even chunks."""
+    parts = max(1, min(parts, len(jobs)))
+    size, extra = divmod(len(jobs), parts)
+    chunks: list[list[BucketJob]] = []
+    start = 0
+    for part in range(parts):
+        stop = start + size + (1 if part < extra else 0)
+        chunks.append(jobs[start:stop])
+        start = stop
+    return chunks
+
+
+def make_executor(
+    kind: "str | BucketExecutor | None", workers: int | None = None
+) -> tuple[BucketExecutor, bool]:
+    """Resolve an executor choice to an instance.
+
+    Args:
+        kind: ``"serial"``, ``"parallel"``, ``None`` (= serial), or an
+            already-built :class:`BucketExecutor` (returned as-is).
+        workers: worker count for the parallel executor.
+
+    Returns:
+        ``(executor, owned)`` — ``owned`` is True when the executor was
+        created here and the caller is responsible for closing it.
+    """
+    if isinstance(kind, BucketExecutor):
+        return kind, False
+    if kind is None or kind == "serial":
+        return SerialExecutor(), True
+    if kind == "parallel":
+        return ParallelExecutor(max_workers=workers), True
+    raise ConfigError(
+        f"executor must be 'serial', 'parallel', or a BucketExecutor, got {kind!r}"
+    )

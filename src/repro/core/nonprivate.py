@@ -4,24 +4,40 @@ Standard SGNS training over the pooled training pairs — no sampling, no
 clipping, no noise. Used to establish the accuracy ceiling (the paper's
 non-private model reaches HR@10 = 29.5% on its data) and for the
 hyper-parameter tuning of Figure 5.
+
+Implemented as a degenerate run of the same training engine that powers
+PLP: sampling probability 1 (every user every step), a single bucket
+holding all users (``lambda = N``), an unbounded clip norm, ``sigma = 0``,
+and no privacy ledger. One engine step is then exactly one local-SGD epoch
+over the pooled pairs, and the additive server update installs the bucket
+result as the new model. Sharing the engine means the non-private baseline
+gets the executor and observer machinery for free.
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
+from typing import Sequence
 
 from repro.core._pairs import build_training_data
-from repro.core.history import StepRecord, TrainingHistory
+from repro.core.config import PLPConfig
+from repro.core.engine import (
+    BucketExecutor,
+    EvalObserver,
+    HistoryObserver,
+    MaxStepsObserver,
+    StepObserver,
+    StepPipeline,
+    TrainingEngine,
+    make_executor,
+)
+from repro.core.history import TrainingHistory
+from repro.core.trainer import EvalFn
 from repro.data.checkins import CheckinDataset
 from repro.exceptions import ConfigError, NotFittedError
 from repro.models.embeddings import EmbeddingMatrix
 from repro.models.recommender import NextLocationRecommender
 from repro.models.skipgram import SkipGramModel
 from repro.models.vocabulary import LocationVocabulary
-from repro.models.windowing import BatchIterator
-from repro.core.trainer import EvalFn
 from repro.rng import RngLike, ensure_rng
 
 
@@ -38,6 +54,12 @@ class NonPrivateTrainer:
         negative_sharing: "batch" (TF-style shared negatives) or "per_pair".
         sessionize_training: expand windows within 6-hour sessions.
         rng: seed or generator.
+        executor: bucket execution backend (``"serial"``, ``"parallel"``,
+            or a :class:`~repro.core.engine.BucketExecutor`); with a single
+            all-users bucket per epoch this mostly matters for API
+            symmetry with the private trainers.
+        workers: worker count for ``executor="parallel"``.
+        observers: extra step observers (one engine step = one epoch).
     """
 
     def __init__(
@@ -51,6 +73,9 @@ class NonPrivateTrainer:
         negative_sharing: str = "batch",
         sessionize_training: bool = True,
         rng: RngLike = None,
+        executor: "str | BucketExecutor" = "serial",
+        workers: int | None = None,
+        observers: Sequence[StepObserver] = (),
     ) -> None:
         if embedding_dim < 1:
             raise ConfigError(f"embedding_dim must be >= 1, got {embedding_dim}")
@@ -67,9 +92,34 @@ class NonPrivateTrainer:
         self.negative_sharing = negative_sharing
         self.sessionize_training = bool(sessionize_training)
         self._rng = ensure_rng(rng)
+        self.executor = executor
+        self.workers = workers
+        self.extra_observers = list(observers)
         self.model: SkipGramModel | None = None
         self.vocabulary: LocationVocabulary | None = None
         self.history = TrainingHistory()
+
+    def _degenerate_config(self, num_users: int, epochs: int, eval_every: int) -> PLPConfig:
+        """Algorithm 1 hyper-parameters that collapse to plain SGNS epochs."""
+        return PLPConfig(
+            embedding_dim=self.embedding_dim,
+            num_negatives=self.num_negatives,
+            window=self.window,
+            loss=self.loss,
+            negative_sharing=self.negative_sharing,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+            local_update="sgd",
+            grouping_factor=max(1, num_users),  # one bucket holds everyone
+            sampling_probability=1.0,  # every user, every step
+            clip_bound=float("inf"),  # clipping never binds
+            clipping="global",
+            noise_multiplier=0.0,  # no perturbation
+            epsilon=float("inf"),
+            max_steps=epochs,
+            sessionize_training=self.sessionize_training,
+            eval_every=eval_every,
+        )
 
     def fit(
         self,
@@ -96,45 +146,34 @@ class NonPrivateTrainer:
         self.vocabulary, user_pairs = build_training_data(
             dataset, self.window, self.sessionize_training
         )
-        pairs = np.concatenate(
-            [array for array in user_pairs.values() if array.shape[0]], axis=0
-        )
+        config = self._degenerate_config(len(user_pairs), epochs, eval_every_epochs)
         self.model = SkipGramModel(
             num_locations=self.vocabulary.size,
-            embedding_dim=self.embedding_dim,
-            num_negatives=self.num_negatives,
-            loss=self.loss,
-            negative_sharing=self.negative_sharing,
+            embedding_dim=config.embedding_dim,
+            num_negatives=config.num_negatives,
+            loss=config.loss,
+            negative_sharing=config.negative_sharing,
             rng=self._rng,
         )
         self.history = TrainingHistory()
-        params = self.model.params
 
-        for epoch in range(1, epochs + 1):
-            started = time.perf_counter()
-            losses: list[float] = []
-            for targets, contexts in BatchIterator(pairs, self.batch_size, self._rng):
-                losses.append(
-                    self.model.sgd_step(
-                        params, targets, contexts, self.learning_rate, self._rng
-                    )
-                )
-            self.history.record_step(
-                StepRecord(
-                    step=epoch,
-                    mean_loss=float(np.mean(losses)),
-                    epsilon_spent=float("inf"),  # non-private: no protection
-                    num_sampled_users=len(user_pairs),
-                    num_buckets=0,
-                    mean_unclipped_norm=0.0,
-                    wall_time_seconds=time.perf_counter() - started,
-                )
-            )
-            if eval_fn is not None and epoch % eval_every_epochs == 0:
-                self.history.record_evaluation(epoch, eval_fn(self.embeddings()))
-        self.history.stop_reason = "epochs_completed"
-        if eval_fn is not None and epochs % eval_every_epochs != 0:
-            self.history.record_evaluation(epochs, eval_fn(self.embeddings()))
+        pipeline = StepPipeline(
+            config, self.model, user_pairs, root=self._rng, ledger=None
+        )
+        observers: list[StepObserver] = [
+            HistoryObserver(self.history),
+            MaxStepsObserver(epochs, reason="epochs_completed"),
+        ]
+        if eval_fn is not None:
+            observers.append(EvalObserver(eval_fn, eval_every_epochs, self.history))
+        observers.extend(self.extra_observers)
+
+        executor, owned = make_executor(self.executor, self.workers)
+        try:
+            TrainingEngine(pipeline, executor=executor, observers=observers).run()
+        finally:
+            if owned:
+                executor.close()
         return self.history
 
     def embeddings(self) -> EmbeddingMatrix:

@@ -17,31 +17,41 @@ Each step:
 6. Track ``(C, sigma)`` in the privacy ledger; stop — rolling back the
    final update — once ``cumulative_budget_spent() >= epsilon``
    (lines 11-13).
+
+The mechanics live in :mod:`repro.core.engine`: the step math in
+:class:`~repro.core.engine.StepPipeline`, bucket execution behind a
+pluggable :class:`~repro.core.engine.BucketExecutor` (serial or
+process-parallel, bit-identical for the same seed), and history/stop/eval
+policy in :class:`~repro.core.engine.StepObserver` instances.
+:meth:`PrivateLocationPredictor.fit` only assembles and runs them.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Callable
-
-import numpy as np
+from typing import Callable, Sequence
 
 from repro.core._pairs import build_training_data
-from repro.core.bucket import model_update_from_bucket
 from repro.core.config import PLPConfig
+from repro.core.engine import (
+    BucketExecutor,
+    BudgetStopObserver,
+    EvalObserver,
+    HistoryObserver,
+    MaxStepsObserver,
+    StepObserver,
+    StepPipeline,
+    TrainingEngine,
+    make_executor,
+)
 from repro.core.schedules import NoiseSchedule
-from repro.core.grouping import group_data
-from repro.core.history import StepRecord, TrainingHistory
-from repro.core.sampling import poisson_sample
+from repro.core.history import TrainingHistory
 from repro.data.checkins import CheckinDataset
 from repro.exceptions import ConfigError, NotFittedError
 from repro.models.embeddings import EmbeddingMatrix
 from repro.models.recommender import NextLocationRecommender
 from repro.models.skipgram import SkipGramModel
 from repro.models.vocabulary import LocationVocabulary
-from repro.nn.optimizers import DPAdam
 from repro.privacy.accountant import PrivacyLedger
-from repro.privacy.sensitivity import GaussianSumQuerySensitivity
 from repro.rng import RngLike, ensure_rng
 
 EvalFn = Callable[[EmbeddingMatrix], dict[str, float]]
@@ -53,7 +63,20 @@ class PrivateLocationPredictor:
     Args:
         config: all Algorithm 1 hyper-parameters.
         rng: seed or generator; drives initialization, sampling, grouping,
-            batching, negative sampling, and the DP noise.
+            batching, negative sampling, and the DP noise. Training results
+            depend only on this seed (and the data/config), not on the
+            executor choice.
+        noise_schedule: optional per-step sigma schedule (default: the
+            config's constant ``noise_multiplier``).
+        executor: bucket execution backend — ``"serial"`` (default),
+            ``"parallel"`` (process pool), or a ready
+            :class:`~repro.core.engine.BucketExecutor` instance (kept open
+            across ``fit`` calls; the caller closes it).
+        workers: worker-process count for ``executor="parallel"``
+            (default: all cores).
+        observers: extra :class:`~repro.core.engine.StepObserver` instances
+            notified on every step (e.g. metrics/checkpoint observers);
+            appended after the built-in history/stop/eval observers.
 
     Attributes (after :meth:`fit`):
         model: the trained :class:`SkipGramModel`.
@@ -67,10 +90,16 @@ class PrivateLocationPredictor:
         config: PLPConfig | None = None,
         rng: RngLike = None,
         noise_schedule: "NoiseSchedule | None" = None,
+        executor: "str | BucketExecutor" = "serial",
+        workers: int | None = None,
+        observers: Sequence[StepObserver] = (),
     ) -> None:
         self.config = config or PLPConfig()
         self._rng = ensure_rng(rng)
         self.noise_schedule = noise_schedule
+        self.executor = executor
+        self.workers = workers
+        self.extra_observers = list(observers)
         self.model: SkipGramModel | None = None
         self.vocabulary: LocationVocabulary | None = None
         self.history = TrainingHistory()
@@ -123,108 +152,33 @@ class PrivateLocationPredictor:
         )
         self.history = TrainingHistory()
 
-        sensitivity = GaussianSumQuerySensitivity(
-            clip_bound=config.clip_bound, split_factor=config.split_factor
+        pipeline = StepPipeline(
+            config, self.model, user_pairs, root=self._rng, ledger=self.ledger
         )
-        server_optimizer = (
-            DPAdam(learning_rate=config.server_learning_rate)
-            if config.server_optimizer == "adam"
-            else None
-        )
+        # Registration order is stop priority: on a step that both crosses
+        # the budget and reaches max_steps, the budget stop (with rollback)
+        # wins, as in Algorithm 1.
+        observers: list[StepObserver] = [
+            HistoryObserver(self.history),
+            BudgetStopObserver(config.epsilon),
+        ]
+        if config.max_steps is not None:
+            observers.append(MaxStepsObserver(config.max_steps))
+        if eval_fn is not None:
+            observers.append(EvalObserver(eval_fn, config.eval_every, self.history))
+        observers.extend(self.extra_observers)
 
-        users = list(user_pairs)
-        params = self.model.params
-        step = 0
-        while True:
-            if config.max_steps is not None and step >= config.max_steps:
-                self.history.stop_reason = "max_steps"
-                break
-            step += 1
-            started = time.perf_counter()
-            # Heterogeneous noise schedules (future-work budget allocation)
-            # are accounted per step; the default is the constant sigma.
-            sigma_t = (
-                self.noise_schedule.sigma_at(step)
-                if self.noise_schedule is not None
-                else config.noise_multiplier
-            )
-            noise_std = sensitivity.noise_stddev(sigma_t)
-
-            sampled = poisson_sample(users, config.sampling_probability, self._rng)
-            sampled_pairs = {user: user_pairs[user] for user in sampled}
-            buckets = group_data(
-                sampled_pairs,
-                grouping_factor=config.grouping_factor,
-                split_factor=config.split_factor,
-                strategy=config.grouping_strategy,
-                rng=self._rng,
-            )
-
-            previous = params.copy()
-            losses: list[float] = []
-            norms: list[float] = []
-            summed = {name: np.zeros_like(tensor) for name, tensor in params.items()}
-            for bucket_pairs in buckets:
-                update = model_update_from_bucket(
-                    self.model,
-                    params,
-                    bucket_pairs,
-                    batch_size=config.batch_size,
-                    learning_rate=config.learning_rate,
-                    clip_bound=config.clip_bound,
-                    clipping=config.clipping,
-                    local_update=config.local_update,
-                    rng=self._rng,
-                )
-                update.add_into(summed)
-                if update.num_batches:
-                    losses.append(update.mean_loss)
-                norms.append(update.unclipped_norm)
-
-            denominator = max(1, len(buckets))
-            if noise_std > 0.0:
-                for tensor in summed.values():
-                    tensor += self._rng.normal(0.0, noise_std, size=tensor.shape)
-            averaged = {name: tensor / denominator for name, tensor in summed.items()}
-
-            if server_optimizer is None:
-                params.add_(averaged)  # line 10: theta_{t+1} = theta_t + g_hat
-            else:
-                server_optimizer.step(
-                    params, {name: -tensor for name, tensor in averaged.items()}
-                )
-
-            self.ledger.track_budget(config.clip_bound, sigma_t)
-            spent = self.ledger.cumulative_budget_spent()
-
-            self.history.record_step(
-                StepRecord(
-                    step=step,
-                    mean_loss=float(np.mean(losses)) if losses else float("nan"),
-                    epsilon_spent=spent,
-                    num_sampled_users=len(sampled),
-                    num_buckets=len(buckets),
-                    mean_unclipped_norm=float(np.mean(norms)) if norms else 0.0,
-                    wall_time_seconds=time.perf_counter() - started,
-                )
-            )
-
-            # sigma = 0 has infinite per-step cost; such (non-private) runs are
-            # bounded by max_steps (validated above) instead of the budget.
-            if sigma_t > 0.0 and spent >= config.epsilon:
-                # Line 13: return theta_{t-1} — the crossing step is rolled back.
-                for name in params.names():
-                    params[name][...] = previous[name]
-                self.history.stop_reason = "budget_exhausted"
-                break
-
-            if eval_fn is not None and step % config.eval_every == 0:
-                self.history.record_evaluation(step, eval_fn(self.embeddings()))
-
-        if eval_fn is not None and not any(
-            record.step == step for record in self.history.evaluations
-        ):
-            self.history.record_evaluation(step, eval_fn(self.embeddings()))
+        executor, owned = make_executor(self.executor, self.workers)
+        try:
+            TrainingEngine(
+                pipeline,
+                executor=executor,
+                observers=observers,
+                noise_schedule=self.noise_schedule,
+            ).run()
+        finally:
+            if owned:
+                executor.close()
         return self.history
 
     # -- inference ----------------------------------------------------------------

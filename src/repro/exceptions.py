@@ -42,6 +42,16 @@ class PrivacyBudgetExceeded(ReproError):
         )
 
 
+class ExecutorError(ReproError, RuntimeError):
+    """A bucket-execution backend failed to complete a training step.
+
+    Raised by :class:`repro.core.engine.BucketExecutor` implementations when
+    a bucket's local-training job raises (or a worker process dies). The
+    original exception is attached as ``__cause__``; the step is failed
+    eagerly — never left hanging on dead workers.
+    """
+
+
 class NotFittedError(ReproError, RuntimeError):
     """A model method requiring a trained model was called before training."""
 

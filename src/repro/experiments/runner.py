@@ -130,6 +130,11 @@ class ExperimentRunner:
         seed: base seed; run ``i`` of a sweep uses ``seed + i`` so sweeps
             are deterministic yet independent.
         k_values: HR@k values to record.
+        executor: bucket execution backend for every run (``"serial"``,
+            ``"parallel"``, or a :class:`~repro.core.engine.BucketExecutor`
+            shared across runs). Results are seed-determined and identical
+            across executors, so sweeps can be parallelized freely.
+        workers: worker count for ``executor="parallel"``.
     """
 
     def __init__(
@@ -139,10 +144,14 @@ class ExperimentRunner:
         base_config: PLPConfig | None = None,
         seed: int = 0,
         k_values: Sequence[int] = (5, 10, 20),
+        executor: str = "serial",
+        workers: int | None = None,
     ) -> None:
         self.train = train
         self.base_config = base_config or PLPConfig()
         self.seed = int(seed)
+        self.executor = executor
+        self.workers = workers
         self.evaluator = LeaveOneOutEvaluator(
             sessionize_dataset(holdout), k_values=k_values
         )
@@ -165,7 +174,12 @@ class ExperimentRunner:
         overrides = overrides or {}
         config = self.base_config.with_overrides(**overrides)
         trainer_cls = UserLevelDPSGD if method == "dpsgd" else PrivateLocationPredictor
-        trainer = trainer_cls(config, rng=self.seed + seed_offset)
+        trainer = trainer_cls(
+            config,
+            rng=self.seed + seed_offset,
+            executor=self.executor,
+            workers=self.workers,
+        )
         started = time.perf_counter()
         history = trainer.fit(self.train)
         seconds = time.perf_counter() - started

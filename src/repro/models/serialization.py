@@ -14,6 +14,7 @@ the privacy metadata so consumers can audit what they received.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Hashable
 
@@ -114,4 +115,150 @@ def load_recommender(
     embeddings, vocabulary, _ = load_deployable_model(path)
     return NextLocationRecommender(
         embeddings, vocabulary=vocabulary, exclude_input=exclude_input
+    )
+
+
+# -- training checkpoints ------------------------------------------------------
+#
+# Unlike the deployable artifact above (embeddings only), a training
+# checkpoint holds the *resumable* state of a private run: the full
+# parameter set theta and the privacy ledger's recorded steps. Restoring
+# the ledger replays its entries through a fresh accountant, so the
+# resumed run continues from the exact accumulated RDP curve.
+
+_CHECKPOINT_VERSION = 1
+_PARAM_PREFIX = "param__"
+
+
+@dataclass(frozen=True, slots=True)
+class TrainingCheckpoint:
+    """A loaded training checkpoint.
+
+    Attributes:
+        step: the step count at which the checkpoint was taken.
+        parameters: name -> tensor mapping of the full model state theta.
+        ledger_config: ``{"delta": ..., "sampling_probability": ...}`` or
+            ``None`` for a non-private run.
+        ledger_entries: recorded ``(clip_bound, noise_multiplier, q)``
+            triples, in step order.
+    """
+
+    step: int
+    parameters: dict[str, np.ndarray]
+    ledger_config: dict | None
+    ledger_entries: list[tuple[float, float, float]]
+
+    def restore_ledger(self):
+        """Rebuild the :class:`~repro.privacy.accountant.PrivacyLedger`.
+
+        Returns ``None`` when the checkpoint came from a non-private run.
+        """
+        if self.ledger_config is None:
+            return None
+        from repro.privacy.accountant import PrivacyLedger
+
+        ledger = PrivacyLedger(
+            delta=self.ledger_config["delta"],
+            sampling_probability=self.ledger_config["sampling_probability"],
+        )
+        for clip_bound, noise_multiplier, q in self.ledger_entries:
+            ledger.track_budget(clip_bound, noise_multiplier, q)
+        return ledger
+
+    def restore_parameters(self, params) -> None:
+        """Copy the checkpoint tensors into an existing parameter set.
+
+        Raises:
+            DataError: on a name or shape mismatch.
+        """
+        if set(params.names()) != set(self.parameters):
+            raise DataError(
+                f"checkpoint tensors {sorted(self.parameters)} != model tensors "
+                f"{sorted(params.names())}"
+            )
+        for name, tensor in self.parameters.items():
+            if params[name].shape != tensor.shape:
+                raise DataError(
+                    f"checkpoint tensor {name!r} has shape {tensor.shape}, "
+                    f"model expects {params[name].shape}"
+                )
+            params[name][...] = tensor
+
+
+def save_training_checkpoint(
+    path: str | Path,
+    params,
+    step: int,
+    ledger=None,
+) -> None:
+    """Save a resumable training checkpoint (theta + ledger state).
+
+    Args:
+        path: output ``.npz`` path.
+        params: the model's :class:`~repro.nn.parameters.ParameterSet`.
+        step: the current step count.
+        ledger: the run's :class:`~repro.privacy.accountant.PrivacyLedger`
+            (``None`` for non-private runs).
+    """
+    ledger_payload = None
+    entries: list[list[float]] = []
+    if ledger is not None:
+        ledger_payload = {
+            "delta": ledger.delta,
+            "sampling_probability": ledger.default_sampling_probability,
+        }
+        entries = [
+            [entry.clip_bound, entry.noise_multiplier, entry.sampling_probability]
+            for entry in ledger
+        ]
+    payload = {
+        "checkpoint_version": _CHECKPOINT_VERSION,
+        "step": int(step),
+        "ledger": ledger_payload,
+        "ledger_entries": entries,
+    }
+    tensors = {_PARAM_PREFIX + name: tensor for name, tensor in params.items()}
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        metadata=np.frombuffer(json.dumps(payload).encode("utf-8"), dtype=np.uint8),
+        **tensors,
+    )
+
+
+def load_training_checkpoint(path: str | Path) -> TrainingCheckpoint:
+    """Load a checkpoint saved by :func:`save_training_checkpoint`.
+
+    Raises:
+        DataError: when the file is missing or malformed.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"checkpoint file not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            metadata_bytes = archive["metadata"].tobytes()
+            parameters = {
+                key[len(_PARAM_PREFIX):]: archive[key]
+                for key in archive.files
+                if key.startswith(_PARAM_PREFIX)
+            }
+    except (KeyError, ValueError, OSError) as error:
+        raise DataError(f"malformed checkpoint file {path}: {error}") from error
+    try:
+        payload = json.loads(metadata_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise DataError(f"corrupt metadata in {path}") from error
+    if payload.get("checkpoint_version") != _CHECKPOINT_VERSION:
+        raise DataError(
+            f"unsupported checkpoint version {payload.get('checkpoint_version')!r}"
+        )
+    if not parameters:
+        raise DataError(f"checkpoint {path} holds no parameter tensors")
+    return TrainingCheckpoint(
+        step=int(payload["step"]),
+        parameters=parameters,
+        ledger_config=payload.get("ledger"),
+        ledger_entries=[tuple(entry) for entry in payload.get("ledger_entries", [])],
     )

@@ -100,6 +100,27 @@ class PrivacyLedger:
             )
         )
 
+    def preview_budget_spent(
+        self,
+        noise_multiplier: float,
+        sampling_probability: float | None = None,
+    ) -> float:
+        """Epsilon that *would* be spent after one more step — nothing recorded.
+
+        Bitwise-equal to what :meth:`cumulative_budget_spent` will report
+        after ``track_budget`` with the same parameters (both sides reuse
+        the accountant's cached per-step RDP curve), so callers can check
+        the budget-crossing condition before committing an update.
+        """
+        if noise_multiplier < 0.0:
+            raise ConfigError(f"noise_multiplier must be >= 0, got {noise_multiplier}")
+        q = (
+            self.default_sampling_probability
+            if sampling_probability is None
+            else float(sampling_probability)
+        )
+        return self._accountant.epsilon_after(noise_multiplier, q, self.delta)
+
     def cumulative_budget_spent(self) -> float:
         """Total epsilon spent so far, at this ledger's delta (line 12)."""
         if not self._entries:

@@ -91,6 +91,41 @@ class MomentsAccountant:
         self._rdp = self._rdp + curve * count
         self._steps += count
 
+    def epsilon_after(
+        self,
+        noise_multiplier: float,
+        sampling_probability: float,
+        delta: float,
+        count: int = 1,
+        conversion: str = "improved",
+    ) -> float:
+        """Epsilon if ``count`` more identical steps *were* recorded.
+
+        A draw-free preview of :meth:`step` + :meth:`get_epsilon`: the
+        hypothetical steps' RDP curve is added to a copy of the
+        accumulated curve, leaving the accountant untouched. The curve is
+        pulled from (and stored in) the same per-(sigma, q) cache that
+        :meth:`step` uses, so a preview followed by the real step reports
+        bitwise-identical epsilon — which is what lets the trainer decide
+        *before* applying an update whether this step could cross the
+        budget.
+        """
+        if count < 0:
+            raise ConfigError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return self.get_epsilon(delta, conversion)
+        key = (float(noise_multiplier), float(sampling_probability))
+        curve = self._curve_cache.get(key)
+        if curve is None:
+            curve = compute_rdp_sampled_gaussian(
+                sampling_probability, noise_multiplier, 1, self._orders
+            )
+            self._curve_cache[key] = curve
+        epsilon, _ = rdp_to_epsilon(
+            self._orders, self._rdp + curve * count, delta, conversion
+        )
+        return epsilon
+
     def get_epsilon(self, delta: float, conversion: str = "improved") -> float:
         """Tightest epsilon for the accumulated steps at failure prob ``delta``.
 

@@ -41,15 +41,65 @@ def spawn(rng: RngLike, count: int) -> list[np.random.Generator]:
     return ensure_rng(rng).spawn(count)
 
 
+# Marker prepended to every derive() spawn key. SeedSequence.spawn()
+# appends small counters (0, 1, 2, ...) to the parent's spawn_key, so a
+# large fixed word keeps derive()'s key space disjoint from spawn()'s.
+_DERIVE_KEY = 0x64657276  # "derv"
+
+
+def seed_sequence_of(rng: RngLike) -> np.random.SeedSequence:
+    """The :class:`~numpy.random.SeedSequence` underlying ``rng``.
+
+    Args:
+        rng: a generator, an integer seed, or ``None``. Seeds and ``None``
+            are first coerced with :func:`ensure_rng`.
+
+    Raises:
+        ValueError: when the generator's bit generator was constructed
+            without a ``SeedSequence`` (exotic/custom bit generators); pass
+            an integer seed or a ``numpy.random.default_rng`` generator.
+    """
+    parent = ensure_rng(rng)
+    seed_seq = getattr(parent.bit_generator, "seed_seq", None)
+    if seed_seq is None:  # pragma: no cover - older numpy spelling
+        seed_seq = getattr(parent.bit_generator, "_seed_seq", None)
+    if not isinstance(seed_seq, np.random.SeedSequence):
+        raise ValueError(
+            "cannot derive from a generator without a SeedSequence; "
+            "pass an integer seed or a numpy.random.default_rng generator"
+        )
+    return seed_seq
+
+
+def derive_seed_sequence(rng: RngLike, *tags: int) -> np.random.SeedSequence:
+    """A deterministic child :class:`~numpy.random.SeedSequence` keyed by ``tags``.
+
+    The child is built purely from the parent's ``SeedSequence`` state
+    (entropy + spawn key) — **no draws are consumed** from the parent
+    stream, and the result does not depend on how many values the parent
+    has already generated. Cheap enough to call once per bucket per step.
+    """
+    parent_seq = seed_sequence_of(rng)
+    return np.random.SeedSequence(
+        entropy=parent_seq.entropy,
+        spawn_key=(*parent_seq.spawn_key, _DERIVE_KEY, *tags),
+    )
+
+
 def derive(rng: RngLike, *tags: int) -> np.random.Generator:
     """Derive a deterministic child generator keyed by integer ``tags``.
 
-    Useful when a reproducible sub-stream is needed for a specific step
-    index (e.g. "the batch shuffle at step 17") without consuming draws
-    from the parent stream.
+    Useful when a reproducible sub-stream is needed for a specific point of
+    the computation (e.g. "bucket 3 of step 17" via ``derive(rng, 17, 3)``).
+
+    Contract:
+        - **Draw-free**: the parent stream is left untouched — deriving
+          never consumes draws, and the child only depends on the parent's
+          seed material, not on its current position.
+        - **Deterministic**: the same parent seed and tags always produce
+          the same child stream.
+        - **Namespaced**: children with different tag tuples (including
+          tuples of different length) have distinct streams, and none of
+          them collide with :func:`spawn` children of the same parent.
     """
-    parent = ensure_rng(rng)
-    seed_seq = np.random.SeedSequence(
-        entropy=int(parent.integers(0, 2**63 - 1)), spawn_key=tuple(tags)
-    )
-    return np.random.default_rng(seed_seq)
+    return np.random.default_rng(derive_seed_sequence(rng, *tags))

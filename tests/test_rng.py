@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.rng import derive, ensure_rng, spawn
+from repro.rng import derive, derive_seed_sequence, ensure_rng, seed_sequence_of, spawn
 
 
 class TestEnsureRng:
@@ -48,3 +48,50 @@ class TestDerive:
         parent2 = np.random.default_rng(7)
         b = derive(parent2, 2).random(4)
         assert not np.array_equal(a, b)
+
+
+class TestDeriveDrawFree:
+    def test_parent_stream_unchanged(self):
+        # The parent must produce the same draws whether or not derive()
+        # was called — deriving consumes nothing from the parent stream.
+        untouched = np.random.default_rng(7).random(8)
+        parent = np.random.default_rng(7)
+        derive(parent, 0)
+        derive(parent, 1, 2)
+        assert np.array_equal(parent.random(8), untouched)
+
+    def test_child_independent_of_parent_position(self):
+        # Deriving before or after the parent has generated values gives
+        # the same child stream (pure function of seed material + tags).
+        fresh = np.random.default_rng(7)
+        early = derive(fresh, 3).random(4)
+        advanced = np.random.default_rng(7)
+        advanced.random(100)
+        late = derive(advanced, 3).random(4)
+        assert np.array_equal(early, late)
+
+    def test_tag_arity_namespacing(self):
+        a = derive(7, 1).random(4)
+        b = derive(7, 1, 0).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_disjoint_from_spawn_children(self):
+        spawned = spawn(7, 3)
+        derived = [derive(7, tag) for tag in range(3)]
+        for child in spawned:
+            for other in derived:
+                assert not np.array_equal(child.random(6), other.random(6))
+
+    def test_seed_sequence_extends_parent_spawn_key(self):
+        parent_key = seed_sequence_of(7).spawn_key
+        child = derive_seed_sequence(7, 4, 2)
+        assert child.entropy == seed_sequence_of(7).entropy
+        assert child.spawn_key[: len(parent_key)] == parent_key
+        assert child.spawn_key[-2:] == (4, 2)
+
+    def test_per_bucket_streams_distinct_within_step(self):
+        step = 17
+        streams = [derive(0, step, bucket).random(6) for bucket in range(8)]
+        for i in range(len(streams)):
+            for j in range(i + 1, len(streams)):
+                assert not np.array_equal(streams[i], streams[j])
