@@ -43,6 +43,14 @@ _DATA_SEED = 7
 _HOLDOUT_SEED = 7
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker, so
+    ``-m "not bench"`` (the fast tier-1 selection) never picks these up
+    even when benchmarks are collected explicitly alongside tests."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @dataclass(frozen=True)
 class BenchScale:
     """One benchmark scale profile."""

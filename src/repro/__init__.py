@@ -1,21 +1,26 @@
 """repro: Differentially-Private Next-Location Prediction with Neural Networks.
 
 A from-scratch reproduction of Ahuja, Ghinita & Shahabi (EDBT 2020). The
-public API re-exported here covers the end-to-end workflow::
+stable facade (:mod:`repro.api`) covers the end-to-end workflow in four
+names::
 
-    from repro import (
-        SyntheticConfig, generate_checkins, CheckinDataset, paper_preprocessing,
-        holdout_users_split, sessionize_dataset,
-        PLPConfig, PrivateLocationPredictor, UserLevelDPSGD, NonPrivateTrainer,
-        LeaveOneOutEvaluator,
+    import repro
+
+    checkins = repro.paper_preprocessing(
+        repro.generate_checkins(repro.SyntheticConfig(), rng=7)
     )
+    train, holdout = repro.holdout_users_split(
+        repro.CheckinDataset(checkins), 30, rng=7
+    )
+    model = repro.train(repro.PLPConfig(epsilon=2.0), train, rng=7)
+    model.save("model.npz")
+    print(repro.evaluate(model, holdout).summary())
 
-    checkins = paper_preprocessing(generate_checkins(SyntheticConfig(), rng=7))
-    train, holdout = holdout_users_split(CheckinDataset(checkins), 30, rng=7)
-    plp = PrivateLocationPredictor(PLPConfig(epsilon=2.0), rng=7)
-    plp.fit(train)
-    evaluator = LeaveOneOutEvaluator(sessionize_dataset(holdout))
-    print(evaluator.evaluate(plp.recommender()).summary())
+    model = repro.load("model.npz")
+    model.recommend_batch([[17, 42], [8]], top_k=10)
+
+The lower-level classes (trainers, engine, evaluator, serving stack) are
+also re-exported for callers that need the knobs.
 
 Subpackages:
     - :mod:`repro.core` — Algorithm 1 (PLP) and the paper's baselines.
@@ -26,8 +31,11 @@ Subpackages:
     - :mod:`repro.eval` — leave-one-out Hit-Rate evaluation.
     - :mod:`repro.baselines` — popularity / Markov / MF recommenders.
     - :mod:`repro.geoind` — geo-indistinguishability extension.
+    - :mod:`repro.serving` — batched inference and the ``repro serve`` HTTP
+      layer.
 """
 
+from repro.api import TrainedModel, evaluate, load, train
 from repro.exceptions import (
     ConfigError,
     DataError,
@@ -35,6 +43,7 @@ from repro.exceptions import (
     NotFittedError,
     PrivacyBudgetExceeded,
     ReproError,
+    ServingError,
     VocabularyError,
 )
 from repro.types import CheckIn, Trajectory
@@ -88,6 +97,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # facade (repro.api): the stable surface
+    "train",
+    "load",
+    "evaluate",
+    "TrainedModel",
     # exceptions
     "ReproError",
     "ConfigError",
@@ -95,6 +109,7 @@ __all__ = [
     "ExecutorError",
     "PrivacyBudgetExceeded",
     "NotFittedError",
+    "ServingError",
     "VocabularyError",
     # types
     "CheckIn",

@@ -45,6 +45,13 @@ class PopularityRecommender:
         del recent
         return self._scores.copy()
 
+    def score_batch(
+        self, queries: Sequence[Sequence[Hashable]], mode: str = "exact"
+    ) -> np.ndarray:
+        """One (identical) popularity row per query."""
+        del mode
+        return np.tile(self._scores, (len(queries), 1))
+
     def recommend(
         self, recent: Sequence[Hashable], top_k: int = 10
     ) -> list[tuple[int, float]]:
@@ -52,3 +59,31 @@ class PopularityRecommender:
         scores = self.score_all(recent)
         top = top_k_indices(scores, top_k)
         return [(int(token), float(scores[token])) for token in top]
+
+
+def popularity_prior(vocabulary) -> np.ndarray:
+    """Normalized visit-frequency prior over a vocabulary's tokens.
+
+    The serving layer uses this as the graceful-degradation ranking for
+    queries in which no location is known to the model (see
+    ``NextLocationRecommender.fallback_scores``). Falls back to the uniform
+    distribution when the vocabulary carries no occurrence counts — e.g. a
+    vocabulary rebuilt from a deployable artifact saved without counts.
+
+    Args:
+        vocabulary: a :class:`~repro.models.vocabulary.LocationVocabulary`
+            (anything with ``size`` and ``count(token)``).
+
+    Raises:
+        DataError: when the vocabulary is empty.
+    """
+    size = vocabulary.size
+    if size < 1:
+        raise DataError("popularity prior requires a non-empty vocabulary")
+    counts = np.array(
+        [vocabulary.count(token) for token in range(size)], dtype=np.float64
+    )
+    total = counts.sum()
+    if total <= 0:
+        return np.full(size, 1.0 / size)
+    return counts / total

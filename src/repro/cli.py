@@ -6,16 +6,26 @@ Subcommands cover the full workflow::
     repro train     --data checkins.csv --method plp --epsilon 2.0 --out model.npz
     repro evaluate  --data checkins.csv --model model.npz
     repro recommend --model model.npz --recent 17,42,8 --top-k 10
+    repro serve     --model model.npz --port 8000
     repro audit     --data checkins.csv --model model.npz
 
 ``repro train --synthetic`` skips the CSV and trains straight on a fresh
 synthetic workload. All commands are deterministic under ``--seed``.
+
+Training flags mirror :class:`~repro.core.config.PLPConfig` field names
+(``--num-negatives`` for ``num_negatives``, and so on); a full or partial
+config can also be given as JSON via ``--config`` (a file path or an
+inline object), with explicit flags overriding the file through
+``PLPConfig.with_overrides``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import warnings
+from pathlib import Path
 from typing import Sequence
 
 from repro.attacks import MembershipInferenceAttack
@@ -29,8 +39,42 @@ from repro.data.preprocessing import paper_preprocessing
 from repro.data.splitting import holdout_users_split, sessionize_dataset
 from repro.data.synthetic import SyntheticConfig, generate_checkins
 from repro.eval.evaluator import LeaveOneOutEvaluator
-from repro.exceptions import ReproError
+from repro.exceptions import ConfigError, ReproError
 from repro.models.serialization import load_recommender, save_deployable_model
+
+# Historical CLI defaults for the PLPConfig-backed train flags. Applied
+# only when the flag is absent AND no --config file supplies the field, so
+# `repro train` behaves exactly as before --config existed (note
+# learning_rate 0.2, the CLI's long-standing default, vs the paper's 0.06
+# in PLPConfig).
+_TRAIN_FLAG_DEFAULTS = {
+    "epsilon": 2.0,
+    "delta": 2e-4,
+    "grouping_factor": 4,
+    "sampling_probability": 0.06,
+    "noise_multiplier": 2.5,
+    "clip_bound": 0.5,
+    "learning_rate": 0.2,
+    "embedding_dim": 50,
+    "num_negatives": 16,
+    "max_steps": None,
+}
+
+
+class _DeprecatedAlias(argparse.Action):
+    """Accepts a renamed flag, warning that the new spelling should be used."""
+
+    def __init__(self, option_strings, dest, new_option, **kwargs):
+        self.new_option = new_option
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        warnings.warn(
+            f"{option_string} is deprecated; use {self.new_option}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        setattr(namespace, self.dest, values)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -57,16 +101,36 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--method", choices=("plp", "dpsgd", "nonprivate"), default="plp"
     )
-    train.add_argument("--epsilon", type=float, default=2.0)
-    train.add_argument("--delta", type=float, default=2e-4)
-    train.add_argument("--grouping-factor", type=int, default=4)
-    train.add_argument("--sampling-probability", type=float, default=0.06)
-    train.add_argument("--noise-multiplier", type=float, default=2.5)
-    train.add_argument("--clip-bound", type=float, default=0.5)
-    train.add_argument("--learning-rate", type=float, default=0.2)
-    train.add_argument("--embedding-dim", type=int, default=50)
-    train.add_argument("--negatives", type=int, default=16)
-    train.add_argument("--max-steps", type=int, default=None)
+    train.add_argument(
+        "--config",
+        default=None,
+        help="PLPConfig as JSON: a file path or an inline object; "
+        "explicit flags override it",
+    )
+    # PLPConfig-backed flags use SUPPRESS so 'explicitly given' is
+    # distinguishable from 'defaulted' when merging with --config.
+    suppress = argparse.SUPPRESS
+    train.add_argument("--epsilon", type=float, default=suppress)
+    train.add_argument("--delta", type=float, default=suppress)
+    train.add_argument("--grouping-factor", type=int, default=suppress)
+    train.add_argument("--sampling-probability", type=float, default=suppress)
+    train.add_argument("--noise-multiplier", type=float, default=suppress)
+    train.add_argument("--clip-bound", type=float, default=suppress)
+    train.add_argument("--learning-rate", type=float, default=suppress)
+    train.add_argument("--embedding-dim", type=int, default=suppress)
+    train.add_argument(
+        "--num-negatives", dest="num_negatives", type=int, default=suppress
+    )
+    train.add_argument(
+        "--negatives",
+        dest="num_negatives",
+        type=int,
+        default=suppress,
+        action=_DeprecatedAlias,
+        new_option="--num-negatives",
+        help=argparse.SUPPRESS,
+    )
+    train.add_argument("--max-steps", type=int, default=suppress)
     train.add_argument("--epochs", type=int, default=5, help="non-private epochs")
     train.add_argument("--seed", type=int, default=7)
     train.add_argument(
@@ -105,6 +169,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     recommend.add_argument("--top-k", type=int, default=10)
 
+    serve = subparsers.add_parser(
+        "serve", help="serve a model over HTTP (POST /recommend)"
+    )
+    serve.add_argument("--model", required=True, help="model .npz")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000)
+    serve.add_argument(
+        "--mode",
+        choices=("fast", "exact"),
+        default="fast",
+        help="scoring kernel: float32 fast (default) or float64 exact",
+    )
+    serve.add_argument(
+        "--exclude-input",
+        action="store_true",
+        help="drop the query's own locations from recommendations",
+    )
+    serve.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="fail all-unknown queries instead of answering from the "
+        "popularity prior",
+    )
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="batching window: how long to hold a request for peers",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=2.0, help="per-request deadline (s)"
+    )
+
     audit = subparsers.add_parser(
         "audit", help="membership-inference audit of a released model"
     )
@@ -139,6 +237,40 @@ def _load_dataset(args: argparse.Namespace) -> CheckinDataset:
     return CheckinDataset(checkins)
 
 
+def _load_config_json(source: str) -> dict:
+    """Parse ``--config``: an inline JSON object or a path to one."""
+    text = source
+    if not source.lstrip().startswith("{"):
+        path = Path(source)
+        if not path.exists():
+            raise ConfigError(f"config file not found: {source}")
+        text = path.read_text(encoding="utf-8")
+    try:
+        values = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ConfigError(f"--config is not valid JSON: {error}") from error
+    if not isinstance(values, dict):
+        raise ConfigError("--config must hold a JSON object of PLPConfig fields")
+    return values
+
+
+def _resolve_train_config(args: argparse.Namespace) -> PLPConfig:
+    """Merge --config JSON with explicit flags (flags win).
+
+    Without ``--config``, the historical CLI defaults apply, so existing
+    invocations train identically.
+    """
+    explicit = {
+        name: getattr(args, name)
+        for name in _TRAIN_FLAG_DEFAULTS
+        if hasattr(args, name)
+    }
+    if args.config is not None:
+        base = PLPConfig.from_dict(_load_config_json(args.config))
+        return base.with_overrides(**explicit)
+    return PLPConfig().with_overrides(**{**_TRAIN_FLAG_DEFAULTS, **explicit})
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args)
     print(f"training on {dataset.num_users} users / {dataset.num_locations} POIs")
@@ -151,37 +283,26 @@ def _cmd_train(args: argparse.Namespace) -> int:
     engine_opts = dict(
         executor=args.executor, workers=args.workers, observers=observers
     )
+    config = _resolve_train_config(args)
 
     if args.method == "nonprivate":
         trainer = NonPrivateTrainer(
-            embedding_dim=args.embedding_dim,
-            num_negatives=args.negatives,
-            learning_rate=args.learning_rate,
+            embedding_dim=config.embedding_dim,
+            num_negatives=config.num_negatives,
+            learning_rate=config.learning_rate,
             rng=args.seed,
             **engine_opts,
         )
         history = trainer.fit(dataset, epochs=args.epochs)
         privacy = {"mechanism": "none", "epsilon": "inf"}
     else:
-        config = PLPConfig(
-            epsilon=args.epsilon,
-            delta=args.delta,
-            grouping_factor=args.grouping_factor,
-            sampling_probability=args.sampling_probability,
-            noise_multiplier=args.noise_multiplier,
-            clip_bound=args.clip_bound,
-            learning_rate=args.learning_rate,
-            embedding_dim=args.embedding_dim,
-            num_negatives=args.negatives,
-            max_steps=args.max_steps,
-        )
         trainer_cls = UserLevelDPSGD if args.method == "dpsgd" else PrivateLocationPredictor
         trainer = trainer_cls(config, rng=args.seed, **engine_opts)
         history = trainer.fit(dataset)
         privacy = {
             "mechanism": args.method,
             "epsilon": history.final_epsilon,
-            "delta": args.delta,
+            "delta": config.delta,
             "steps": len(history),
         }
         print(
@@ -219,6 +340,23 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving.http import serve
+
+    serve(
+        args.model,
+        host=args.host,
+        port=args.port,
+        exclude_input=args.exclude_input,
+        with_fallback=not args.no_fallback,
+        mode=args.mode,
+        max_batch=args.max_batch,
+        max_wait_seconds=args.max_wait_ms / 1000.0,
+        timeout_seconds=args.timeout,
+    )
+    return 0
+
+
 def _cmd_audit(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args)
     train, holdout = holdout_users_split(dataset, args.holdout, rng=args.seed)
@@ -239,6 +377,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "recommend": _cmd_recommend,
+    "serve": _cmd_serve,
     "audit": _cmd_audit,
 }
 

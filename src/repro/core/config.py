@@ -8,10 +8,28 @@ follow the paper's Section 5.1 settings: ``dim = 50``, ``b = 32``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import warnings
+from dataclasses import asdict, dataclass, fields, replace
 from typing import Any
 
 from repro.exceptions import ConfigError
+
+# Renamed/paper-symbol keyword shims accepted (with a DeprecationWarning)
+# by :meth:`PLPConfig.with_overrides`. Keys are the paper's Table 1 symbols
+# and historical kwarg spellings; values are the canonical field names.
+_DEPRECATED_ALIASES = {
+    "dim": "embedding_dim",
+    "neg": "num_negatives",
+    "negatives": "num_negatives",
+    "win": "window",
+    "b": "batch_size",
+    "eta": "learning_rate",
+    "lambda_": "grouping_factor",
+    "q": "sampling_probability",
+    "C": "clip_bound",
+    "sigma": "noise_multiplier",
+    "omega": "split_factor",
+}
 
 _GROUPING_STRATEGIES = ("random", "equal_frequency")
 _CLIPPING_MODES = ("per_layer", "global")
@@ -159,8 +177,56 @@ class PLPConfig:
             raise ConfigError(f"eval_every must be >= 1, got {self.eval_every}")
 
     def with_overrides(self, **overrides: Any) -> "PLPConfig":
-        """A copy of the config with the given fields replaced (re-validated)."""
-        return replace(self, **overrides)
+        """A copy of the config with the given fields replaced (re-validated).
+
+        Accepts canonical field names; the paper's Table 1 symbols and
+        historical kwarg spellings (``q``, ``sigma``, ``C``, ``eta``,
+        ``lambda_``, ``dim``, ``neg``, ``negatives``, ``win``, ``b``,
+        ``omega``) are still honored with a :class:`DeprecationWarning`.
+
+        Raises:
+            ConfigError: on an unknown field, on an alias colliding with
+                its canonical name, or on an invalid resulting config.
+        """
+        valid = {field.name for field in fields(self)}
+        resolved: dict[str, Any] = {}
+        for key, value in overrides.items():
+            canonical = _DEPRECATED_ALIASES.get(key)
+            if canonical is not None:
+                warnings.warn(
+                    f"PLPConfig override {key!r} is deprecated; "
+                    f"use {canonical!r}",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                key = canonical
+            if key not in valid:
+                raise ConfigError(f"unknown PLPConfig field {key!r}")
+            if key in resolved:
+                raise ConfigError(
+                    f"duplicate override for PLPConfig field {key!r}"
+                )
+            resolved[key] = value
+        return replace(self, **resolved)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict form, JSON-serializable; round-trips via
+        ``PLPConfig().with_overrides(**d)`` / :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, values: dict[str, Any]) -> "PLPConfig":
+        """Build a config from a (possibly partial) field dict.
+
+        Unlisted fields keep their defaults; deprecated aliases are
+        accepted as in :meth:`with_overrides`. This is the inverse of
+        :meth:`as_dict` and the entry point for ``repro train --config``.
+        """
+        if not isinstance(values, dict):
+            raise ConfigError(
+                f"config must be a JSON object, got {type(values).__name__}"
+            )
+        return cls().with_overrides(**values)
 
     def steps_per_epoch(self) -> int:
         """Steps per data epoch: ``1/q`` (Section 5.1)."""

@@ -98,14 +98,57 @@ class LeaveOneOutEvaluator:
                 profile.extend(earlier.locations)
         return profile + recent
 
-    def evaluate(self, recommender: NextLocationRecommender) -> EvaluationResult:
+    def evaluate(
+        self,
+        recommender: NextLocationRecommender,
+        batched: bool | None = None,
+        batch_size: int = 256,
+    ) -> EvaluationResult:
         """Run the protocol and aggregate the metrics.
 
         Each trajectory contributes one case: input = the configured scope's
         locations (those known to the model), target = the last location.
         Cases whose target is unknown to the model, or whose input contains
-        no known location, are counted as skipped.
+        no known location (and the recommender has no fallback prior), are
+        counted as skipped.
+
+        Args:
+            recommender: anything exposing ``score_all``/``vocabulary``.
+            batched: scoring path — ``None`` (default) picks the vectorized
+                multi-query path when the recommender supports it
+                (``score_batch`` + ``encode_query``), ``True`` requires it,
+                ``False`` forces the per-case loop. Both paths produce
+                identical metrics: the batched path uses the recommender's
+                exact kernel, whose rows are bit-for-bit equal to
+                ``score_all``.
+            batch_size: cases scored per ``score_batch`` call.
         """
+        supports_batch = callable(getattr(recommender, "score_batch", None)) and callable(
+            getattr(recommender, "encode_query", None)
+        )
+        if batched is True and not supports_batch:
+            raise ConfigError(
+                "batched evaluation requires a recommender with "
+                "score_batch/encode_query (got "
+                f"{type(recommender).__name__})"
+            )
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        if batched or (batched is None and supports_batch):
+            ranks, skipped = self._collect_ranks_batched(recommender, batch_size)
+        else:
+            ranks, skipped = self._collect_ranks_loop(recommender)
+
+        result = EvaluationResult(
+            num_cases=len(ranks), num_skipped=skipped, ranks=ranks
+        )
+        result.hit_rate = {k: hit_rate_at_k(ranks, k) for k in self.k_values}
+        result.ndcg = {k: ndcg_at_k(ranks, k) for k in self.k_values}
+        result.mrr = mean_reciprocal_rank(ranks)
+        return result
+
+    def _collect_ranks_loop(self, recommender) -> tuple[list[int], int]:
+        """Original per-case scoring loop (works for any recommender)."""
         ranks: list[int] = []
         skipped = 0
         vocabulary = recommender.vocabulary
@@ -134,14 +177,60 @@ class LeaveOneOutEvaluator:
             target_score = scores[target_token]
             rank = 1 + int(np.sum(scores > target_score))
             ranks.append(rank)
+        return ranks, skipped
 
-        result = EvaluationResult(
-            num_cases=len(ranks), num_skipped=skipped, ranks=ranks
-        )
-        result.hit_rate = {k: hit_rate_at_k(ranks, k) for k in self.k_values}
-        result.ndcg = {k: ndcg_at_k(ranks, k) for k in self.k_values}
-        result.mrr = mean_reciprocal_rank(ranks)
-        return result
+    def _collect_ranks_batched(
+        self, recommender, batch_size: int
+    ) -> tuple[list[int], int]:
+        """Vectorized path: same skip rules, one score_batch call per chunk.
+
+        A case is skipped exactly when the loop path would have skipped it:
+        short trajectory, unknown/out-of-range target, or an input in which
+        no location is known to the model while the recommender has no
+        fallback prior (the condition under which ``score_all`` raises).
+        """
+        vocabulary = recommender.vocabulary
+        num_locations = recommender.num_locations
+        fallback = getattr(recommender, "fallback_scores", None)
+        inputs: list[list] = []
+        targets: list[int] = []
+        skipped = 0
+        for index, trajectory in enumerate(self.trajectories):
+            if len(trajectory) < 2:
+                skipped += 1
+                continue
+            recent = self._input_locations(index)
+            target = trajectory.locations[-1]
+            if vocabulary is not None:
+                if target not in vocabulary:
+                    skipped += 1
+                    continue
+                target_token = vocabulary.token(target)
+            else:
+                target_token = int(target)
+            try:
+                tokens = recommender.encode_query(recent)
+            except ConfigError:
+                skipped += 1
+                continue
+            if tokens.size == 0 and fallback is None:
+                skipped += 1
+                continue
+            if not 0 <= target_token < num_locations:
+                skipped += 1
+                continue
+            inputs.append(recent)
+            targets.append(target_token)
+
+        ranks: list[int] = []
+        for start in range(0, len(inputs), batch_size):
+            chunk = inputs[start : start + batch_size]
+            chunk_targets = np.asarray(targets[start : start + batch_size])
+            scores = recommender.score_batch(chunk, mode="exact")
+            target_scores = scores[np.arange(len(chunk)), chunk_targets]
+            chunk_ranks = 1 + (scores > target_scores[:, None]).sum(axis=1)
+            ranks.extend(int(rank) for rank in chunk_ranks)
+        return ranks, skipped
 
     def evaluate_embeddings(
         self,

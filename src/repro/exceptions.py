@@ -56,5 +56,15 @@ class NotFittedError(ReproError, RuntimeError):
     """A model method requiring a trained model was called before training."""
 
 
+class ServingError(ReproError, RuntimeError):
+    """The serving layer cannot answer a request.
+
+    Covers operational failures — no model loaded yet, the micro-batcher
+    timed out or shut down — as opposed to malformed requests, which raise
+    :class:`ConfigError`. The HTTP layer maps ``ServingError`` to 503 and
+    ``ConfigError`` to 400.
+    """
+
+
 class VocabularyError(ReproError, KeyError):
     """A location identifier is not present in the model vocabulary."""

@@ -23,11 +23,23 @@ class EmbeddingMatrix:
         if matrix.ndim != 2:
             raise ConfigError(f"embedding matrix must be 2-D, got shape {matrix.shape}")
         self._matrix = normalize_rows(matrix) if normalize else matrix.copy()
+        self._matrix32: np.ndarray | None = None
 
     @property
     def matrix(self) -> np.ndarray:
         """The normalized matrix (no copy; treat read-only)."""
         return self._matrix
+
+    @property
+    def matrix32(self) -> np.ndarray:
+        """Cached float32 copy of the matrix, for the fast scoring kernel.
+
+        Materialized on first access and reused; serving loads warm it
+        eagerly so no request pays the conversion.
+        """
+        if self._matrix32 is None:
+            self._matrix32 = np.ascontiguousarray(self._matrix, dtype=np.float32)
+        return self._matrix32
 
     @property
     def num_locations(self) -> int:

@@ -33,6 +33,7 @@ def save_deployable_model(
     embeddings: EmbeddingMatrix,
     vocabulary: LocationVocabulary,
     privacy_metadata: dict | None = None,
+    include_counts: bool = False,
 ) -> None:
     """Save the deployable artifact (embedding matrix + vocabulary).
 
@@ -43,6 +44,10 @@ def save_deployable_model(
         privacy_metadata: optional audit record (e.g. ``{"epsilon": 2.0,
             "delta": 2e-4, "mechanism": "PLP"}``); values must be
             JSON-serializable.
+        include_counts: also store the vocabulary's raw visit counts, which
+            the serving layer turns into a popularity fallback prior. Off
+            by default: unlike the embeddings, raw counts carry no DP
+            guarantee (see ``docs/serving.md``).
 
     Raises:
         DataError: when embeddings and vocabulary disagree on size.
@@ -58,6 +63,14 @@ def save_deployable_model(
         "locations": locations,
         "privacy": privacy_metadata or {},
     }
+    if include_counts:
+        # Raw per-POI visit counts are NOT covered by the DP guarantee on
+        # the embeddings (they are computed directly from the data), which
+        # is why exporting them is opt-in. Artifacts without counts serve a
+        # uniform fallback prior instead.
+        payload["counts"] = [
+            int(vocabulary.count(token)) for token in range(vocabulary.size)
+        ]
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(
@@ -102,19 +115,42 @@ def load_deployable_model(
         raise DataError(
             f"vocabulary size {len(locations)} != embedding rows {matrix.shape[0]}"
         )
-    vocabulary = LocationVocabulary.from_sequences([locations])
+    counts = payload.get("counts")
+    if counts is not None and len(counts) != len(locations):
+        raise DataError(
+            f"counts length {len(counts)} != vocabulary size {len(locations)}"
+        )
+    vocabulary = LocationVocabulary.from_locations(locations, counts=counts)
     # Matrix was normalized before save; normalization is idempotent.
     embeddings = EmbeddingMatrix(matrix, normalize=True)
     return embeddings, vocabulary, payload.get("privacy", {})
 
 
 def load_recommender(
-    path: str | Path, exclude_input: bool = False
+    path: str | Path,
+    exclude_input: bool = False,
+    with_fallback: bool = False,
 ) -> NextLocationRecommender:
-    """Load an artifact straight into a ready-to-serve recommender."""
+    """Load an artifact straight into a ready-to-serve recommender.
+
+    Args:
+        path: the ``.npz`` artifact.
+        exclude_input: drop input locations from recommendation lists.
+        with_fallback: configure the popularity fallback prior, so queries
+            with no known location degrade gracefully instead of raising
+            (uniform when the artifact was saved without counts).
+    """
     embeddings, vocabulary, _ = load_deployable_model(path)
+    fallback = None
+    if with_fallback:
+        from repro.baselines.popularity import popularity_prior
+
+        fallback = popularity_prior(vocabulary)
     return NextLocationRecommender(
-        embeddings, vocabulary=vocabulary, exclude_input=exclude_input
+        embeddings,
+        vocabulary=vocabulary,
+        exclude_input=exclude_input,
+        fallback_scores=fallback,
     )
 
 

@@ -49,6 +49,39 @@ class LocationVocabulary:
                 vocabulary.add(location_id)
         return vocabulary
 
+    @classmethod
+    def from_locations(
+        cls,
+        locations: Sequence[Hashable],
+        counts: Sequence[int] | None = None,
+    ) -> "LocationVocabulary":
+        """Rebuild a vocabulary from a token-ordered location list.
+
+        Used when restoring a deployable artifact: ``locations[token]`` is
+        the POI id of ``token``, and ``counts`` (when present) restores the
+        training-set occurrence counts that feed the popularity prior.
+
+        Raises:
+            VocabularyError: on duplicate locations or a counts-length
+                mismatch.
+        """
+        if counts is not None and len(counts) != len(locations):
+            raise VocabularyError(
+                f"counts length {len(counts)} != locations length {len(locations)}"
+            )
+        vocabulary = cls()
+        for location_id in locations:
+            if location_id in vocabulary:
+                raise VocabularyError(f"duplicate location id {location_id!r}")
+            vocabulary.add(location_id)
+        if counts is not None:
+            vocabulary._counts = Counter(
+                {token: int(count) for token, count in enumerate(counts) if count}
+            )
+        else:
+            vocabulary._counts = Counter()
+        return vocabulary
+
     def add(self, location_id: Hashable) -> int:
         """Register one occurrence of ``location_id``; return its token."""
         token = self._id_to_token.get(location_id)
@@ -90,15 +123,22 @@ class LocationVocabulary:
         Used at evaluation time: held-out users may visit POIs absent from
         the training vocabulary; the model cannot score those.
         """
+        lookup = self._id_to_token.get
         return [
-            self._id_to_token[location_id]
-            for location_id in sequence
-            if location_id in self._id_to_token
+            token
+            for token in map(lookup, sequence)
+            if token is not None
         ]
 
     def decode(self, tokens: Sequence[int]) -> list[Hashable]:
         """Map tokens back to location ids."""
         return [self.location(token) for token in tokens]
+
+    def locations(self) -> list[Hashable]:
+        """Copy of the token-ordered location-id list (``result[token]`` is
+        the POI id of ``token``); the batched decode path indexes it
+        directly instead of calling :meth:`location` per token."""
+        return list(self._token_to_id)
 
     def count(self, token: int) -> int:
         """Number of recorded occurrences of ``token``."""

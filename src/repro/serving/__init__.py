@@ -1,0 +1,43 @@
+"""Batched inference and serving for trained deployable models.
+
+The stack, bottom to top:
+
+- :mod:`repro.serving.registry` — :class:`ModelRegistry` loads ``.npz``
+  deployable artifacts into warm recommenders and publishes them with an
+  atomic swap (hot-reload without dropping traffic).
+- :mod:`repro.serving.batcher` — :class:`MicroBatcher` coalesces
+  concurrent requests into single ``recommend_batch`` calls.
+- :mod:`repro.serving.service` — :class:`RecommendService`, the
+  transport-independent request/health/metrics/reload surface.
+- :mod:`repro.serving.http` — the stdlib-only ``repro serve`` HTTP
+  front-end.
+- :mod:`repro.serving.metrics` — the serving observer layer
+  (:class:`ServingObserver` and friends), mirroring the training engine's
+  observer conventions.
+
+Serving performs no privacy accounting on purpose: the artifact was
+produced under DP and every request is post-processing of it (see
+``docs/serving.md``).
+"""
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.http import make_server, serve
+from repro.serving.metrics import (
+    JsonlServingObserver,
+    MetricsObserver,
+    ServingObserver,
+)
+from repro.serving.registry import LoadedModel, ModelRegistry
+from repro.serving.service import RecommendService
+
+__all__ = [
+    "JsonlServingObserver",
+    "LoadedModel",
+    "MetricsObserver",
+    "MicroBatcher",
+    "ModelRegistry",
+    "RecommendService",
+    "ServingObserver",
+    "make_server",
+    "serve",
+]

@@ -1,0 +1,193 @@
+"""Request coalescing: the micro-batcher behind ``POST /recommend``.
+
+Concurrent HTTP handler threads each hold one query; scoring them one by
+one would pay the full-matrix pass per query. The batcher funnels them
+through a queue into a single worker that coalesces up to ``max_batch``
+requests arriving within a short window and hands them to the batch
+handler as one call — turning N independent requests into one
+``recommend_batch``. Each caller blocks on its own event with a deadline;
+a request that cannot be answered in time fails with
+:class:`~repro.exceptions.ServingError` (HTTP 503) instead of hanging.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable, Sequence
+
+
+class _Pending:
+    """One enqueued request: its payload, completion event, and outcome."""
+
+    __slots__ = ("item", "event", "result", "error")
+
+    def __init__(self, item) -> None:
+        self.item = item
+        self.event = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+
+
+_STOP = object()
+
+
+class MicroBatcher:
+    """Coalesces concurrent submissions into batched handler calls.
+
+    Args:
+        handler: called with the list of payloads of one coalesced batch;
+            must return one result per payload, in order. A returned
+            ``Exception`` instance is raised to that payload's caller alone
+            (per-request degradation); a raised exception fails the whole
+            batch.
+        max_batch: most payloads per handler call.
+        max_wait_seconds: how long the worker holds an open batch waiting
+            for more arrivals before executing it.
+        timeout_seconds: default per-request deadline for :meth:`submit`.
+        on_batch: optional ``(batch_size, latency_seconds)`` callback after
+            each handler call (the service wires this to its observers).
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[Sequence], Sequence],
+        max_batch: int = 64,
+        max_wait_seconds: float = 0.002,
+        timeout_seconds: float = 2.0,
+        on_batch: Callable[[int, float], None] | None = None,
+    ) -> None:
+        from repro.exceptions import ConfigError
+
+        if max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_seconds < 0:
+            raise ConfigError(
+                f"max_wait_seconds must be >= 0, got {max_wait_seconds}"
+            )
+        if timeout_seconds <= 0:
+            raise ConfigError(
+                f"timeout_seconds must be > 0, got {timeout_seconds}"
+            )
+        self._handler = handler
+        self._max_batch = int(max_batch)
+        self._max_wait = float(max_wait_seconds)
+        self._timeout = float(timeout_seconds)
+        self._on_batch = on_batch
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="repro-microbatcher", daemon=True
+        )
+        self._worker.start()
+
+    def submit(self, item, timeout: float | None = None):
+        """Enqueue one payload and block until its result is ready.
+
+        Args:
+            item: the payload handed (with its batch peers) to the handler.
+            timeout: per-request deadline; defaults to the batcher's
+                ``timeout_seconds``.
+
+        Raises:
+            ServingError: when the batcher is closed or the deadline
+                passes before the batch executes.
+        """
+        from repro.exceptions import ServingError
+
+        if self._closed:
+            raise ServingError("batcher is closed")
+        pending = _Pending(item)
+        self._queue.put(pending)
+        deadline = self._timeout if timeout is None else float(timeout)
+        if not pending.event.wait(deadline):
+            # The worker may still score this payload; the result is
+            # simply discarded — the caller has already been answered 503.
+            raise ServingError(f"request timed out after {deadline:.3f}s")
+        if pending.error is not None:
+            raise pending.error
+        return pending.result
+
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Stop the worker; subsequent :meth:`submit` calls fail fast."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_STOP)
+        self._worker.join(timeout=join_timeout)
+
+    # -- worker ----------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is _STOP:
+                self._drain_closed()
+                return
+            batch = [first]
+            stop_seen = self._fill(batch)
+            self._execute(batch)
+            if stop_seen:
+                self._drain_closed()
+                return
+
+    def _fill(self, batch: list[_Pending]) -> bool:
+        """Coalesce arrivals until the batch is full or the window closes.
+
+        Returns True when the stop sentinel was consumed while filling.
+        """
+        deadline = time.monotonic() + self._max_wait
+        while len(batch) < self._max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                return False
+            if item is _STOP:
+                return True
+            batch.append(item)
+        return False
+
+    def _execute(self, batch: list[_Pending]) -> None:
+        from repro.exceptions import ServingError
+
+        start = time.perf_counter()
+        try:
+            results = self._handler([pending.item for pending in batch])
+            if len(results) != len(batch):
+                raise ServingError(
+                    f"batch handler returned {len(results)} results for "
+                    f"{len(batch)} payloads"
+                )
+        except Exception as error:
+            for pending in batch:
+                pending.error = error
+                pending.event.set()
+            return
+        latency = time.perf_counter() - start
+        for pending, result in zip(batch, results):
+            if isinstance(result, Exception):
+                pending.error = result
+            else:
+                pending.result = result
+            pending.event.set()
+        if self._on_batch is not None:
+            self._on_batch(len(batch), latency)
+
+    def _drain_closed(self) -> None:
+        """Fail anything still queued after close, so no caller hangs."""
+        from repro.exceptions import ServingError
+
+        while True:
+            try:
+                pending = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if pending is _STOP:
+                continue
+            pending.error = ServingError("batcher is closed")
+            pending.event.set()

@@ -1,0 +1,160 @@
+"""Stdlib HTTP front-end for :class:`~repro.serving.service.RecommendService`.
+
+No web framework — ``http.server.ThreadingHTTPServer`` is enough for the
+paper's serving story (Section 3.3: consumers query a downloaded model).
+Each connection gets a handler thread; handler threads block in
+``service.recommend`` while the micro-batcher coalesces them, so
+concurrency turns directly into batch size.
+
+Protocol (all bodies JSON; see ``docs/serving.md``):
+
+- ``POST /recommend``  ``{"recent": [...], "top_k": 10}`` ->
+  ``{"recommendations": [[location, score], ...], "model_version": n,
+  "fallback": false}``
+- ``GET /healthz``     liveness + loaded-model info
+- ``GET /metrics``     aggregate serving counters
+- ``POST /reload``     atomic hot-reload of the artifact
+
+Error mapping: malformed request -> 400, operational failure (no model,
+deadline missed) -> 503, anything else -> 500.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.exceptions import ConfigError, ReproError, ServingError
+from repro.serving.service import RecommendService
+
+_MAX_BODY_BYTES = 1 << 20
+
+
+class _RecommendHandler(BaseHTTPRequestHandler):
+    """Routes requests to the server's bound :class:`RecommendService`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    @property
+    def service(self) -> RecommendService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "quiet", False):
+            return
+        super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > _MAX_BODY_BYTES:
+            raise ConfigError(f"request body exceeds {_MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ConfigError(f"request body is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise ConfigError("request body must be a JSON object")
+        return payload
+
+    def _handle(self, action) -> None:
+        try:
+            status, payload = action()
+        except ConfigError as error:
+            status, payload = 400, {"error": str(error)}
+        except ServingError as error:
+            status, payload = 503, {"error": str(error)}
+        except ReproError as error:
+            status, payload = 500, {"error": str(error)}
+        except Exception as error:  # pragma: no cover - defensive
+            status, payload = 500, {"error": f"internal error: {error}"}
+        self._send_json(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._handle(lambda: (200, self.service.healthz()))
+        elif self.path == "/metrics":
+            self._handle(lambda: (200, self.service.metrics()))
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/recommend":
+            self._handle(self._recommend)
+        elif self.path == "/reload":
+            self._handle(lambda: (200, self.service.reload()))
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+
+    def _recommend(self) -> tuple[int, dict]:
+        payload = self._read_json()
+        if "recent" not in payload:
+            raise ConfigError('request must carry a "recent" list')
+        result = self.service.recommend(
+            payload["recent"], top_k=payload.get("top_k", 10)
+        )
+        return 200, result
+
+
+def make_server(
+    service: RecommendService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = False,
+) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server to ``service`` (``port=0`` = ephemeral).
+
+    The caller owns the lifecycle: ``serve_forever()`` / ``shutdown()`` /
+    ``server_close()``; tests read the bound port from ``server_address``.
+    """
+    server = ThreadingHTTPServer((host, port), _RecommendHandler)
+    server.service = service  # type: ignore[attr-defined]
+    server.quiet = quiet  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server
+
+
+def serve(
+    model_path: str | Path,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    exclude_input: bool = False,
+    with_fallback: bool = True,
+    mode: str = "fast",
+    max_batch: int = 64,
+    max_wait_seconds: float = 0.002,
+    timeout_seconds: float = 2.0,
+) -> None:
+    """Load an artifact and serve it until interrupted (``repro serve``)."""
+    service = RecommendService.from_artifact(
+        model_path,
+        exclude_input=exclude_input,
+        with_fallback=with_fallback,
+        mode=mode,
+        max_batch=max_batch,
+        max_wait_seconds=max_wait_seconds,
+        timeout_seconds=timeout_seconds,
+    )
+    server = make_server(service, host=host, port=port)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"serving {model_path} on http://{bound_host}:{bound_port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()

@@ -1,0 +1,175 @@
+"""Observer/callback layer of the serving stack.
+
+Mirrors the training engine's :class:`~repro.core.engine.observers.StepObserver`
+conventions: a :class:`ServingObserver` is notified around every request
+(``on_request``), every executed micro-batch (``on_batch``), and every model
+(re)load (``on_reload``); all hooks are no-ops on the base class so
+observers override only what they need. :class:`MetricsObserver` is the
+standard aggregate-counter implementation behind ``GET /metrics``;
+:class:`JsonlServingObserver` streams one JSON object per event so a live
+server can be monitored with ``tail -f``, like the trainer's
+``JsonlMetricsObserver``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+
+class ServingObserver:
+    """Base observer: every hook is a no-op; override what you need."""
+
+    def on_request(
+        self, status: str, latency_seconds: float, fallback: bool = False
+    ) -> None:
+        """Called after each request completes.
+
+        Args:
+            status: ``"ok"``, ``"invalid"`` (bad request), ``"timeout"``,
+                or ``"error"``.
+            latency_seconds: wall time from submission to response.
+            fallback: whether the popularity prior answered (no input
+                location was known to the model).
+        """
+
+    def on_batch(self, batch_size: int, latency_seconds: float) -> None:
+        """Called after the batcher scores one coalesced micro-batch."""
+
+    def on_reload(self, version: int, ok: bool, source: str) -> None:
+        """Called after a model (re)load attempt."""
+
+
+class _Aggregate:
+    """count / sum / min / max of one latency series (no lock of its own)."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def snapshot(self) -> dict:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_seconds": mean,
+            "min_seconds": self.minimum if self.count else 0.0,
+            "max_seconds": self.maximum,
+        }
+
+
+class MetricsObserver(ServingObserver):
+    """Thread-safe aggregate counters for ``GET /metrics``.
+
+    Tracks request counts by status, fallback answers, batch execution
+    (size and latency, from which throughput follows), and reloads.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests: dict[str, int] = {}
+        self._fallbacks = 0
+        self._request_latency = _Aggregate()
+        self._batch_latency = _Aggregate()
+        self._queries_scored = 0
+        self._max_batch_size = 0
+        self._reloads_ok = 0
+        self._reloads_failed = 0
+        self._model_version = 0
+
+    def on_request(
+        self, status: str, latency_seconds: float, fallback: bool = False
+    ) -> None:
+        with self._lock:
+            self._requests[status] = self._requests.get(status, 0) + 1
+            if fallback:
+                self._fallbacks += 1
+            self._request_latency.observe(latency_seconds)
+
+    def on_batch(self, batch_size: int, latency_seconds: float) -> None:
+        with self._lock:
+            self._batch_latency.observe(latency_seconds)
+            self._queries_scored += batch_size
+            self._max_batch_size = max(self._max_batch_size, batch_size)
+
+    def on_reload(self, version: int, ok: bool, source: str) -> None:
+        with self._lock:
+            if ok:
+                self._reloads_ok += 1
+                self._model_version = version
+            else:
+                self._reloads_failed += 1
+
+    def snapshot(self) -> dict:
+        """One JSON-serializable dict with everything, taken atomically."""
+        with self._lock:
+            return {
+                "requests": dict(self._requests),
+                "requests_total": sum(self._requests.values()),
+                "fallback_answers": self._fallbacks,
+                "request_latency": self._request_latency.snapshot(),
+                "batches": {
+                    **self._batch_latency.snapshot(),
+                    "queries_scored": self._queries_scored,
+                    "max_batch_size": self._max_batch_size,
+                },
+                "reloads": {"ok": self._reloads_ok, "failed": self._reloads_failed},
+                "model_version": self._model_version,
+            }
+
+
+class JsonlServingObserver(ServingObserver):
+    """Streams one JSON object per serving event to a JSON-lines file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._file = None
+
+    def _emit(self, payload: dict) -> None:
+        with self._lock:
+            if self._file is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._file = self.path.open("w", encoding="utf-8")
+            self._file.write(json.dumps(payload) + "\n")
+            self._file.flush()
+
+    def on_request(
+        self, status: str, latency_seconds: float, fallback: bool = False
+    ) -> None:
+        self._emit(
+            {
+                "event": "request",
+                "status": status,
+                "latency_seconds": latency_seconds,
+                "fallback": fallback,
+            }
+        )
+
+    def on_batch(self, batch_size: int, latency_seconds: float) -> None:
+        self._emit(
+            {
+                "event": "batch",
+                "batch_size": batch_size,
+                "latency_seconds": latency_seconds,
+            }
+        )
+
+    def on_reload(self, version: int, ok: bool, source: str) -> None:
+        self._emit({"event": "reload", "version": version, "ok": ok, "source": source})
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None

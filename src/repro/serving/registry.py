@@ -1,0 +1,138 @@
+"""Model registry: loading deployable artifacts with atomic hot-reload.
+
+The registry owns the mapping from an on-disk ``.npz`` artifact (written by
+:func:`repro.models.serialization.save_deployable_model`) to a warm,
+ready-to-serve :class:`~repro.models.recommender.NextLocationRecommender`.
+Loading is done off to the side and published with a single reference swap,
+so in-flight requests keep scoring against the model they started with and
+a failed reload never takes down a healthy server — the previous model
+stays current and the failure is reported through the observers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.baselines.popularity import popularity_prior
+from repro.exceptions import ServingError
+from repro.models.recommender import NextLocationRecommender
+from repro.models.serialization import load_deployable_model
+
+
+@dataclass(frozen=True, slots=True)
+class LoadedModel:
+    """One immutable published model snapshot.
+
+    Attributes:
+        recommender: the warm recommender (normalized float64 matrix plus
+            the cached float32 copy for the fast kernel).
+        source: the artifact path it was loaded from.
+        version: monotonically increasing load counter (1 = first load).
+        privacy: the privacy-audit metadata stored in the artifact.
+        loaded_at: ``time.time()`` of the load.
+    """
+
+    recommender: NextLocationRecommender
+    source: str
+    version: int
+    privacy: dict = field(default_factory=dict)
+    loaded_at: float = 0.0
+
+
+class ModelRegistry:
+    """Loads deployable artifacts and publishes them atomically.
+
+    Args:
+        path: default artifact path for :meth:`load` / :meth:`reload`.
+        exclude_input: configure loaded recommenders to drop the query's
+            own locations from recommendation lists.
+        with_fallback: configure the popularity fallback prior so queries
+            with no known location degrade gracefully instead of failing
+            (uniform when the artifact was saved without counts).
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        exclude_input: bool = False,
+        with_fallback: bool = True,
+    ) -> None:
+        self._path = str(path) if path is not None else None
+        self._exclude_input = bool(exclude_input)
+        self._with_fallback = bool(with_fallback)
+        self._lock = threading.Lock()
+        self._current: LoadedModel | None = None
+        self._versions = 0
+
+    @property
+    def loaded(self) -> bool:
+        """Whether a model has been published."""
+        return self._current is not None
+
+    def current(self) -> LoadedModel:
+        """The currently published model snapshot.
+
+        Raises:
+            ServingError: when nothing has been loaded yet.
+        """
+        current = self._current
+        if current is None:
+            raise ServingError("no model loaded; call load() first")
+        return current
+
+    def _build(self, source: str) -> tuple[NextLocationRecommender, dict]:
+        embeddings, vocabulary, privacy = load_deployable_model(source)
+        fallback = popularity_prior(vocabulary) if self._with_fallback else None
+        recommender = NextLocationRecommender(
+            embeddings,
+            vocabulary=vocabulary,
+            exclude_input=self._exclude_input,
+            fallback_scores=fallback,
+        )
+        # Warm the float32 cache now so no request pays the conversion.
+        embeddings.matrix32
+        return recommender, privacy
+
+    def load(self, path: str | Path | None = None) -> LoadedModel:
+        """Load an artifact and publish it, replacing any current model.
+
+        The load (file read, normalization, fallback prior, float32 warm-up)
+        happens entirely before the swap; requests racing a reload see
+        either the old snapshot or the new one, never a half-built model.
+
+        Args:
+            path: artifact to load; defaults to the registry's configured
+                path, which subsequent :meth:`reload` calls then reuse.
+
+        Raises:
+            ServingError: when no path is configured or given.
+            DataError: when the artifact is missing or malformed (the
+                previously published model, if any, stays current).
+        """
+        source = str(path) if path is not None else self._path
+        if source is None:
+            raise ServingError("no artifact path configured for this registry")
+        recommender, privacy = self._build(source)
+        with self._lock:
+            self._versions += 1
+            snapshot = LoadedModel(
+                recommender=recommender,
+                source=source,
+                version=self._versions,
+                privacy=privacy,
+                loaded_at=time.time(),
+            )
+            self._current = snapshot
+            self._path = source
+        return snapshot
+
+    def reload(self) -> LoadedModel:
+        """Re-load the current source path (hot-reload).
+
+        Raises whatever :meth:`load` raises; on failure the previously
+        published model keeps serving.
+        """
+        return self.load(self._path)

@@ -1,0 +1,248 @@
+"""The recommendation service: registry + micro-batcher + observers.
+
+:class:`RecommendService` is the transport-independent core of ``repro
+serve``: the HTTP layer (and tests) call :meth:`recommend` /
+:meth:`healthz` / :meth:`metrics` / :meth:`reload` directly. Requests are
+funneled through the :class:`~repro.serving.batcher.MicroBatcher` so
+concurrent queries are scored in one ``recommend_batch`` pass, and every
+outcome is reported to the registered
+:class:`~repro.serving.metrics.ServingObserver` instances.
+
+Degradation rules (per request, never the whole batch):
+
+- unknown POIs in ``recent`` are dropped (vocabulary ``encode_known``);
+- a query with *no* known POI is answered by the model's popularity
+  fallback prior when the registry configured one, else fails as a 400;
+- a request that misses its deadline fails as a 503 while its batch peers
+  still get answers.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.exceptions import ConfigError, ServingError
+from repro.serving.batcher import MicroBatcher
+from repro.serving.metrics import MetricsObserver, ServingObserver
+from repro.serving.registry import ModelRegistry
+
+
+class RecommendService:
+    """Batched next-location recommendations over a hot-reloadable model.
+
+    Args:
+        registry: the model registry (a model may be loaded later; requests
+            before the first load fail with a 503-mapped error).
+        observers: serving observers; a :class:`MetricsObserver` is
+            appended automatically when none is present so
+            :meth:`metrics` always has data.
+        mode: scoring kernel for request traffic — ``"fast"`` (float32,
+            default) or ``"exact"`` (float64, bit-identical to the
+            evaluator path).
+        max_batch / max_wait_seconds / timeout_seconds: micro-batcher
+            coalescing and deadline knobs.
+        top_k_limit: largest accepted ``top_k`` per request.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        observers: Sequence[ServingObserver] | None = None,
+        mode: str = "fast",
+        max_batch: int = 64,
+        max_wait_seconds: float = 0.002,
+        timeout_seconds: float = 2.0,
+        top_k_limit: int = 100,
+    ) -> None:
+        if top_k_limit < 1:
+            raise ConfigError(f"top_k_limit must be >= 1, got {top_k_limit}")
+        self._registry = registry
+        self._mode = mode
+        self._top_k_limit = int(top_k_limit)
+        self._observers: list[ServingObserver] = list(observers or [])
+        metrics = [o for o in self._observers if isinstance(o, MetricsObserver)]
+        if not metrics:
+            metrics = [MetricsObserver()]
+            self._observers.extend(metrics)
+        self._metrics = metrics[0]
+        self._batcher = MicroBatcher(
+            self._score_batch,
+            max_batch=max_batch,
+            max_wait_seconds=max_wait_seconds,
+            timeout_seconds=timeout_seconds,
+            on_batch=self._notify_batch,
+        )
+
+    @classmethod
+    def from_artifact(
+        cls,
+        path: str | Path,
+        exclude_input: bool = False,
+        with_fallback: bool = True,
+        **kwargs,
+    ) -> "RecommendService":
+        """Build a registry, load ``path``, and wrap it in a service."""
+        registry = ModelRegistry(
+            path, exclude_input=exclude_input, with_fallback=with_fallback
+        )
+        registry.load()
+        return cls(registry, **kwargs)
+
+    @property
+    def registry(self) -> ModelRegistry:
+        return self._registry
+
+    # -- request path ----------------------------------------------------
+
+    def recommend(
+        self,
+        recent: Sequence,
+        top_k: int = 10,
+        timeout: float | None = None,
+    ) -> dict:
+        """Answer one recommendation request (blocking, batched).
+
+        Returns:
+            ``{"recommendations": [[location, score], ...],
+            "model_version": int, "fallback": bool}``.
+
+        Raises:
+            ConfigError: malformed request (bad ``top_k``, non-sequence
+                ``recent``, or an unanswerable empty query).
+            ServingError: no model loaded, deadline missed, or service
+                closed.
+        """
+        start = time.perf_counter()
+        status = "error"
+        fallback = False
+        try:
+            recent, top_k = self._validate(recent, top_k)
+            result = self._batcher.submit((recent, top_k), timeout=timeout)
+            status = "ok"
+            fallback = result["fallback"]
+            return result
+        except ConfigError:
+            status = "invalid"
+            raise
+        except ServingError as error:
+            status = "timeout" if "timed out" in str(error) else "error"
+            raise
+        finally:
+            self._notify_request(status, time.perf_counter() - start, fallback)
+
+    def _validate(self, recent, top_k) -> tuple[list, int]:
+        if isinstance(recent, (str, bytes)) or not isinstance(
+            recent, (list, tuple)
+        ):
+            raise ConfigError(
+                f"recent must be a list of locations, got {type(recent).__name__}"
+            )
+        try:
+            top_k = int(top_k)
+        except (TypeError, ValueError):
+            raise ConfigError(f"top_k must be an integer, got {top_k!r}") from None
+        if not 1 <= top_k <= self._top_k_limit:
+            raise ConfigError(
+                f"top_k must be in [1, {self._top_k_limit}], got {top_k}"
+            )
+        return list(recent), top_k
+
+    def _score_batch(self, items: Sequence[tuple[list, int]]) -> list:
+        """Batch handler: one ``recommend_batch`` pass for the coalesced set.
+
+        Returns one result (or per-request exception) per item; only a
+        registry without a model fails uniformly.
+        """
+        try:
+            snapshot = self._registry.current()
+        except ServingError as error:
+            return [error] * len(items)
+        recommender = snapshot.recommender
+        results: list = [None] * len(items)
+        queries: list[list] = []
+        slots: list[tuple[int, int, bool]] = []  # (item index, top_k, fallback)
+        for index, (recent, top_k) in enumerate(items):
+            try:
+                tokens = recommender.encode_query(recent)
+            except ConfigError as error:
+                results[index] = error
+                continue
+            empty = tokens.size == 0
+            if empty and recommender.fallback_scores is None:
+                results[index] = ConfigError(
+                    "no location in the query is known to the model and the "
+                    "model has no fallback prior"
+                )
+                continue
+            queries.append(recent)
+            slots.append((index, top_k, empty))
+        if queries:
+            max_k = max(top_k for _, top_k, _ in slots)
+            batched = recommender.recommend_batch(
+                queries, top_k=max_k, mode=self._mode
+            )
+            for (index, top_k, empty), row in zip(slots, batched):
+                results[index] = {
+                    "recommendations": [
+                        [location, score] for location, score in row[:top_k]
+                    ],
+                    "model_version": snapshot.version,
+                    "fallback": empty,
+                }
+        return results
+
+    # -- operations ------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Liveness/readiness payload for ``GET /healthz``."""
+        if not self._registry.loaded:
+            return {"status": "unloaded"}
+        snapshot = self._registry.current()
+        return {
+            "status": "ok",
+            "model_version": snapshot.version,
+            "source": snapshot.source,
+            "num_locations": snapshot.recommender.num_locations,
+            "privacy": snapshot.privacy,
+        }
+
+    def metrics(self) -> dict:
+        """Aggregate counters for ``GET /metrics``."""
+        return self._metrics.snapshot()
+
+    def reload(self) -> dict:
+        """Hot-reload the registry's artifact; the old model keeps serving
+        on failure. Returns the health payload of the resulting state."""
+        source = ""
+        try:
+            snapshot = self._registry.reload()
+        except Exception:
+            version = (
+                self._registry.current().version if self._registry.loaded else 0
+            )
+            self._notify_reload(version, False, source)
+            raise
+        self._notify_reload(snapshot.version, True, snapshot.source)
+        return self.healthz()
+
+    def close(self) -> None:
+        """Stop the batcher worker; queued requests fail fast."""
+        self._batcher.close()
+
+    # -- observer fan-out ------------------------------------------------
+
+    def _notify_request(
+        self, status: str, latency: float, fallback: bool
+    ) -> None:
+        for observer in self._observers:
+            observer.on_request(status, latency, fallback=fallback)
+
+    def _notify_batch(self, batch_size: int, latency: float) -> None:
+        for observer in self._observers:
+            observer.on_batch(batch_size, latency)
+
+    def _notify_reload(self, version: int, ok: bool, source: str) -> None:
+        for observer in self._observers:
+            observer.on_reload(version, ok, source)

@@ -1,0 +1,143 @@
+"""Loop vs batched evaluator paths must produce identical metrics.
+
+This is the acceptance criterion for rewiring ``LeaveOneOutEvaluator``
+onto ``score_batch``: because the batched exact kernel returns rows
+bit-for-bit equal to ``score_all`` and ranks are comparison-based, the two
+paths must agree on every rank, every skip, and every aggregate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.popularity import PopularityRecommender
+from repro.eval.evaluator import LeaveOneOutEvaluator
+from repro.exceptions import ConfigError
+from repro.models.embeddings import EmbeddingMatrix
+from repro.models.recommender import NextLocationRecommender
+from repro.models.vocabulary import LocationVocabulary
+from repro.types import Trajectory
+
+L = 50
+
+
+def _trajectories(rng, n=60, max_len=9):
+    trajectories = []
+    for user in range(n):
+        length = int(rng.integers(1, max_len))  # length-1 cases get skipped
+        locations = tuple(int(t) for t in rng.integers(0, L, size=length))
+        trajectories.append(Trajectory(user=user % 10, locations=locations))
+    return trajectories
+
+
+def _assert_identical(loop, batched):
+    assert batched.ranks == loop.ranks
+    assert batched.num_cases == loop.num_cases
+    assert batched.num_skipped == loop.num_skipped
+    assert batched.hit_rate == loop.hit_rate
+    assert batched.ndcg == loop.ndcg
+    assert batched.mrr == loop.mrr or (
+        np.isnan(batched.mrr) and np.isnan(loop.mrr)
+    )
+
+
+@pytest.mark.parametrize("input_scope", ["session", "history"])
+@pytest.mark.parametrize("batch_size", [1, 7, 256])
+def test_batched_path_identical_to_loop(input_scope, batch_size):
+    rng = np.random.default_rng(21)
+    embeddings = EmbeddingMatrix(rng.normal(size=(L, 10)))
+    recommender = NextLocationRecommender(embeddings)
+    evaluator = LeaveOneOutEvaluator(
+        _trajectories(rng), k_values=(1, 5, 10), input_scope=input_scope
+    )
+    loop = evaluator.evaluate(recommender, batched=False)
+    batched = evaluator.evaluate(
+        recommender, batched=True, batch_size=batch_size
+    )
+    assert loop.num_cases > 0
+    _assert_identical(loop, batched)
+
+
+def test_identical_with_vocabulary_and_unknown_pois():
+    rng = np.random.default_rng(22)
+    embeddings = EmbeddingMatrix(rng.normal(size=(L, 10)))
+    vocabulary = LocationVocabulary.from_locations(
+        [f"poi-{i}" for i in range(L)]
+    )
+    recommender = NextLocationRecommender(embeddings, vocabulary=vocabulary)
+    trajectories = []
+    for user in range(40):
+        names = [
+            f"poi-{t}" if t < L - 5 else f"stranger-{t}"
+            for t in rng.integers(0, L + 10, size=int(rng.integers(2, 8)))
+        ]
+        trajectories.append(Trajectory(user=user, locations=tuple(names)))
+    evaluator = LeaveOneOutEvaluator(trajectories, k_values=(5,))
+    loop = evaluator.evaluate(recommender, batched=False)
+    batched = evaluator.evaluate(recommender, batched=True)
+    # Unknown targets / all-unknown inputs are skipped identically.
+    assert loop.num_skipped > 0
+    _assert_identical(loop, batched)
+
+
+def test_identical_with_fallback_prior():
+    rng = np.random.default_rng(23)
+    embeddings = EmbeddingMatrix(rng.normal(size=(L, 10)))
+    vocabulary = LocationVocabulary.from_locations(
+        [f"poi-{i}" for i in range(L)], counts=list(range(L, 0, -1))
+    )
+    prior = rng.normal(size=L)
+    recommender = NextLocationRecommender(
+        embeddings, vocabulary=vocabulary, fallback_scores=prior
+    )
+    # Half the inputs contain no known POI -> answered by the prior.
+    trajectories = [
+        Trajectory(user=0, locations=("ghost-a", "ghost-b", "poi-1")),
+        Trajectory(user=1, locations=("poi-2", "poi-3", "poi-4")),
+        Trajectory(user=2, locations=("ghost-c", "poi-5")),
+    ]
+    evaluator = LeaveOneOutEvaluator(trajectories, k_values=(5,))
+    loop = evaluator.evaluate(recommender, batched=False)
+    batched = evaluator.evaluate(recommender, batched=True)
+    assert loop.num_cases == 3  # fallback answers, nothing skipped
+    _assert_identical(loop, batched)
+
+
+def test_default_auto_detects_batched_path():
+    rng = np.random.default_rng(24)
+    embeddings = EmbeddingMatrix(rng.normal(size=(L, 10)))
+    recommender = NextLocationRecommender(embeddings)
+    evaluator = LeaveOneOutEvaluator(_trajectories(rng, n=20), k_values=(5,))
+    auto = evaluator.evaluate(recommender)  # batched=None -> batched
+    forced = evaluator.evaluate(recommender, batched=True)
+    _assert_identical(forced, auto)
+
+
+def test_popularity_baseline_falls_back_to_loop():
+    rng = np.random.default_rng(25)
+    recommender = PopularityRecommender(
+        [rng.integers(0, 20, size=30).tolist()], num_locations=20
+    )
+    # It has score_batch but no encode_query, so auto-detection must not
+    # route it through the batched path.
+    assert not hasattr(recommender, "encode_query")
+    trajectories = [
+        Trajectory(user=0, locations=(1, 2, 3)),
+        Trajectory(user=1, locations=(4, 0)),
+    ]
+    evaluator = LeaveOneOutEvaluator(trajectories, k_values=(5,))
+    # batched=None silently uses the loop; batched=True must refuse.
+    result = evaluator.evaluate(recommender)
+    assert result.num_cases == 2
+    with pytest.raises(ConfigError, match="score_batch"):
+        evaluator.evaluate(recommender, batched=True)
+
+
+def test_invalid_batch_size_rejected():
+    rng = np.random.default_rng(26)
+    embeddings = EmbeddingMatrix(rng.normal(size=(L, 10)))
+    recommender = NextLocationRecommender(embeddings)
+    evaluator = LeaveOneOutEvaluator(_trajectories(rng, n=5), k_values=(5,))
+    with pytest.raises(ConfigError):
+        evaluator.evaluate(recommender, batch_size=0)

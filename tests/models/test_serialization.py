@@ -68,6 +68,62 @@ class TestRoundTrip:
         assert path.exists()
 
 
+class TestCountsAndFallback:
+    def test_counts_omitted_by_default(self, tmp_path, artifact):
+        embeddings, vocabulary = artifact
+        path = tmp_path / "model.npz"
+        save_deployable_model(path, embeddings, vocabulary)
+        _, loaded_vocabulary, _ = load_deployable_model(path)
+        assert loaded_vocabulary.counts() == {}
+        # Without counts the opt-in fallback prior degrades to uniform.
+        reloaded = load_recommender(path, with_fallback=True)
+        assert np.allclose(
+            reloaded.fallback_scores, reloaded.fallback_scores[0]
+        )
+
+    def test_counts_round_trip_when_opted_in(self, tmp_path, artifact):
+        embeddings, vocabulary = artifact
+        path = tmp_path / "model.npz"
+        save_deployable_model(path, embeddings, vocabulary, include_counts=True)
+        _, loaded_vocabulary, _ = load_deployable_model(path)
+        for token in range(vocabulary.size):
+            assert loaded_vocabulary.count(token) == vocabulary.count(token)
+
+    def test_load_recommender_without_fallback_rejects_empty_queries(
+        self, tmp_path, artifact
+    ):
+        from repro.exceptions import ConfigError
+
+        embeddings, vocabulary = artifact
+        path = tmp_path / "model.npz"
+        save_deployable_model(path, embeddings, vocabulary)
+        reloaded = load_recommender(path)
+        assert reloaded.fallback_scores is None
+        with pytest.raises(ConfigError):
+            reloaded.score_all(["poi-that-does-not-exist"])
+
+    def test_load_recommender_exclude_input(self, tmp_path, artifact):
+        embeddings, vocabulary = artifact
+        path = tmp_path / "model.npz"
+        save_deployable_model(path, embeddings, vocabulary)
+        reloaded = load_recommender(path, exclude_input=True)
+        locations = [name for name, _ in reloaded.recommend(["cafe"], top_k=5)]
+        assert "cafe" not in locations
+        # The masked input scores -inf, so it can only ever rank dead last.
+        full = reloaded.recommend(["cafe"], top_k=6)
+        assert full[-1][0] == "cafe" and np.isneginf(full[-1][1])
+
+    def test_non_string_location_ids_survive(self, tmp_path):
+        rng = np.random.default_rng(1)
+        embeddings = EmbeddingMatrix(rng.normal(size=(3, 4)))
+        vocabulary = LocationVocabulary.from_sequences([[101, 202, 303]])
+        path = tmp_path / "model.npz"
+        save_deployable_model(path, embeddings, vocabulary)
+        _, loaded_vocabulary, _ = load_deployable_model(path)
+        assert loaded_vocabulary.size == 3
+        assert 101 in loaded_vocabulary
+
+
 class TestValidation:
     def test_size_mismatch_rejected(self, tmp_path, artifact):
         embeddings, _ = artifact

@@ -1,0 +1,136 @@
+"""MicroBatcher: coalescing, per-request degradation, deadlines, close."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ConfigError, ServingError
+from repro.serving.batcher import MicroBatcher
+
+
+def _echo_handler(items):
+    return [item * 2 for item in items]
+
+
+def test_submit_returns_handler_result():
+    batcher = MicroBatcher(_echo_handler)
+    try:
+        assert batcher.submit(21) == 42
+    finally:
+        batcher.close()
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigError):
+        MicroBatcher(_echo_handler, max_batch=0)
+    with pytest.raises(ConfigError):
+        MicroBatcher(_echo_handler, max_wait_seconds=-1)
+    with pytest.raises(ConfigError):
+        MicroBatcher(_echo_handler, timeout_seconds=0)
+
+
+def test_concurrent_submissions_coalesce_into_one_batch():
+    batch_sizes = []
+
+    def handler(items):
+        batch_sizes.append(len(items))
+        return list(items)
+
+    barrier = threading.Barrier(8)
+    results = [None] * 8
+    batcher = MicroBatcher(handler, max_wait_seconds=0.05)
+
+    def worker(i):
+        barrier.wait()
+        results[i] = batcher.submit(i)
+
+    try:
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        batcher.close()
+    assert results == list(range(8))  # every caller got its own answer
+    assert sum(batch_sizes) == 8
+    assert max(batch_sizes) > 1  # at least some coalescing happened
+
+
+def test_returned_exception_fails_only_that_caller():
+    def handler(items):
+        return [
+            ConfigError(f"bad item {item}") if item < 0 else item for item in items
+        ]
+
+    batcher = MicroBatcher(handler)
+    try:
+        assert batcher.submit(5) == 5
+        with pytest.raises(ConfigError, match="bad item -1"):
+            batcher.submit(-1)
+        assert batcher.submit(7) == 7  # batcher still healthy afterwards
+    finally:
+        batcher.close()
+
+
+def test_raised_exception_fails_the_whole_batch():
+    def handler(items):
+        raise RuntimeError("handler exploded")
+
+    batcher = MicroBatcher(handler)
+    try:
+        with pytest.raises(RuntimeError, match="handler exploded"):
+            batcher.submit(1)
+    finally:
+        batcher.close()
+
+
+def test_result_count_mismatch_is_a_serving_error():
+    batcher = MicroBatcher(lambda items: [])
+    try:
+        with pytest.raises(ServingError, match="returned 0 results"):
+            batcher.submit(1)
+    finally:
+        batcher.close()
+
+
+def test_submit_deadline_raises_serving_error():
+    release = threading.Event()
+
+    def handler(items):
+        release.wait(5.0)
+        return list(items)
+
+    batcher = MicroBatcher(handler, max_wait_seconds=0.0)
+    try:
+        with pytest.raises(ServingError, match="timed out"):
+            batcher.submit(1, timeout=0.05)
+    finally:
+        release.set()
+        batcher.close()
+
+
+def test_submit_after_close_fails_fast():
+    batcher = MicroBatcher(_echo_handler)
+    batcher.close()
+    batcher.close()  # idempotent
+    with pytest.raises(ServingError, match="closed"):
+        batcher.submit(1)
+
+
+def test_on_batch_callback_sees_size_and_latency():
+    observed = []
+    batcher = MicroBatcher(
+        _echo_handler, on_batch=lambda size, latency: observed.append((size, latency))
+    )
+    try:
+        batcher.submit(1)
+        deadline = time.monotonic() + 1.0
+        while not observed and time.monotonic() < deadline:
+            time.sleep(0.001)
+    finally:
+        batcher.close()
+    assert observed and observed[0][0] == 1 and observed[0][1] >= 0.0

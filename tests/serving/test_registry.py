@@ -1,0 +1,81 @@
+"""ModelRegistry: loading, versioning, and atomic hot-reload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError, ServingError
+from repro.serving.registry import ModelRegistry
+
+
+def test_current_before_load_raises():
+    registry = ModelRegistry()
+    assert not registry.loaded
+    with pytest.raises(ServingError):
+        registry.current()
+
+
+def test_load_without_any_path_raises():
+    with pytest.raises(ServingError):
+        ModelRegistry().load()
+
+
+def test_load_publishes_snapshot(artifact_path):
+    registry = ModelRegistry(artifact_path)
+    snapshot = registry.load()
+    assert registry.loaded
+    assert registry.current() is snapshot
+    assert snapshot.version == 1
+    assert snapshot.source == artifact_path
+    assert snapshot.privacy["mechanism"] == "PLP"
+    assert snapshot.loaded_at > 0
+    result = snapshot.recommender.recommend(["poi-0", "poi-3"], top_k=5)
+    assert len(result) == 5
+
+
+def test_fallback_prior_configured_by_default(artifact_path):
+    registry = ModelRegistry(artifact_path)
+    recommender = registry.load().recommender
+    assert recommender.fallback_scores is not None
+    # Counts were saved descending, so the prior prefers poi-0.
+    scores = recommender.score_all(["never-seen"])
+    assert int(np.argmax(scores)) == 0
+
+
+def test_with_fallback_false_leaves_prior_unset(artifact_path):
+    registry = ModelRegistry(artifact_path, with_fallback=False)
+    assert registry.load().recommender.fallback_scores is None
+
+
+def test_exclude_input_is_threaded_through(artifact_path):
+    registry = ModelRegistry(artifact_path, exclude_input=True)
+    recommender = registry.load().recommender
+    locations = [loc for loc, _ in recommender.recommend(["poi-7"], top_k=39)]
+    assert "poi-7" not in locations
+
+
+def test_reload_bumps_version_and_swaps_snapshot(artifact_path):
+    registry = ModelRegistry(artifact_path)
+    first = registry.load()
+    second = registry.reload()
+    assert second.version == first.version + 1
+    assert registry.current() is second
+    assert first.recommender is not second.recommender
+
+
+def test_failed_reload_keeps_old_model(artifact_path, tmp_path):
+    registry = ModelRegistry(artifact_path)
+    published = registry.load()
+    with pytest.raises(DataError):
+        registry.load(tmp_path / "missing.npz")
+    # The bad load never replaced the published snapshot.
+    assert registry.current() is published
+    # ... and did not poison the registry's reload path either.
+    assert registry.reload().source == artifact_path
+
+
+def test_load_explicit_path_becomes_reload_default(artifact_path):
+    registry = ModelRegistry()
+    registry.load(artifact_path)
+    assert registry.reload().source == artifact_path

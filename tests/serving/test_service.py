@@ -1,0 +1,161 @@
+"""RecommendService: request path, degradation, metrics, hot-reload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError, ServingError
+from repro.models.serialization import load_recommender
+from repro.serving.metrics import JsonlServingObserver, MetricsObserver
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import RecommendService
+
+
+@pytest.fixture()
+def service(artifact_path):
+    service = RecommendService.from_artifact(artifact_path)
+    yield service
+    service.close()
+
+
+def test_recommend_answers_with_model_version(service):
+    result = service.recommend(["poi-0", "poi-5"], top_k=3)
+    assert len(result["recommendations"]) == 3
+    assert result["model_version"] == 1
+    assert result["fallback"] is False
+    for location, score in result["recommendations"]:
+        assert location.startswith("poi-")
+        assert np.isfinite(score)
+
+
+def test_recommend_matches_direct_recommender_in_exact_mode(artifact_path):
+    service = RecommendService.from_artifact(artifact_path, mode="exact")
+    try:
+        direct = load_recommender(artifact_path, with_fallback=True)
+        query = ["poi-1", "poi-2", "poi-1"]
+        served = service.recommend(query, top_k=10)["recommendations"]
+        expected = [[loc, score] for loc, score in direct.recommend(query, top_k=10)]
+        assert served == expected
+    finally:
+        service.close()
+
+
+def test_unknown_pois_are_dropped_not_fatal(service):
+    mixed = service.recommend(["poi-3", "never-seen-1", "never-seen-2"])
+    pure = service.recommend(["poi-3"])
+    assert mixed["recommendations"] == pure["recommendations"]
+    assert mixed["fallback"] is False
+
+
+def test_all_unknown_query_uses_popularity_fallback(service):
+    result = service.recommend(["never-seen"], top_k=5)
+    assert result["fallback"] is True
+    # Counts were saved descending: the prior ranks poi-0 first.
+    assert result["recommendations"][0][0] == "poi-0"
+    assert service.recommend([], top_k=5)["fallback"] is True
+
+
+def test_all_unknown_without_fallback_is_a_config_error(artifact_path):
+    service = RecommendService.from_artifact(artifact_path, with_fallback=False)
+    try:
+        with pytest.raises(ConfigError, match="no fallback"):
+            service.recommend(["never-seen"])
+        # The service keeps answering valid requests afterwards.
+        assert service.recommend(["poi-0"])["model_version"] == 1
+    finally:
+        service.close()
+
+
+def test_request_validation(service):
+    with pytest.raises(ConfigError):
+        service.recommend("poi-0")  # a bare string is not a list
+    with pytest.raises(ConfigError):
+        service.recommend(["poi-0"], top_k=0)
+    with pytest.raises(ConfigError):
+        service.recommend(["poi-0"], top_k=101)  # above top_k_limit
+    with pytest.raises(ConfigError):
+        service.recommend(["poi-0"], top_k="many")
+
+
+def test_no_model_loaded_maps_to_serving_error(artifact_path):
+    service = RecommendService(ModelRegistry(artifact_path))
+    try:
+        with pytest.raises(ServingError, match="no model loaded"):
+            service.recommend(["poi-0"])
+        assert service.healthz() == {"status": "unloaded"}
+    finally:
+        service.close()
+
+
+def test_healthz_reports_loaded_model(service, artifact_path):
+    payload = service.healthz()
+    assert payload["status"] == "ok"
+    assert payload["model_version"] == 1
+    assert payload["source"] == artifact_path
+    assert payload["num_locations"] == 40
+    assert payload["privacy"]["epsilon"] == 2.0
+
+
+def test_metrics_aggregate_requests_and_batches(service):
+    service.recommend(["poi-0"])
+    service.recommend(["never-seen"])
+    with pytest.raises(ConfigError):
+        service.recommend(["poi-0"], top_k=0)
+    snapshot = service.metrics()
+    assert snapshot["requests"]["ok"] == 2
+    assert snapshot["requests"]["invalid"] == 1
+    assert snapshot["requests_total"] == 3
+    assert snapshot["fallback_answers"] == 1
+    assert snapshot["request_latency"]["count"] == 3
+    assert snapshot["batches"]["queries_scored"] == 2
+    assert snapshot["batches"]["max_batch_size"] >= 1
+
+
+def test_reload_bumps_version_and_failure_keeps_serving(artifact_path, tmp_path):
+    registry = ModelRegistry(artifact_path)
+    registry.load()
+    service = RecommendService(registry)
+    try:
+        payload = service.reload()
+        assert payload["model_version"] == 2
+        assert service.recommend(["poi-0"])["model_version"] == 2
+        # Point the registry at a broken artifact: reload fails, old serves.
+        registry._path = str(tmp_path / "missing.npz")
+        with pytest.raises(Exception):
+            service.reload()
+        assert service.recommend(["poi-0"])["model_version"] == 2
+        snapshot = service.metrics()
+        assert snapshot["reloads"] == {"ok": 1, "failed": 1}
+        assert snapshot["model_version"] == 2
+    finally:
+        service.close()
+
+
+def test_custom_observers_receive_events(artifact_path, tmp_path):
+    log_path = tmp_path / "serving.jsonl"
+    jsonl = JsonlServingObserver(log_path)
+    metrics = MetricsObserver()
+    service = RecommendService.from_artifact(
+        artifact_path, observers=[jsonl, metrics]
+    )
+    try:
+        service.recommend(["poi-0"])
+        service.reload()
+    finally:
+        service.close()
+        jsonl.close()
+    # The caller's MetricsObserver is the one backing service.metrics().
+    assert metrics.snapshot()["requests_total"] == 1
+    assert service.metrics() == metrics.snapshot()
+    lines = log_path.read_text().splitlines()
+    events = {line.split('"')[3] for line in lines}  # {"event": "..."}
+    assert {"request", "batch", "reload"} <= events
+
+
+def test_close_fails_queued_requests_fast(service):
+    service.close()
+    with pytest.raises(ServingError, match="closed"):
+        service.recommend(["poi-0"])
+    snapshot = service.metrics()
+    assert snapshot["requests"].get("error", 0) == 1

@@ -2,9 +2,19 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import _build_parser, _resolve_train_config, main
+from repro.core.config import PLPConfig
+from repro.exceptions import ConfigError
+
+
+def _train_args(*extra):
+    return _build_parser().parse_args(
+        ["train", "--synthetic", "--out", "m.npz", *extra]
+    )
 
 
 @pytest.fixture()
@@ -38,7 +48,7 @@ def model_npz(tmp_path, data_csv):
             "--epsilon", "5",
             "--sampling-probability", "0.2",
             "--embedding-dim", "8",
-            "--negatives", "4",
+            "--num-negatives", "4",
             "--max-steps", "6",
             "--seed", "3",
             "--out", str(path),
@@ -69,7 +79,7 @@ class TestTrain:
                 "--epsilon", "5",
                 "--sampling-probability", "0.2",
                 "--embedding-dim", "8",
-                "--negatives", "4",
+                "--num-negatives", "4",
                 "--max-steps", "4",
                 "--out", str(path),
             ]
@@ -102,6 +112,91 @@ class TestTrain:
         )
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestTrainConfigResolution:
+    def test_defaults_match_historical_cli_behaviour(self):
+        config = _resolve_train_config(_train_args())
+        assert config.learning_rate == 0.2  # CLI default, not PLPConfig's
+        assert config.epsilon == 2.0
+        assert config.num_negatives == 16
+
+    def test_explicit_flags_apply(self):
+        config = _resolve_train_config(
+            _train_args("--epsilon", "5", "--embedding-dim", "8")
+        )
+        assert config.epsilon == 5.0
+        assert config.embedding_dim == 8
+
+    def test_config_file_round_trips_plpconfig_fields(self, tmp_path):
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps({"epsilon": 3.0, "learning_rate": 0.06}))
+        config = _resolve_train_config(_train_args("--config", str(path)))
+        assert config.epsilon == 3.0
+        # With --config the PLPConfig defaults apply, not the CLI's.
+        assert config.learning_rate == 0.06
+        assert config.num_negatives == PLPConfig().num_negatives
+
+    def test_inline_json_config(self):
+        config = _resolve_train_config(
+            _train_args("--config", '{"embedding_dim": 10}')
+        )
+        assert config.embedding_dim == 10
+
+    def test_explicit_flags_override_config(self, tmp_path):
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps({"epsilon": 3.0, "embedding_dim": 10}))
+        config = _resolve_train_config(
+            _train_args("--config", str(path), "--epsilon", "7")
+        )
+        assert config.epsilon == 7.0
+        assert config.embedding_dim == 10
+
+    def test_unknown_config_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            _resolve_train_config(_train_args("--config", '{"not_a_field": 1}'))
+
+    def test_missing_config_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            _resolve_train_config(
+                _train_args("--config", str(tmp_path / "nope.json"))
+            )
+
+    def test_non_object_config_rejected(self, tmp_path):
+        path = tmp_path / "config.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigError, match="JSON object"):
+            _resolve_train_config(_train_args("--config", str(path)))
+        with pytest.raises(ConfigError, match="JSON"):
+            _resolve_train_config(_train_args("--config", "{not json"))
+
+    def test_deprecated_negatives_alias_warns_and_applies(self):
+        with pytest.warns(DeprecationWarning, match="--num-negatives"):
+            args = _train_args("--negatives", "4")
+        assert _resolve_train_config(args).num_negatives == 4
+
+    def test_deprecated_kwarg_aliases_warn_through_with_overrides(self):
+        with pytest.warns(DeprecationWarning, match="embedding_dim"):
+            config = PLPConfig().with_overrides(dim=10)
+        assert config.embedding_dim == 10
+        with pytest.raises(ConfigError), pytest.warns(DeprecationWarning):
+            # Alias and canonical name together is ambiguous.
+            PLPConfig().with_overrides(dim=10, embedding_dim=12)
+
+
+class TestServeParser:
+    def test_serve_registered_with_model_required(self, capsys):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["serve"])
+        assert "--model" in capsys.readouterr().err
+
+    def test_serve_defaults(self):
+        args = _build_parser().parse_args(["serve", "--model", "m.npz"])
+        assert args.mode == "fast"
+        assert args.port == 8000
+        assert args.max_batch == 64
+        assert not args.exclude_input
+        assert not args.no_fallback
 
 
 class TestEvaluate:
