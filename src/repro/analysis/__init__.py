@@ -1,0 +1,26 @@
+"""dplint: static analysis for the repo's DP and determinism invariants.
+
+The paper's correctness claims rest on invariants that code review alone
+enforces poorly: uniform negative sampling, the clip -> noise -> account
+ordering of Algorithm 1, RNG draw discipline for bit-identical parallel
+execution, and opt-in-only export of raw visit counts. This package
+machine-checks them over the AST — ``repro lint src`` /
+``python -m repro.analysis src`` run in CI on every PR.
+
+See ``docs/static-analysis.md`` for the rule-to-invariant mapping and the
+``# dplint: disable=RULE -- justification`` suppression syntax.
+"""
+
+from repro.analysis.registry import Rule, all_rules, register
+from repro.analysis.runner import lint_paths, lint_source, main
+from repro.analysis.violations import Violation
+
+__all__ = [
+    "Rule",
+    "Violation",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "register",
+]

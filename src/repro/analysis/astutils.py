@@ -1,0 +1,250 @@
+"""Shared AST helpers for dplint rules.
+
+Rules need four recurring capabilities: resolving what imported name a
+call actually refers to (``np.random.default_rng`` -> ``numpy.random.
+default_rng``), walking calls in execution-ish order, harvesting the
+identifiers an expression mentions (for name-based taint heuristics), and
+navigating from a node to its enclosing statements. All of that lives
+here, on top of a per-module :class:`ModuleContext`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+_SNAKE_SPLIT = re.compile(r"[^a-zA-Z0-9]+")
+
+
+def collect_import_aliases(tree: ast.AST) -> dict[str, str]:
+    """Map local names to the dotted import paths they are bound to.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from numpy.random import default_rng as mk`` ->
+    ``{"mk": "numpy.random.default_rng"}``;
+    ``import numpy.random`` binds the root package: ``{"numpy": "numpy"}``.
+    Relative imports are recorded with their bare module path (the rules
+    only ever match absolute roots such as ``numpy`` and ``random``, which
+    a relative import can never shadow into existence).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname is not None:
+                    aliases[name.asname] = name.name
+                else:
+                    aliases[name.name.split(".")[0]] = name.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname or name.name
+                aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """The syntactic dotted path of a Name/Attribute chain, else ``None``.
+
+    ``np.random.default_rng`` -> ``"np.random.default_rng"``; anything with
+    a non-name base (calls, subscripts) yields ``None``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def call_name(call: ast.Call) -> str | None:
+    """The final identifier of the called object (``a.b.c(...)`` -> ``"c"``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def identifier_parts(node: ast.AST, include_strings: bool = False) -> set[str]:
+    """All lowercase snake-case fragments of identifiers under ``node``.
+
+    ``user_counts / counts.sum()`` -> ``{"user", "counts", "sum"}``. With
+    ``include_strings`` the fragments of string constants are included too
+    (useful for dict-key taint like ``weights["visit_freq"]``).
+    """
+    parts: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            parts.update(_split_identifier(sub.id))
+        elif isinstance(sub, ast.Attribute):
+            parts.update(_split_identifier(sub.attr))
+        elif (
+            include_strings
+            and isinstance(sub, ast.Constant)
+            and isinstance(sub.value, str)
+        ):
+            parts.update(_split_identifier(sub.value))
+    return parts
+
+
+def _split_identifier(identifier: str) -> list[str]:
+    # snake_case and the occasional camelCase both split into fragments.
+    spaced = re.sub(r"(?<=[a-z0-9])(?=[A-Z])", "_", identifier)
+    return [part.lower() for part in _SNAKE_SPLIT.split(spaced) if part]
+
+
+_SCOPE_BOUNDARIES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def postorder_calls(node: ast.AST, _root: bool = True) -> Iterator[ast.Call]:
+    """Yield Call nodes under ``node`` in evaluation-ish (post-) order.
+
+    Post-order matches Python's semantics closely enough for ordering
+    checks: a call's arguments are yielded before the call itself. Nested
+    function/class/lambda bodies are *not* entered — their calls run at a
+    different time than the enclosing body.
+    """
+    if not _root and isinstance(node, _SCOPE_BOUNDARIES):
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from postorder_calls(child, _root=False)
+    if isinstance(node, ast.Call):
+        yield node
+
+
+def functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """All function and method definitions anywhere in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def local_assignments(scope: ast.AST) -> dict[str, ast.expr]:
+    """Single-target ``name = expr`` bindings in ``scope``, last one wins.
+
+    Used for one-level dataflow expansion: when a rule inspects the
+    identifiers feeding an expression, names bound in the same scope are
+    expanded through their right-hand sides.
+    """
+    bindings: dict[str, ast.expr] = {}
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                bindings[target.id] = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                bindings[node.target.id] = node.value
+    return bindings
+
+
+def expanded_identifier_parts(
+    node: ast.AST,
+    bindings: dict[str, ast.expr],
+    depth: int = 3,
+    include_strings: bool = False,
+) -> set[str]:
+    """:func:`identifier_parts` with names expanded through ``bindings``.
+
+    Expansion is capped at ``depth`` levels and cycles are broken by
+    dropping already-visited names, so ``w = w / w.sum()`` terminates.
+    """
+    parts = identifier_parts(node, include_strings=include_strings)
+    seen: set[str] = set()
+    frontier = {
+        sub.id
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Name) and sub.id in bindings
+    }
+    for _ in range(depth):
+        next_frontier: set[str] = set()
+        for name in frontier:
+            if name in seen or name not in bindings:
+                continue
+            seen.add(name)
+            value = bindings[name]
+            parts |= identifier_parts(value, include_strings=include_strings)
+            next_frontier |= {
+                sub.id
+                for sub in ast.walk(value)
+                if isinstance(sub, ast.Name) and sub.id in bindings
+            }
+        frontier = next_frontier - seen
+        if not frontier:
+            break
+    return parts
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module.
+
+    Attributes:
+        path: the display path (as passed on the command line).
+        logical: the path in posix form, used for rule scoping and the
+            per-rule sanctioned-file allowlists.
+        source: the module source text.
+        tree: the parsed AST.
+        aliases: local name -> dotted import origin (see
+            :func:`collect_import_aliases`).
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    aliases: dict[str, str] = field(default_factory=dict)
+    _parents: dict[ast.AST, ast.AST] | None = None
+
+    @classmethod
+    def from_source(cls, source: str, path: str) -> "ModuleContext":
+        tree = ast.parse(source, filename=path)
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            aliases=collect_import_aliases(tree),
+        )
+
+    @property
+    def logical(self) -> str:
+        return self.path.replace("\\", "/")
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted path of ``node`` with its import root expanded.
+
+        ``np.random.default_rng`` resolves to
+        ``"numpy.random.default_rng"`` under ``import numpy as np``; names
+        that are not import-bound keep their syntactic spelling.
+        """
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        root, _, rest = dotted.partition(".")
+        origin = self.aliases.get(root)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of ``node`` (lazily built parent map)."""
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    parents[child] = parent
+            self._parents = parents
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)

@@ -1,0 +1,77 @@
+"""The dplint rule registry.
+
+Each rule is a class with a stable ``rule_id`` (``DPL0xx``), a kebab-case
+``name``, the paper ``invariant`` it protects (shown by ``--list-rules``
+and documented in ``docs/static-analysis.md``), and an optional path
+``scope`` restricting where it runs. Rules register themselves with the
+:func:`register` decorator at import time; :func:`all_rules` returns the
+registry in rule-id order.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar
+
+from repro.analysis.astutils import ModuleContext
+from repro.analysis.violations import Violation
+
+
+class Rule(abc.ABC):
+    """Base class for dplint rules.
+
+    Class attributes:
+        rule_id: stable identifier used in output and suppressions.
+        name: kebab-case slug.
+        invariant: one-line statement of the paper invariant enforced.
+        scope: path fragments; the rule only runs on modules whose logical
+            path contains one of them (empty = every module).
+    """
+
+    rule_id: ClassVar[str]
+    name: ClassVar[str]
+    invariant: ClassVar[str]
+    scope: ClassVar[tuple[str, ...]] = ()
+
+    def applies_to(self, logical_path: str) -> bool:
+        """Whether this rule runs on the module at ``logical_path``."""
+        if not self.scope:
+            return True
+        return any(fragment in logical_path for fragment in self.scope)
+
+    @abc.abstractmethod
+    def check(self, module: ModuleContext) -> list[Violation]:
+        """Run the rule over one module; return its violations."""
+
+    def violation(
+        self, module: ModuleContext, line: int, col: int, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` attributed to this rule."""
+        return Violation(
+            rule_id=self.rule_id,
+            rule_name=self.name,
+            path=module.path,
+            line=line,
+            col=col + 1,  # ast columns are 0-based; report 1-based
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule."""
+    rule = cls()
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """The registered rules, keyed and ordered by rule id."""
+    # Importing the rules package populates the registry on first use.
+    import repro.analysis.rules  # noqa: F401 (import-for-side-effect)
+
+    return dict(sorted(_REGISTRY.items()))

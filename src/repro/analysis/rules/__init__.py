@@ -1,0 +1,17 @@
+"""The shipped dplint rules; importing this package registers them all."""
+
+from repro.analysis.rules import (  # noqa: F401 (import-for-side-effect)
+    accounting_hygiene,
+    count_export,
+    dp_ordering,
+    rng_discipline,
+    uniform_negatives,
+)
+
+__all__ = [
+    "accounting_hygiene",
+    "count_export",
+    "dp_ordering",
+    "rng_discipline",
+    "uniform_negatives",
+]

@@ -1,0 +1,112 @@
+"""DPL005: accounting arithmetic and aggregation order stay deterministic.
+
+Two hygiene sub-checks that both protect the same property — that the
+reported (epsilon, delta) and the released model are exact functions of
+(seed, data, config):
+
+1. **No float equality on budgets.** ``epsilon``/``delta`` values come
+   out of RDP-curve minimization and floating-point composition;
+   ``==``/``!=`` on them makes budget decisions depend on rounding noise.
+   Use ordered comparisons against thresholds (``spent >= budget``) or an
+   explicit tolerance.
+
+2. **No iteration over unordered sets.** Floating-point summation is not
+   associative, so building an aggregation (or any released quantity) by
+   iterating a ``set``/``frozenset`` makes the result depend on hash
+   seeding and insertion history. Iterate ``sorted(...)`` or an
+   insertion-ordered dict instead.
+
+The equality check fires only when a compared operand *is itself* an
+epsilon/delta-named name or attribute — ``len(deltas) == 0`` is fine,
+``step_epsilon == 0.0`` is not.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutils import ModuleContext, _split_identifier
+from repro.analysis.registry import Rule, register
+from repro.analysis.violations import Violation
+
+_BUDGET_PARTS = frozenset({"eps", "epsilon", "epsilons", "delta", "deltas"})
+
+
+def _budget_operand(node: ast.expr) -> str | None:
+    """The identifier when ``node`` is directly an epsilon/delta value."""
+    if isinstance(node, ast.UnaryOp):
+        return _budget_operand(node.operand)
+    if isinstance(node, ast.Name):
+        identifier = node.id
+    elif isinstance(node, ast.Attribute):
+        identifier = node.attr
+    else:
+        return None
+    if set(_split_identifier(identifier)) & _BUDGET_PARTS:
+        return identifier
+    return None
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+@register
+class AccountingHygiene(Rule):
+    rule_id = "DPL005"
+    name = "accounting-hygiene"
+    invariant = (
+        "the spent budget and aggregation order are deterministic: no "
+        "float ==/!= on epsilon/delta, no iteration over unordered sets"
+    )
+    scope = ()  # repo-wide: both hazards corrupt released values anywhere
+
+    def check(self, module: ModuleContext) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for index, op in enumerate(node.ops):
+                    if not isinstance(op, (ast.Eq, ast.NotEq)):
+                        continue
+                    for side in (operands[index], operands[index + 1]):
+                        identifier = _budget_operand(side)
+                        if identifier is not None:
+                            violations.append(
+                                self.violation(
+                                    module,
+                                    node.lineno,
+                                    node.col_offset,
+                                    f"float equality on budget value "
+                                    f"'{identifier}'; epsilon/delta come out "
+                                    "of floating-point composition — compare "
+                                    "with >=/<= thresholds or an explicit "
+                                    "tolerance",
+                                )
+                            )
+                            break
+            iterables: list[ast.expr] = []
+            if isinstance(node, ast.For):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iterables.extend(gen.iter for gen in node.generators)
+            for iterable in iterables:
+                if _is_set_expression(iterable):
+                    violations.append(
+                        self.violation(
+                            module,
+                            iterable.lineno,
+                            iterable.col_offset,
+                            "iteration over an unordered set; downstream "
+                            "float accumulation makes results depend on hash "
+                            "order — iterate sorted(...) or an "
+                            "insertion-ordered dict instead",
+                        )
+                    )
+        return violations

@@ -1,0 +1,95 @@
+"""DPL004: raw visit counts never leave the serving/serialization layer ungated.
+
+The deployable artifact and every serving response are post-processing of
+the DP-trained embeddings — free to publish. Raw per-POI visit counts are
+not: they are computed directly from the private check-in data, so any
+path that writes them into an exported payload must be gated on the
+explicit ``include_counts`` opt-in (and documented as unprotected, see
+``docs/serving.md``).
+
+Flags writes of count-like keys (``counts``, ``visit_counts``,
+``frequencies``, ``popularity`` ...) into dicts/payloads — both
+``payload["counts"] = ...`` subscript-assignments and dict-literal keys —
+in the serving and serialization modules, unless an enclosing ``if`` (or
+conditional expression) tests ``include_counts``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.astutils import ModuleContext
+from repro.analysis.registry import Rule, register
+from repro.analysis.violations import Violation
+
+# Plural/visit-count key forms only: a singular "count" is overwhelmingly
+# operational telemetry (request counters, latency aggregates), not
+# per-POI visit data.
+_COUNT_KEY = re.compile(
+    r"^(counts|visit_?counts?|raw_?counts?|checkin_?counts?|"
+    r"frequenc(y|ies)|popularity|histogram)$"
+)
+_OPT_IN = "include_counts"
+
+
+def _guarded(module: ModuleContext, node: ast.AST) -> bool:
+    """Whether ``node`` sits under a conditional testing ``include_counts``."""
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, (ast.If, ast.IfExp)):
+            for sub in ast.walk(ancestor.test):
+                if isinstance(sub, ast.Name) and sub.id == _OPT_IN:
+                    return True
+                if isinstance(sub, ast.Attribute) and sub.attr == _OPT_IN:
+                    return True
+    return False
+
+
+@register
+class NoRawCountExport(Rule):
+    rule_id = "DPL004"
+    name = "no-raw-count-export"
+    invariant = (
+        "only post-processing of the DP model is released; raw visit "
+        "counts carry no guarantee and require the include_counts opt-in"
+    )
+    scope = ("repro/serving/", "repro/models/serialization")
+
+    def check(self, module: ModuleContext) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(module.tree):
+            key_node: ast.AST | None = None
+            key: str | None = None
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                        and _COUNT_KEY.match(target.slice.value)
+                    ):
+                        key_node, key = target, target.slice.value
+            elif isinstance(node, ast.Dict):
+                for dict_key in node.keys:
+                    if (
+                        isinstance(dict_key, ast.Constant)
+                        and isinstance(dict_key.value, str)
+                        and _COUNT_KEY.match(dict_key.value)
+                    ):
+                        key_node, key = dict_key, dict_key.value
+            if key_node is None or key is None:
+                continue
+            if _guarded(module, key_node):
+                continue
+            violations.append(
+                self.violation(
+                    module,
+                    key_node.lineno,
+                    key_node.col_offset,
+                    f"writes raw-count key '{key}' into an exported payload "
+                    "without an include_counts gate; raw visit counts are "
+                    "computed from private data and carry no DP guarantee",
+                )
+            )
+        return violations

@@ -1,0 +1,161 @@
+"""DPL003: per-step deltas flow clip -> noise -> ledger before release.
+
+Algorithm 1's guarantee holds only when, every step, the aggregated
+bucket deltas are (a) norm-clipped to the sensitivity bound ``C``, (b)
+perturbed with Gaussian noise whose sigma comes from configuration or
+calibration (never a hard-coded literal), and (c) recorded in the privacy
+ledger — with the budget checked before the update is committed to theta.
+McMahan et al.'s user-level DP FedAvg makes the same point for
+aggregation: one update applied outside this order voids (epsilon, delta).
+
+The check is function-local over the engine/privacy modules. Calls are
+classified into events by name — CLIP (``clip_*``), NOISE (``add_noise``,
+``noise``, ``.normal``, ``.laplace``), APPLY (``apply``, ``add_``),
+ACCOUNT (``track_budget``, ``account``, ``record``), GUARD
+(``budget_would_cross``, ``preview_budget_spent``,
+``assert_within_budget``) — and walked in evaluation order. Within one
+function:
+
+1. an APPLY may not precede the first NOISE when both occur;
+2. a NOISE may not precede the first CLIP when both occur;
+3. a function that both noises and applies must interact with the ledger
+   (an ACCOUNT or GUARD event) in the same body;
+4. the noise scale fed to ``.normal``/``.laplace``/``GaussianMechanism``
+   must be a sourced value (name/attribute/call), not a nonzero literal.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutils import ModuleContext, call_name, functions, postorder_calls
+from repro.analysis.registry import Rule, register
+from repro.analysis.violations import Violation
+
+_CLIP_PREFIX = "clip"
+_NOISE_NAMES = frozenset({"add_noise", "noise", "normal", "laplace"})
+_APPLY_NAMES = frozenset({"apply", "add_", "apply_update"})
+_ACCOUNT_NAMES = frozenset({"track_budget", "account", "record", "record_step"})
+_GUARD_NAMES = frozenset(
+    {"budget_would_cross", "preview_budget_spent", "assert_within_budget"}
+)
+_SIGMA_KWARGS = frozenset({"scale", "sigma", "noise_multiplier", "stddev", "noise_stddev"})
+
+
+def _classify(call: ast.Call) -> str | None:
+    name = call_name(call)
+    if name is None:
+        return None
+    if name in _NOISE_NAMES:
+        return "noise"
+    if name in _APPLY_NAMES:
+        return "apply"
+    if name in _ACCOUNT_NAMES:
+        return "account"
+    if name in _GUARD_NAMES:
+        return "guard"
+    if name.startswith(_CLIP_PREFIX):
+        return "clip"
+    return None
+
+
+def _literal_scale(call: ast.Call) -> ast.Constant | None:
+    """The nonzero numeric literal used as this noise call's scale, if any."""
+    name = call_name(call)
+    candidates: list[ast.expr] = []
+    if name in ("normal", "laplace"):
+        # Generator.normal(loc, scale, size=...) — scale is arg 1.
+        if len(call.args) >= 2:
+            candidates.append(call.args[1])
+    if name == "GaussianMechanism" and call.args:
+        candidates.append(call.args[0])
+    candidates += [kw.value for kw in call.keywords if kw.arg in _SIGMA_KWARGS]
+    for candidate in candidates:
+        if (
+            isinstance(candidate, ast.Constant)
+            and isinstance(candidate.value, (int, float))
+            and candidate.value != 0
+        ):
+            return candidate
+    return None
+
+
+@register
+class DpOrdering(Rule):
+    rule_id = "DPL003"
+    name = "clip-noise-account-order"
+    invariant = (
+        "Algorithm 1 lines 9-12: clipped deltas are noised with a "
+        "calibrated sigma and recorded in the ledger, with the budget "
+        "checked before the update is committed"
+    )
+    scope = ("repro/core/", "repro/privacy/")
+
+    def check(self, module: ModuleContext) -> list[Violation]:
+        violations: list[Violation] = []
+        for fn in functions(module.tree):
+            events: list[tuple[str, ast.Call]] = []
+            for call in postorder_calls(fn):
+                kind = _classify(call)
+                if kind is not None:
+                    events.append((kind, call))
+                if kind in ("noise", None) and call_name(call) in (
+                    "normal",
+                    "laplace",
+                    "GaussianMechanism",
+                ):
+                    literal = _literal_scale(call)
+                    if literal is not None:
+                        violations.append(
+                            self.violation(
+                                module,
+                                call.lineno,
+                                call.col_offset,
+                                f"noise scale is the hard-coded literal "
+                                f"{literal.value!r}; sigma must come from the "
+                                "config or accountant calibration so the "
+                                "ledger records what was actually added",
+                            )
+                        )
+            kinds = [kind for kind, _ in events]
+            if "noise" in kinds and "apply" in kinds:
+                first_noise = kinds.index("noise")
+                first_apply = kinds.index("apply")
+                if first_apply < first_noise:
+                    _, call = events[first_apply]
+                    violations.append(
+                        self.violation(
+                            module,
+                            call.lineno,
+                            call.col_offset,
+                            "update applied before Gaussian noise; Algorithm 1 "
+                            "releases only noised aggregates (clip -> noise -> "
+                            "account -> apply)",
+                        )
+                    )
+                if "account" not in kinds and "guard" not in kinds:
+                    _, call = events[first_apply]
+                    violations.append(
+                        self.violation(
+                            module,
+                            call.lineno,
+                            call.col_offset,
+                            "noised update applied without any ledger "
+                            "interaction (track_budget/record or a budget "
+                            "preview); every release must be accounted",
+                        )
+                    )
+            if "clip" in kinds and "noise" in kinds:
+                if kinds.index("noise") < kinds.index("clip"):
+                    _, call = events[kinds.index("noise")]
+                    violations.append(
+                        self.violation(
+                            module,
+                            call.lineno,
+                            call.col_offset,
+                            "noise added before clipping; sensitivity is only "
+                            "bounded (and sigma correctly calibrated) when "
+                            "deltas are clipped first",
+                        )
+                    )
+        return violations

@@ -1,0 +1,74 @@
+"""DPL001: all randomness flows through ``repro.rng`` sub-streams.
+
+Parallel/serial bit-identity of the training engine rests on every random
+decision being a pure function of (root seed, step, bucket): streams are
+*derived* (``repro.rng.derive`` / ``spawn``) rather than constructed ad
+hoc. A stray ``np.random.default_rng()`` — or worse, the legacy global
+``np.random.*`` / stdlib ``random`` state — silently breaks that
+contract: results then depend on scheduling order, import order, or
+process identity.
+
+Flags any call resolving into ``numpy.random`` or the stdlib ``random``
+module outside the sanctioned source of truth, ``src/repro/rng.py``.
+Documented seed-plumbing sites (e.g. the bucket executor rehydrating a
+pre-derived ``SeedSequence`` inside a worker process) carry an inline
+``# dplint: disable=DPL001 -- <justification>``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutils import ModuleContext
+from repro.analysis.registry import Rule, register
+from repro.analysis.violations import Violation
+
+# The one module allowed to talk to numpy.random directly: it owns
+# seed-or-generator coercion and draw-free stream derivation.
+_SANCTIONED_SUFFIXES = ("repro/rng.py",)
+
+
+@register
+class RngDiscipline(Rule):
+    rule_id = "DPL001"
+    name = "rng-discipline"
+    invariant = (
+        "bit-identical parallel/serial execution: randomness only via "
+        "repro.rng derive/spawn sub-streams, never ad-hoc generators or "
+        "global RNG state"
+    )
+    scope = ()  # every module; the sanctioned file is exempted below
+
+    def check(self, module: ModuleContext) -> list[Violation]:
+        if module.logical.endswith(_SANCTIONED_SUFFIXES):
+            return []
+        violations: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved == "numpy.random" or resolved.startswith("numpy.random."):
+                violations.append(
+                    self.violation(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"call to {resolved} constructs or draws from an "
+                        "unmanaged NumPy stream; use repro.rng.derive/spawn "
+                        "(or accept an explicit Generator) so parallel and "
+                        "serial runs stay bit-identical",
+                    )
+                )
+            elif resolved == "random" or resolved.startswith("random."):
+                violations.append(
+                    self.violation(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"call to stdlib {resolved} uses hidden global RNG "
+                        "state; route randomness through repro.rng instead",
+                    )
+                )
+        return violations

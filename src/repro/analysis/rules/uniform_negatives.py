@@ -1,0 +1,123 @@
+"""DPL002: negative-candidate sampling must stay uniform.
+
+The paper trains skip-gram with a sampled-softmax whose candidate
+distribution is **uniform** — deliberately. A frequency-weighted sampler
+(the classic word2vec unigram^0.75 trick) would require per-POI visit
+counts estimated from the *private* check-in data, an un-accounted access
+that voids the (epsilon, delta) guarantee exactly as Abadi et al. warn
+for DP-SGD side channels.
+
+Flags sampler calls (``choice`` / ``choices`` / ``multinomial`` /
+``sample_negatives``) that pass a probability/weights argument derived —
+through one level of local dataflow — from identifiers that smell like
+check-in frequencies (``counts``, ``freq``, ``popularity``, ``visits``,
+``bincount`` ...). ``sample_negatives`` is flagged for *any* weights
+argument: its contract is uniform by construction.
+
+Scoped to the model/training packages; the synthetic-data simulator and
+the deliberately non-private baselines legitimately use weighted draws.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutils import (
+    ModuleContext,
+    call_name,
+    expanded_identifier_parts,
+    functions,
+    local_assignments,
+)
+from repro.analysis.registry import Rule, register
+from repro.analysis.violations import Violation
+
+_SAMPLER_NAMES = frozenset({"choice", "choices", "multinomial", "sample_negatives"})
+_WEIGHT_KWARGS = frozenset({"p", "weights", "probs", "probabilities", "cum_weights"})
+_FREQUENCY_PARTS = frozenset(
+    {
+        "count",
+        "counts",
+        "bincount",
+        "freq",
+        "freqs",
+        "frequency",
+        "frequencies",
+        "popularity",
+        "popular",
+        "visit",
+        "visits",
+        "visited",
+        "histogram",
+        "occurrence",
+        "occurrences",
+        "unigram",
+    }
+)
+
+
+@register
+class UniformNegativeSampling(Rule):
+    rule_id = "DPL002"
+    name = "uniform-negative-sampling"
+    invariant = (
+        "negative candidates are drawn uniformly; frequency-weighted "
+        "sampling would estimate location popularity from private data "
+        "outside the accounted mechanism"
+    )
+    scope = ("repro/models/", "repro/core/", "repro/nn/", "repro/privacy/")
+
+    def check(self, module: ModuleContext) -> list[Violation]:
+        violations: list[Violation] = []
+        module_bindings = local_assignments(module.tree)
+        # Function scopes first (their bindings are more precise); the
+        # module-level pass then only sees calls outside any function.
+        scopes: list[tuple[ast.AST, dict[str, ast.expr]]] = [
+            (fn, {**module_bindings, **local_assignments(fn)})
+            for fn in functions(module.tree)
+        ]
+        scopes.append((module.tree, module_bindings))
+
+        seen: set[ast.Call] = set()
+        for scope_node, bindings in scopes:
+            for node in ast.walk(scope_node):
+                if not isinstance(node, ast.Call) or node in seen:
+                    continue
+                name = call_name(node)
+                if name not in _SAMPLER_NAMES:
+                    continue
+                weight_kw = next(
+                    (kw for kw in node.keywords if kw.arg in _WEIGHT_KWARGS), None
+                )
+                if weight_kw is None:
+                    continue
+                seen.add(node)
+                if name == "sample_negatives":
+                    violations.append(
+                        self.violation(
+                            module,
+                            node.lineno,
+                            node.col_offset,
+                            "sample_negatives must draw uniformly; passing "
+                            f"'{weight_kw.arg}=' breaks the paper's uniform "
+                            "candidate distribution",
+                        )
+                    )
+                    continue
+                parts = expanded_identifier_parts(
+                    weight_kw.value, bindings, include_strings=True
+                )
+                tainted = sorted(parts & _FREQUENCY_PARTS)
+                if tainted:
+                    violations.append(
+                        self.violation(
+                            module,
+                            node.lineno,
+                            node.col_offset,
+                            f"candidate sampler weights ('{weight_kw.arg}=') "
+                            f"derive from frequency-like data ({', '.join(tainted)}); "
+                            "negative sampling must be uniform — visit "
+                            "frequencies are private and unaccounted",
+                        )
+                    )
+        return violations

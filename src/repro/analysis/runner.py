@@ -1,0 +1,185 @@
+"""File discovery, rule execution, and the dplint CLI.
+
+Public entry points:
+
+- :func:`lint_source` — lint one source string under a logical path
+  (what the fixture tests use);
+- :func:`lint_paths` — lint files and directory trees;
+- :func:`main` — the CLI behind ``repro lint`` and
+  ``python -m repro.analysis``.
+
+Exit codes follow linter convention: 0 clean, 1 violations found, 2
+usage errors (unknown rule, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.astutils import ModuleContext
+from repro.analysis.registry import Rule, all_rules
+from repro.analysis.suppressions import parse_suppressions
+from repro.analysis.violations import RENDERERS, Violation
+
+#: Pseudo-rule id attached to files that fail to parse. Not suppressible.
+PARSE_ERROR_ID = "DPL000"
+
+
+class UsageError(Exception):
+    """Bad invocation (unknown rule id, nonexistent path)."""
+
+
+def _select_rules(
+    select: Iterable[str] | None = None, ignore: Iterable[str] | None = None
+) -> list[Rule]:
+    rules = all_rules()
+    chosen = set(rules) if select is None else {r.upper() for r in select}
+    dropped = set() if ignore is None else {r.upper() for r in ignore}
+    unknown = (chosen | dropped) - set(rules)
+    if unknown:
+        raise UsageError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(available: {', '.join(rules)})"
+        )
+    return [rule for rule_id, rule in rules.items() if rule_id in chosen - dropped]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[Rule] | None = None,
+) -> list[Violation]:
+    """Lint one module given as source text.
+
+    Args:
+        source: the module source.
+        path: logical path used for display, rule scoping, and sanctioned
+            allowlists (e.g. ``"src/repro/core/engine/stages.py"``).
+        rules: rules to run (default: all registered).
+    """
+    if rules is None:
+        rules = _select_rules()
+    try:
+        module = ModuleContext.from_source(source, path)
+    except SyntaxError as error:
+        return [
+            Violation(
+                rule_id=PARSE_ERROR_ID,
+                rule_name="parse-error",
+                path=path,
+                line=error.lineno or 1,
+                col=error.offset or 1,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    suppressions = parse_suppressions(source)
+    violations: list[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(module.logical):
+            continue
+        for violation in rule.check(module):
+            if not suppressions.is_suppressed(violation.rule_id, violation.line):
+                violations.append(violation)
+    return sorted(violations, key=Violation.sort_key)
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise UsageError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Lint every ``.py`` file under ``paths``; violations in path order."""
+    rules = _select_rules(select, ignore)
+    violations: list[Violation] = []
+    for file in discover_files(paths):
+        source = file.read_text(encoding="utf-8")
+        violations.extend(lint_source(source, path=file.as_posix(), rules=rules))
+    return sorted(violations, key=Violation.sort_key)
+
+
+def list_rules_text() -> str:
+    """The ``--list-rules`` listing: id, slug, and protected invariant."""
+    lines = []
+    for rule_id, rule in all_rules().items():
+        lines.append(f"{rule_id}  {rule.name}")
+        lines.append(f"        {rule.invariant}")
+        if rule.scope:
+            lines.append(f"        scope: {', '.join(rule.scope)}")
+    return "\n".join(lines)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared dplint flags to ``parser`` (used by ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(RENDERERS),
+        default="text",
+        help="output format (github emits ::error workflow annotations)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="skip these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list the rules and exit"
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        print(list_rules_text())
+        return 0
+    try:
+        violations = lint_paths(args.paths, select=args.select, ignore=args.ignore)
+    except UsageError as error:
+        print(f"dplint: error: {error}", file=sys.stderr)
+        return 2
+    print(RENDERERS[args.format](violations))
+    return 1 if violations else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point for ``python -m repro.analysis``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "dplint: AST checks for the repo's differential-privacy and "
+            "determinism invariants (see docs/static-analysis.md)"
+        ),
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))

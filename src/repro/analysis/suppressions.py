@@ -1,0 +1,74 @@
+"""Inline suppression parsing: ``# dplint: disable=RULE``.
+
+Three forms are recognized:
+
+- **line-scoped** — a trailing comment on the flagged line::
+
+      rng = np.random.default_rng(seed)  # dplint: disable=DPL001 -- why
+
+- **next-line** — a comment line directly above the flagged line::
+
+      # dplint: disable-next=DPL001 -- why
+      rng = np.random.default_rng(seed)
+
+- **file-scoped** — a comment-only line anywhere in the file::
+
+      # dplint: disable-file=DPL004 -- this module never serves output
+
+Rule lists are comma-separated; ``all`` (or ``*``) suppresses every rule.
+Everything after ``--`` is a free-form justification — the repo's review
+convention requires one on every suppression that is kept.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_DIRECTIVE = re.compile(
+    r"#\s*dplint:\s*(?P<kind>disable|disable-next|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)"
+)
+_ALL = frozenset({"all", "*", "ALL"})
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives of one file."""
+
+    file_level: set[str] = field(default_factory=set)
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is disabled at 1-based ``line``."""
+        for scope in (self.file_level, self.by_line.get(line, set())):
+            if rule_id in scope or "all" in scope:
+                return True
+        return False
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Scan ``source`` line by line for dplint directives.
+
+    The scan is textual (not tokenizer-based), so a directive spelled
+    inside a string literal would also count — acceptable for this
+    codebase, where ``# dplint:`` appears only in real comments, and noted
+    in ``docs/static-analysis.md``.
+    """
+    suppressions = Suppressions()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        rules = {
+            "all" if token.strip() in _ALL else token.strip().upper()
+            for token in match.group("rules").split(",")
+        }
+        kind = match.group("kind")
+        if kind == "disable-file":
+            suppressions.file_level |= rules
+        elif kind == "disable-next":
+            suppressions.by_line.setdefault(lineno + 1, set()).update(rules)
+        else:
+            suppressions.by_line.setdefault(lineno, set()).update(rules)
+    return suppressions

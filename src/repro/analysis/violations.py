@@ -1,0 +1,83 @@
+"""Violation records and output formatting for the dplint suite.
+
+A :class:`Violation` pins one rule hit to a ``path:line:col`` location.
+Three output renderers are provided: human-readable text, JSON (for
+tooling), and GitHub workflow-command annotations (``::error ...``) so CI
+violations show inline on pull requests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One rule hit at a specific source location.
+
+    Attributes:
+        rule_id: the rule's identifier (e.g. ``"DPL001"``).
+        rule_name: the rule's kebab-case slug (e.g. ``"rng-discipline"``).
+        path: the file the hit is in, as given on the command line.
+        line: 1-based source line.
+        col: 1-based source column.
+        message: what is wrong and what the fix direction is.
+    """
+
+    rule_id: str
+    rule_name: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+def _summary(count: int) -> str:
+    if count == 0:
+        return "dplint: no violations found"
+    return f"dplint: {count} violation{'s' if count != 1 else ''} found"
+
+
+def render_text(violations: list[Violation]) -> str:
+    """``path:line:col: DPL00x message [slug]`` lines plus a summary."""
+    lines = [
+        f"{v.path}:{v.line}:{v.col}: {v.rule_id} {v.message} [{v.rule_name}]"
+        for v in violations
+    ]
+    lines.append(_summary(len(violations)))
+    return "\n".join(lines)
+
+
+def render_json(violations: list[Violation]) -> str:
+    """A JSON document: ``{"violations": [...], "count": n}``."""
+    return json.dumps(
+        {"violations": [asdict(v) for v in violations], "count": len(violations)},
+        indent=2,
+    )
+
+
+def render_github(violations: list[Violation]) -> str:
+    """GitHub workflow commands, one ``::error`` annotation per violation."""
+    lines = []
+    for v in violations:
+        # The message part of a workflow command must escape % \r \n.
+        message = (
+            v.message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        )
+        lines.append(
+            f"::error file={v.path},line={v.line},col={v.col},"
+            f"title={v.rule_id} {v.rule_name}::{message}"
+        )
+    lines.append(_summary(len(violations)))
+    return "\n".join(lines)
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "github": render_github,
+}

@@ -85,7 +85,9 @@ class MatrixFactorizationRecommender:
     ) -> np.ndarray:
         rows: list[tuple[int, int]] = []
         for user, sequence in enumerate(sequences):
-            for token in set(sequence):
+            # dict.fromkeys dedupes while keeping first-visit order, so the
+            # interaction matrix's row order never depends on set hashing.
+            for token in dict.fromkeys(sequence):
                 if not 0 <= token < self.num_locations:
                     raise DataError(
                         f"token {token} out of range [0, {self.num_locations})"

@@ -8,6 +8,7 @@ Subcommands cover the full workflow::
     repro recommend --model model.npz --recent 17,42,8 --top-k 10
     repro serve     --model model.npz --port 8000
     repro audit     --data checkins.csv --model model.npz
+    repro lint      src --format text
 
 ``repro train --synthetic`` skips the CSV and trains straight on a fresh
 synthetic workload. All commands are deterministic under ``--seed``.
@@ -28,6 +29,7 @@ import warnings
 from pathlib import Path
 from typing import Sequence
 
+from repro.analysis.runner import add_lint_arguments, run_from_args
 from repro.attacks import MembershipInferenceAttack
 from repro.core.config import PLPConfig
 from repro.core.dpsgd import UserLevelDPSGD
@@ -211,6 +213,13 @@ def _build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--holdout", type=int, default=50)
     audit.add_argument("--seed", type=int, default=7)
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="dplint: check the DP/determinism invariants "
+        "(docs/static-analysis.md)",
+    )
+    add_lint_arguments(lint)
+
     return parser
 
 
@@ -379,6 +388,7 @@ _COMMANDS = {
     "recommend": _cmd_recommend,
     "serve": _cmd_serve,
     "audit": _cmd_audit,
+    "lint": run_from_args,
 }
 
 

@@ -79,6 +79,10 @@ def run_bucket_job(spec: LocalTrainSpec, job: BucketJob) -> BucketUpdate:
         clip_bound=spec.clip_bound,
         clipping=spec.clipping,
         local_update=spec.local_update,
+        # Sanctioned seed-plumbing site: the worker rehydrates the job's
+        # pre-derived SeedSequence (from repro.rng.derive_seed_sequence);
+        # no new stream is created, so bit-identity is preserved.
+        # dplint: disable-next=DPL001 -- documented seed-plumbing site
         rng=np.random.default_rng(job.seed),
     )
 

@@ -29,6 +29,7 @@ from repro.core.grouping import group_data
 from repro.core.sampling import poisson_sample
 from repro.models.skipgram import SkipGramModel
 from repro.nn.optimizers import DPAdam
+from repro.nn.parameters import ParameterSet
 from repro.privacy.accountant import PrivacyLedger
 from repro.privacy.sensitivity import GaussianSumQuerySensitivity
 from repro.rng import RngLike, derive_seed_sequence
@@ -273,7 +274,7 @@ class StepPipeline:
 
     # -- rollback support ------------------------------------------------------
 
-    _snapshot = None
+    _snapshot: "ParameterSet | None" = None
 
     def budget_would_cross(self, sigma: float) -> bool:
         """Whether accounting this step would reach the epsilon budget.

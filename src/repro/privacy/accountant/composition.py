@@ -56,7 +56,7 @@ def advanced_composition_epsilon(
         raise ConfigError(f"steps must be >= 0, got {steps}")
     if not 0.0 < delta_slack < 1.0:
         raise ConfigError(f"delta_slack must be in (0, 1), got {delta_slack}")
-    if steps == 0 or step_epsilon == 0.0:
+    if steps == 0 or step_epsilon <= 0.0:
         return 0.0, steps * step_delta
     epsilon_total = step_epsilon * math.sqrt(
         2.0 * steps * math.log(1.0 / delta_slack)

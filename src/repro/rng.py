@@ -8,11 +8,11 @@ seed-or-generator convention and deterministic stream splitting.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Final, TypeAlias, Union
 
 import numpy as np
 
-RngLike = Union[int, np.random.Generator, None]
+RngLike: TypeAlias = Union[int, np.random.Generator, None]
 
 
 def ensure_rng(rng: RngLike = None) -> np.random.Generator:
@@ -44,7 +44,7 @@ def spawn(rng: RngLike, count: int) -> list[np.random.Generator]:
 # Marker prepended to every derive() spawn key. SeedSequence.spawn()
 # appends small counters (0, 1, 2, ...) to the parent's spawn_key, so a
 # large fixed word keeps derive()'s key space disjoint from spawn()'s.
-_DERIVE_KEY = 0x64657276  # "derv"
+_DERIVE_KEY: Final[int] = 0x64657276  # "derv"
 
 
 def seed_sequence_of(rng: RngLike) -> np.random.SeedSequence:

@@ -1,0 +1,13 @@
+"""DPL004 flagged fixture: raw counts written to exports without the opt-in."""
+
+
+def save_artifact(vocabulary, payload):
+    payload["counts"] = [vocabulary.count(t) for t in range(vocabulary.size)]
+    return payload
+
+
+def build_response(vocabulary, scores):
+    return {
+        "scores": scores,
+        "visit_counts": list(vocabulary.raw_counts()),
+    }

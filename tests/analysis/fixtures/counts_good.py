@@ -1,0 +1,22 @@
+"""DPL004 clean fixture: counts only behind the include_counts opt-in."""
+
+
+def save_artifact(vocabulary, payload, include_counts=False):
+    if include_counts:
+        payload["counts"] = [vocabulary.count(t) for t in range(vocabulary.size)]
+    return payload
+
+
+def save_with_options(vocabulary, payload, options):
+    if options.include_counts and vocabulary.size:
+        payload["counts"] = [vocabulary.count(t) for t in range(vocabulary.size)]
+    return payload
+
+
+def load_artifact(payload):
+    return payload.get("counts")  # reading an artifact back is fine
+
+
+def telemetry_snapshot(aggregate):
+    # Operational request counters are not visit counts.
+    return {"count": aggregate.count, "mean_seconds": aggregate.mean}

@@ -1,0 +1,22 @@
+"""DPL005 flagged fixture: float equality on budgets, set iteration."""
+
+
+def stop_when_budget_hit(history, config):
+    return history.final_epsilon == config.epsilon  # float == on epsilon
+
+
+def skip_zero_delta(step_delta):
+    if step_delta != 0.0:  # float != on delta
+        return step_delta
+    return None
+
+
+def aggregate_over_users(updates_by_user, sampled_users):
+    total = 0.0
+    for user in set(sampled_users):  # unordered iteration feeds a float sum
+        total += updates_by_user[user]
+    return total
+
+
+def bucket_order(users):
+    return [user for user in {u for u in users}]

@@ -1,0 +1,20 @@
+"""DPL005 clean fixture: threshold comparisons and ordered iteration."""
+
+
+def stop_when_budget_hit(history, config):
+    return history.final_epsilon >= config.epsilon  # ordered comparison
+
+
+def close_enough(epsilon_a, epsilon_b, tolerance=1e-9):
+    return abs(epsilon_a - epsilon_b) <= tolerance
+
+
+def aggregate_over_users(updates_by_user, sampled_users):
+    total = 0.0
+    for user in sorted(set(sampled_users)):  # deterministic order
+        total += updates_by_user[user]
+    return total
+
+
+def membership_is_fine(users, user):
+    return user in set(users)  # membership tests don't depend on order

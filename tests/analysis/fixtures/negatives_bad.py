@@ -1,0 +1,18 @@
+"""DPL002 flagged fixture: frequency-weighted candidate sampling."""
+
+import numpy as np
+
+
+def weighted_by_visit_counts(rng, num_locations, visit_counts):
+    probabilities = visit_counts / visit_counts.sum()
+    return rng.choice(num_locations, size=16, p=probabilities)
+
+
+def weighted_via_bincount_dataflow(rng, tokens, num_locations):
+    per_location = np.bincount(tokens, minlength=num_locations).astype(float)
+    weights = per_location / per_location.sum()
+    return rng.choice(num_locations, size=16, p=weights)
+
+
+def sample_negatives_must_stay_uniform(model, rng, popularity):
+    return model.sample_negatives(64, rng, weights=popularity)

@@ -1,0 +1,14 @@
+"""DPL002 clean fixture: uniform candidate sampling."""
+
+
+def uniform_integers(rng, num_locations, batch, neg):
+    return rng.integers(0, num_locations, size=(batch, neg))
+
+
+def unweighted_choice(rng, num_locations):
+    return rng.choice(num_locations, size=16, replace=True)
+
+
+def weighted_but_not_frequency_derived(rng, candidates, mixture):
+    # Weights from a synthetic mixture model, not from check-in data.
+    return rng.choice(candidates, p=mixture)

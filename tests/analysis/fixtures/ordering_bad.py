@@ -1,0 +1,29 @@
+"""DPL003 flagged fixture: broken clip/noise/account ordering."""
+
+from repro.privacy.clipping import clip_parameters
+
+
+def applies_before_noising(pipeline, aggregate, sigma, step_rng, ledger):
+    pipeline.apply(aggregate)  # released BEFORE noise: voids the guarantee
+    pipeline.noise(aggregate, sigma, step_rng)
+    ledger.track_budget(1.0, sigma)
+
+
+def applies_without_accounting(params, summed, sigma, step_rng):
+    noised = {
+        name: tensor + step_rng.normal(0.0, sigma, size=tensor.shape)
+        for name, tensor in summed.items()
+    }
+    params.add_(noised)  # no ledger interaction anywhere in this body
+
+
+def hard_coded_sigma(summed, step_rng):
+    return {
+        name: tensor + step_rng.normal(0.0, 2.5, size=tensor.shape)
+        for name, tensor in summed.items()
+    }
+
+
+def noises_before_clipping(tensors, bound, step_rng, mechanism):
+    noised = {name: mechanism.add_noise(v, step_rng) for name, v in tensors.items()}
+    return clip_parameters(noised, bound)  # clip AFTER noise: wrong sensitivity

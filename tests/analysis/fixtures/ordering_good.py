@@ -1,0 +1,25 @@
+"""DPL003 clean fixture: the Algorithm 1 step order, sigma from config."""
+
+from repro.privacy.clipping import clip_parameters
+
+
+def one_step(pipeline, config, executor, step, step_rng):
+    sample = pipeline.sample(step_rng)
+    group = pipeline.group(sample, step_rng)
+    local = pipeline.local_train(step, group, executor)
+    aggregate = pipeline.aggregate(local)
+    sigma = config.noise_multiplier  # sourced from config, never a literal
+    pipeline.noise(aggregate, sigma, step_rng)
+    applied = pipeline.apply(
+        aggregate, snapshot_needed=pipeline.budget_would_cross(sigma)
+    )
+    pipeline.account(sigma)
+    return applied
+
+
+def clip_then_noise(tensors, bound, sigma, step_rng):
+    clipped = clip_parameters(tensors, bound)
+    return {
+        name: tensor + step_rng.normal(0.0, sigma, size=tensor.shape)
+        for name, tensor in clipped.items()
+    }

@@ -1,0 +1,24 @@
+"""DPL001 flagged fixture: ad-hoc generators and global RNG state."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def fresh_generator_per_call(values):
+    rng = np.random.default_rng()  # unmanaged stream
+    return rng.permutation(values)
+
+
+def legacy_global_draw(n):
+    np.random.seed(0)  # global state
+    return np.random.rand(n)  # legacy global draw
+
+
+def renamed_import(seed):
+    return default_rng(seed)  # same constructor, hidden behind from-import
+
+
+def stdlib_random(candidates):
+    return random.choice(candidates)  # hidden global stdlib state

@@ -1,0 +1,17 @@
+"""DPL001 clean fixture: explicit generators and derived sub-streams."""
+
+import numpy as np
+
+from repro.rng import derive, ensure_rng
+
+
+def draws_from_passed_generator(rng: np.random.Generator, n: int):
+    return rng.random(n)  # drawing from an explicit Generator is the contract
+
+
+def derives_substream(root, step: int, bucket: int):
+    return derive(root, step, bucket).normal(0.0, 1.0)
+
+
+def coerces_seed(seed):
+    return ensure_rng(seed)

@@ -1,0 +1,16 @@
+"""Suppression fixture: every violation here carries a dplint directive."""
+
+import numpy as np
+
+
+def inline_suppression(seed):
+    return np.random.default_rng(seed)  # dplint: disable=DPL001 -- fixture demo
+
+
+def next_line_suppression(seed):
+    # dplint: disable-next=DPL001 -- fixture demo of the next-line form
+    return np.random.default_rng(seed)
+
+
+def unsuppressed(seed):
+    return np.random.default_rng(seed)

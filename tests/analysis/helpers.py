@@ -1,0 +1,36 @@
+"""Shared helpers for the dplint test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import Violation, lint_source
+from repro.analysis.runner import _select_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Repo root (tests/analysis/helpers.py -> repo). Used by the tests that
+#: lint the shipped tree itself.
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def lint_fixture(
+    name: str,
+    path: str,
+    select: tuple[str, ...] | None = None,
+) -> list[Violation]:
+    """Lint a fixture file as if it lived at logical ``path``.
+
+    Args:
+        name: file name under ``tests/analysis/fixtures/``.
+        path: pretend source location — rule scoping and sanctioned-file
+            allowlists key off it (e.g. ``"src/repro/core/engine/x.py"``).
+        select: restrict to these rule ids (default: all rules).
+    """
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    rules = _select_rules(select=select)
+    return lint_source(source, path=path, rules=rules)
+
+
+def rule_ids(violations: list[Violation]) -> set[str]:
+    return {v.rule_id for v in violations}

@@ -1,0 +1,43 @@
+"""DPL004 (no-raw-count-export) fixture tests."""
+
+from tests.analysis.helpers import lint_fixture, rule_ids
+
+PATH = "src/repro/serving/payloads.py"
+SELECT = ("DPL004",)
+
+
+class TestCountExportFlags:
+    def test_bad_fixture_fires(self):
+        violations = lint_fixture("counts_bad.py", PATH, select=SELECT)
+        assert rule_ids(violations) == {"DPL004"}
+        # One subscript write + one dict-literal key.
+        assert len(violations) == 2
+
+    def test_serialization_module_is_in_scope(self):
+        violations = lint_fixture(
+            "counts_bad.py", "src/repro/models/serialization.py", select=SELECT
+        )
+        assert violations
+
+
+class TestCountExportClean:
+    def test_good_fixture_is_clean(self):
+        assert lint_fixture("counts_good.py", PATH, select=SELECT) == []
+
+    def test_out_of_scope_module_is_ignored(self):
+        # Training-side code does not export payloads; the rule watches
+        # the serving/serialization boundary only.
+        violations = lint_fixture(
+            "counts_bad.py", "src/repro/core/trainer.py", select=SELECT
+        )
+        assert violations == []
+
+    def test_shipped_serialization_is_clean(self):
+        from repro.analysis import lint_source
+
+        from tests.analysis.helpers import REPO_ROOT
+
+        relative = "src/repro/models/serialization.py"
+        source = (REPO_ROOT / relative).read_text()
+        violations = lint_source(source, path=relative)
+        assert not [v for v in violations if v.rule_id == "DPL004"]

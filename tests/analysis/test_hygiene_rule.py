@@ -1,0 +1,39 @@
+"""DPL005 (accounting-hygiene) fixture tests."""
+
+from repro.analysis import lint_source
+
+from tests.analysis.helpers import lint_fixture, rule_ids
+
+PATH = "src/repro/privacy/accountant/custom.py"
+SELECT = ("DPL005",)
+
+
+class TestHygieneFlags:
+    def test_bad_fixture_fires(self):
+        violations = lint_fixture("hygiene_bad.py", PATH, select=SELECT)
+        assert rule_ids(violations) == {"DPL005"}
+        # epsilon ==, delta !=, for-over-set, comprehension-over-set-comp.
+        assert len(violations) == 4
+
+    def test_attribute_epsilon_equality(self):
+        source = "def f(a, b):\n    return a.epsilon == b.epsilon\n"
+        violations = lint_source(source, path=PATH)
+        assert any(v.rule_id == "DPL005" for v in violations)
+
+
+class TestHygieneClean:
+    def test_good_fixture_is_clean(self):
+        assert lint_fixture("hygiene_good.py", PATH, select=SELECT) == []
+
+    def test_len_of_deltas_is_not_a_budget_comparison(self):
+        source = "def f(deltas):\n    return len(deltas) == 0\n"
+        assert lint_source(source, path=PATH) == []
+
+    def test_steps_is_not_epsilon(self):
+        # "steps" contains the substring "eps" but is not a budget value.
+        source = "def f(steps):\n    return steps == 0\n"
+        assert lint_source(source, path=PATH) == []
+
+    def test_ordered_budget_comparison_is_fine(self):
+        source = "def f(spent, epsilon):\n    return spent >= epsilon\n"
+        assert lint_source(source, path=PATH) == []

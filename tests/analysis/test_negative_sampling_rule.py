@@ -1,0 +1,52 @@
+"""DPL002 (uniform-negative-sampling) fixture tests."""
+
+from repro.analysis import lint_source
+
+from tests.analysis.helpers import lint_fixture, rule_ids
+
+PATH = "src/repro/models/sampler.py"
+SELECT = ("DPL002",)
+
+
+class TestUniformNegativeSamplingFlags:
+    def test_bad_fixture_fires(self):
+        violations = lint_fixture("negatives_bad.py", PATH, select=SELECT)
+        assert rule_ids(violations) == {"DPL002"}
+        # counts-weighted choice, bincount dataflow, weighted sample_negatives.
+        assert len(violations) == 3
+
+    def test_dataflow_through_local_variable(self):
+        source = (
+            "def f(rng, n, checkin_frequencies):\n"
+            "    w = checkin_frequencies / checkin_frequencies.sum()\n"
+            "    return rng.choice(n, p=w)\n"
+        )
+        violations = lint_source(source, path=PATH)
+        assert any(v.rule_id == "DPL002" for v in violations)
+
+    def test_sample_negatives_with_any_weights(self):
+        source = "def f(m, rng):\n    return m.sample_negatives(8, rng, p=[0.5, 0.5])\n"
+        violations = lint_source(source, path=PATH)
+        assert any(v.rule_id == "DPL002" for v in violations)
+
+
+class TestUniformNegativeSamplingClean:
+    def test_good_fixture_is_clean(self):
+        assert lint_fixture("negatives_good.py", PATH, select=SELECT) == []
+
+    def test_simulator_paths_are_out_of_scope(self):
+        # The synthetic-data world model legitimately samples POIs by
+        # popularity; the rule is scoped away from repro/data/.
+        violations = lint_fixture(
+            "negatives_bad.py", "src/repro/data/synthetic.py", select=SELECT
+        )
+        assert violations == []
+
+    def test_shipped_skipgram_sampler_is_clean(self):
+        from tests.analysis.helpers import REPO_ROOT
+
+        source = (REPO_ROOT / "src/repro/models/skipgram.py").read_text()
+        violations = lint_source(
+            source, path="src/repro/models/skipgram.py"
+        )
+        assert not [v for v in violations if v.rule_id == "DPL002"]

@@ -1,0 +1,62 @@
+"""DPL003 (clip-noise-account-order) fixture tests."""
+
+from repro.analysis import lint_source
+
+from tests.analysis.helpers import lint_fixture, rule_ids
+
+PATH = "src/repro/core/engine/custom_engine.py"
+SELECT = ("DPL003",)
+
+
+class TestOrderingFlags:
+    def test_bad_fixture_fires(self):
+        violations = lint_fixture("ordering_bad.py", PATH, select=SELECT)
+        assert rule_ids(violations) == {"DPL003"}
+
+    def test_apply_before_noise(self):
+        violations = lint_fixture("ordering_bad.py", PATH, select=SELECT)
+        assert any("applied before" in v.message for v in violations)
+
+    def test_missing_ledger_interaction(self):
+        violations = lint_fixture("ordering_bad.py", PATH, select=SELECT)
+        assert any("without any ledger" in v.message for v in violations)
+
+    def test_literal_sigma(self):
+        violations = lint_fixture("ordering_bad.py", PATH, select=SELECT)
+        assert any("hard-coded literal" in v.message for v in violations)
+
+    def test_noise_before_clip(self):
+        violations = lint_fixture("ordering_bad.py", PATH, select=SELECT)
+        assert any("before clipping" in v.message for v in violations)
+
+    def test_literal_gaussian_mechanism_multiplier(self):
+        source = (
+            "from repro.privacy.mechanisms import GaussianMechanism\n"
+            "def f():\n"
+            "    return GaussianMechanism(noise_multiplier=2.5)\n"
+        )
+        violations = lint_source(source, path=PATH)
+        assert any(v.rule_id == "DPL003" for v in violations)
+
+
+class TestOrderingClean:
+    def test_good_fixture_is_clean(self):
+        assert lint_fixture("ordering_good.py", PATH, select=SELECT) == []
+
+    def test_out_of_scope_module_is_ignored(self):
+        violations = lint_fixture(
+            "ordering_bad.py", "src/repro/data/loader.py", select=SELECT
+        )
+        assert violations == []
+
+    def test_shipped_engine_is_clean(self):
+        from tests.analysis.helpers import REPO_ROOT
+
+        for relative in (
+            "src/repro/core/engine/engine.py",
+            "src/repro/core/engine/stages.py",
+            "src/repro/privacy/mechanisms.py",
+        ):
+            source = (REPO_ROOT / relative).read_text()
+            violations = lint_source(source, path=relative)
+            assert not [v for v in violations if v.rule_id == "DPL003"], relative

@@ -1,0 +1,57 @@
+"""DPL001 (rng-discipline) fixture tests."""
+
+from repro.analysis import lint_source
+
+from tests.analysis.helpers import lint_fixture
+
+PATH = "src/repro/core/somewhere.py"
+
+
+class TestRngDisciplineFlags:
+    def test_bad_fixture_fires(self):
+        violations = lint_fixture("rng_bad.py", PATH, select=("DPL001",))
+        assert violations, "flagged fixture must produce violations"
+        assert all(v.rule_id == "DPL001" for v in violations)
+
+    def test_every_bad_pattern_is_caught(self):
+        violations = lint_fixture("rng_bad.py", PATH, select=("DPL001",))
+        flagged_lines = {v.line for v in violations}
+        # default_rng, seed, rand, renamed from-import, stdlib random.
+        assert len(flagged_lines) >= 5
+
+    def test_aliased_import_is_resolved(self):
+        source = (
+            "import numpy.random as nprandom\n"
+            "def f():\n"
+            "    return nprandom.default_rng(3)\n"
+        )
+        violations = lint_source(source, path=PATH)
+        assert any(v.rule_id == "DPL001" for v in violations)
+
+    def test_from_import_of_stdlib_random(self):
+        source = "from random import shuffle\n\ndef f(x):\n    shuffle(x)\n"
+        violations = lint_source(source, path=PATH)
+        assert any(v.rule_id == "DPL001" for v in violations)
+
+
+class TestRngDisciplineClean:
+    def test_good_fixture_is_clean(self):
+        assert lint_fixture("rng_good.py", PATH, select=("DPL001",)) == []
+
+    def test_sanctioned_module_is_exempt(self):
+        violations = lint_fixture(
+            "rng_bad.py", "src/repro/rng.py", select=("DPL001",)
+        )
+        assert violations == []
+
+    def test_annotations_do_not_fire(self):
+        source = (
+            "import numpy as np\n"
+            "def f(rng: np.random.Generator) -> np.random.Generator:\n"
+            "    return rng\n"
+        )
+        assert lint_source(source, path=PATH) == []
+
+    def test_local_name_containing_random_is_not_confused(self):
+        source = "def f(random_offsets):\n    return random_offsets.sum()\n"
+        assert lint_source(source, path=PATH) == []

@@ -1,0 +1,121 @@
+"""Runner, output-format, and CLI integration tests for dplint."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import all_rules, lint_paths
+from repro.analysis.runner import UsageError, main
+from repro.analysis.violations import render_github, render_json, render_text
+
+from tests.analysis.helpers import REPO_ROOT
+
+SRC = str(REPO_ROOT / "src")
+
+
+class TestShippedTree:
+    def test_src_is_clean(self):
+        assert lint_paths([SRC]) == []
+
+    def test_main_exits_zero_on_src(self, capsys):
+        assert main([SRC]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_seeded_violation_is_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "core" / "seeded.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import numpy as np\n\ndef f():\n    return np.random.default_rng()\n"
+        )
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "DPL001" in out and "seeded.py" in out
+
+    def test_every_rule_registered(self):
+        assert set(all_rules()) == {
+            "DPL001",
+            "DPL002",
+            "DPL003",
+            "DPL004",
+            "DPL005",
+        }
+
+
+class TestFormats:
+    @pytest.fixture()
+    def violations(self, tmp_path):
+        bad = tmp_path / "repro" / "serving" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(payload, c):\n    payload['counts'] = c\n")
+        return lint_paths([tmp_path])
+
+    def test_text(self, violations):
+        text = render_text(violations)
+        assert "DPL004" in text and "1 violation found" in text
+
+    def test_json(self, violations):
+        document = json.loads(render_json(violations))
+        assert document["count"] == 1
+        assert document["violations"][0]["rule_id"] == "DPL004"
+        assert document["violations"][0]["line"] == 2
+
+    def test_github_annotations(self, violations):
+        rendered = render_github(violations)
+        assert rendered.startswith("::error file=")
+        assert "title=DPL004" in rendered
+
+    def test_parse_error_reported(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        violations = lint_paths([tmp_path])
+        assert violations[0].rule_id == "DPL000"
+
+
+class TestCliSurfaces:
+    def test_repro_lint_subcommand(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["lint", SRC]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "DPL003" in out and "clip-noise-account-order" in out
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["--select", "DPL999", SRC]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["definitely/not/here"]) == 2
+
+    def test_select_and_ignore(self, tmp_path):
+        bad = tmp_path / "repro" / "core" / "two.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import numpy as np\n"
+            "def f(users):\n"
+            "    g = np.random.default_rng()\n"
+            "    return [g.random() for u in set(users)]\n"
+        )
+        only_rng = lint_paths([tmp_path], select=["DPL001"])
+        assert {v.rule_id for v in only_rng} == {"DPL001"}
+        without_rng = lint_paths([tmp_path], ignore=["DPL001"])
+        assert "DPL001" not in {v.rule_id for v in without_rng}
+        with pytest.raises(UsageError):
+            lint_paths([tmp_path], select=["NOPE"])
+
+    @pytest.mark.slow
+    def test_python_dash_m_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", SRC],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "no violations" in result.stdout

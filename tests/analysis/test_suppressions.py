@@ -1,0 +1,65 @@
+"""Inline-suppression syntax tests."""
+
+from repro.analysis import lint_source
+from repro.analysis.suppressions import parse_suppressions
+
+from tests.analysis.helpers import lint_fixture
+
+PATH = "src/repro/core/somewhere.py"
+
+
+class TestSuppressionForms:
+    def test_only_unsuppressed_violation_survives(self):
+        violations = lint_fixture("suppressed.py", PATH, select=("DPL001",))
+        assert len(violations) == 1
+        assert violations[0].line > 1  # the one in unsuppressed()
+
+    def test_inline_same_line(self):
+        source = (
+            "import numpy as np\n"
+            "g = np.random.default_rng(0)  # dplint: disable=DPL001 -- demo\n"
+        )
+        assert lint_source(source, path=PATH) == []
+
+    def test_disable_next_line(self):
+        source = (
+            "import numpy as np\n"
+            "# dplint: disable-next=DPL001 -- demo\n"
+            "g = np.random.default_rng(0)\n"
+        )
+        assert lint_source(source, path=PATH) == []
+
+    def test_disable_file(self):
+        source = (
+            "# dplint: disable-file=DPL001 -- module-wide demo\n"
+            "import numpy as np\n"
+            "g = np.random.default_rng(0)\n"
+            "h = np.random.default_rng(1)\n"
+        )
+        assert lint_source(source, path=PATH) == []
+
+    def test_disable_all(self):
+        source = (
+            "import numpy as np\n"
+            "g = np.random.default_rng(0)  # dplint: disable=all\n"
+        )
+        assert lint_source(source, path=PATH) == []
+
+    def test_suppressing_one_rule_keeps_others(self):
+        source = (
+            "def f(history, config, users):\n"
+            "    for u in set(users):  # dplint: disable=DPL001 -- wrong rule\n"
+            "        pass\n"
+        )
+        violations = lint_source(source, path=PATH)
+        assert [v.rule_id for v in violations] == ["DPL005"]
+
+    def test_comma_separated_rules(self):
+        parsed = parse_suppressions("x = 1  # dplint: disable=DPL001, DPL005\n")
+        assert parsed.by_line[1] == {"DPL001", "DPL005"}
+
+    def test_justification_text_is_tolerated(self):
+        parsed = parse_suppressions(
+            "# dplint: disable-file=DPL004 -- counts here are request counters\n"
+        )
+        assert parsed.file_level == {"DPL004"}
