@@ -33,9 +33,21 @@ Subpackages:
     - :mod:`repro.geoind` — geo-indistinguishability extension.
     - :mod:`repro.serving` — batched inference and the ``repro serve`` HTTP
       layer.
+    - :mod:`repro.observability` — unified tracing, metrics, and profiling
+      across training, serving, and evaluation.
 """
 
-from repro.api import TrainedModel, evaluate, load, train
+from repro.api import (
+    MetricsRegistry,
+    Observability,
+    TrainedModel,
+    Tracer,
+    evaluate,
+    load,
+    train,
+    with_observability,
+)
+from repro.observability import Observer
 from repro.exceptions import (
     ConfigError,
     DataError,
@@ -102,6 +114,12 @@ __all__ = [
     "load",
     "evaluate",
     "TrainedModel",
+    # observability (also part of the stable surface)
+    "Tracer",
+    "MetricsRegistry",
+    "Observability",
+    "Observer",
+    "with_observability",
     # exceptions
     "ReproError",
     "ConfigError",

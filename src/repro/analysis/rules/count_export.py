@@ -12,6 +12,14 @@ Flags writes of count-like keys (``counts``, ``visit_counts``,
 ``payload["counts"] = ...`` subscript-assignments and dict-literal keys —
 in the serving and serialization modules, unless an enclosing ``if`` (or
 conditional expression) tests ``include_counts``.
+
+The metrics/tracing subsystem is an export path too: a Prometheus scrape
+or a span attribute publishes data exactly like a payload does. The rule
+therefore also covers ``repro/observability/`` and flags, anywhere in
+scope, per-POI count metrics — registering an instrument whose name ties
+a POI/location to a count/total (``..._poi_recommended_total``), or
+recording with a ``poi=``/``location=`` label — unless gated on
+``include_counts``.
 """
 
 from __future__ import annotations
@@ -31,6 +39,15 @@ _COUNT_KEY = re.compile(
     r"frequenc(y|ies)|popularity|histogram)$"
 )
 _OPT_IN = "include_counts"
+
+# Per-POI count metrics: an instrument name that ties a POI/location to a
+# count-like aggregate. "repro_serving_request_seconds" is fine;
+# "repro_serving_poi_recommended_total" is per-POI visit telemetry.
+_POI_TOKEN = re.compile(r"poi|location", re.IGNORECASE)
+_COUNT_TOKEN = re.compile(r"count|total|visit|frequen|popularit", re.IGNORECASE)
+_INSTRUMENT_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+_RECORD_METHODS = frozenset({"inc", "set", "observe", "add_completed"})
+_POI_LABELS = frozenset({"poi", "poi_id", "location", "location_id"})
 
 
 def _guarded(module: ModuleContext, node: ast.AST) -> bool:
@@ -53,11 +70,17 @@ class NoRawCountExport(Rule):
         "only post-processing of the DP model is released; raw visit "
         "counts carry no guarantee and require the include_counts opt-in"
     )
-    scope = ("repro/serving/", "repro/models/serialization")
+    scope = (
+        "repro/serving/",
+        "repro/models/serialization",
+        "repro/observability/",
+    )
 
     def check(self, module: ModuleContext) -> list[Violation]:
         violations: list[Violation] = []
         for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                violations.extend(self._check_metrics_call(module, node))
             key_node: ast.AST | None = None
             key: str | None = None
             if isinstance(node, (ast.Assign, ast.AugAssign)):
@@ -93,3 +116,53 @@ class NoRawCountExport(Rule):
                 )
             )
         return violations
+
+    def _check_metrics_call(
+        self, module: ModuleContext, node: ast.Call
+    ) -> list[Violation]:
+        """Per-POI count metrics: registration and label-recording paths."""
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return []
+        if func.attr in _INSTRUMENT_FACTORIES:
+            if not (
+                node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                return []
+            name = node.args[0].value
+            if not (_POI_TOKEN.search(name) and _COUNT_TOKEN.search(name)):
+                return []
+            if _guarded(module, node):
+                return []
+            return [
+                self.violation(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"registers per-POI count metric '{name}' without an "
+                    "include_counts gate; per-POI counters expose visit "
+                    "frequencies that carry no DP guarantee",
+                )
+            ]
+        if func.attr in _RECORD_METHODS:
+            poi_labels = sorted(
+                kw.arg
+                for kw in node.keywords
+                if kw.arg is not None and kw.arg.lower() in _POI_LABELS
+            )
+            if not poi_labels or _guarded(module, node):
+                return []
+            return [
+                self.violation(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"records a metric/span with per-POI label(s) "
+                    f"{', '.join(repr(label) for label in poi_labels)} "
+                    "without an include_counts gate; per-POI series expose "
+                    "visit frequencies that carry no DP guarantee",
+                )
+            ]
+        return []

@@ -15,11 +15,22 @@ stable across internal refactors::
     result = repro.evaluate(model, holdout)
     print(result.summary())
 
+Observability is part of the facade: build a bundle with
+:func:`with_observability` and pass it to :func:`train` / :func:`evaluate`
+to collect spans, metrics, and per-stage profiles without changing any
+result::
+
+    obs = repro.with_observability(trace_jsonl="trace.jsonl")
+    model = repro.train(config, dataset, with_observability=obs)
+    print(obs.metrics.render_prometheus())
+
 Everything underneath — the training engine, the serving stack, the
 scoring kernels — may move; code written against this module keeps
 working. The facade is re-exported from the package root, so
 ``repro.train`` / ``repro.load`` / ``repro.evaluate`` / ``repro.TrainedModel``
-are the canonical spellings.
+are the canonical spellings (plus ``repro.Tracer``,
+``repro.MetricsRegistry``, ``repro.Observability``,
+``repro.with_observability`` for telemetry).
 """
 
 from __future__ import annotations
@@ -37,6 +48,9 @@ from repro.models.embeddings import EmbeddingMatrix
 from repro.models.recommender import NextLocationRecommender
 from repro.models.serialization import load_deployable_model, save_deployable_model
 from repro.models.vocabulary import LocationVocabulary
+from repro.observability.hooks import Observability, with_observability
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Tracer
 
 _METHODS = ("plp", "dpsgd", "nonprivate")
 
@@ -126,6 +140,7 @@ def train(
     method: str = "plp",
     rng: int | object = 7,
     epochs: int = 5,
+    with_observability: "Observability | None" = None,
     **engine_options,
 ) -> TrainedModel:
     """Train a next-location model and return it as a :class:`TrainedModel`.
@@ -140,6 +155,10 @@ def train(
         rng: seed or ``numpy.random.Generator`` for determinism.
         epochs: data epochs for the non-private trainer (ignored by the
             private methods, which stop on budget).
+        with_observability: optional :class:`Observability` bundle (build
+            with :func:`with_observability`); the engine emits per-stage
+            spans and ``repro_engine_*`` metrics into it. Attaching one
+            never changes the trained model or the ledger.
         **engine_options: forwarded to the trainer — ``executor``,
             ``workers``, ``observers``.
     """
@@ -169,6 +188,7 @@ def train(
             num_negatives=config.num_negatives,
             learning_rate=config.learning_rate,
             rng=rng,
+            observability=with_observability,
             **engine_options,
         )
         history = trainer.fit(dataset, epochs=epochs)
@@ -178,7 +198,9 @@ def train(
             from repro.core.dpsgd import UserLevelDPSGD as trainer_cls
         else:
             from repro.core.trainer import PrivateLocationPredictor as trainer_cls
-        trainer = trainer_cls(config, rng=rng, **engine_options)
+        trainer = trainer_cls(
+            config, rng=rng, observability=with_observability, **engine_options
+        )
         history = trainer.fit(dataset)
         privacy = {
             "mechanism": method,
@@ -207,6 +229,7 @@ def evaluate(
     dataset,
     k_values: Sequence[int] = (5, 10, 20),
     input_scope: str = "session",
+    with_observability: "Observability | None" = None,
 ) -> EvaluationResult:
     """Leave-one-out evaluation of a model on held-out data.
 
@@ -217,6 +240,8 @@ def evaluate(
             sessionize first.
         k_values / input_scope: forwarded to
             :class:`~repro.eval.evaluator.LeaveOneOutEvaluator`.
+        with_observability: optional :class:`Observability` bundle; the
+            run feeds ``repro_eval_*`` latency histograms into it.
     """
     if isinstance(dataset, CheckinDataset):
         trajectories = sessionize_dataset(dataset)
@@ -236,4 +261,4 @@ def evaluate(
     evaluator = LeaveOneOutEvaluator(
         trajectories, k_values=k_values, input_scope=input_scope
     )
-    return evaluator.evaluate(recommender)
+    return evaluator.evaluate(recommender, observability=with_observability)

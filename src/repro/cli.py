@@ -63,16 +63,27 @@ _TRAIN_FLAG_DEFAULTS = {
 }
 
 
+# Renamed/retired flags and their replacement spelling. Every entry is
+# still accepted (wired through _DeprecatedAlias) but warns on use.
+_DEPRECATED_ALIASES = {
+    "--negatives": "--num-negatives",
+    "--metrics-jsonl": "--metrics-out PATH --metrics-format jsonl",
+}
+
+
 class _DeprecatedAlias(argparse.Action):
     """Accepts a renamed flag, warning that the new spelling should be used."""
 
-    def __init__(self, option_strings, dest, new_option, **kwargs):
+    def __init__(self, option_strings, dest, new_option=None, **kwargs):
         self.new_option = new_option
         super().__init__(option_strings, dest, **kwargs)
 
     def __call__(self, parser, namespace, values, option_string=None):
+        replacement = self.new_option or _DEPRECATED_ALIASES.get(
+            option_string or "", "the current flag"
+        )
         warnings.warn(
-            f"{option_string} is deprecated; use {self.new_option}",
+            f"{option_string} is deprecated; use {replacement}",
             DeprecationWarning,
             stacklevel=2,
         )
@@ -150,7 +161,24 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--metrics-jsonl",
         default=None,
-        help="stream per-step metrics to this JSON-lines file",
+        action=_DeprecatedAlias,
+        help=argparse.SUPPRESS,
+    )
+    train.add_argument(
+        "--trace-jsonl",
+        default=None,
+        help="stream engine spans to this JSON-lines trace file",
+    )
+    train.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the metrics registry to this file after training",
+    )
+    train.add_argument(
+        "--metrics-format",
+        choices=("prometheus", "jsonl"),
+        default="prometheus",
+        help="format for --metrics-out (default: prometheus text)",
     )
     train.add_argument("--out", required=True, help="output model .npz path")
 
@@ -193,6 +221,24 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fail all-unknown queries instead of answering from the "
         "popularity prior",
+    )
+    serve.add_argument(
+        "--metrics-format",
+        choices=("prometheus", "json", "jsonl"),
+        default="prometheus",
+        help="default representation of GET /metrics (per-request "
+        "override: ?format=)",
+    )
+    serve.add_argument(
+        "--trace-jsonl",
+        default=None,
+        help="stream serving spans to this JSON-lines trace file",
+    )
+    serve.add_argument(
+        "--include-counts",
+        action="store_true",
+        help="export per-POI recommendation counters (live-traffic "
+        "telemetry, NOT covered by the DP guarantee)",
     )
     serve.add_argument("--max-batch", type=int, default=64)
     serve.add_argument(
@@ -289,8 +335,20 @@ def _cmd_train(args: argparse.Namespace) -> int:
         from repro.core.engine import JsonlMetricsObserver
 
         observers.append(JsonlMetricsObserver(args.metrics_jsonl))
+    observability = None
+    if args.trace_jsonl or args.metrics_out:
+        from repro.observability import with_observability
+
+        observability = with_observability(
+            trace_jsonl=args.trace_jsonl,
+            metrics_path=args.metrics_out,
+            metrics_format=args.metrics_format,
+        )
     engine_opts = dict(
-        executor=args.executor, workers=args.workers, observers=observers
+        executor=args.executor,
+        workers=args.workers,
+        observers=observers,
+        observability=observability,
     )
     config = _resolve_train_config(args)
 
@@ -326,6 +384,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
         args.out, trainer.embeddings(), trainer.vocabulary, privacy
     )
     print(f"saved deployable model to {args.out}")
+    if observability is not None:
+        observability.close()
+        if args.metrics_out:
+            print(f"wrote metrics ({args.metrics_format}) to {args.metrics_out}")
+        if args.trace_jsonl:
+            print(f"wrote trace to {args.trace_jsonl}")
     return 0
 
 
@@ -362,6 +426,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_wait_seconds=args.max_wait_ms / 1000.0,
         timeout_seconds=args.timeout,
+        metrics_format=args.metrics_format,
+        trace_jsonl=args.trace_jsonl,
+        include_counts=args.include_counts,
     )
     return 0
 

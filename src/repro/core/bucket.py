@@ -50,6 +50,9 @@ class BucketUpdate:
         mean_loss: mean local-SGD batch loss (nan for an empty bucket).
         num_batches: local batches executed.
         unclipped_norm: joint l2 norm of the delta before clipping.
+        wall_time_seconds: wall time of the bucket job that produced this
+            update (set by the executor layer; 0.0 when constructed
+            directly).
     """
 
     rows: dict[str, np.ndarray]
@@ -58,6 +61,7 @@ class BucketUpdate:
     mean_loss: float
     num_batches: int
     unclipped_norm: float
+    wall_time_seconds: float = 0.0
 
     @property
     def clipped_norm(self) -> float:

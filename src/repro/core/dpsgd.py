@@ -18,13 +18,17 @@ limited signal, which is often offset by the introduced Gaussian noise"
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.config import PLPConfig
-from repro.core.engine import BucketExecutor, StepObserver
+from repro.core.engine import BucketExecutor
 from repro.core.trainer import EvalFn, PrivateLocationPredictor
 from repro.data.checkins import CheckinDataset
+from repro.observability.observer import Observer
 from repro.rng import RngLike
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.hooks import Observability
 
 
 class UserLevelDPSGD(PrivateLocationPredictor):
@@ -45,7 +49,8 @@ class UserLevelDPSGD(PrivateLocationPredictor):
         rng: RngLike = None,
         executor: "str | BucketExecutor" = "serial",
         workers: int | None = None,
-        observers: Sequence[StepObserver] = (),
+        observers: Sequence[Observer] = (),
+        observability: "Observability | None" = None,
     ) -> None:
         base = config or PLPConfig()
         super().__init__(
@@ -58,6 +63,7 @@ class UserLevelDPSGD(PrivateLocationPredictor):
             executor=executor,
             workers=workers,
             observers=observers,
+            observability=observability,
         )
 
     def fit(

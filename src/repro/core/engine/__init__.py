@@ -10,10 +10,13 @@ Three layers, composed by the trainers in :mod:`repro.core`:
   :class:`ParallelExecutor` — that are bit-identical for the same seed.
 - **Observers** (:mod:`~repro.core.engine.observers`): callbacks carrying
   history recording, stop conditions, evaluation scheduling, JSONL
-  metrics, and checkpointing.
+  metrics, and checkpointing. Their base class is the unified
+  :class:`repro.observability.Observer` (re-exported here);
+  ``StepObserver`` remains as a deprecated alias.
 
 :class:`TrainingEngine` (:mod:`~repro.core.engine.engine`) wires the three
-together.
+together; pass it an :class:`repro.observability.Observability` bundle for
+per-stage spans and timing metrics.
 """
 
 from repro.core.engine.engine import EngineContext, TrainingEngine
@@ -35,6 +38,7 @@ from repro.core.engine.observers import (
     MaxStepsObserver,
     StepObserver,
 )
+from repro.observability.observer import Observer
 from repro.core.engine.stages import (
     AccountResult,
     AggregateResult,
@@ -66,6 +70,7 @@ __all__ = [
     "LocalTrainSpec",
     "make_executor",
     "run_bucket_job",
+    "Observer",
     "StepObserver",
     "HistoryObserver",
     "BudgetStopObserver",

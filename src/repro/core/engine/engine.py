@@ -8,6 +8,13 @@ and notifies observers. Observers own every policy decision: what to
 record, when to evaluate, and when to stop (via
 :meth:`EngineContext.request_stop`).
 
+Observability: when an :class:`~repro.observability.Observability` bundle
+is attached, every step runs inside an ``engine.step`` span with one child
+span per stage (``engine.stage.sample`` ... ``engine.stage.account``), and
+the bundle's registry receives per-stage/per-bucket timing metrics
+(``repro_engine_*``). Instrumentation is read-only and draw-free: a run
+with observability attached is bit-identical to the same run without it.
+
 Rollback: before applying an update, the engine asks the pipeline whether
 this step's accounting could reach the budget
 (:meth:`StepPipeline.budget_would_cross`, a draw-free ledger preview) and
@@ -19,15 +26,29 @@ step per run.
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.engine.executors import BucketExecutor, SerialExecutor
-from repro.core.engine.observers import StepObserver
 from repro.core.engine.stages import StepPipeline, StepResult
 from repro.core.schedules import NoiseSchedule
 from repro.models.embeddings import EmbeddingMatrix
 from repro.models.skipgram import EMBEDDING
+from repro.observability.observer import Observer
 from repro.rng import derive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.hooks import Observability
+
+#: Stage names, in Algorithm 1 order, as used for spans and metric labels.
+STAGE_NAMES = (
+    "sample",
+    "group",
+    "local_train",
+    "aggregate",
+    "noise",
+    "apply",
+    "account",
+)
 
 
 class EngineContext:
@@ -77,6 +98,24 @@ class EngineContext:
         return EmbeddingMatrix(self.model.params[EMBEDDING])
 
 
+class _StageClock:
+    """Times each stage of one step; the per-step metric payload."""
+
+    __slots__ = ("seconds", "_started", "_name")
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self._started = 0.0
+        self._name = ""
+
+    def start(self, name: str) -> None:
+        self._name = name
+        self._started = time.perf_counter()
+
+    def stop(self) -> None:
+        self.seconds[self._name] = time.perf_counter() - self._started
+
+
 class TrainingEngine:
     """Runs Algorithm 1 steps until an observer requests a stop.
 
@@ -91,21 +130,26 @@ class TrainingEngine:
             resuming from a checkpoint, pass the checkpoint's step so the
             derived per-step RNG streams continue where the original run
             left off.
+        observability: optional tracing/metrics/profiling bundle; attaching
+            one never changes the training result (no RNG draws, no state
+            mutation — wall-clock measurement only).
     """
 
     def __init__(
         self,
         pipeline: StepPipeline,
         executor: BucketExecutor | None = None,
-        observers: Sequence[StepObserver] = (),
+        observers: Sequence[Observer] = (),
         noise_schedule: NoiseSchedule | None = None,
         start_step: int = 0,
+        observability: "Observability | None" = None,
     ) -> None:
         self.pipeline = pipeline
         self.executor = executor if executor is not None else SerialExecutor()
         self.observers = list(observers)
         self.noise_schedule = noise_schedule
         self.start_step = int(start_step)
+        self.observability = observability
 
     def run(self) -> str:
         """Execute steps until a stop is requested; returns the stop reason."""
@@ -113,6 +157,12 @@ class TrainingEngine:
         config = pipeline.config
         context = EngineContext(pipeline)
         context.step = self.start_step
+        obs = self.observability
+        engine_metrics = None
+        if obs is not None and obs.metrics is not None:
+            from repro.observability.hooks import EngineMetrics
+
+            engine_metrics = EngineMetrics(obs.metrics)
         while not context.stop_requested:
             step = context.step + 1
             context.step = step
@@ -131,29 +181,12 @@ class TrainingEngine:
             # randomness a pure function of (root seed, t).
             step_rng = derive(pipeline.root, step)
 
-            sample = pipeline.sample(step_rng)
-            group = pipeline.group(sample, step_rng)
-            local = pipeline.local_train(step, group, self.executor)
-            for update in local.updates:
-                for observer in self.observers:
-                    observer.on_bucket_done(context, step, update)
-            aggregate = pipeline.aggregate(local)
-            noise = pipeline.noise(aggregate, sigma, step_rng)
-            applied = pipeline.apply(
-                aggregate, snapshot_needed=pipeline.budget_would_cross(sigma)
-            )
-            account = pipeline.account(sigma)
-
-            result = StepResult(
-                step=step,
-                sample=sample,
-                group=group,
-                local_train=local,
-                aggregate=aggregate,
-                noise=noise,
-                apply=applied,
-                account=account,
-                wall_time_seconds=time.perf_counter() - started,
+            result = (
+                self._run_stages(context, step, sigma, step_rng, started)
+                if obs is None
+                else self._run_stages_observed(
+                    context, step, sigma, step_rng, started, obs, engine_metrics
+                )
             )
             for observer in self.observers:
                 observer.on_step_end(context, result)
@@ -164,3 +197,112 @@ class TrainingEngine:
         for observer in self.observers:
             observer.on_stop(context, reason)
         return reason
+
+    def _run_stages(
+        self,
+        context: EngineContext,
+        step: int,
+        sigma: float,
+        step_rng: "object",
+        started: float,
+    ) -> StepResult:
+        """One step's stage sequence (the uninstrumented fast path)."""
+        pipeline = self.pipeline
+        sample = pipeline.sample(step_rng)  # type: ignore[arg-type]
+        group = pipeline.group(sample, step_rng)  # type: ignore[arg-type]
+        local = pipeline.local_train(step, group, self.executor)
+        for update in local.updates:
+            for observer in self.observers:
+                observer.on_bucket_done(context, step, update)
+        aggregate = pipeline.aggregate(local)
+        noise = pipeline.noise(aggregate, sigma, step_rng)  # type: ignore[arg-type]
+        applied = pipeline.apply(
+            aggregate, snapshot_needed=pipeline.budget_would_cross(sigma)
+        )
+        account = pipeline.account(sigma)
+        return StepResult(
+            step=step,
+            sample=sample,
+            group=group,
+            local_train=local,
+            aggregate=aggregate,
+            noise=noise,
+            apply=applied,
+            account=account,
+            wall_time_seconds=time.perf_counter() - started,
+        )
+
+    def _run_stages_observed(
+        self,
+        context: EngineContext,
+        step: int,
+        sigma: float,
+        step_rng: "object",
+        started: float,
+        obs: "Observability",
+        engine_metrics: "object",
+    ) -> StepResult:
+        """The same stage sequence, wrapped in spans + timing metrics.
+
+        Identical math to :meth:`_run_stages` — the only additions are
+        wall-clock measurements and span bookkeeping, neither of which
+        touches the RNG streams or any training state.
+        """
+        pipeline = self.pipeline
+        clock = _StageClock()
+        with obs.span("engine.step", step=step):
+            with obs.span("engine.stage.sample", step=step):
+                clock.start("sample")
+                sample = pipeline.sample(step_rng)  # type: ignore[arg-type]
+                clock.stop()
+            with obs.span("engine.stage.group", step=step):
+                clock.start("group")
+                group = pipeline.group(sample, step_rng)  # type: ignore[arg-type]
+                clock.stop()
+            with obs.span(
+                "engine.stage.local_train",
+                step=step,
+                num_buckets=group.num_buckets,
+            ):
+                clock.start("local_train")
+                local = pipeline.local_train(step, group, self.executor)
+                clock.stop()
+            for update in local.updates:
+                for observer in self.observers:
+                    observer.on_bucket_done(context, step, update)
+            with obs.span("engine.stage.aggregate", step=step):
+                clock.start("aggregate")
+                aggregate = pipeline.aggregate(local)
+                clock.stop()
+            with obs.span("engine.stage.noise", step=step):
+                clock.start("noise")
+                noise = pipeline.noise(aggregate, sigma, step_rng)  # type: ignore[arg-type]
+                clock.stop()
+            with obs.span("engine.stage.apply", step=step):
+                clock.start("apply")
+                applied = pipeline.apply(
+                    aggregate,
+                    snapshot_needed=pipeline.budget_would_cross(sigma),
+                )
+                clock.stop()
+            with obs.span("engine.stage.account", step=step):
+                clock.start("account")
+                account = pipeline.account(sigma)
+                clock.stop()
+        result = StepResult(
+            step=step,
+            sample=sample,
+            group=group,
+            local_train=local,
+            aggregate=aggregate,
+            noise=noise,
+            apply=applied,
+            account=account,
+            wall_time_seconds=time.perf_counter() - started,
+        )
+        if engine_metrics is not None:
+            from repro.observability.hooks import EngineMetrics
+
+            assert isinstance(engine_metrics, EngineMetrics)
+            engine_metrics.record_step(result, clock.seconds)
+        return result

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import abc
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -69,8 +70,14 @@ class BucketJob:
 
 
 def run_bucket_job(spec: LocalTrainSpec, job: BucketJob) -> BucketUpdate:
-    """Execute one bucket job (the function both executors agree on)."""
-    return model_update_from_bucket(
+    """Execute one bucket job (the function both executors agree on).
+
+    The job's wall time is stamped onto the returned update
+    (``wall_time_seconds``) so per-bucket timing survives the trip back
+    from worker processes without a side channel.
+    """
+    started = time.perf_counter()
+    update = model_update_from_bucket(
         spec.model,
         spec.model.params,
         job.pairs,
@@ -85,6 +92,8 @@ def run_bucket_job(spec: LocalTrainSpec, job: BucketJob) -> BucketUpdate:
         # dplint: disable-next=DPL001 -- documented seed-plumbing site
         rng=np.random.default_rng(job.seed),
     )
+    update.wall_time_seconds = time.perf_counter() - started
+    return update
 
 
 def _run_bucket_chunk(

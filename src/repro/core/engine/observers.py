@@ -1,27 +1,34 @@
 """Observer/callback layer of the training engine.
 
-A :class:`StepObserver` is notified around every Algorithm 1 step:
-``on_step_start`` before the stage pipeline runs, ``on_bucket_done`` for
-each gathered bucket update, ``on_step_end`` with the completed
-:class:`~repro.core.engine.stages.StepResult`, and ``on_stop`` once after
-the run ends (after any rollback). Observers carry all cross-cutting
-concerns — history recording, stop conditions, evaluation scheduling,
-metrics export, checkpointing — keeping the engine loop itself pure
-orchestration.
+An :class:`~repro.observability.Observer` is notified around every
+Algorithm 1 step: ``on_step_start`` before the stage pipeline runs,
+``on_bucket_done`` for each gathered bucket update, ``on_step_end`` with
+the completed :class:`~repro.core.engine.stages.StepResult`, and
+``on_stop`` once after the run ends (after any rollback). Observers carry
+all cross-cutting concerns — history recording, stop conditions,
+evaluation scheduling, metrics export, checkpointing — keeping the engine
+loop itself pure orchestration.
 
 Stop conditions call :meth:`EngineContext.request_stop`; the first
 requested reason wins, so observer registration order is the stop-priority
 order (the trainer registers the budget stop before the max-steps stop,
 preserving the legacy tie-break on a step that triggers both).
+
+``StepObserver`` — the engine's historical base class — remains importable
+here as a thin deprecated alias of the unified
+:class:`repro.observability.Observer`; subclassing or instantiating it
+emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.history import StepRecord, TrainingHistory
+from repro.observability.observer import Observer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.bucket import BucketUpdate
@@ -29,25 +36,35 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.engine.stages import StepResult
 
 
-class StepObserver:
-    """Base observer: every hook is a no-op; override what you need."""
+class StepObserver(Observer):
+    """Deprecated alias of :class:`repro.observability.Observer`.
 
-    def on_step_start(self, context: "EngineContext", step: int) -> None:
-        """Called before step ``step``'s stage pipeline runs."""
+    Kept so pre-observability code importing
+    ``repro.core.engine.StepObserver`` keeps working; new code should
+    subclass the unified :class:`~repro.observability.Observer`, which
+    additionally carries the serving hooks.
+    """
 
-    def on_bucket_done(
-        self, context: "EngineContext", step: int, update: "BucketUpdate"
-    ) -> None:
-        """Called for each bucket update gathered by the executor."""
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        warnings.warn(
+            "StepObserver is deprecated; subclass "
+            "repro.observability.Observer instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        super().__init_subclass__(**kwargs)
 
-    def on_step_end(self, context: "EngineContext", result: "StepResult") -> None:
-        """Called after step ``result.step`` completed (stages + timing)."""
+    def __init__(self) -> None:
+        if type(self) is StepObserver:
+            warnings.warn(
+                "StepObserver is deprecated; use "
+                "repro.observability.Observer instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
 
-    def on_stop(self, context: "EngineContext", reason: str) -> None:
-        """Called once after the run stopped (after any rollback)."""
 
-
-class HistoryObserver(StepObserver):
+class HistoryObserver(Observer):
     """Records one :class:`StepRecord` per step into a training history.
 
     Records unconditionally — including the budget-crossing step that is
@@ -75,7 +92,7 @@ class HistoryObserver(StepObserver):
         self.history.stop_reason = reason
 
 
-class BudgetStopObserver(StepObserver):
+class BudgetStopObserver(Observer):
     """Stops (with rollback) when the ledger reaches the epsilon budget.
 
     Implements lines 12-13 of Algorithm 1: the crossing step is accounted
@@ -92,7 +109,7 @@ class BudgetStopObserver(StepObserver):
             context.request_stop("budget_exhausted", rollback=True)
 
 
-class MaxStepsObserver(StepObserver):
+class MaxStepsObserver(Observer):
     """Stops after a fixed number of steps.
 
     Args:
@@ -110,7 +127,7 @@ class MaxStepsObserver(StepObserver):
             context.request_stop(self.reason)
 
 
-class EvalObserver(StepObserver):
+class EvalObserver(Observer):
     """Runs the user's evaluation callback on the configured cadence.
 
     In-loop evaluation is skipped on a step that requested a stop (the
@@ -148,7 +165,7 @@ class EvalObserver(StepObserver):
         )
 
 
-class JsonlMetricsObserver(StepObserver):
+class JsonlMetricsObserver(Observer):
     """Streams per-step metrics to a JSON-lines file.
 
     One ``{"event": "step", ...}`` object per completed step and a final
@@ -193,7 +210,7 @@ class JsonlMetricsObserver(StepObserver):
             self._file = None
 
 
-class CheckpointObserver(StepObserver):
+class CheckpointObserver(Observer):
     """Periodically saves a resumable checkpoint (theta + ledger state).
 
     Saves every ``every`` steps and once more at stop (after any rollback,

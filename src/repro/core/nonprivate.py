@@ -16,7 +16,7 @@ gets the executor and observer machinery for free.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core._pairs import build_training_data
 from repro.core.config import PLPConfig
@@ -25,11 +25,14 @@ from repro.core.engine import (
     EvalObserver,
     HistoryObserver,
     MaxStepsObserver,
-    StepObserver,
     StepPipeline,
     TrainingEngine,
     make_executor,
 )
+from repro.observability.observer import Observer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.hooks import Observability
 from repro.core.history import TrainingHistory
 from repro.core.trainer import EvalFn
 from repro.data.checkins import CheckinDataset
@@ -75,7 +78,8 @@ class NonPrivateTrainer:
         rng: RngLike = None,
         executor: "str | BucketExecutor" = "serial",
         workers: int | None = None,
-        observers: Sequence[StepObserver] = (),
+        observers: Sequence[Observer] = (),
+        observability: "Observability | None" = None,
     ) -> None:
         if embedding_dim < 1:
             raise ConfigError(f"embedding_dim must be >= 1, got {embedding_dim}")
@@ -95,6 +99,7 @@ class NonPrivateTrainer:
         self.executor = executor
         self.workers = workers
         self.extra_observers = list(observers)
+        self.observability = observability
         self.model: SkipGramModel | None = None
         self.vocabulary: LocationVocabulary | None = None
         self.history = TrainingHistory()
@@ -160,7 +165,7 @@ class NonPrivateTrainer:
         pipeline = StepPipeline(
             config, self.model, user_pairs, root=self._rng, ledger=None
         )
-        observers: list[StepObserver] = [
+        observers: list[Observer] = [
             HistoryObserver(self.history),
             MaxStepsObserver(epochs, reason="epochs_completed"),
         ]
@@ -170,7 +175,12 @@ class NonPrivateTrainer:
 
         executor, owned = make_executor(self.executor, self.workers)
         try:
-            TrainingEngine(pipeline, executor=executor, observers=observers).run()
+            TrainingEngine(
+                pipeline,
+                executor=executor,
+                observers=observers,
+                observability=self.observability,
+            ).run()
         finally:
             if owned:
                 executor.close()

@@ -22,13 +22,13 @@ The mechanics live in :mod:`repro.core.engine`: the step math in
 :class:`~repro.core.engine.StepPipeline`, bucket execution behind a
 pluggable :class:`~repro.core.engine.BucketExecutor` (serial or
 process-parallel, bit-identical for the same seed), and history/stop/eval
-policy in :class:`~repro.core.engine.StepObserver` instances.
+policy in :class:`repro.observability.Observer` instances.
 :meth:`PrivateLocationPredictor.fit` only assembles and runs them.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core._pairs import build_training_data
 from repro.core.config import PLPConfig
@@ -38,11 +38,14 @@ from repro.core.engine import (
     EvalObserver,
     HistoryObserver,
     MaxStepsObserver,
-    StepObserver,
     StepPipeline,
     TrainingEngine,
     make_executor,
 )
+from repro.observability.observer import Observer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.hooks import Observability
 from repro.core.schedules import NoiseSchedule
 from repro.core.history import TrainingHistory
 from repro.data.checkins import CheckinDataset
@@ -74,9 +77,14 @@ class PrivateLocationPredictor:
             across ``fit`` calls; the caller closes it).
         workers: worker-process count for ``executor="parallel"``
             (default: all cores).
-        observers: extra :class:`~repro.core.engine.StepObserver` instances
+        observers: extra :class:`~repro.observability.Observer` instances
             notified on every step (e.g. metrics/checkpoint observers);
             appended after the built-in history/stop/eval observers.
+        observability: optional
+            :class:`~repro.observability.Observability` bundle; the engine
+            emits per-stage spans and ``repro_engine_*`` metrics into it.
+            Purely passive — attaching one never changes the trained model
+            or the ledger.
 
     Attributes (after :meth:`fit`):
         model: the trained :class:`SkipGramModel`.
@@ -92,7 +100,8 @@ class PrivateLocationPredictor:
         noise_schedule: "NoiseSchedule | None" = None,
         executor: "str | BucketExecutor" = "serial",
         workers: int | None = None,
-        observers: Sequence[StepObserver] = (),
+        observers: Sequence[Observer] = (),
+        observability: "Observability | None" = None,
     ) -> None:
         self.config = config or PLPConfig()
         self._rng = ensure_rng(rng)
@@ -100,6 +109,7 @@ class PrivateLocationPredictor:
         self.executor = executor
         self.workers = workers
         self.extra_observers = list(observers)
+        self.observability = observability
         self.model: SkipGramModel | None = None
         self.vocabulary: LocationVocabulary | None = None
         self.history = TrainingHistory()
@@ -158,7 +168,7 @@ class PrivateLocationPredictor:
         # Registration order is stop priority: on a step that both crosses
         # the budget and reaches max_steps, the budget stop (with rollback)
         # wins, as in Algorithm 1.
-        observers: list[StepObserver] = [
+        observers: list[Observer] = [
             HistoryObserver(self.history),
             BudgetStopObserver(config.epsilon),
         ]
@@ -175,6 +185,7 @@ class PrivateLocationPredictor:
                 executor=executor,
                 observers=observers,
                 noise_schedule=self.noise_schedule,
+                observability=self.observability,
             ).run()
         finally:
             if owned:

@@ -8,10 +8,14 @@ HR@k / MRR / NDCG over all cases.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.hooks import EvalMetrics, Observability
 
 from repro.eval.metrics import hit_rate_at_k, mean_reciprocal_rank, ndcg_at_k
 from repro.exceptions import ConfigError
@@ -103,6 +107,7 @@ class LeaveOneOutEvaluator:
         recommender: NextLocationRecommender,
         batched: bool | None = None,
         batch_size: int = 256,
+        observability: "Observability | None" = None,
     ) -> EvaluationResult:
         """Run the protocol and aggregate the metrics.
 
@@ -122,6 +127,10 @@ class LeaveOneOutEvaluator:
                 exact kernel, whose rows are bit-for-bit equal to
                 ``score_all``.
             batch_size: cases scored per ``score_batch`` call.
+            observability: optional bundle; the run emits an
+                ``eval.evaluate`` span and feeds ``repro_eval_*``
+                latency histograms (per-query and per-chunk) into the
+                bundle's registry. Purely passive.
         """
         supports_batch = callable(getattr(recommender, "score_batch", None)) and callable(
             getattr(recommender, "encode_query", None)
@@ -134,10 +143,28 @@ class LeaveOneOutEvaluator:
             )
         if batch_size < 1:
             raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
-        if batched or (batched is None and supports_batch):
-            ranks, skipped = self._collect_ranks_batched(recommender, batch_size)
+        eval_metrics = None
+        if observability is not None and observability.metrics is not None:
+            from repro.observability.hooks import EvalMetrics
+
+            eval_metrics = EvalMetrics(observability.metrics)
+        use_batched = bool(batched or (batched is None and supports_batch))
+        if observability is not None:
+            with observability.span(
+                "eval.evaluate",
+                cases=len(self.trajectories),
+                batched=use_batched,
+            ):
+                ranks, skipped = self._collect(
+                    recommender, use_batched, batch_size, eval_metrics
+                )
         else:
-            ranks, skipped = self._collect_ranks_loop(recommender)
+            ranks, skipped = self._collect(
+                recommender, use_batched, batch_size, eval_metrics
+            )
+        if eval_metrics is not None:
+            eval_metrics.cases.inc(len(ranks))
+            eval_metrics.skipped.inc(skipped)
 
         result = EvaluationResult(
             num_cases=len(ranks), num_skipped=skipped, ranks=ranks
@@ -147,7 +174,18 @@ class LeaveOneOutEvaluator:
         result.mrr = mean_reciprocal_rank(ranks)
         return result
 
-    def _collect_ranks_loop(self, recommender) -> tuple[list[int], int]:
+    def _collect(
+        self, recommender, use_batched: bool, batch_size: int, eval_metrics
+    ) -> tuple[list[int], int]:
+        if use_batched:
+            return self._collect_ranks_batched(
+                recommender, batch_size, eval_metrics
+            )
+        return self._collect_ranks_loop(recommender, eval_metrics)
+
+    def _collect_ranks_loop(
+        self, recommender, eval_metrics: "EvalMetrics | None" = None
+    ) -> tuple[list[int], int]:
         """Original per-case scoring loop (works for any recommender)."""
         ranks: list[int] = []
         skipped = 0
@@ -166,10 +204,15 @@ class LeaveOneOutEvaluator:
             else:
                 target_token = int(target)
             try:
+                started = time.perf_counter()
                 scores = recommender.score_all(recent)
             except ConfigError:
                 skipped += 1
                 continue
+            if eval_metrics is not None:
+                eval_metrics.query_seconds.observe(
+                    time.perf_counter() - started
+                )
             if not 0 <= target_token < scores.shape[0]:
                 skipped += 1
                 continue
@@ -180,7 +223,10 @@ class LeaveOneOutEvaluator:
         return ranks, skipped
 
     def _collect_ranks_batched(
-        self, recommender, batch_size: int
+        self,
+        recommender,
+        batch_size: int,
+        eval_metrics: "EvalMetrics | None" = None,
     ) -> tuple[list[int], int]:
         """Vectorized path: same skip rules, one score_batch call per chunk.
 
@@ -226,7 +272,15 @@ class LeaveOneOutEvaluator:
         for start in range(0, len(inputs), batch_size):
             chunk = inputs[start : start + batch_size]
             chunk_targets = np.asarray(targets[start : start + batch_size])
+            started = time.perf_counter()
             scores = recommender.score_batch(chunk, mode="exact")
+            if eval_metrics is not None:
+                elapsed = time.perf_counter() - started
+                eval_metrics.batch_seconds.observe(elapsed)
+                # Amortized per-query latency for the batched path.
+                per_query = elapsed / len(chunk)
+                for _ in chunk:
+                    eval_metrics.query_seconds.observe(per_query)
             target_scores = scores[np.arange(len(chunk)), chunk_targets]
             chunk_ranks = 1 + (scores > target_scores[:, None]).sum(axis=1)
             ranks.extend(int(rank) for rank in chunk_ranks)

@@ -1,0 +1,221 @@
+"""The :class:`Observability` bundle: tracer + metrics + profiler as one unit.
+
+Call sites (engine, evaluator, serving, CLI, benchmarks) receive a single
+``observability`` object instead of three separate knobs. The bundle is
+pure instrumentation: attaching one to a training run changes no random
+draw, no parameter, and no ledger entry — bit-identity with the untraced
+run is part of the contract (and asserted in ``tests/observability``).
+
+Build one with :func:`with_observability`::
+
+    obs = with_observability(trace_jsonl="trace.jsonl")
+    model = repro.train(config, dataset, with_observability=obs)
+    print(obs.metrics.render_prometheus())
+    print(obs.profiler.summary())
+    obs.close()
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.profiling import StageProfiler
+from repro.observability.tracing import JsonlSpanSink, Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine.stages import StepResult
+
+
+class Observability:
+    """One handle over a tracer, a metrics registry, and a stage profiler.
+
+    Any component may be ``None``; :meth:`span` degrades gracefully to
+    plain timing (profiler only) or to a no-op. Prefer building instances
+    through :func:`with_observability`.
+
+    Args:
+        tracer: span collector, or ``None`` for no tracing.
+        metrics: shared metrics registry, or ``None`` for no metrics.
+        profiler: per-stage aggregates, or ``None`` for no profiling.
+        metrics_path / metrics_format: when set, :meth:`close` writes the
+            registry there (``"prometheus"`` text or ``"jsonl"``).
+    """
+
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        profiler: StageProfiler | None = None,
+        metrics_path: str | Path | None = None,
+        metrics_format: str = "prometheus",
+        _owned_sink: JsonlSpanSink | None = None,
+    ) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+        self.profiler = profiler
+        self.metrics_path = Path(metrics_path) if metrics_path else None
+        self.metrics_format = metrics_format
+        self._owned_sink = _owned_sink
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span | None]:
+        """Trace + profile a ``with`` block; yields the open span (or None)."""
+        if self.tracer is not None:
+            with self.tracer.span(name, **attributes) as span:
+                yield span
+            if self.profiler is not None and span.duration_seconds is not None:
+                self.profiler.record(name, span.duration_seconds)
+        elif self.profiler is not None:
+            with self.profiler.stage(name):
+                yield None
+        else:
+            yield None
+
+    def record_span(
+        self, name: str, duration_seconds: float, **attributes: Any
+    ) -> None:
+        """Record an already-measured region (post-hoc span + profile)."""
+        if self.tracer is not None:
+            self.tracer.add_completed(name, duration_seconds, **attributes)
+        if self.profiler is not None:
+            self.profiler.record(name, duration_seconds)
+
+    def close(self) -> None:
+        """Flush owned outputs: trace sink and the configured metrics file."""
+        if self.metrics is not None and self.metrics_path is not None:
+            self.metrics.write(self.metrics_path, format=self.metrics_format)
+        if self._owned_sink is not None:
+            self._owned_sink.close()
+
+    def __enter__(self) -> "Observability":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def with_observability(
+    trace_jsonl: str | Path | None = None,
+    metrics_path: str | Path | None = None,
+    metrics_format: str = "prometheus",
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    profiler: StageProfiler | None = None,
+) -> Observability:
+    """Build an :class:`Observability` bundle with sensible defaults.
+
+    With no arguments: in-memory tracer, fresh registry, fresh profiler.
+    ``trace_jsonl`` streams every finished span to a JSON-lines file;
+    ``metrics_path``/``metrics_format`` write the registry on
+    :meth:`Observability.close`. Pass pre-built components to share them
+    (e.g. one registry across training and serving).
+    """
+    owned_sink = None
+    if tracer is None:
+        if trace_jsonl is not None:
+            owned_sink = JsonlSpanSink(trace_jsonl)
+        tracer = Tracer(sink=owned_sink)
+    return Observability(
+        tracer=tracer,
+        metrics=metrics if metrics is not None else MetricsRegistry(),
+        profiler=profiler if profiler is not None else StageProfiler(),
+        metrics_path=metrics_path,
+        metrics_format=metrics_format,
+        _owned_sink=owned_sink,
+    )
+
+
+class EngineMetrics:
+    """Registers and feeds the training engine's metric families.
+
+    Created by the engine once per run when observability carries a
+    registry; :meth:`record_step` is called after every completed step.
+    Metric families (all prefixed ``repro_engine_``):
+
+    - ``steps_total`` (counter), ``step_seconds`` (histogram)
+    - ``stage_seconds{stage=...}`` (histogram): per-stage wall time
+    - ``buckets_total`` / ``sampled_users_total`` (counters)
+    - ``bucket_seconds`` (histogram): per-bucket local-training wall time
+    - ``epsilon_spent`` / ``mean_loss`` (gauges): latest step's values
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._steps = registry.counter(
+            "repro_engine_steps_total", "Completed Algorithm 1 steps"
+        )
+        self._step_seconds = registry.histogram(
+            "repro_engine_step_seconds", "Wall time of one full engine step"
+        )
+        self._stage_seconds = registry.histogram(
+            "repro_engine_stage_seconds",
+            "Wall time per pipeline stage (label: stage)",
+        )
+        self._buckets = registry.counter(
+            "repro_engine_buckets_total", "Buckets executed across all steps"
+        )
+        self._sampled_users = registry.counter(
+            "repro_engine_sampled_users_total",
+            "Users drawn by Poisson sampling across all steps",
+        )
+        self._bucket_seconds = registry.histogram(
+            "repro_engine_bucket_seconds",
+            "Per-bucket local-training wall time",
+        )
+        self._epsilon = registry.gauge(
+            "repro_engine_epsilon_spent",
+            "Cumulative privacy budget spent after the latest step",
+        )
+        self._loss = registry.gauge(
+            "repro_engine_mean_loss", "Mean local-SGD loss of the latest step"
+        )
+
+    def record_step(
+        self, result: "StepResult", stage_seconds: dict[str, float]
+    ) -> None:
+        """Feed one completed step's timings and counters."""
+        self._steps.inc()
+        self._step_seconds.observe(result.wall_time_seconds)
+        for stage, seconds in stage_seconds.items():
+            self._stage_seconds.observe(seconds, stage=stage)
+        self._buckets.inc(result.group.num_buckets)
+        self._sampled_users.inc(len(result.sample.users))
+        for update in result.local_train.updates:
+            self._bucket_seconds.observe(update.wall_time_seconds)
+        epsilon = result.account.epsilon_spent
+        if not math.isinf(epsilon):
+            self._epsilon.set(epsilon)
+        loss = result.local_train.mean_loss
+        if loss == loss:  # skip NaN (a step whose buckets were all empty)
+            self._loss.set(loss)
+
+
+class EvalMetrics:
+    """Registers and feeds the evaluator's latency metric families.
+
+    Families (prefixed ``repro_eval_``): ``query_seconds`` (histogram,
+    per-query latency — amortized over the chunk on the batched path),
+    ``batch_seconds`` (histogram, per ``score_batch`` call),
+    ``cases_total`` / ``skipped_total`` (counters).
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.query_seconds = registry.histogram(
+            "repro_eval_query_seconds",
+            "Per-query scoring latency during evaluation",
+        )
+        self.batch_seconds = registry.histogram(
+            "repro_eval_batch_seconds",
+            "Per-chunk score_batch latency during batched evaluation",
+        )
+        self.cases = registry.counter(
+            "repro_eval_cases_total", "Evaluated leave-one-out cases"
+        )
+        self.skipped = registry.counter(
+            "repro_eval_skipped_total", "Skipped leave-one-out cases"
+        )

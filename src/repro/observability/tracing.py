@@ -1,0 +1,211 @@
+"""Structured tracing: nestable spans with wall time and parent links.
+
+A :class:`Span` is one timed region of work. Spans nest: the
+:class:`Tracer` keeps a per-thread stack of open spans, so a span opened
+while another is active records the active span as its parent. Span ids
+are monotonically increasing integers drawn from one process-wide counter,
+which makes parent links unambiguous within a trace and keeps the
+serialized form trivially diffable across runs.
+
+Tracing is deliberately *passive*: opening a span never touches any RNG,
+never mutates model or ledger state, and records wall time only — a run
+traced end-to-end is bit-identical to the same run untraced (asserted in
+``tests/observability``). Under the process-pool bucket executor, spans
+are recorded in the driver process (the engine's stage boundaries); worker
+processes are free of tracer state, so parenting cannot race.
+
+Privacy note: spans carry *operational* attributes (stage names, step
+indices, batch sizes, durations). Never attach raw per-POI visit counts as
+span attributes — exports of the trace are telemetry, and telemetry is
+covered by dplint's DPL004 (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed region of work.
+
+    Attributes:
+        name: dotted span name, e.g. ``"engine.stage.sample"``.
+        span_id: process-wide monotonic id (unique within the tracer).
+        parent_id: ``span_id`` of the enclosing span, ``None`` at the root.
+        start_seconds: monotonic-clock start time.
+        duration_seconds: wall time; ``None`` while the span is open.
+        attributes: small JSON-serializable payload (step index, sizes...).
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_seconds: float
+    duration_seconds: float | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.duration_seconds is not None
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (one trace-JSONL line)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_seconds": self.start_seconds,
+            "duration_seconds": self.duration_seconds,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Tracer:
+    """Collects spans with per-thread nesting and optional streaming sink.
+
+    Args:
+        sink: optional callable receiving each span as it finishes —
+            wire a :class:`JsonlSpanSink` here to stream a live trace.
+        max_kept: finished spans retained in memory for inspection /
+            :meth:`export_jsonl`. Older spans are dropped FIFO so a
+            long-lived server cannot grow without bound; parenting of the
+            retained spans is unaffected (ids stay monotonic).
+    """
+
+    def __init__(
+        self,
+        sink: Callable[[Span], None] | None = None,
+        max_kept: int = 100_000,
+    ) -> None:
+        if max_kept < 0:
+            raise ValueError(f"max_kept must be >= 0, got {max_kept}")
+        self._sink = sink
+        self._max_kept = int(max_kept)
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._local = threading.local()
+
+    # -- span lifecycle ---------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def current_span(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a span around a ``with`` block; nests under the current one."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = next(self._ids)
+        opened = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            start_seconds=time.monotonic(),
+            attributes=dict(attributes),
+        )
+        stack.append(opened)
+        started = time.perf_counter()
+        try:
+            yield opened
+        finally:
+            opened.duration_seconds = time.perf_counter() - started
+            stack.pop()
+            self._finish(opened)
+
+    def add_completed(
+        self,
+        name: str,
+        duration_seconds: float,
+        parent_id: int | None = None,
+        **attributes: Any,
+    ) -> Span:
+        """Record an already-measured region as a finished span.
+
+        Used where the duration arrives after the fact (e.g. the serving
+        micro-batcher reports batch latency through a callback rather than
+        exposing the region to wrap).
+        """
+        with self._lock:
+            span_id = next(self._ids)
+        span = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent_id,
+            start_seconds=time.monotonic() - duration_seconds,
+            duration_seconds=float(duration_seconds),
+            attributes=dict(attributes),
+        )
+        self._finish(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+            if len(self._finished) > self._max_kept:
+                del self._finished[: len(self._finished) - self._max_kept]
+        if self._sink is not None:
+            self._sink(span)
+
+    # -- inspection / export ----------------------------------------------
+
+    @property
+    def finished_spans(self) -> list[Span]:
+        """Snapshot of the retained finished spans, in finish order."""
+        with self._lock:
+            return list(self._finished)
+
+    def spans_named(self, name: str) -> list[Span]:
+        """Retained finished spans with exactly this name."""
+        return [span for span in self.finished_spans if span.name == name]
+
+    def export_jsonl(self, path: str | Path) -> int:
+        """Write the retained spans as JSON lines; returns the line count."""
+        spans = self.finished_spans
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            for span in spans:
+                handle.write(json.dumps(span.as_dict()) + "\n")
+        return len(spans)
+
+
+class JsonlSpanSink:
+    """Streams each finished span to a JSON-lines file (thread-safe)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._file: Any = None
+
+    def __call__(self, span: Span) -> None:
+        with self._lock:
+            if self._file is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._file = self.path.open("w", encoding="utf-8")
+            self._file.write(json.dumps(span.as_dict()) + "\n")
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None

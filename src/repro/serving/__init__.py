@@ -11,9 +11,10 @@ The stack, bottom to top:
   transport-independent request/health/metrics/reload surface.
 - :mod:`repro.serving.http` — the stdlib-only ``repro serve`` HTTP
   front-end.
-- :mod:`repro.serving.metrics` — the serving observer layer
-  (:class:`ServingObserver` and friends), mirroring the training engine's
-  observer conventions.
+- :mod:`repro.serving.metrics` — the serving observer layer, built on the
+  unified :class:`repro.observability.Observer` protocol and the shared
+  :class:`repro.observability.MetricsRegistry` (``ServingObserver``
+  remains as a deprecated alias).
 
 Serving performs no privacy accounting on purpose: the artifact was
 produced under DP and every request is post-processing of it (see

@@ -12,7 +12,11 @@ Protocol (all bodies JSON; see ``docs/serving.md``):
   ``{"recommendations": [[location, score], ...], "model_version": n,
   "fallback": false}``
 - ``GET /healthz``     liveness + loaded-model info
-- ``GET /metrics``     aggregate serving counters
+- ``GET /metrics``     Prometheus text exposition of the unified metrics
+  registry (label values fully escaped, so POI ids containing quotes or
+  newlines are safe). ``?format=json`` returns the legacy JSON counters,
+  ``?format=jsonl`` one JSON object per sample; the server's default
+  format is configurable (``--metrics-format``).
 - ``POST /reload``     atomic hot-reload of the artifact
 
 Error mapping: malformed request -> 400, operational failure (no model,
@@ -24,11 +28,13 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import ConfigError, ReproError, ServingError
 from repro.serving.service import RecommendService
 
 _MAX_BODY_BYTES = 1 << 20
+_METRICS_FORMATS = ("prometheus", "json", "jsonl")
 
 
 class _RecommendHandler(BaseHTTPRequestHandler):
@@ -50,6 +56,14 @@ class _RecommendHandler(BaseHTTPRequestHandler):
         body = json.dumps(payload, default=str).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -83,12 +97,34 @@ class _RecommendHandler(BaseHTTPRequestHandler):
         self._send_json(status, payload)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path == "/healthz":
+        parts = urlsplit(self.path)
+        if parts.path == "/healthz":
             self._handle(lambda: (200, self.service.healthz()))
-        elif self.path == "/metrics":
-            self._handle(lambda: (200, self.service.metrics()))
+        elif parts.path == "/metrics":
+            self._metrics(parts.query)
         else:
             self._send_json(404, {"error": f"unknown path {self.path}"})
+
+    def _metrics(self, query: str) -> None:
+        default = getattr(self.server, "metrics_format", "prometheus")
+        fmt = parse_qs(query).get("format", [default])[0]
+        if fmt not in _METRICS_FORMATS:
+            self._send_json(
+                400,
+                {"error": f"format must be one of {list(_METRICS_FORMATS)}"},
+            )
+        elif fmt == "json":
+            self._handle(lambda: (200, self.service.metrics()))
+        elif fmt == "jsonl":
+            self._send_text(
+                200, self.service.metrics_jsonl(), "application/jsonl"
+            )
+        else:
+            self._send_text(
+                200,
+                self.service.metrics_text(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/recommend":
@@ -113,15 +149,24 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     quiet: bool = False,
+    metrics_format: str = "prometheus",
 ) -> ThreadingHTTPServer:
     """Bind a threading HTTP server to ``service`` (``port=0`` = ephemeral).
 
     The caller owns the lifecycle: ``serve_forever()`` / ``shutdown()`` /
     ``server_close()``; tests read the bound port from ``server_address``.
+    ``metrics_format`` sets the default ``GET /metrics`` representation
+    (overridable per request with ``?format=``).
     """
+    if metrics_format not in _METRICS_FORMATS:
+        raise ConfigError(
+            f"metrics_format must be one of {list(_METRICS_FORMATS)}, "
+            f"got {metrics_format!r}"
+        )
     server = ThreadingHTTPServer((host, port), _RecommendHandler)
     server.service = service  # type: ignore[attr-defined]
     server.quiet = quiet  # type: ignore[attr-defined]
+    server.metrics_format = metrics_format  # type: ignore[attr-defined]
     server.daemon_threads = True
     return server
 
@@ -136,8 +181,16 @@ def serve(
     max_batch: int = 64,
     max_wait_seconds: float = 0.002,
     timeout_seconds: float = 2.0,
+    metrics_format: str = "prometheus",
+    trace_jsonl: str | Path | None = None,
+    include_counts: bool = False,
 ) -> None:
     """Load an artifact and serve it until interrupted (``repro serve``)."""
+    observability = None
+    if trace_jsonl is not None:
+        from repro.observability.hooks import with_observability
+
+        observability = with_observability(trace_jsonl=trace_jsonl)
     service = RecommendService.from_artifact(
         model_path,
         exclude_input=exclude_input,
@@ -146,8 +199,10 @@ def serve(
         max_batch=max_batch,
         max_wait_seconds=max_wait_seconds,
         timeout_seconds=timeout_seconds,
+        observability=observability,
+        include_counts=include_counts,
     )
-    server = make_server(service, host=host, port=port)
+    server = make_server(service, host=host, port=port, metrics_format=metrics_format)
     bound_host, bound_port = server.server_address[:2]
     print(f"serving {model_path} on http://{bound_host}:{bound_port}")
     try:
@@ -158,3 +213,5 @@ def serve(
         server.shutdown()
         server.server_close()
         service.close()
+        if observability is not None:
+            observability.close()

@@ -1,134 +1,211 @@
-"""Observer/callback layer of the serving stack.
+"""Observer/callback layer of the serving stack, backed by the registry.
 
-Mirrors the training engine's :class:`~repro.core.engine.observers.StepObserver`
-conventions: a :class:`ServingObserver` is notified around every request
-(``on_request``), every executed micro-batch (``on_batch``), and every model
-(re)load (``on_reload``); all hooks are no-ops on the base class so
-observers override only what they need. :class:`MetricsObserver` is the
-standard aggregate-counter implementation behind ``GET /metrics``;
-:class:`JsonlServingObserver` streams one JSON object per event so a live
-server can be monitored with ``tail -f``, like the trainer's
-``JsonlMetricsObserver``.
+The serving stack reports through the same
+:class:`~repro.observability.MetricsRegistry` as the training engine and
+the evaluator: :class:`MetricsObserver` registers the ``repro_serving_*``
+instrument families and feeds them from the unified
+:class:`~repro.observability.Observer` hooks (``on_request`` /
+``on_batch`` / ``on_reload``). ``GET /metrics`` renders the registry's
+Prometheus text (with full label escaping — POI ids and artifact paths may
+contain quotes or newlines); the pre-registry JSON shape survives as
+:meth:`MetricsObserver.snapshot` for the ``?format=json`` escape hatch.
+
+``ServingObserver`` — the stack's historical base class — remains
+importable here as a thin deprecated alias of the unified
+:class:`repro.observability.Observer`; subclassing or instantiating it
+emits a :class:`DeprecationWarning`.
+
+Privacy note: per-POI recommendation counts are computed from live query
+traffic and are NOT covered by the model's DP guarantee. They are only
+recorded when the operator passes the explicit ``include_counts`` opt-in
+(enforced by dplint DPL004), and never by default.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import warnings
 from pathlib import Path
 
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.observer import Observer
 
-class ServingObserver:
-    """Base observer: every hook is a no-op; override what you need."""
+
+class ServingObserver(Observer):
+    """Deprecated alias of :class:`repro.observability.Observer`.
+
+    Kept so pre-observability code importing
+    ``repro.serving.ServingObserver`` keeps working; new code should
+    subclass the unified :class:`~repro.observability.Observer`, which
+    additionally carries the training hooks.
+    """
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        warnings.warn(
+            "ServingObserver is deprecated; subclass "
+            "repro.observability.Observer instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        super().__init_subclass__(**kwargs)
+
+    def __init__(self) -> None:
+        if type(self) is ServingObserver:
+            warnings.warn(
+                "ServingObserver is deprecated; use "
+                "repro.observability.Observer instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+
+
+class MetricsObserver(Observer):
+    """Feeds the ``repro_serving_*`` metric families of a shared registry.
+
+    Args:
+        registry: the :class:`MetricsRegistry` to register into; a private
+            one is created when omitted. Pass the bundle's registry to get
+            training, serving, and evaluation metrics in one scrape.
+        include_counts: opt in to per-POI recommendation counters
+            (``repro_serving_poi_recommended_total{poi=...}``). These are
+            derived from live query traffic, not from the DP model — they
+            carry **no privacy guarantee** and are off by default.
+
+    Instrument families: ``requests_total{status}``,
+    ``fallback_answers_total``, ``request_seconds`` (histogram),
+    ``batch_seconds`` (histogram), ``queries_scored_total``,
+    ``max_batch_size`` (gauge), ``reloads_total{result}``,
+    ``model_version`` (gauge).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        include_counts: bool = False,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.include_counts = bool(include_counts)
+        self._lock = threading.Lock()
+        self._max_batch_size = 0
+        self._requests = self.registry.counter(
+            "repro_serving_requests_total",
+            "Serving requests by terminal status (label: status)",
+        )
+        self._fallbacks = self.registry.counter(
+            "repro_serving_fallback_answers_total",
+            "Requests answered by the popularity fallback prior",
+        )
+        self._request_seconds = self.registry.histogram(
+            "repro_serving_request_seconds",
+            "Per-request latency, submission to response",
+        )
+        self._batch_seconds = self.registry.histogram(
+            "repro_serving_batch_seconds",
+            "Per-micro-batch scoring latency",
+        )
+        self._queries_scored = self.registry.counter(
+            "repro_serving_queries_scored_total",
+            "Queries scored across all micro-batches",
+        )
+        self._max_batch = self.registry.gauge(
+            "repro_serving_max_batch_size",
+            "Largest micro-batch coalesced so far",
+        )
+        self._reloads = self.registry.counter(
+            "repro_serving_reloads_total",
+            "Model (re)load attempts by outcome (label: result)",
+        )
+        self._model_version = self.registry.gauge(
+            "repro_serving_model_version",
+            "Version of the currently served model artifact",
+        )
+        if include_counts:
+            # Unprotected live-traffic telemetry; see the module's privacy
+            # note. The include_counts gate is what DPL004 checks for.
+            self._poi_recommended = self.registry.counter(
+                "repro_serving_poi_recommended_total",
+                "Top-1 recommendations by POI id (include_counts opt-in; "
+                "NOT covered by the DP guarantee)",
+            )
+        else:
+            self._poi_recommended = None
+
+    # -- observer hooks ---------------------------------------------------
 
     def on_request(
         self, status: str, latency_seconds: float, fallback: bool = False
     ) -> None:
-        """Called after each request completes.
-
-        Args:
-            status: ``"ok"``, ``"invalid"`` (bad request), ``"timeout"``,
-                or ``"error"``.
-            latency_seconds: wall time from submission to response.
-            fallback: whether the popularity prior answered (no input
-                location was known to the model).
-        """
+        self._requests.inc(status=status)
+        if fallback:
+            self._fallbacks.inc()
+        self._request_seconds.observe(latency_seconds)
 
     def on_batch(self, batch_size: int, latency_seconds: float) -> None:
-        """Called after the batcher scores one coalesced micro-batch."""
+        self._batch_seconds.observe(latency_seconds)
+        self._queries_scored.inc(batch_size)
+        with self._lock:
+            if batch_size > self._max_batch_size:
+                self._max_batch_size = batch_size
+                self._max_batch.set(batch_size)
 
     def on_reload(self, version: int, ok: bool, source: str) -> None:
-        """Called after a model (re)load attempt."""
+        self._reloads.inc(result="ok" if ok else "failed")
+        if ok:
+            self._model_version.set(version)
 
+    def record_recommended_poi(self, poi: object) -> None:
+        """Count one top-1 recommendation — only under the opt-in gate."""
+        if self.include_counts and self._poi_recommended is not None:
+            self._poi_recommended.inc(poi=str(poi))
 
-class _Aggregate:
-    """count / sum / min / max of one latency series (no lock of its own)."""
+    # -- export -----------------------------------------------------------
 
-    __slots__ = ("count", "total", "minimum", "maximum")
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.minimum = float("inf")
-        self.maximum = 0.0
-
-    def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
+    def render_prometheus(self) -> str:
+        """The backing registry in Prometheus text exposition format."""
+        return self.registry.render_prometheus()
 
     def snapshot(self) -> dict:
-        mean = self.total / self.count if self.count else 0.0
+        """The pre-registry JSON shape (``GET /metrics?format=json``)."""
+        requests = {
+            dict(key).get("status", ""): int(value)
+            for key, value in self._requests.items().items()
+        }
+        request_stats = self._request_seconds.stats()
+        batch_stats = self._batch_seconds.stats()
+        reloads = {
+            dict(key).get("result", ""): int(value)
+            for key, value in self._reloads.items().items()
+        }
         return {
-            "count": self.count,
-            "mean_seconds": mean,
-            "min_seconds": self.minimum if self.count else 0.0,
-            "max_seconds": self.maximum,
+            "requests": requests,
+            "requests_total": sum(requests.values()),
+            "fallback_answers": int(self._fallbacks.total()),
+            "request_latency": _latency_dict(request_stats),
+            "batches": {
+                **_latency_dict(batch_stats),
+                "queries_scored": int(self._queries_scored.total()),
+                "max_batch_size": self._max_batch_size,
+            },
+            "reloads": {
+                "ok": reloads.get("ok", 0),
+                "failed": reloads.get("failed", 0),
+            },
+            "model_version": int(self._model_version.value()),
         }
 
 
-class MetricsObserver(ServingObserver):
-    """Thread-safe aggregate counters for ``GET /metrics``.
-
-    Tracks request counts by status, fallback answers, batch execution
-    (size and latency, from which throughput follows), and reloads.
-    """
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._requests: dict[str, int] = {}
-        self._fallbacks = 0
-        self._request_latency = _Aggregate()
-        self._batch_latency = _Aggregate()
-        self._queries_scored = 0
-        self._max_batch_size = 0
-        self._reloads_ok = 0
-        self._reloads_failed = 0
-        self._model_version = 0
-
-    def on_request(
-        self, status: str, latency_seconds: float, fallback: bool = False
-    ) -> None:
-        with self._lock:
-            self._requests[status] = self._requests.get(status, 0) + 1
-            if fallback:
-                self._fallbacks += 1
-            self._request_latency.observe(latency_seconds)
-
-    def on_batch(self, batch_size: int, latency_seconds: float) -> None:
-        with self._lock:
-            self._batch_latency.observe(latency_seconds)
-            self._queries_scored += batch_size
-            self._max_batch_size = max(self._max_batch_size, batch_size)
-
-    def on_reload(self, version: int, ok: bool, source: str) -> None:
-        with self._lock:
-            if ok:
-                self._reloads_ok += 1
-                self._model_version = version
-            else:
-                self._reloads_failed += 1
-
-    def snapshot(self) -> dict:
-        """One JSON-serializable dict with everything, taken atomically."""
-        with self._lock:
-            return {
-                "requests": dict(self._requests),
-                "requests_total": sum(self._requests.values()),
-                "fallback_answers": self._fallbacks,
-                "request_latency": self._request_latency.snapshot(),
-                "batches": {
-                    **self._batch_latency.snapshot(),
-                    "queries_scored": self._queries_scored,
-                    "max_batch_size": self._max_batch_size,
-                },
-                "reloads": {"ok": self._reloads_ok, "failed": self._reloads_failed},
-                "model_version": self._model_version,
-            }
+def _latency_dict(stats: dict[str, float]) -> dict:
+    """Histogram stats in the legacy snapshot's latency-aggregate shape."""
+    return {
+        "count": int(stats["count"]),
+        "mean_seconds": stats["mean"],
+        "min_seconds": stats["min"],
+        "max_seconds": stats["max"],
+    }
 
 
-class JsonlServingObserver(ServingObserver):
+class JsonlServingObserver(Observer):
     """Streams one JSON object per serving event to a JSON-lines file."""
 
     def __init__(self, path: str | Path) -> None:

@@ -6,7 +6,12 @@ serve``: the HTTP layer (and tests) call :meth:`recommend` /
 funneled through the :class:`~repro.serving.batcher.MicroBatcher` so
 concurrent queries are scored in one ``recommend_batch`` pass, and every
 outcome is reported to the registered
-:class:`~repro.serving.metrics.ServingObserver` instances.
+:class:`~repro.observability.Observer` instances. Metrics flow through the
+unified :class:`~repro.observability.MetricsRegistry` (Prometheus text via
+:meth:`metrics_text`, legacy JSON via :meth:`metrics`); pass an
+:class:`~repro.observability.Observability` bundle to share one registry
+with training/evaluation and to emit ``serving.request`` /
+``serving.batch`` spans.
 
 Degradation rules (per request, never the whole batch):
 
@@ -21,12 +26,17 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.exceptions import ConfigError, ServingError
+from repro.observability.observer import Observer
 from repro.serving.batcher import MicroBatcher
-from repro.serving.metrics import MetricsObserver, ServingObserver
+from repro.serving.metrics import MetricsObserver
 from repro.serving.registry import ModelRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.hooks import Observability
+    from repro.observability.metrics import MetricsRegistry
 
 
 class RecommendService:
@@ -44,27 +54,40 @@ class RecommendService:
         max_batch / max_wait_seconds / timeout_seconds: micro-batcher
             coalescing and deadline knobs.
         top_k_limit: largest accepted ``top_k`` per request.
+        observability: optional bundle; its registry backs the
+            auto-created :class:`MetricsObserver` (one scrape covers every
+            layer) and ``serving.request`` / ``serving.batch`` spans are
+            recorded into its tracer/profiler.
+        include_counts: opt in to per-POI recommendation counters in the
+            metrics output. Derived from live traffic, NOT covered by the
+            DP guarantee; off by default (see ``docs/serving.md``).
     """
 
     def __init__(
         self,
         registry: ModelRegistry,
-        observers: Sequence[ServingObserver] | None = None,
+        observers: Sequence[Observer] | None = None,
         mode: str = "fast",
         max_batch: int = 64,
         max_wait_seconds: float = 0.002,
         timeout_seconds: float = 2.0,
         top_k_limit: int = 100,
+        observability: "Observability | None" = None,
+        include_counts: bool = False,
     ) -> None:
         if top_k_limit < 1:
             raise ConfigError(f"top_k_limit must be >= 1, got {top_k_limit}")
         self._registry = registry
         self._mode = mode
         self._top_k_limit = int(top_k_limit)
-        self._observers: list[ServingObserver] = list(observers or [])
+        self._observability = observability
+        self._observers: list[Observer] = list(observers or [])
         metrics = [o for o in self._observers if isinstance(o, MetricsObserver)]
         if not metrics:
-            metrics = [MetricsObserver()]
+            shared = observability.metrics if observability is not None else None
+            metrics = [
+                MetricsObserver(registry=shared, include_counts=include_counts)
+            ]
             self._observers.extend(metrics)
         self._metrics = metrics[0]
         self._batcher = MicroBatcher(
@@ -191,6 +214,8 @@ class RecommendService:
                     "model_version": snapshot.version,
                     "fallback": empty,
                 }
+                if row and self._metrics.include_counts:
+                    self._metrics.record_recommended_poi(row[0][0])
         return results
 
     # -- operations ------------------------------------------------------
@@ -209,8 +234,21 @@ class RecommendService:
         }
 
     def metrics(self) -> dict:
-        """Aggregate counters for ``GET /metrics``."""
+        """Legacy JSON aggregate counters (``GET /metrics?format=json``)."""
         return self._metrics.snapshot()
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the backing registry."""
+        return self._metrics.render_prometheus()
+
+    def metrics_jsonl(self) -> str:
+        """JSONL export of the backing registry (one object per sample)."""
+        return self._metrics.registry.to_jsonl()
+
+    @property
+    def metrics_registry(self) -> "MetricsRegistry":
+        """The registry behind this service's metrics observer."""
+        return self._metrics.registry
 
     def reload(self) -> dict:
         """Hot-reload the registry's artifact; the old model keeps serving
@@ -236,10 +274,18 @@ class RecommendService:
     def _notify_request(
         self, status: str, latency: float, fallback: bool
     ) -> None:
+        if self._observability is not None:
+            self._observability.record_span(
+                "serving.request", latency, status=status, fallback=fallback
+            )
         for observer in self._observers:
             observer.on_request(status, latency, fallback=fallback)
 
     def _notify_batch(self, batch_size: int, latency: float) -> None:
+        if self._observability is not None:
+            self._observability.record_span(
+                "serving.batch", latency, batch_size=batch_size
+            )
         for observer in self._observers:
             observer.on_batch(batch_size, latency)
 

@@ -1,0 +1,17 @@
+"""DPL004 flagged fixture: per-POI count metrics without the opt-in gate."""
+
+
+def build_observer(registry):
+    poi_counter = registry.counter(
+        "repro_serving_poi_recommended_total",
+        "Top-1 recommendations by POI id",
+    )
+    return poi_counter
+
+
+def record_hit(metrics, poi_id):
+    metrics.hits.inc(poi=str(poi_id))
+
+
+def trace_answer(tracer, latency, location_id):
+    tracer.add_completed("serving.request", latency, location=location_id)

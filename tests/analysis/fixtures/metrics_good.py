@@ -1,0 +1,27 @@
+"""DPL004 clean fixture: per-POI metrics gated, operational metrics free."""
+
+
+def build_observer(registry, include_counts=False):
+    if include_counts:
+        # Opt-in live-traffic telemetry, documented as unprotected.
+        poi_counter = registry.counter(
+            "repro_serving_poi_recommended_total",
+            "Top-1 recommendations by POI id (include_counts opt-in)",
+        )
+    else:
+        poi_counter = None
+    return poi_counter
+
+
+def record_hit(metrics, poi_id):
+    if metrics.include_counts:
+        metrics.hits.inc(poi=str(poi_id))
+
+
+def operational_metrics(registry, status, seconds):
+    # No POI in the name or labels: plain operational telemetry.
+    requests = registry.counter("repro_serving_requests_total", "Requests")
+    requests.inc(status=status)
+    registry.histogram("repro_serving_request_seconds", "Latency").observe(
+        seconds, stage="score"
+    )

@@ -41,3 +41,37 @@ class TestCountExportClean:
         source = (REPO_ROOT / relative).read_text()
         violations = lint_source(source, path=relative)
         assert not [v for v in violations if v.rule_id == "DPL004"]
+
+
+class TestPerPoiMetrics:
+    def test_bad_fixture_fires(self):
+        violations = lint_fixture("metrics_bad.py", PATH, select=SELECT)
+        assert rule_ids(violations) == {"DPL004"}
+        # Registration + .inc(poi=...) + add_completed(location=...).
+        assert len(violations) == 3
+
+    def test_observability_module_is_in_scope(self):
+        violations = lint_fixture(
+            "metrics_bad.py",
+            "src/repro/observability/metrics.py",
+            select=SELECT,
+        )
+        assert len(violations) == 3
+
+    def test_good_fixture_is_clean(self):
+        assert lint_fixture("metrics_good.py", PATH, select=SELECT) == []
+
+    def test_shipped_metrics_modules_are_clean(self):
+        from repro.analysis import lint_source
+
+        from tests.analysis.helpers import REPO_ROOT
+
+        for relative in (
+            "src/repro/serving/metrics.py",
+            "src/repro/observability/metrics.py",
+            "src/repro/observability/hooks.py",
+            "src/repro/observability/tracing.py",
+        ):
+            source = (REPO_ROOT / relative).read_text()
+            violations = lint_source(source, path=relative)
+            assert not [v for v in violations if v.rule_id == "DPL004"], relative

@@ -16,7 +16,7 @@ from repro.core.engine import (
     LocalTrainSpec,
     ParallelExecutor,
     SerialExecutor,
-    StepObserver,
+    Observer,
     make_executor,
 )
 from repro.core.trainer import PrivateLocationPredictor
@@ -55,7 +55,7 @@ def _deterministic_fields(history):
     ]
 
 
-class _CaptureObserver(StepObserver):
+class _CaptureObserver(Observer):
     """Collects step results and bucket callbacks for assertions."""
 
     def __init__(self) -> None:

@@ -1,0 +1,160 @@
+"""The Observability bundle, profiling hooks, and deprecated aliases."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    Observability,
+    Observer,
+    StageProfiler,
+    Tracer,
+    peak_rss_bytes,
+    with_observability,
+)
+
+
+class TestStageProfiler:
+    def test_record_and_summary(self):
+        profiler = StageProfiler()
+        profiler.record("sample", 0.1)
+        profiler.record("sample", 0.3)
+        profiler.record("noise", 0.2)
+        summary = profiler.summary()
+        assert summary["sample"]["count"] == 2
+        assert summary["sample"]["total_seconds"] == pytest.approx(0.4)
+        assert summary["sample"]["mean_seconds"] == pytest.approx(0.2)
+        assert summary["sample"]["max_seconds"] == pytest.approx(0.3)
+        assert profiler.total_seconds("noise") == pytest.approx(0.2)
+        assert profiler.total_seconds("missing") == 0.0
+
+    def test_stage_context_times_block(self):
+        profiler = StageProfiler()
+        with profiler.stage("work"):
+            pass
+        assert profiler.summary()["work"]["count"] == 1
+
+    def test_peak_rss_is_positive_when_reported(self):
+        rss = peak_rss_bytes()
+        assert rss is None or rss > 1024 * 1024  # at least a megabyte
+
+
+class TestWithObservability:
+    def test_defaults_build_all_components(self):
+        obs = with_observability()
+        assert isinstance(obs.tracer, Tracer)
+        assert isinstance(obs.metrics, MetricsRegistry)
+        assert isinstance(obs.profiler, StageProfiler)
+
+    def test_span_feeds_tracer_and_profiler(self):
+        obs = with_observability()
+        with obs.span("region", step=1) as span:
+            pass
+        assert span.attributes == {"step": 1}
+        assert obs.tracer.spans_named("region")
+        assert obs.profiler.summary()["region"]["count"] == 1
+
+    def test_span_degrades_without_tracer(self):
+        profiler = StageProfiler()
+        obs = Observability(profiler=profiler)
+        with obs.span("region") as span:
+            assert span is None
+        assert profiler.summary()["region"]["count"] == 1
+        with Observability().span("region") as span:
+            assert span is None  # full no-op
+
+    def test_record_span_posthoc(self):
+        obs = with_observability()
+        obs.record_span("batch", 0.5, batch_size=4)
+        (span,) = obs.tracer.spans_named("batch")
+        assert span.duration_seconds == 0.5
+        assert obs.profiler.total_seconds("batch") == 0.5
+
+    def test_trace_jsonl_streams_and_close_flushes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs = with_observability(trace_jsonl=path)
+        with obs.span("a"):
+            pass
+        obs.close()
+        assert json.loads(path.read_text().splitlines()[0])["name"] == "a"
+
+    def test_close_writes_metrics_file(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        with with_observability(metrics_path=path) as obs:
+            obs.metrics.counter("c").inc()
+        assert "# TYPE c counter" in path.read_text()
+
+    def test_close_writes_metrics_jsonl(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        obs = with_observability(metrics_path=path, metrics_format="jsonl")
+        obs.metrics.counter("c").inc()
+        obs.close()
+        assert json.loads(path.read_text())["metric"] == "c"
+
+    def test_shared_registry_is_reused(self):
+        registry = MetricsRegistry()
+        obs = with_observability(metrics=registry)
+        assert obs.metrics is registry
+
+
+class TestDeprecatedAliases:
+    def test_step_observer_subclass_warns(self):
+        from repro.core.engine import StepObserver
+
+        with pytest.warns(DeprecationWarning, match="StepObserver"):
+
+            class _Legacy(StepObserver):
+                pass
+
+    def test_step_observer_instantiation_warns(self):
+        from repro.core.engine.observers import StepObserver
+
+        with pytest.warns(DeprecationWarning, match="StepObserver"):
+            StepObserver()
+
+    def test_serving_observer_subclass_warns(self):
+        from repro.serving.metrics import ServingObserver
+
+        with pytest.warns(DeprecationWarning, match="ServingObserver"):
+
+            class _Legacy(ServingObserver):
+                pass
+
+    def test_unified_observer_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+
+            class _Fresh(Observer):
+                pass
+
+            _Fresh()
+
+    def test_legacy_subclasses_still_work_as_observers(self):
+        from repro.core.engine import StepObserver
+
+        with pytest.warns(DeprecationWarning):
+
+            class _Legacy(StepObserver):
+                def __init__(self):
+                    self.steps = []
+
+                def on_step_end(self, result, engine):
+                    self.steps.append(result)
+
+        legacy = _Legacy()
+        assert isinstance(legacy, Observer)
+        legacy.on_step_end("result", None)
+        assert legacy.steps == ["result"]
+
+    def test_cli_metrics_jsonl_flag_warns_and_maps(self):
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        with pytest.warns(DeprecationWarning, match="--metrics-out"):
+            args = parser.parse_args(
+                ["train", "--synthetic", "--out", "m.npz",
+                 "--metrics-jsonl", "m.jsonl"]
+            )
+        assert args.metrics_jsonl == "m.jsonl"

@@ -1,0 +1,217 @@
+"""The metrics registry: instruments, thread safety, and export formats."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observability.metrics import (
+    MetricsRegistry,
+    escape_label_value,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labelled_children_are_independent(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(status="ok")
+        counter.inc(status="ok")
+        counter.inc(status="error")
+        assert counter.value(status="ok") == 2
+        assert counter.value(status="error") == 1
+        assert counter.total() == 3
+
+    def test_rejects_negative_increment(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_value(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5)
+        gauge.inc(-2)
+        assert gauge.value() == 3
+
+    def test_set_info_replaces_children(self):
+        gauge = MetricsRegistry().gauge("info")
+        gauge.set_info(version="1")
+        gauge.set_info(version="2", path="m.npz")
+        assert gauge.value(version="1") == 0.0
+        assert gauge.value(version="2", path="m.npz") == 1.0
+
+
+class TestHistogram:
+    def test_stats_and_count(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (0.01, 0.02, 0.03):
+            histogram.observe(value)
+        stats = histogram.stats()
+        assert stats["count"] == 3
+        assert stats["min"] == 0.01
+        assert stats["max"] == 0.03
+        assert stats["mean"] == pytest.approx(0.02)
+
+    def test_quantiles(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in range(1, 101):
+            histogram.observe(value / 100.0)
+        assert histogram.quantile(0.5) == pytest.approx(0.505, abs=0.01)
+        assert histogram.quantile(0.95) == pytest.approx(0.95, abs=0.011)
+        assert histogram.quantile(0.0) == 0.01
+        assert histogram.quantile(1.0) == 1.0
+
+    def test_quantiles_exact_on_equal_observations(self):
+        # A run of identical values must yield that exact value at every
+        # q — no interpolation ulp-wobble — so p50 <= p95 always holds.
+        histogram = MetricsRegistry().histogram("h")
+        value = 0.0316227766016838  # an awkward float
+        for _ in range(7):
+            histogram.observe(value)
+        for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert histogram.quantile(q) == value
+
+    def test_quantile_of_empty_series_is_nan(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.quantile(0.5) != histogram.quantile(0.5)  # NaN
+
+    def test_quantile_rejects_out_of_range(self):
+        histogram = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_le_bucket_semantics_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.1, 1.0))
+        histogram.observe(0.1)   # le="0.1" (boundary is inclusive)
+        histogram.observe(0.5)   # le="1"
+        histogram.observe(100.0)  # +Inf only
+        text = registry.render_prometheus()
+        assert 'h_bucket{le="0.1"} 1' in text
+        assert 'h_bucket{le="1"} 2' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_count 3" in text
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_thread_safety_under_contention(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        histogram = registry.histogram("lat")
+        per_thread, num_threads = 500, 8
+
+        def worker(index):
+            for i in range(per_thread):
+                counter.inc(worker=str(index % 2))
+                histogram.observe(i / per_thread)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.total() == per_thread * num_threads
+        assert histogram.count() == per_thread * num_threads
+
+
+class TestPrometheusText:
+    def test_golden_output(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("req_total", "Requests by status")
+        requests.inc(3, status="ok")
+        version = registry.gauge("model_version", "Loaded model version")
+        version.set(2)
+        latency = registry.histogram("lat_seconds", "Latency", buckets=(0.5,))
+        latency.observe(0.25)
+        assert registry.render_prometheus() == (
+            "# HELP lat_seconds Latency\n"
+            "# TYPE lat_seconds histogram\n"
+            'lat_seconds_bucket{le="0.5"} 1\n'
+            'lat_seconds_bucket{le="+Inf"} 1\n'
+            "lat_seconds_sum 0.25\n"
+            "lat_seconds_count 1\n"
+            "# HELP model_version Loaded model version\n"
+            "# TYPE model_version gauge\n"
+            "model_version 2\n"
+            "# HELP req_total Requests by status\n"
+            "# TYPE req_total counter\n"
+            'req_total{status="ok"} 3\n'
+        )
+
+    def test_label_values_with_quotes_and_newlines_are_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("poi_hits")
+        counter.inc(poi='cafe "le\\chat"\nparis')
+        text = registry.render_prometheus()
+        assert 'poi_hits{poi="cafe \\"le\\\\chat\\"\\nparis"} 1' in text
+        # Every sample stays one line: the newline never leaks through.
+        for line in text.splitlines():
+            assert line.startswith(("#", "poi_hits{"))
+
+    def test_escape_order_backslash_first(self):
+        # A literal backslash-n must not collide with an escaped newline.
+        assert escape_label_value("\\n") == "\\\\n"
+        assert escape_label_value("\n") == "\\n"
+
+    def test_help_text_newlines_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "line one\nline two")
+        assert "# HELP c line one\\nline two" in registry.render_prometheus()
+
+
+class TestJsonExports:
+    def test_to_jsonl_one_object_per_sample(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(status="ok")
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        lines = [
+            json.loads(line)
+            for line in registry.to_jsonl().splitlines()
+        ]
+        metrics = {line["metric"] for line in lines}
+        assert metrics == {"c", "h_bucket", "h_sum", "h_count"}
+        (sample,) = [line for line in lines if line["metric"] == "c"]
+        assert sample["labels"] == {"status": "ok"}
+        assert sample["value"] == 1.0
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "help text").set(4)
+        snapshot = registry.snapshot()
+        assert snapshot["g"]["type"] == "gauge"
+        assert snapshot["g"]["help"] == "help text"
+        assert snapshot["g"]["samples"] == [
+            {"suffix": "", "labels": {}, "value": 4.0}
+        ]
+
+    def test_write_both_formats(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        prom = tmp_path / "m.prom"
+        jsonl = tmp_path / "m.jsonl"
+        registry.write(prom)
+        registry.write(jsonl, format="jsonl")
+        assert "# TYPE c counter" in prom.read_text()
+        assert json.loads(jsonl.read_text())["metric"] == "c"
+        with pytest.raises(ValueError):
+            registry.write(tmp_path / "m.x", format="xml")

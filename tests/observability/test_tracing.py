@@ -1,0 +1,140 @@
+"""Span nesting, parenting, retention, and JSONL export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observability.tracing import JsonlSpanSink, Span, Tracer
+
+
+class TestSpanLifecycle:
+    def test_span_records_duration_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("work", step=3) as span:
+            assert not span.finished
+        assert span.finished
+        assert span.duration_seconds >= 0.0
+        assert span.attributes == {"step": 3}
+
+    def test_ids_are_monotonic(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("a"):
+                pass
+        ids = [span.span_id for span in tracer.finished_spans]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+    def test_nesting_records_parent_links(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                with tracer.span("leaf") as leaf:
+                    pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert leaf.parent_id == inner.span_id
+
+    def test_current_span_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.current_span is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current_span is inner
+            assert tracer.current_span is outer
+        assert tracer.current_span is None
+
+    def test_stack_pops_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        assert tracer.current_span is None
+        (span,) = tracer.finished_spans
+        assert span.finished
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("step") as step:
+            for stage in ("sample", "group"):
+                with tracer.span(f"stage.{stage}"):
+                    pass
+        children = [s for s in tracer.finished_spans if s.name != "step"]
+        assert all(child.parent_id == step.span_id for child in children)
+
+    def test_add_completed_records_finished_span(self):
+        tracer = Tracer()
+        span = tracer.add_completed("batch", 0.25, batch_size=8)
+        assert span.finished
+        assert span.duration_seconds == 0.25
+        assert tracer.spans_named("batch") == [span]
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        errors = []
+
+        def worker(name):
+            try:
+                with tracer.span(name) as outer:
+                    with tracer.span(f"{name}.child") as child:
+                        assert child.parent_id == outer.span_id
+                    assert outer.parent_id is None
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(tracer.finished_spans) == 16
+        ids = [span.span_id for span in tracer.finished_spans]
+        assert len(set(ids)) == 16
+
+
+class TestRetentionAndExport:
+    def test_max_kept_drops_oldest(self):
+        tracer = Tracer(max_kept=3)
+        for index in range(6):
+            tracer.add_completed(f"s{index}", 0.0)
+        names = [span.name for span in tracer.finished_spans]
+        assert names == ["s3", "s4", "s5"]
+
+    def test_rejects_negative_max_kept(self):
+        with pytest.raises(ValueError):
+            Tracer(max_kept=-1)
+
+    def test_export_jsonl_round_trips(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", step=1):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(path) == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        by_name = {line["name"]: line for line in lines}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["attributes"] == {"step": 1}
+
+    def test_jsonl_sink_streams_each_span(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        sink = JsonlSpanSink(path)
+        tracer = Tracer(sink=sink)
+        with tracer.span("a"):
+            pass
+        tracer.add_completed("b", 0.1)
+        sink.close()
+        names = [json.loads(line)["name"] for line in path.read_text().splitlines()]
+        assert names == ["a", "b"]
+
+    def test_span_as_dict_is_json_serializable(self):
+        span = Span(
+            name="x", span_id=1, parent_id=None, start_seconds=0.0,
+            duration_seconds=0.5, attributes={"k": "v"},
+        )
+        assert json.loads(json.dumps(span.as_dict()))["name"] == "x"

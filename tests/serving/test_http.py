@@ -31,6 +31,15 @@ def _get(url):
         return response.status, json.loads(response.read())
 
 
+def _get_text(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type", ""),
+            response.read().decode("utf-8"),
+        )
+
+
 def _post(url, payload):
     request = urllib.request.Request(
         url,
@@ -102,12 +111,36 @@ def test_reload_bumps_version(server_url):
     assert payload["model_version"] == before["model_version"] + 1
 
 
+def test_metrics_endpoint_serves_prometheus_by_default(server_url):
+    _post(server_url + "/recommend", {"recent": ["poi-1"]})
+    status, content_type, text = _get_text(server_url + "/metrics")
+    assert status == 200
+    assert content_type.startswith("text/plain")
+    assert "# TYPE repro_serving_requests_total counter" in text
+    assert 'repro_serving_requests_total{status="ok"}' in text
+    assert "repro_serving_request_seconds_bucket" in text
+
+
 def test_metrics_endpoint_reflects_traffic(server_url):
     _post(server_url + "/recommend", {"recent": ["poi-1"]})
-    status, payload = _get(server_url + "/metrics")
+    status, payload = _get(server_url + "/metrics?format=json")
     assert status == 200
     assert payload["requests"]["ok"] >= 1
     assert payload["batches"]["queries_scored"] >= 1
+
+
+def test_metrics_endpoint_jsonl_format(server_url):
+    _post(server_url + "/recommend", {"recent": ["poi-1"]})
+    status, _, text = _get_text(server_url + "/metrics?format=jsonl")
+    assert status == 200
+    rows = [json.loads(line) for line in text.splitlines() if line]
+    assert any(row["metric"] == "repro_serving_requests_total" for row in rows)
+
+
+def test_metrics_endpoint_rejects_unknown_format(server_url):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(server_url + "/metrics?format=xml", timeout=5)
+    assert excinfo.value.code == 400
 
 
 def test_concurrent_requests_all_answered(server_url):

@@ -1,0 +1,58 @@
+"""The end-to-end benchmark runner (``benchmarks/run_bench.py``)."""
+
+import json
+
+import pytest
+
+from benchmarks.run_bench import STAGE_NAMES, main, validate_report
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    """One real ``--quick`` run, shared by every test in the module."""
+    out = tmp_path_factory.mktemp("bench") / "BENCH_plp.json"
+    assert main(["--quick", "--out", str(out), "--seed", "3"]) == 0
+    return json.loads(out.read_text())
+
+
+class TestQuickRun:
+    def test_report_is_schema_valid(self, report):
+        validate_report(report)  # raises on mismatch
+
+    def test_training_section(self, report):
+        training = report["training"]
+        assert training["steps"] > 0
+        assert training["buckets_total"] > 0
+        assert training["buckets_per_second"] > 0
+        assert set(training["stage_seconds"]) == set(STAGE_NAMES)
+        # Every stage ran once per step.
+        for aggregate in training["stage_seconds"].values():
+            assert aggregate["count"] == training["steps"]
+
+    def test_latency_sections(self, report):
+        assert report["recommend"]["queries"] > 0
+        assert 0 <= report["recommend"]["p50_seconds"] <= report["recommend"]["p95_seconds"]
+        evaluation = report["evaluation"]
+        assert evaluation["cases"] > 0
+        assert evaluation["query_seconds_p50"] <= evaluation["query_seconds_p95"]
+        assert evaluation["hit_rate"]
+
+
+class TestValidateReport:
+    def test_rejects_missing_section(self, report):
+        broken = dict(report)
+        del broken["training"]
+        with pytest.raises(ValueError, match="training"):
+            validate_report(broken)
+
+    def test_rejects_incomplete_stages(self, report):
+        broken = json.loads(json.dumps(report))
+        del broken["training"]["stage_seconds"]["noise"]
+        with pytest.raises(ValueError, match="stage_seconds"):
+            validate_report(broken)
+
+    def test_rejects_wrong_schema_version(self, report):
+        broken = dict(report)
+        broken["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_report(broken)
