@@ -1,254 +1,48 @@
 #!/usr/bin/env python
-"""End-to-end observability benchmark: train -> evaluate -> recommend.
+"""Thin wrapper: the benchmark runner lives in :mod:`repro.bench`.
 
-Runs the full pipeline on the synthetic Foursquare-Tokyo workload with an
-:class:`repro.Observability` bundle attached and writes one JSON report
-(``BENCH_plp.json``) with:
-
-- per-stage step time (sample/group/local_train/aggregate/noise/apply/
-  account) from the stage profiler,
-- training throughput (steps, buckets/sec),
-- tier-1 evaluation metrics (HR@k, MRR) plus per-query latency p50/p95
-  from the ``repro_eval_query_seconds`` histogram,
-- single-query ``recommend`` latency p50/p95,
-- peak RSS.
-
-The report is schema-validated (:func:`validate_report`) before writing,
-so CI can treat a malformed report as a failure. ``--quick`` runs a
-seconds-scale workload for the CI smoke job::
+Kept so the historical invocation (and the CI bench-smoke job) keeps
+working; ``repro bench`` is the front door now::
 
     PYTHONPATH=src python benchmarks/run_bench.py --quick --out BENCH_plp.json
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-import time
 from pathlib import Path
 
-if __name__ == "__main__" and __package__ is None:  # script invocation
+try:
+    from repro.bench import (  # noqa: F401 - re-exports
+        SCHEMA_VERSION,
+        STAGE_NAMES,
+        compare_to_baseline,
+        main,
+        measure_kernel_speedup,
+        run_benchmark,
+        validate_report,
+    )
+except ImportError:  # script invocation without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
-
-import repro
-from repro.core.engine.engine import STAGE_NAMES
-from repro.observability import peak_rss_bytes
-
-SCHEMA_VERSION = 1
-
-#: Workload/config knobs per mode. ``quick`` finishes in seconds; ``full``
-#: trains to a meaningful fraction of the budget.
-_MODES = {
-    "quick": dict(
-        num_users=80, num_locations=60, num_clusters=5,
-        max_steps=3, recommend_queries=50,
-    ),
-    "full": dict(
-        num_users=600, num_locations=200, num_clusters=10,
-        max_steps=40, recommend_queries=500,
-    ),
-}
-
-
-def _build_workload(mode: dict, seed: int):
-    config = repro.SyntheticConfig(
-        num_users=mode["num_users"],
-        num_locations=mode["num_locations"],
-        num_clusters=mode["num_clusters"],
-    )
-    dataset = repro.CheckinDataset(
-        repro.paper_preprocessing(repro.generate_checkins(config, rng=seed))
-    )
-    holdout_size = max(5, mode["num_users"] // 10)
-    return repro.holdout_users_split(dataset, holdout_size, rng=seed)
-
-
-def run_benchmark(quick: bool = True, seed: int = 7) -> dict:
-    """Run the instrumented pipeline and return the (validated) report."""
-    mode = _MODES["quick" if quick else "full"]
-    train_set, holdout = _build_workload(mode, seed)
-
-    obs = repro.with_observability()
-    config = repro.PLPConfig(
-        epsilon=2.0,
-        max_steps=mode["max_steps"],
-        grouping_factor=4,
-        sampling_probability=0.2,
+    from repro.bench import (  # noqa: F401 - re-exports
+        SCHEMA_VERSION,
+        STAGE_NAMES,
+        compare_to_baseline,
+        main,
+        measure_kernel_speedup,
+        run_benchmark,
+        validate_report,
     )
 
-    train_started = time.perf_counter()
-    model = repro.train(config, train_set, rng=seed, with_observability=obs)
-    train_seconds = time.perf_counter() - train_started
-
-    result = repro.evaluate(model, holdout, with_observability=obs)
-
-    # Single-query serving-style latency, measured through the same
-    # registry so p50/p95 come from one quantile implementation.
-    recommend_seconds = obs.metrics.histogram(
-        "repro_bench_recommend_seconds", "Single-query recommend latency"
-    )
-    recommender = model.recommender()
-    trajectories = repro.sessionize_dataset(holdout)
-    queries = [
-        list(trajectory.locations[:-1])
-        for trajectory in trajectories
-        if len(trajectory) >= 2
-    ]
-    queries = (queries * (mode["recommend_queries"] // max(1, len(queries)) + 1))[
-        : mode["recommend_queries"]
-    ]
-    for query in queries:
-        started = time.perf_counter()
-        try:
-            recommender.recommend(query, top_k=10)
-        except repro.ConfigError:
-            continue
-        recommend_seconds.observe(time.perf_counter() - started)
-
-    profile = obs.profiler.summary()
-    stage_seconds = {
-        stage: profile.get(
-            f"engine.stage.{stage}",
-            {"count": 0, "total_seconds": 0.0, "mean_seconds": 0.0,
-             "max_seconds": 0.0},
-        )
-        for stage in STAGE_NAMES
-    }
-    steps = int(obs.metrics.counter("repro_engine_steps_total").total())
-    buckets = int(obs.metrics.counter("repro_engine_buckets_total").total())
-    query_seconds = obs.metrics.histogram("repro_eval_query_seconds")
-
-    report = {
-        "schema_version": SCHEMA_VERSION,
-        "quick": bool(quick),
-        "seed": int(seed),
-        "generated_unix": time.time(),
-        "workload": {
-            "num_train_users": train_set.num_users,
-            "num_checkins": train_set.num_checkins,
-            "vocabulary_size": model.vocabulary.size,
-        },
-        "training": {
-            "steps": steps,
-            "total_seconds": train_seconds,
-            "buckets_total": buckets,
-            "buckets_per_second": buckets / train_seconds if train_seconds else 0.0,
-            "epsilon_spent": float(model.privacy.get("epsilon", 0.0)),
-            "stage_seconds": stage_seconds,
-        },
-        "evaluation": {
-            "cases": result.num_cases,
-            "skipped": result.num_skipped,
-            "hit_rate": {str(k): v for k, v in sorted(result.hit_rate.items())},
-            "mrr": result.mrr,
-            "query_seconds_p50": query_seconds.quantile(0.5),
-            "query_seconds_p95": query_seconds.quantile(0.95),
-        },
-        "recommend": {
-            "queries": recommend_seconds.count(),
-            "p50_seconds": recommend_seconds.quantile(0.5),
-            "p95_seconds": recommend_seconds.quantile(0.95),
-        },
-        "peak_rss_bytes": peak_rss_bytes(),
-    }
-    obs.close()
-    validate_report(report)
-    return report
-
-
-def validate_report(report: dict) -> None:
-    """Schema-check a benchmark report; raises ``ValueError`` on mismatch.
-
-    Hand-rolled (no jsonschema dependency): checks the key set, value
-    types, the full stage breakdown, and basic sanity (p50 <= p95,
-    non-negative counters).
-    """
-    problems: list[str] = []
-
-    def expect(condition: bool, message: str) -> None:
-        if not condition:
-            problems.append(message)
-
-    top = {
-        "schema_version": int, "quick": bool, "seed": int,
-        "generated_unix": float, "workload": dict, "training": dict,
-        "evaluation": dict, "recommend": dict,
-    }
-    for key, kind in top.items():
-        expect(isinstance(report.get(key), kind), f"{key}: expected {kind.__name__}")
-    expect("peak_rss_bytes" in report, "peak_rss_bytes: missing")
-    rss = report.get("peak_rss_bytes")
-    expect(rss is None or (isinstance(rss, int) and rss > 0),
-           "peak_rss_bytes: expected positive int or null")
-    expect(report.get("schema_version") == SCHEMA_VERSION,
-           f"schema_version: expected {SCHEMA_VERSION}")
-
-    training = report.get("training") or {}
-    for key in ("steps", "buckets_total"):
-        expect(isinstance(training.get(key), int) and training.get(key, -1) >= 0,
-               f"training.{key}: expected non-negative int")
-    for key in ("total_seconds", "buckets_per_second"):
-        expect(isinstance(training.get(key), float) and training.get(key, -1.0) >= 0,
-               f"training.{key}: expected non-negative float")
-    stages = training.get("stage_seconds") or {}
-    expect(set(stages) == set(STAGE_NAMES),
-           f"training.stage_seconds: expected stages {sorted(STAGE_NAMES)}")
-    for stage, aggregate in stages.items():
-        for key in ("count", "total_seconds", "mean_seconds", "max_seconds"):
-            expect(isinstance(aggregate.get(key), (int, float)),
-                   f"training.stage_seconds.{stage}.{key}: expected number")
-
-    evaluation = report.get("evaluation") or {}
-    expect(isinstance(evaluation.get("hit_rate"), dict) and evaluation.get("hit_rate"),
-           "evaluation.hit_rate: expected non-empty dict")
-    for key in ("query_seconds_p50", "query_seconds_p95"):
-        expect(isinstance(evaluation.get(key), float),
-               f"evaluation.{key}: expected float")
-
-    recommend = report.get("recommend") or {}
-    expect(isinstance(recommend.get("queries"), int) and recommend.get("queries", 0) > 0,
-           "recommend.queries: expected positive int")
-    p50, p95 = recommend.get("p50_seconds"), recommend.get("p95_seconds")
-    expect(isinstance(p50, float) and isinstance(p95, float) and p50 <= p95,
-           "recommend: expected float p50_seconds <= p95_seconds")
-
-    if problems:
-        raise ValueError(
-            "invalid benchmark report:\n  " + "\n  ".join(problems)
-        )
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick", action="store_true",
-        help="seconds-scale smoke workload (CI); default is the full bench",
-    )
-    parser.add_argument("--out", default="BENCH_plp.json", help="report path")
-    parser.add_argument("--seed", type=int, default=7, help="workload seed")
-    args = parser.parse_args(argv)
-
-    report = run_benchmark(quick=args.quick, seed=args.seed)
-    out = Path(args.out)
-    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-
-    training = report["training"]
-    print(f"wrote {out}")
-    print(
-        f"training: {training['steps']} steps in "
-        f"{training['total_seconds']:.2f}s "
-        f"({training['buckets_per_second']:.1f} buckets/s)"
-    )
-    for stage, aggregate in training["stage_seconds"].items():
-        print(f"  {stage:<12} {aggregate['total_seconds']:.4f}s total")
-    print(
-        f"recommend: p50={report['recommend']['p50_seconds'] * 1e3:.2f}ms "
-        f"p95={report['recommend']['p95_seconds'] * 1e3:.2f}ms"
-    )
-    print(f"evaluation: HR {report['evaluation']['hit_rate']}")
-    return 0
-
+__all__ = [
+    "SCHEMA_VERSION",
+    "STAGE_NAMES",
+    "compare_to_baseline",
+    "main",
+    "measure_kernel_speedup",
+    "run_benchmark",
+    "validate_report",
+]
 
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -8,11 +8,14 @@ ledger — with the budget checked before the update is committed to theta.
 McMahan et al.'s user-level DP FedAvg makes the same point for
 aggregation: one update applied outside this order voids (epsilon, delta).
 
-The check is function-local over the engine/privacy modules. Calls are
-classified into events by name — CLIP (``clip_*``), NOISE (``add_noise``,
-``noise``, ``.normal``, ``.laplace``), APPLY (``apply``, ``add_``),
-ACCOUNT (``track_budget``, ``account``, ``record``), GUARD
-(``budget_would_cross``, ``preview_budget_spent``,
+The check is function-local over the engine/privacy modules and the
+compute-backend kernels. Calls are classified into events by name — CLIP
+(``clip_*``, plus the fused bucket-update kernels
+``fused_bucket_update``/``fused_multi_bucket_update``, which perform the
+per-bucket clip internally and are therefore a valid clip-ordering
+site), NOISE (``add_noise``, ``noise``, ``.normal``, ``.laplace``),
+APPLY (``apply``, ``add_``), ACCOUNT (``track_budget``, ``account``,
+``record``), GUARD (``budget_would_cross``, ``preview_budget_spent``,
 ``assert_within_budget``) — and walked in evaluation order. Within one
 function:
 
@@ -33,6 +36,12 @@ from repro.analysis.registry import Rule, register
 from repro.analysis.violations import Violation
 
 _CLIP_PREFIX = "clip"
+#: The backend protocol's fused kernels clip every bucket delta before
+#: returning it (repro/nn/backends/base.py::clip_bucket_delta), so a call
+#: to one counts as the CLIP event of the enclosing function.
+_FUSED_CLIP_NAMES = frozenset(
+    {"fused_bucket_update", "fused_multi_bucket_update"}
+)
 _NOISE_NAMES = frozenset({"add_noise", "noise", "normal", "laplace"})
 _APPLY_NAMES = frozenset({"apply", "add_", "apply_update"})
 _ACCOUNT_NAMES = frozenset({"track_budget", "account", "record", "record_step"})
@@ -54,7 +63,7 @@ def _classify(call: ast.Call) -> str | None:
         return "account"
     if name in _GUARD_NAMES:
         return "guard"
-    if name.startswith(_CLIP_PREFIX):
+    if name in _FUSED_CLIP_NAMES or name.startswith(_CLIP_PREFIX):
         return "clip"
     return None
 
@@ -89,7 +98,7 @@ class DpOrdering(Rule):
         "calibrated sigma and recorded in the ledger, with the budget "
         "checked before the update is committed"
     )
-    scope = ("repro/core/", "repro/privacy/")
+    scope = ("repro/core/", "repro/privacy/", "repro/nn/backends/")
 
     def check(self, module: ModuleContext) -> list[Violation]:
         violations: list[Violation] = []

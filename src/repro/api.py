@@ -187,6 +187,7 @@ def train(
             embedding_dim=config.embedding_dim,
             num_negatives=config.num_negatives,
             learning_rate=config.learning_rate,
+            backend=config.backend,
             rng=rng,
             observability=with_observability,
             **engine_options,

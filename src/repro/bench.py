@@ -1,0 +1,484 @@
+"""End-to-end observability benchmark: train -> evaluate -> recommend.
+
+Runs the full pipeline on the synthetic Foursquare-Tokyo workload with an
+:class:`repro.Observability` bundle attached and writes one JSON report
+(``BENCH_plp.json``) with:
+
+- per-stage step time (sample/group/local_train/aggregate/noise/apply/
+  account) from the stage profiler,
+- training throughput (steps, buckets/sec),
+- a per-backend kernel comparison: the engine's ``local_train`` stage
+  timed for every compute backend on one fixed workload, with the
+  speedup over the ``reference`` backend (see
+  :func:`measure_kernel_speedup`),
+- tier-1 evaluation metrics (HR@k, MRR) plus per-query latency p50/p95
+  from the ``repro_eval_query_seconds`` histogram,
+- single-query ``recommend`` latency p50/p95,
+- peak RSS.
+
+The report is schema-validated (:func:`validate_report`) before writing.
+When a committed baseline report exists (``BENCH_plp.json`` at the repo
+root, or ``--baseline``), the fresh report is diffed against it and a
+>25% regression in training throughput (buckets/sec) or recommend p95
+fails the run with exit code 3 (:func:`compare_to_baseline`).
+
+Run it through the CLI (no ``PYTHONPATH`` gymnastics needed)::
+
+    repro bench --quick --out BENCH_plp.json
+
+or as the historical script, which forwards here::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --quick --out BENCH_plp.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import repro
+from repro.core.engine.engine import STAGE_NAMES
+from repro.nn.backends import numba_kernels
+from repro.observability import peak_rss_bytes
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "STAGE_NAMES",
+    "add_bench_arguments",
+    "compare_to_baseline",
+    "main",
+    "measure_kernel_speedup",
+    "run_benchmark",
+    "run_from_args",
+    "validate_report",
+]
+
+SCHEMA_VERSION = 2
+
+#: Workload/config knobs per mode. ``quick`` finishes in seconds; ``full``
+#: trains to a meaningful fraction of the budget.
+_MODES = {
+    "quick": dict(
+        num_users=80, num_locations=60, num_clusters=5,
+        max_steps=3, recommend_queries=50, kernel_repeats=2,
+    ),
+    "full": dict(
+        num_users=600, num_locations=200, num_clusters=10,
+        max_steps=40, recommend_queries=500, kernel_repeats=3,
+    ),
+}
+
+#: The kernel-comparison workload (independent of --quick: the tiny smoke
+#: workload would mostly measure fixed overheads, not the kernels). Sized
+#: so the reference backend's ``local_train`` runs long enough to time
+#: reliably while the whole comparison stays a few seconds.
+_KERNEL_WORKLOAD = dict(
+    num_users=1500, num_locations=9000, mean_checkins_per_user=80.0,
+    max_steps=3, data_seed=5,
+)
+
+#: Regression threshold for :func:`compare_to_baseline` (fractional).
+_REGRESSION_THRESHOLD = 0.25
+
+#: Absolute slack for the recommend-p95 check: at the quick scale p95 is
+#: tens of microseconds, where a scheduler blip alone exceeds 25%; a
+#: regression must clear both the relative threshold and this floor.
+_P95_SLACK_SECONDS = 0.0005
+
+
+def _build_workload(mode: dict, seed: int):
+    config = repro.SyntheticConfig(
+        num_users=mode["num_users"],
+        num_locations=mode["num_locations"],
+        num_clusters=mode["num_clusters"],
+    )
+    dataset = repro.CheckinDataset(
+        repro.paper_preprocessing(repro.generate_checkins(config, rng=seed))
+    )
+    holdout_size = max(5, mode["num_users"] // 10)
+    return repro.holdout_users_split(dataset, holdout_size, rng=seed)
+
+
+def _local_train_seconds(dataset, backend: str, seed: int) -> float:
+    """One instrumented training run; returns the ``local_train`` total."""
+    obs = repro.with_observability()
+    config = repro.PLPConfig(
+        max_steps=_KERNEL_WORKLOAD["max_steps"], backend=backend
+    )
+    repro.train(config, dataset, rng=seed, with_observability=obs)
+    seconds = obs.profiler.summary()["engine.stage.local_train"]["total_seconds"]
+    obs.close()
+    return float(seconds)
+
+
+def measure_kernel_speedup(repeats: int = 3, seed: int = 7) -> dict:
+    """Time the engine's ``local_train`` stage per compute backend.
+
+    All backends train on the same fixed workload (``_KERNEL_WORKLOAD``)
+    at the default :class:`repro.PLPConfig` (only ``max_steps`` and
+    ``backend`` overridden). Runs are interleaved — one fast run, one
+    reference run, ``repeats`` times — and the best run per backend is
+    kept, so a noisy-neighbor blip degrades both backends alike instead
+    of skewing the ratio. The ``numba`` backend is timed only when numba
+    is actually importable (otherwise it would just re-measure ``fast``).
+    """
+    spec = _KERNEL_WORKLOAD
+    raw = repro.generate_checkins(
+        repro.SyntheticConfig(
+            num_users=spec["num_users"],
+            num_locations=spec["num_locations"],
+            mean_checkins_per_user=spec["mean_checkins_per_user"],
+        ),
+        rng=spec["data_seed"],
+    )
+    dataset = repro.CheckinDataset(repro.paper_preprocessing(raw))
+
+    backends = ["fast", "reference"]
+    if numba_kernels.NUMBA_AVAILABLE:
+        backends.insert(1, "numba")
+    _local_train_seconds(dataset, "fast", seed)  # warm caches/allocator
+    best: dict[str, float] = {}
+    for _ in range(max(1, repeats)):
+        for backend in backends:
+            seconds = _local_train_seconds(dataset, backend, seed)
+            best[backend] = min(best.get(backend, float("inf")), seconds)
+
+    reference = best["reference"]
+    return {
+        "workload": {
+            "num_users": spec["num_users"],
+            "num_locations": spec["num_locations"],
+            "mean_checkins_per_user": spec["mean_checkins_per_user"],
+            "max_steps": spec["max_steps"],
+            "repeats": int(repeats),
+        },
+        "local_train_seconds": dict(sorted(best.items())),
+        "speedup_vs_reference": {
+            backend: reference / seconds
+            for backend, seconds in sorted(best.items())
+            if backend != "reference"
+        },
+        "numba_compiled": bool(numba_kernels.NUMBA_AVAILABLE),
+    }
+
+
+def run_benchmark(
+    quick: bool = True, seed: int = 7, backend: str = "reference"
+) -> dict:
+    """Run the instrumented pipeline and return the (validated) report."""
+    mode = _MODES["quick" if quick else "full"]
+    train_set, holdout = _build_workload(mode, seed)
+
+    obs = repro.with_observability()
+    config = repro.PLPConfig(
+        epsilon=2.0,
+        max_steps=mode["max_steps"],
+        grouping_factor=4,
+        sampling_probability=0.2,
+        backend=backend,
+    )
+
+    train_started = time.perf_counter()
+    model = repro.train(config, train_set, rng=seed, with_observability=obs)
+    train_seconds = time.perf_counter() - train_started
+
+    result = repro.evaluate(model, holdout, with_observability=obs)
+
+    # Single-query serving-style latency, measured through the same
+    # registry so p50/p95 come from one quantile implementation.
+    recommend_seconds = obs.metrics.histogram(
+        "repro_bench_recommend_seconds", "Single-query recommend latency"
+    )
+    recommender = model.recommender()
+    trajectories = repro.sessionize_dataset(holdout)
+    queries = [
+        list(trajectory.locations[:-1])
+        for trajectory in trajectories
+        if len(trajectory) >= 2
+    ]
+    queries = (queries * (mode["recommend_queries"] // max(1, len(queries)) + 1))[
+        : mode["recommend_queries"]
+    ]
+    for query in queries:
+        started = time.perf_counter()
+        try:
+            recommender.recommend(query, top_k=10)
+        except repro.ConfigError:
+            continue
+        recommend_seconds.observe(time.perf_counter() - started)
+
+    profile = obs.profiler.summary()
+    stage_seconds = {
+        stage: profile.get(
+            f"engine.stage.{stage}",
+            {"count": 0, "total_seconds": 0.0, "mean_seconds": 0.0,
+             "max_seconds": 0.0},
+        )
+        for stage in STAGE_NAMES
+    }
+    steps = int(obs.metrics.counter("repro_engine_steps_total").total())
+    buckets = int(obs.metrics.counter("repro_engine_buckets_total").total())
+    query_seconds = obs.metrics.histogram("repro_eval_query_seconds")
+
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "quick": bool(quick),
+        "seed": int(seed),
+        "backend": str(backend),
+        "generated_unix": time.time(),
+        "workload": {
+            "num_train_users": train_set.num_users,
+            "num_checkins": train_set.num_checkins,
+            "vocabulary_size": model.vocabulary.size,
+        },
+        "training": {
+            "steps": steps,
+            "total_seconds": train_seconds,
+            "buckets_total": buckets,
+            "buckets_per_second": buckets / train_seconds if train_seconds else 0.0,
+            "epsilon_spent": float(model.privacy.get("epsilon", 0.0)),
+            "stage_seconds": stage_seconds,
+        },
+        "kernels": measure_kernel_speedup(
+            repeats=mode["kernel_repeats"], seed=seed
+        ),
+        "evaluation": {
+            "cases": result.num_cases,
+            "skipped": result.num_skipped,
+            "hit_rate": {str(k): v for k, v in sorted(result.hit_rate.items())},
+            "mrr": result.mrr,
+            "query_seconds_p50": query_seconds.quantile(0.5),
+            "query_seconds_p95": query_seconds.quantile(0.95),
+        },
+        "recommend": {
+            "queries": recommend_seconds.count(),
+            "p50_seconds": recommend_seconds.quantile(0.5),
+            "p95_seconds": recommend_seconds.quantile(0.95),
+        },
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    obs.close()
+    validate_report(report)
+    return report
+
+
+def validate_report(report: dict) -> None:
+    """Schema-check a benchmark report; raises ``ValueError`` on mismatch.
+
+    Hand-rolled (no jsonschema dependency): checks the key set, value
+    types, the full stage breakdown, the kernel-comparison section, and
+    basic sanity (p50 <= p95, non-negative counters).
+    """
+    problems: list[str] = []
+
+    def expect(condition: bool, message: str) -> None:
+        if not condition:
+            problems.append(message)
+
+    top = {
+        "schema_version": int, "quick": bool, "seed": int, "backend": str,
+        "generated_unix": float, "workload": dict, "training": dict,
+        "kernels": dict, "evaluation": dict, "recommend": dict,
+    }
+    for key, kind in top.items():
+        expect(isinstance(report.get(key), kind), f"{key}: expected {kind.__name__}")
+    expect("peak_rss_bytes" in report, "peak_rss_bytes: missing")
+    rss = report.get("peak_rss_bytes")
+    expect(rss is None or (isinstance(rss, int) and rss > 0),
+           "peak_rss_bytes: expected positive int or null")
+    expect(report.get("schema_version") == SCHEMA_VERSION,
+           f"schema_version: expected {SCHEMA_VERSION}")
+
+    training = report.get("training") or {}
+    for key in ("steps", "buckets_total"):
+        expect(isinstance(training.get(key), int) and training.get(key, -1) >= 0,
+               f"training.{key}: expected non-negative int")
+    for key in ("total_seconds", "buckets_per_second"):
+        expect(isinstance(training.get(key), float) and training.get(key, -1.0) >= 0,
+               f"training.{key}: expected non-negative float")
+    stages = training.get("stage_seconds") or {}
+    expect(set(stages) == set(STAGE_NAMES),
+           f"training.stage_seconds: expected stages {sorted(STAGE_NAMES)}")
+    for stage, aggregate in stages.items():
+        for key in ("count", "total_seconds", "mean_seconds", "max_seconds"):
+            expect(isinstance(aggregate.get(key), (int, float)),
+                   f"training.stage_seconds.{stage}.{key}: expected number")
+
+    kernels = report.get("kernels") or {}
+    timings = kernels.get("local_train_seconds")
+    expect(isinstance(timings, dict) and "reference" in (timings or {}),
+           "kernels.local_train_seconds: expected dict with 'reference'")
+    for backend, seconds in (timings or {}).items():
+        expect(isinstance(seconds, float) and seconds > 0,
+               f"kernels.local_train_seconds.{backend}: expected positive float")
+    speedups = kernels.get("speedup_vs_reference")
+    expect(isinstance(speedups, dict) and "fast" in (speedups or {}),
+           "kernels.speedup_vs_reference: expected dict with 'fast'")
+    for backend, ratio in (speedups or {}).items():
+        expect(isinstance(ratio, float) and ratio > 0,
+               f"kernels.speedup_vs_reference.{backend}: expected positive float")
+    expect(isinstance(kernels.get("numba_compiled"), bool),
+           "kernels.numba_compiled: expected bool")
+
+    evaluation = report.get("evaluation") or {}
+    expect(isinstance(evaluation.get("hit_rate"), dict) and evaluation.get("hit_rate"),
+           "evaluation.hit_rate: expected non-empty dict")
+    for key in ("query_seconds_p50", "query_seconds_p95"):
+        expect(isinstance(evaluation.get(key), float),
+               f"evaluation.{key}: expected float")
+
+    recommend = report.get("recommend") or {}
+    expect(isinstance(recommend.get("queries"), int) and recommend.get("queries", 0) > 0,
+           "recommend.queries: expected positive int")
+    p50, p95 = recommend.get("p50_seconds"), recommend.get("p95_seconds")
+    expect(isinstance(p50, float) and isinstance(p95, float) and p50 <= p95,
+           "recommend: expected float p50_seconds <= p95_seconds")
+
+    if problems:
+        raise ValueError(
+            "invalid benchmark report:\n  " + "\n  ".join(problems)
+        )
+
+
+def compare_to_baseline(
+    report: dict, baseline: dict, threshold: float = _REGRESSION_THRESHOLD
+) -> list[str]:
+    """Diff a fresh report against a committed baseline.
+
+    Returns one human-readable message per regression — training
+    throughput (buckets/sec) dropping by more than ``threshold``, or the
+    single-query recommend p95 growing by more than ``threshold``; an
+    empty list means the report is at least as good as the baseline
+    within the tolerance.
+
+    Raises:
+        ValueError: when the two reports are not like-for-like (different
+            schema version, mode, or training backend) — a comparison
+            would be meaningless, which is distinct from a pass.
+    """
+    for key in ("schema_version", "quick", "backend"):
+        if report.get(key) != baseline.get(key):
+            raise ValueError(
+                f"baseline not comparable: {key} differs "
+                f"({baseline.get(key)!r} -> {report.get(key)!r})"
+            )
+
+    regressions: list[str] = []
+    old_rate = baseline["training"]["buckets_per_second"]
+    new_rate = report["training"]["buckets_per_second"]
+    if old_rate > 0 and new_rate < (1.0 - threshold) * old_rate:
+        regressions.append(
+            f"training throughput regressed >{threshold:.0%}: "
+            f"{old_rate:.1f} -> {new_rate:.1f} buckets/sec"
+        )
+    old_p95 = baseline["recommend"]["p95_seconds"]
+    new_p95 = report["recommend"]["p95_seconds"]
+    if (
+        old_p95 > 0
+        and new_p95 > (1.0 + threshold) * old_p95
+        and new_p95 - old_p95 > _P95_SLACK_SECONDS
+    ):
+        regressions.append(
+            f"recommend p95 regressed >{threshold:.0%}: "
+            f"{old_p95 * 1e3:.2f}ms -> {new_p95 * 1e3:.2f}ms"
+        )
+    return regressions
+
+
+def _default_baseline() -> Path | None:
+    """The committed repo-root ``BENCH_plp.json``, when running from a
+    source checkout (``src/repro/bench.py`` -> two parents up)."""
+    candidate = Path(__file__).resolve().parents[2] / "BENCH_plp.json"
+    return candidate if candidate.is_file() else None
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the benchmark flags (shared by the CLI and the script)."""
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="seconds-scale smoke workload (CI); default is the full bench",
+    )
+    parser.add_argument("--out", default="BENCH_plp.json", help="report path")
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--backend",
+        choices=("reference", "fast", "numba"),
+        default="reference",
+        help="compute backend for the pipeline training run (the kernel "
+        "comparison always times every available backend)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline report to diff against (default: the committed "
+        "repo-root BENCH_plp.json; 'none' disables the check)",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute the benchmark from parsed arguments (CLI entry point)."""
+    report = run_benchmark(
+        quick=args.quick, seed=args.seed, backend=args.backend
+    )
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    training = report["training"]
+    print(f"wrote {out}")
+    print(
+        f"training: {training['steps']} steps in "
+        f"{training['total_seconds']:.2f}s "
+        f"({training['buckets_per_second']:.1f} buckets/s, "
+        f"backend={report['backend']})"
+    )
+    for stage, aggregate in training["stage_seconds"].items():
+        print(f"  {stage:<12} {aggregate['total_seconds']:.4f}s total")
+    kernels = report["kernels"]
+    for backend, seconds in kernels["local_train_seconds"].items():
+        speedup = kernels["speedup_vs_reference"].get(backend)
+        suffix = f" ({speedup:.2f}x vs reference)" if speedup else ""
+        print(f"kernel local_train[{backend}]: {seconds:.3f}s{suffix}")
+    print(
+        f"recommend: p50={report['recommend']['p50_seconds'] * 1e3:.2f}ms "
+        f"p95={report['recommend']['p95_seconds'] * 1e3:.2f}ms"
+    )
+    print(f"evaluation: HR {report['evaluation']['hit_rate']}")
+
+    baseline_path: Path | None
+    if args.baseline is None:
+        baseline_path = _default_baseline()
+    elif str(args.baseline).lower() == "none":
+        baseline_path = None
+    else:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_file():
+            print(f"error: baseline not found: {baseline_path}")
+            return 2
+    if baseline_path is None:
+        print("baseline: no baseline report; comparison skipped")
+        return 0
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    try:
+        regressions = compare_to_baseline(report, baseline)
+    except ValueError as error:
+        print(f"baseline: comparison skipped ({error})")
+        return 0
+    if regressions:
+        for message in regressions:
+            print(f"REGRESSION vs {baseline_path}: {message}")
+        return 3
+    print(f"baseline: ok (within {_REGRESSION_THRESHOLD:.0%} of {baseline_path})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    add_bench_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ Subcommands cover the full workflow::
     repro serve     --model model.npz --port 8000
     repro audit     --data checkins.csv --model model.npz
     repro lint      src --format text
+    repro bench     --quick --out BENCH_plp.json
 
 ``repro train --synthetic`` skips the CSV and trains straight on a fresh
 synthetic workload. All commands are deterministic under ``--seed``.
@@ -60,6 +61,7 @@ _TRAIN_FLAG_DEFAULTS = {
     "embedding_dim": 50,
     "num_negatives": 16,
     "max_steps": None,
+    "backend": "reference",
 }
 
 
@@ -144,6 +146,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help=argparse.SUPPRESS,
     )
     train.add_argument("--max-steps", type=int, default=suppress)
+    train.add_argument(
+        "--backend",
+        choices=("reference", "fast", "numba"),
+        default=suppress,
+        help="compute kernel backend: reference (exact float64), fast "
+        "(float32 fused kernels, same privacy accounting), numba "
+        "(JIT-compiled; falls back to fast if numba is missing)",
+    )
     train.add_argument("--epochs", type=int, default=5, help="non-private epochs")
     train.add_argument("--seed", type=int, default=7)
     train.add_argument(
@@ -266,6 +276,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(lint)
 
+    bench = subparsers.add_parser(
+        "bench",
+        help="end-to-end benchmark: train/evaluate/recommend with "
+        "per-backend kernel timings; diffs against the committed "
+        "BENCH_plp.json baseline",
+    )
+    from repro.bench import add_bench_arguments
+
+    add_bench_arguments(bench)
+
     return parser
 
 
@@ -357,6 +377,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             embedding_dim=config.embedding_dim,
             num_negatives=config.num_negatives,
             learning_rate=config.learning_rate,
+            backend=config.backend,
             rng=args.seed,
             **engine_opts,
         )
@@ -448,6 +469,12 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_from_args as run_bench_from_args
+
+    return run_bench_from_args(args)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
@@ -456,6 +483,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "audit": _cmd_audit,
     "lint": run_from_args,
+    "bench": _cmd_bench,
 }
 
 

@@ -21,7 +21,11 @@ from repro.core.grouping import (
     group_data,
     split_pairs,
 )
-from repro.core.bucket import BucketUpdate, model_update_from_bucket
+from repro.core.bucket import (
+    BucketUpdate,
+    model_update_from_bucket,
+    model_updates_from_buckets,
+)
 from repro.core.history import EvalRecord, StepRecord, TrainingHistory
 from repro.core.schedules import (
     ConstantSchedule,
@@ -67,6 +71,7 @@ __all__ = [
     "split_pairs",
     "group_data",
     "model_update_from_bucket",
+    "model_updates_from_buckets",
     "BucketUpdate",
     "TrainingHistory",
     "StepRecord",

@@ -6,19 +6,23 @@ batched and trained with plain SGD; the resulting model delta
 (the paper's choice, McMahan & Andrew 2018) or globally to ``C`` — and
 returned for the Gaussian sum query.
 
-Implementation note: local SGD only touches the parameter rows involved in
-the bucket's pairs (plus their negative samples), so instead of copying the
-full model per bucket, training runs on a *copy-on-write overlay* of
-``theta``: each touched row is materialized into a scratch buffer right
-before its first read, all reads and updates go through the scratch
-buffer, and the sparse delta is the difference between the materialized
-rows and the corresponding ``theta`` rows. ``theta`` itself is never
-written — the function is safe to run concurrently against one shared
-snapshot (thread workers) or a pickled copy (process workers), and an
-exception mid-bucket cannot corrupt the global model. The per-bucket cost
-stays proportional to the bucket's data, not to the model size — the
-dominant cost at small grouping factors where hundreds of buckets run per
-step.
+This module is the boundary between Algorithm 1's *randomness* and the
+swappable compute backends (:mod:`repro.nn.backends`): the batch order and
+every negative sample are drawn here, in the exact RNG sequence the
+historical implementation used (one shuffle draw when batching starts,
+then one negative draw per batch), and handed to the model's backend as a
+fully-determined list of :class:`~repro.nn.backends.BucketBatch`. The
+backend's fused kernel is then a pure function — every backend trains on
+the same samples, and the reference backend reproduces pre-backend results
+bit for bit.
+
+``theta`` is never written: the reference backend trains on a
+copy-on-write overlay, the fast backends on compact gathered copies — so
+the function is safe to run concurrently against one shared snapshot
+(thread workers) or a pickled copy (process workers), and an exception
+mid-bucket cannot corrupt the global model. The per-bucket cost stays
+proportional to the bucket's data, not to the model size — the dominant
+cost at small grouping factors where hundreds of buckets run per step.
 """
 
 from __future__ import annotations
@@ -29,13 +33,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ConfigError
-from repro.models.skipgram import BIAS, CONTEXT, EMBEDDING, SkipGramModel
+from repro.models.skipgram import SkipGramModel
 from repro.models.windowing import BatchIterator
+from repro.nn.backends import BucketBatch, BucketDelta, LocalUpdateSpec
 from repro.nn.parameters import ParameterSet
-from repro.privacy.clipping import per_layer_clip_bound
 from repro.rng import RngLike, ensure_rng
-
-_TENSOR_NAMES = (EMBEDDING, CONTEXT, BIAS)
 
 
 @dataclass(slots=True)
@@ -63,6 +65,18 @@ class BucketUpdate:
     unclipped_norm: float
     wall_time_seconds: float = 0.0
 
+    @classmethod
+    def from_delta(cls, delta: BucketDelta) -> "BucketUpdate":
+        """Wrap a backend's :class:`~repro.nn.backends.BucketDelta`."""
+        return cls(
+            rows=delta.rows,
+            values=delta.values,
+            shapes=delta.shapes,
+            mean_loss=delta.mean_loss,
+            num_batches=delta.num_batches,
+            unclipped_norm=delta.unclipped_norm,
+        )
+
     @property
     def clipped_norm(self) -> float:
         """Joint l2 norm of the clipped delta."""
@@ -89,55 +103,61 @@ class BucketUpdate:
                 accumulators[name][rows] += self.values[name]
 
 
-class _CowOverlay:
-    """Copy-on-write row overlay of ``theta`` for one bucket's local SGD.
+def build_bucket_batches(
+    model: SkipGramModel,
+    bucket_pairs: np.ndarray,
+    batch_size: int,
+    local_update: str = "sgd",
+    rng: RngLike = None,
+) -> list[BucketBatch]:
+    """Batch a bucket's pairs and pre-draw every negative sample.
 
-    The scratch buffers start uninitialized (``np.empty_like``); a row is
-    only valid after :meth:`materialize` copied it from ``theta``. The
-    batch loop materializes a batch's full read set (targets, contexts,
-    negatives) before the forward pass, so every row the model reads or
-    writes is backed by real values. The bias buffer is zero-initialized
-    because the shared-negative fast path updates it through a dense
-    ``bincount`` subtraction that touches every entry.
+    The draw sequence matches the historical interleaved loop exactly:
+    :class:`~repro.models.windowing.BatchIterator` consumes its single
+    shuffle draw when iteration starts, and one negative draw follows per
+    batch, in batch order. Listing the batches first and then drawing
+    negatives therefore produces the identical RNG stream — which is what
+    lets the backends be draw-free without changing any result.
+
+    Args:
+        model: provides negative-sampling configuration.
+        bucket_pairs: ``(n, 2)`` (target, context) pairs of the bucket.
+        batch_size: pairs per local SGD batch (the paper's ``b``).
+        local_update: ``"sgd"`` = shuffled multi-batch local SGD;
+            ``"gradient"`` = one whole-bucket batch (classic DP-SGD).
+        rng: randomness for batch shuffling and negative sampling.
     """
-
-    def __init__(self, theta: ParameterSet) -> None:
-        self._theta = theta
-        work: dict[str, np.ndarray] = {}
-        for name in _TENSOR_NAMES:
-            source = theta[name]
-            work[name] = (
-                np.zeros_like(source) if source.ndim == 1 else np.empty_like(source)
-            )
-        self.params = ParameterSet(work, copy=False)
-        self._mask = {
-            name: np.zeros(theta[name].shape[0], dtype=bool)
-            for name in _TENSOR_NAMES
-        }
-
-    def materialize(self, name: str, rows: np.ndarray) -> None:
-        """Copy not-yet-materialized ``theta`` rows into the scratch buffer."""
-        rows = np.unique(rows)
-        mask = self._mask[name]
-        fresh = rows[~mask[rows]]
-        if fresh.size:
-            self.params[name][fresh] = self._theta[name][fresh]
-            mask[fresh] = True
-
-    def collect_delta(self) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
-        """Row indices and ``scratch - theta`` values for every touched row."""
-        rows_out: dict[str, np.ndarray] = {}
-        values_out: dict[str, np.ndarray] = {}
-        for name in _TENSOR_NAMES:
-            rows = np.flatnonzero(self._mask[name])
-            if rows.size:
-                rows_out[name] = rows
-                values_out[name] = self.params[name][rows] - self._theta[name][rows]
-            else:
-                rows_out[name] = np.empty(0, dtype=np.int64)
-                trailing = self._theta[name].shape[1:]
-                values_out[name] = np.empty((0, *trailing))
-        return rows_out, values_out
+    generator = ensure_rng(rng)
+    bucket_pairs = np.asarray(bucket_pairs, dtype=np.int64).reshape(-1, 2)
+    if bucket_pairs.shape[0] == 0:
+        return []
+    if local_update == "gradient":
+        raw_batches = [(bucket_pairs[:, 0], bucket_pairs[:, 1])]
+    else:
+        raw_batches = list(BatchIterator(bucket_pairs, batch_size, rng=generator))
+    if model.negative_sharing == "batch":
+        # One draw for every batch's shared negatives: filling a
+        # (batches, num_negatives) block consumes the generator's words in
+        # the same order as one size-``num_negatives`` draw per batch, so
+        # the stream (and every downstream result) is unchanged.
+        all_negatives = generator.integers(
+            0,
+            model.num_locations,
+            size=(len(raw_batches), model.num_negatives),
+            dtype=np.int64,
+        )
+        return [
+            BucketBatch(targets=targets, contexts=contexts, negatives=negatives)
+            for (targets, contexts), negatives in zip(raw_batches, all_negatives)
+        ]
+    return [
+        BucketBatch(
+            targets=targets,
+            contexts=contexts,
+            negatives=model.sample_negatives(len(targets), generator),
+        )
+        for targets, contexts in raw_batches
+    ]
 
 
 def model_update_from_bucket(
@@ -153,12 +173,12 @@ def model_update_from_bucket(
 ) -> BucketUpdate:
     """Compute the clipped model delta for one data bucket.
 
-    ``theta`` is treated as **read-only**: local training runs on a
-    copy-on-write overlay, so the function is safe to call concurrently
-    from executor workers sharing (or holding copies of) one θ snapshot.
+    ``theta`` is treated as **read-only**: all randomness is drawn here
+    (see :func:`build_bucket_batches`) and the model's kernel backend runs
+    the fused local-SGD + clipping pass as a pure function of the batches.
 
     Args:
-        model: the skip-gram architecture (provides forward/backward).
+        model: the skip-gram architecture (owns the kernel backend).
         theta: the global parameters ``theta_t``.
         bucket_pairs: ``(n, 2)`` (target, context) pairs of the bucket.
         batch_size: pairs per local SGD batch (the paper's ``b``).
@@ -177,70 +197,62 @@ def model_update_from_bucket(
         raise ConfigError(f"unknown clipping mode {clipping!r}")
     if local_update not in ("sgd", "gradient"):
         raise ConfigError(f"unknown local_update mode {local_update!r}")
-    generator = ensure_rng(rng)
-    bucket_pairs = np.asarray(bucket_pairs, dtype=np.int64).reshape(-1, 2)
+    batches = build_bucket_batches(
+        model, bucket_pairs, batch_size, local_update=local_update, rng=rng
+    )
+    spec = _local_update_spec(model, learning_rate, clip_bound, clipping)
+    delta = model.backend.fused_bucket_update(theta, batches, spec)
+    return BucketUpdate.from_delta(delta)
 
-    overlay = _CowOverlay(theta)
-    work = overlay.params
-    losses: list[float] = []
 
-    def train_batch(targets: np.ndarray, contexts: np.ndarray) -> None:
-        # Negatives are drawn before the forward pass, so the batch's full
-        # read set is known up front and can be materialized in one go.
-        if model.negative_sharing == "batch":
-            negatives = generator.integers(
-                0, model.num_locations, size=model.num_negatives, dtype=np.int64
-            )
-            context_rows = np.concatenate([contexts, negatives])
-        else:
-            negatives = model.sample_negatives(len(targets), generator)
-            context_rows = np.concatenate([contexts, negatives.ravel()])
-        overlay.materialize(EMBEDDING, targets)
-        overlay.materialize(CONTEXT, context_rows)
-        overlay.materialize(BIAS, context_rows)
-        if model.negative_sharing == "batch":
-            loss, pieces = model.loss_and_shared_grads(
-                work, targets, contexts, negatives
-            )
-        else:
-            loss, pieces = model.loss_and_sparse_grads(
-                work, targets, contexts, negatives
-            )
-        model.apply_sparse_update(work, pieces, learning_rate)
-        losses.append(loss)
+def model_updates_from_buckets(
+    model: SkipGramModel,
+    theta: ParameterSet,
+    bucket_pairs_list: list[np.ndarray],
+    batch_size: int,
+    learning_rate: float,
+    clip_bound: float,
+    clipping: str = "per_layer",
+    local_update: str = "sgd",
+    rngs: list[RngLike] | None = None,
+) -> list[BucketUpdate]:
+    """Clipped model deltas for a chunk of buckets, in one backend call.
 
-    if bucket_pairs.shape[0] > 0:
-        if local_update == "gradient":
-            train_batch(bucket_pairs[:, 0], bucket_pairs[:, 1])
-        else:
-            for targets, contexts in BatchIterator(
-                bucket_pairs, batch_size, rng=generator
-            ):
-                train_batch(targets, contexts)
+    The chunk-level twin of :func:`model_update_from_bucket`: every
+    bucket's batches and negatives are drawn first (bucket ``i`` from
+    ``rngs[i]``, the same stream it would consume alone), then the
+    backend's :meth:`~repro.nn.backends.KernelBackend.fused_multi_bucket_update`
+    runs all buckets — batching the per-step compute across the chunk
+    where the backend supports it. For the reference backend this is
+    bit-for-bit a loop of single-bucket calls.
+    """
+    if clipping not in ("per_layer", "global"):
+        raise ConfigError(f"unknown clipping mode {clipping!r}")
+    if local_update not in ("sgd", "gradient"):
+        raise ConfigError(f"unknown local_update mode {local_update!r}")
+    if rngs is None:
+        rngs = [None] * len(bucket_pairs_list)
+    bucket_batches = [
+        build_bucket_batches(
+            model, pairs, batch_size, local_update=local_update, rng=rng
+        )
+        for pairs, rng in zip(bucket_pairs_list, rngs)
+    ]
+    spec = _local_update_spec(model, learning_rate, clip_bound, clipping)
+    deltas = model.backend.fused_multi_bucket_update(theta, bucket_batches, spec)
+    return [BucketUpdate.from_delta(delta) for delta in deltas]
 
-    rows, values = overlay.collect_delta()
 
-    squared = sum(float(np.sum(np.square(v))) for v in values.values())
-    unclipped_norm = math.sqrt(squared)
-
-    if clipping == "per_layer":
-        bound = per_layer_clip_bound(clip_bound, len(_TENSOR_NAMES))
-        for name in _TENSOR_NAMES:
-            norm = float(np.linalg.norm(values[name]))
-            if norm > bound:
-                values[name] *= bound / norm
-    else:
-        if unclipped_norm > clip_bound:
-            scale = clip_bound / unclipped_norm
-            for name in _TENSOR_NAMES:
-                values[name] *= scale
-
-    shapes = {name: theta[name].shape for name in _TENSOR_NAMES}
-    return BucketUpdate(
-        rows=rows,
-        values=values,
-        shapes=shapes,
-        mean_loss=float(np.mean(losses)) if losses else float("nan"),
-        num_batches=len(losses),
-        unclipped_norm=unclipped_norm,
+def _local_update_spec(
+    model: SkipGramModel, learning_rate: float, clip_bound: float, clipping: str
+) -> LocalUpdateSpec:
+    return LocalUpdateSpec(
+        loss=model.loss_fn,
+        loss_name=model.loss_name,
+        num_locations=model.num_locations,
+        num_negatives=model.num_negatives,
+        negative_sharing=model.negative_sharing,
+        learning_rate=learning_rate,
+        clip_bound=clip_bound,
+        clipping=clipping,
     )

@@ -36,6 +36,7 @@ _CLIPPING_MODES = ("per_layer", "global")
 _SERVER_OPTIMIZERS = ("additive", "adam")
 _LOSSES = ("sampled_softmax", "negative_sampling", "nce")
 _LOCAL_UPDATES = ("sgd", "gradient")
+_BACKENDS = ("reference", "fast", "numba")
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,6 +87,13 @@ class PLPConfig:
             (True) or over each user's full history (False).
         eval_every: evaluate (when an eval function is given) every this
             many steps.
+        backend: compute kernel backend for local training —
+            ``"reference"`` (exact float64, bit-stable results),
+            ``"fast"`` (float32 fused kernels, same privacy accounting,
+            embeddings within float32 tolerance), or ``"numba"``
+            (JIT-compiled fast kernels; degrades to ``"fast"`` with a
+            warning when numba is not installed). Swapping backends never
+            changes the privacy ledger (see ``docs/kernels.md``).
     """
 
     embedding_dim: int = 50
@@ -110,6 +118,7 @@ class PLPConfig:
     max_steps: int | None = None
     sessionize_training: bool = True
     eval_every: int = 50
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         if self.embedding_dim < 1:
@@ -175,6 +184,10 @@ class PLPConfig:
             raise ConfigError(f"max_steps must be >= 1 or None, got {self.max_steps}")
         if self.eval_every < 1:
             raise ConfigError(f"eval_every must be >= 1, got {self.eval_every}")
+        if self.backend not in _BACKENDS:
+            raise ConfigError(
+                f"backend must be one of {_BACKENDS}, got {self.backend!r}"
+            )
 
     def with_overrides(self, **overrides: Any) -> "PLPConfig":
         """A copy of the config with the given fields replaced (re-validated).

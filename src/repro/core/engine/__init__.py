@@ -27,6 +27,7 @@ from repro.core.engine.executors import (
     ParallelExecutor,
     SerialExecutor,
     make_executor,
+    run_bucket_chunk,
     run_bucket_job,
 )
 from repro.core.engine.observers import (
@@ -69,6 +70,7 @@ __all__ = [
     "BucketJob",
     "LocalTrainSpec",
     "make_executor",
+    "run_bucket_chunk",
     "run_bucket_job",
     "Observer",
     "StepObserver",

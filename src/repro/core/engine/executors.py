@@ -33,7 +33,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.bucket import BucketUpdate, model_update_from_bucket
+from repro.core.bucket import (
+    BucketUpdate,
+    model_update_from_bucket,
+    model_updates_from_buckets,
+)
 from repro.exceptions import ConfigError, ExecutorError
 from repro.models.skipgram import SkipGramModel
 
@@ -96,11 +100,50 @@ def run_bucket_job(spec: LocalTrainSpec, job: BucketJob) -> BucketUpdate:
     return update
 
 
+def run_bucket_chunk(
+    spec: LocalTrainSpec, jobs: list[BucketJob]
+) -> list[BucketUpdate]:
+    """Run a contiguous chunk of bucket jobs in one backend call.
+
+    Routes the whole chunk through
+    :func:`~repro.core.bucket.model_updates_from_buckets` so backends
+    that batch compute across buckets (the fast backend) see every bucket
+    of the chunk at once; the reference backend runs them one by one,
+    bit-identically to :func:`run_bucket_job` in a loop. The chunk's wall
+    time is attributed to the updates proportionally to their batch
+    counts (per-bucket timing without a per-bucket clock).
+    """
+    if not jobs:
+        return []
+    started = time.perf_counter()
+    updates = model_updates_from_buckets(
+        spec.model,
+        spec.model.params,
+        [job.pairs for job in jobs],
+        batch_size=spec.batch_size,
+        learning_rate=spec.learning_rate,
+        clip_bound=spec.clip_bound,
+        clipping=spec.clipping,
+        local_update=spec.local_update,
+        # Sanctioned seed-plumbing site: each bucket rehydrates its own
+        # pre-derived SeedSequence (from repro.rng.derive_seed_sequence);
+        # no new stream is created, so bit-identity is preserved.
+        # dplint: disable-next=DPL001 -- documented seed-plumbing site
+        rngs=[np.random.default_rng(job.seed) for job in jobs],
+    )
+    elapsed = time.perf_counter() - started
+    weights = [max(1, update.num_batches) for update in updates]
+    total = sum(weights)
+    for update, weight in zip(updates, weights):
+        update.wall_time_seconds = elapsed * weight / total
+    return updates
+
+
 def _run_bucket_chunk(
     spec: LocalTrainSpec, jobs: list[BucketJob]
 ) -> list[BucketUpdate]:
     """Worker entry point: run a contiguous chunk of bucket jobs."""
-    return [run_bucket_job(spec, job) for job in jobs]
+    return run_bucket_chunk(spec, jobs)
 
 
 class BucketExecutor(abc.ABC):
@@ -132,15 +175,12 @@ class SerialExecutor(BucketExecutor):
     def run_step(
         self, spec: LocalTrainSpec, jobs: list[BucketJob]
     ) -> list[BucketUpdate]:
-        updates: list[BucketUpdate] = []
-        for job in jobs:
-            try:
-                updates.append(run_bucket_job(spec, job))
-            except Exception as error:
-                raise ExecutorError(
-                    f"bucket {job.index} failed during local training: {error}"
-                ) from error
-        return updates
+        try:
+            return run_bucket_chunk(spec, jobs)
+        except Exception as error:
+            raise ExecutorError(
+                f"a bucket job failed during local training: {error}"
+            ) from error
 
 
 class ParallelExecutor(BucketExecutor):

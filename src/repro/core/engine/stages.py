@@ -204,11 +204,17 @@ class StepPipeline:
         )
 
     def aggregate(self, local: LocalTrainResult) -> AggregateResult:
-        """Scatter-add the clipped deltas, in bucket order (line 9, sum)."""
+        """Scatter-add the clipped deltas, in bucket order (line 9, sum).
+
+        Delegated to the model's kernel backend; the shared implementation
+        consumes updates in bucket order so the floating-point sum is
+        executor- and backend-independent.
+        """
         params = self.model.params
         summed = {name: np.zeros_like(tensor) for name, tensor in params.items()}
-        for update in local.updates:
-            update.add_into(summed)
+        self.model.backend.aggregate(
+            ((update.rows, update.values) for update in local.updates), summed
+        )
         return AggregateResult(
             summed=summed, denominator=max(1, len(local.updates))
         )
@@ -223,9 +229,10 @@ class StepPipeline:
         # Guard the sigma = 0 case explicitly: with an unbounded clip norm
         # (non-private runs use C = inf) the product 0 * inf would be nan.
         noise_stddev = self.sensitivity.noise_stddev(sigma) if sigma > 0.0 else 0.0
-        if noise_stddev > 0.0:
-            for tensor in aggregate.summed.values():
-                tensor += step_rng.normal(0.0, noise_stddev, size=tensor.shape)
+        # The backend's shared add_noise draws from step_rng in tensor
+        # insertion order — identical draws no matter which backend
+        # produced the deltas, so sigma accounting matches the noise added.
+        self.model.backend.add_noise(aggregate.summed, noise_stddev, step_rng)
         return NoiseResult(sigma=sigma, noise_stddev=noise_stddev)
 
     def apply(

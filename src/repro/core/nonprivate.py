@@ -55,6 +55,8 @@ class NonPrivateTrainer:
         learning_rate: the paper's ``eta`` (default 0.06).
         loss: candidate-sampling loss name.
         negative_sharing: "batch" (TF-style shared negatives) or "per_pair".
+        backend: compute kernel backend (``"reference"``, ``"fast"``,
+            ``"numba"``), as in :attr:`PLPConfig.backend <repro.core.config.PLPConfig>`.
         sessionize_training: expand windows within 6-hour sessions.
         rng: seed or generator.
         executor: bucket execution backend (``"serial"``, ``"parallel"``,
@@ -74,6 +76,7 @@ class NonPrivateTrainer:
         learning_rate: float = 0.06,
         loss: str = "sampled_softmax",
         negative_sharing: str = "batch",
+        backend: str = "reference",
         sessionize_training: bool = True,
         rng: RngLike = None,
         executor: "str | BucketExecutor" = "serial",
@@ -94,6 +97,7 @@ class NonPrivateTrainer:
         self.learning_rate = float(learning_rate)
         self.loss = loss
         self.negative_sharing = negative_sharing
+        self.backend = backend
         self.sessionize_training = bool(sessionize_training)
         self._rng = ensure_rng(rng)
         self.executor = executor
@@ -124,6 +128,7 @@ class NonPrivateTrainer:
             max_steps=epochs,
             sessionize_training=self.sessionize_training,
             eval_every=eval_every,
+            backend=self.backend,
         )
 
     def fit(
@@ -159,6 +164,7 @@ class NonPrivateTrainer:
             loss=config.loss,
             negative_sharing=config.negative_sharing,
             rng=self._rng,
+            backend=config.backend,
         )
         self.history = TrainingHistory()
 

@@ -156,6 +156,7 @@ class PrivateLocationPredictor:
             loss=config.loss,
             negative_sharing=config.negative_sharing,
             rng=self._rng,
+            backend=config.backend,
         )
         self.ledger = PrivacyLedger(
             delta=config.delta, sampling_probability=config.sampling_probability

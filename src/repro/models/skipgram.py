@@ -15,6 +15,13 @@ default) produces ``dloss/dz``, which back-propagates into exactly
 ``neg + 1`` rows of ``Wc``/``b`` and one row of ``W`` per pair — the
 sparsity that keeps gradient norms small enough for aggressive clipping
 (the paper's key observation in Section 4.1).
+
+The model owns the *architecture* (parameters, hyper-parameters, negative
+sampling); the array math of forward, backward, and local updates lives in
+a swappable :class:`~repro.nn.backends.KernelBackend`. The default
+``"reference"`` backend reproduces the historical float64 implementation
+bit for bit; ``"fast"`` trades that for float32 fused bucket kernels (see
+``docs/kernels.md``).
 """
 
 from __future__ import annotations
@@ -22,16 +29,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigError
+from repro.nn.backends import BIAS, CONTEXT, EMBEDDING, KernelBackend, get_backend
 from repro.nn.functional import normalize_rows, scatter_add_rows
 from repro.nn.initializers import uniform_embedding_init, zeros_init
 from repro.nn.losses import CandidateSamplingLoss, make_loss
 from repro.nn.parameters import ParameterSet
 from repro.rng import RngLike, ensure_rng
 
-# Tensor names, in the paper's order theta = {W, W', B'}.
-EMBEDDING = "W"
-CONTEXT = "Wc"
-BIAS = "b"
+__all__ = ["BIAS", "CONTEXT", "EMBEDDING", "SkipGramModel"]
 
 
 class SkipGramModel:
@@ -49,6 +54,9 @@ class SkipGramModel:
             faster); ``"per_pair"`` draws fresh negatives for every pair
             (the textbook SGNS formulation).
         rng: randomness for initialization.
+        backend: compute backend name (``"reference"``, ``"fast"``,
+            ``"numba"``) or a :class:`~repro.nn.backends.KernelBackend`
+            instance.
     """
 
     def __init__(
@@ -59,6 +67,7 @@ class SkipGramModel:
         loss: str = "sampled_softmax",
         negative_sharing: str = "batch",
         rng: RngLike = None,
+        backend: str | KernelBackend = "reference",
     ) -> None:
         if num_locations < 2:
             raise ConfigError(f"num_locations must be >= 2, got {num_locations}")
@@ -76,6 +85,9 @@ class SkipGramModel:
         self.loss_name = loss
         self.negative_sharing = negative_sharing
         self._loss: CandidateSamplingLoss = make_loss(loss, num_locations)
+        self.backend: KernelBackend = (
+            get_backend(backend) if isinstance(backend, str) else backend
+        )
         generator = ensure_rng(rng)
         self.params = ParameterSet(
             {
@@ -87,6 +99,11 @@ class SkipGramModel:
             },
             copy=False,
         )
+
+    @property
+    def loss_fn(self) -> CandidateSamplingLoss:
+        """The reference candidate-sampling loss object."""
+        return self._loss
 
     # -- sampling --------------------------------------------------------------
 
@@ -102,17 +119,13 @@ class SkipGramModel:
             0, self.num_locations, size=(batch, self.num_negatives), dtype=np.int64
         )
 
-    # -- forward / backward ----------------------------------------------------
+    # -- forward / backward (delegated to the kernel backend) -------------------
 
     def candidate_logits(
         self, params: ParameterSet, targets: np.ndarray, candidates: np.ndarray
     ) -> np.ndarray:
         """Logits ``(batch, 1 + neg)`` for the given candidate token matrix."""
-        hidden = params[EMBEDDING][targets]  # (batch, dim)
-        context_rows = params[CONTEXT][candidates]  # (batch, 1+neg, dim)
-        logits = np.einsum("bd,bkd->bk", hidden, context_rows)
-        logits += params[BIAS][candidates]
-        return logits
+        return self.backend.candidate_logits(params, targets, candidates)
 
     def loss_and_sparse_grads(
         self,
@@ -128,35 +141,15 @@ class SkipGramModel:
             scatter the gradient: target rows + their dense gradients, and
             candidate rows + their dense gradients for ``Wc`` and ``b``.
         """
-        targets = np.asarray(targets, dtype=np.int64)
-        contexts = np.asarray(contexts, dtype=np.int64)
         negatives = np.asarray(negatives, dtype=np.int64)
-        if negatives.shape != (targets.shape[0], self.num_negatives):
+        if negatives.shape != (np.shape(targets)[0], self.num_negatives):
             raise ConfigError(
-                f"negatives must have shape ({targets.shape[0]}, {self.num_negatives}),"
+                f"negatives must have shape ({np.shape(targets)[0]}, {self.num_negatives}),"
                 f" got {negatives.shape}"
             )
-        candidates = np.concatenate([contexts[:, None], negatives], axis=1)
-        hidden = params[EMBEDDING][targets]  # (batch, dim)
-        context_rows = params[CONTEXT][candidates]  # (batch, 1+neg, dim)
-        logits = np.einsum("bd,bkd->bk", hidden, context_rows) + params[BIAS][candidates]
-
-        output = self._loss.value_and_grad(logits)
-        grad_logits = output.grad_logits  # already divided by batch size
-
-        # dL/dWc[cand] = grad_logits * h ; dL/db[cand] = grad_logits
-        grad_context_rows = grad_logits[:, :, None] * hidden[:, None, :]
-        # dL/dh = sum_k grad_logits[k] * Wc[cand_k] ; dL/dW[target] = dL/dh
-        grad_hidden = np.einsum("bk,bkd->bd", grad_logits, context_rows)
-
-        pieces = {
-            "targets": targets,
-            "grad_hidden": grad_hidden,
-            "candidates": candidates,
-            "grad_context_rows": grad_context_rows,
-            "grad_bias_rows": grad_logits,
-        }
-        return output.loss, pieces
+        return self.backend.loss_and_sparse_grads(
+            self._loss, params, targets, contexts, negatives
+        )
 
     def dense_gradients(
         self,
@@ -198,48 +191,7 @@ class SkipGramModel:
         rows that received gradient (the candidate rows of ``Wc``/``b`` and
         the batch's target rows of ``W``).
         """
-        scatter_add_rows(
-            params[EMBEDDING],
-            pieces["targets"],
-            -learning_rate * pieces["grad_hidden"],
-        )
-        if pieces.get("shared"):
-            scatter_add_rows(
-                params[CONTEXT],
-                pieces["contexts"],
-                -learning_rate * pieces["grad_context_pos"],
-            )
-            scatter_add_rows(
-                params[CONTEXT],
-                pieces["negatives"],
-                -learning_rate * pieces["grad_context_neg"],
-            )
-            bias = params[BIAS]
-            bias -= learning_rate * np.bincount(
-                pieces["contexts"],
-                weights=pieces["grad_bias_pos"],
-                minlength=bias.shape[0],
-            )
-            bias -= learning_rate * np.bincount(
-                pieces["negatives"],
-                weights=pieces["grad_bias_neg"],
-                minlength=bias.shape[0],
-            )
-            return
-        candidates_flat = pieces["candidates"].ravel()
-        batch, width = pieces["candidates"].shape
-        scatter_add_rows(
-            params[CONTEXT],
-            candidates_flat,
-            (-learning_rate * pieces["grad_context_rows"]).reshape(
-                batch * width, -1
-            ),
-        )
-        scatter_add_rows(
-            params[BIAS],
-            candidates_flat,
-            (-learning_rate * pieces["grad_bias_rows"]).ravel(),
-        )
+        self.backend.apply_sparse_update(params, pieces, learning_rate)
 
     # -- shared-negative fast path ----------------------------------------------
 
@@ -262,45 +214,15 @@ class SkipGramModel:
             ``(loss, pieces)`` where ``pieces["shared"]`` is True and the
             gradient pieces are laid out for :meth:`apply_sparse_update`.
         """
-        targets = np.asarray(targets, dtype=np.int64)
-        contexts = np.asarray(contexts, dtype=np.int64)
         negatives = np.asarray(negatives, dtype=np.int64).ravel()
         if negatives.shape != (self.num_negatives,):
             raise ConfigError(
                 f"shared negatives must have shape ({self.num_negatives},), "
                 f"got {negatives.shape}"
             )
-        hidden = params[EMBEDDING][targets]  # (batch, dim)
-        context_rows = params[CONTEXT][contexts]  # (batch, dim)
-        negative_rows = params[CONTEXT][negatives]  # (neg, dim)
-
-        positive_logits = (
-            np.einsum("bd,bd->b", hidden, context_rows) + params[BIAS][contexts]
+        return self.backend.loss_and_shared_grads(
+            self._loss, params, targets, contexts, negatives
         )
-        negative_logits = hidden @ negative_rows.T + params[BIAS][negatives]
-        logits = np.concatenate(
-            [positive_logits[:, None], negative_logits], axis=1
-        )
-        output = self._loss.value_and_grad(logits)
-        grad_logits = output.grad_logits  # (batch, 1 + neg), already / batch
-
-        grad_positive = grad_logits[:, 0]  # (batch,)
-        grad_negative = grad_logits[:, 1:]  # (batch, neg)
-
-        # dL/dh = g_pos * Wc[ctx] + g_neg @ Wc[negs]
-        grad_hidden = grad_positive[:, None] * context_rows + grad_negative @ negative_rows
-        pieces = {
-            "shared": True,
-            "targets": targets,
-            "grad_hidden": grad_hidden,
-            "contexts": contexts,
-            "grad_context_pos": grad_positive[:, None] * hidden,  # (batch, dim)
-            "grad_bias_pos": grad_positive,
-            "negatives": negatives,
-            "grad_context_neg": grad_negative.T @ hidden,  # (neg, dim)
-            "grad_bias_neg": grad_negative.sum(axis=0),  # (neg,)
-        }
-        return output.loss, pieces
 
     def sgd_step(
         self,
@@ -374,5 +296,7 @@ class SkipGramModel:
             embedding_dim=self.embedding_dim,
             num_negatives=self.num_negatives,
             loss=self.loss_name,
+            negative_sharing=self.negative_sharing,
             rng=rng,
+            backend=self.backend,
         )

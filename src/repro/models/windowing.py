@@ -98,6 +98,9 @@ class BatchIterator:
         order = np.arange(n)
         if self._shuffle:
             self._rng.shuffle(order)
+        # One gather up front; every batch is then a contiguous slice, so
+        # iterating costs two views per batch instead of a fancy-index copy.
+        shuffled = self._pairs[order]
         for start in range(0, n, self.batch_size):
-            chunk = self._pairs[order[start : start + self.batch_size]]
+            chunk = shuffled[start : start + self.batch_size]
             yield chunk[:, 0], chunk[:, 1]

@@ -1,0 +1,109 @@
+"""Backend registry: named, cached, picklable kernel-backend instances.
+
+Selection is by name through :func:`get_backend` (the same names
+``PLPConfig.backend`` and the CLI's ``--backend`` accept):
+
+- ``"reference"`` — exact float64 kernels, bit-identical to the
+  pre-backend implementation. The semantic definition.
+- ``"fast"`` — compact-gather float32 fused bucket updates with a
+  precomputed sigmoid table. Same ledger bits, embeddings within float32
+  tolerance of the reference.
+- ``"numba"`` — the fast design with ``@njit``-compiled inner loops.
+  numba is optional; when it is not installed this name degrades to the
+  fast backend with a ``RuntimeWarning``.
+
+Instances are stateless singletons, so handing one to a process-pool
+worker pickles a class reference, nothing more.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.exceptions import ConfigError
+from repro.nn.backends.base import (
+    BIAS,
+    CONTEXT,
+    EMBEDDING,
+    TENSOR_NAMES,
+    BucketBatch,
+    BucketDelta,
+    KernelBackend,
+    LocalUpdateSpec,
+    clip_bucket_delta,
+    empty_bucket_delta,
+)
+from repro.nn.backends.fast import FastBackend
+from repro.nn.backends.numba_backend import NumbaBackend
+from repro.nn.backends.numba_kernels import NUMBA_AVAILABLE
+from repro.nn.backends.reference import ReferenceBackend
+
+__all__ = [
+    "BIAS",
+    "CONTEXT",
+    "EMBEDDING",
+    "TENSOR_NAMES",
+    "BucketBatch",
+    "BucketDelta",
+    "KernelBackend",
+    "LocalUpdateSpec",
+    "NUMBA_AVAILABLE",
+    "BACKEND_NAMES",
+    "FastBackend",
+    "NumbaBackend",
+    "ReferenceBackend",
+    "available_backends",
+    "clip_bucket_delta",
+    "empty_bucket_delta",
+    "get_backend",
+]
+
+#: Every name ``get_backend`` accepts, installed or not.
+BACKEND_NAMES = ("reference", "fast", "numba")
+
+_instances: dict[str, KernelBackend] = {}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backend names that run natively in this environment.
+
+    ``"numba"`` is listed only when the numba compiler is importable;
+    requesting it anyway is not an error (it falls back to ``"fast"``).
+    """
+    if NUMBA_AVAILABLE:
+        return BACKEND_NAMES
+    return ("reference", "fast")
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The cached backend instance for ``name``.
+
+    Raises:
+        ConfigError: for a name outside :data:`BACKEND_NAMES`.
+
+    Warns:
+        RuntimeWarning: when ``"numba"`` is requested without numba
+            installed; the fast backend is returned instead.
+    """
+    if name not in BACKEND_NAMES:
+        raise ConfigError(
+            f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    if name == "numba" and not NUMBA_AVAILABLE:
+        warnings.warn(
+            "backend 'numba' requested but numba is not installed; "
+            "falling back to the 'fast' backend",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        name = "fast"
+    instance = _instances.get(name)
+    if instance is None:
+        cls = {
+            "reference": ReferenceBackend,
+            "fast": FastBackend,
+            "numba": NumbaBackend,
+        }[name]
+        instance = cls()
+        _instances[name] = instance
+    return instance

@@ -1,0 +1,292 @@
+"""The kernel-backend protocol: swappable compute for skip-gram training.
+
+Algorithm 1 spends nearly all of its wall time in the per-bucket local SGD.
+This module defines the seam that makes that compute path swappable: a
+:class:`KernelBackend` covers the model's forward pass, loss + sparse
+gradients, the sparse SGD step, and — the hot path — a **fused bucket
+update** that runs a bucket's whole local-SGD pass plus the delta clipping
+in one call, without materializing intermediate dense tensors.
+
+Contract every backend must honor (enforced by the cross-backend
+equivalence suite in ``tests/nn/test_backends.py``):
+
+- **Accounting is bit-identical.** Backends never touch the privacy
+  ledger, sigma, or the clip bound; clipping runs in float64 via
+  :func:`clip_bucket_delta` (exact :mod:`repro.privacy.clipping`
+  semantics) and noise draws are made by the caller from the step's
+  derived RNG stream in a fixed order. Swapping backends therefore never
+  changes ``(C, sigma)`` records, the epsilon trajectory, or the step
+  count.
+- **Backends are draw-free.** All randomness (batch shuffles, negative
+  samples, noise) is drawn by the orchestration layer
+  (:mod:`repro.core.bucket`, :mod:`repro.core.engine.stages`) *before* a
+  backend runs, from ``rng.derive`` sub-streams. A backend is a pure
+  function of its inputs, which keeps serial/parallel executors and all
+  backends on the same sample path.
+- **Embeddings track the reference within the accumulation dtype.** The
+  ``reference`` backend is the float64 definition of the math; lower
+  precision backends must stay within a documented float32-scale
+  tolerance of it on the same inputs (see ``docs/kernels.md``).
+
+Backends must stay import-clean of :mod:`repro.core` and
+:mod:`repro.models` (those layers import *us*) and picklable (the process
+executor ships the model — backend included — to workers).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Any, ClassVar, Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.losses import CandidateSamplingLoss
+from repro.nn.parameters import ParameterSet
+from repro.privacy.clipping import per_layer_clip_bound
+
+# Canonical tensor names, in the paper's order theta = {W, W', B'}.
+# (repro.models.skipgram re-exports these; they live here so backends
+# never need to import the model layer.)
+EMBEDDING = "W"
+CONTEXT = "Wc"
+BIAS = "b"
+TENSOR_NAMES = (EMBEDDING, CONTEXT, BIAS)
+
+
+@dataclass(frozen=True, slots=True)
+class BucketBatch:
+    """One local-SGD batch with its pre-drawn negatives.
+
+    Attributes:
+        targets: ``(n,)`` target tokens.
+        contexts: ``(n,)`` positive context tokens.
+        negatives: ``(neg,)`` shared negatives (``negative_sharing="batch"``)
+            or ``(n, neg)`` per-pair negatives.
+    """
+
+    targets: np.ndarray
+    contexts: np.ndarray
+    negatives: np.ndarray
+
+    @property
+    def shared(self) -> bool:
+        """Whether the negatives are one batch-wide shared set."""
+        return self.negatives.ndim == 1
+
+
+@dataclass(frozen=True, slots=True)
+class LocalUpdateSpec:
+    """Step-constant inputs of one bucket's fused local update.
+
+    Attributes:
+        loss: the (reference) candidate-sampling loss object.
+        loss_name: loss identifier (lets backends build their own kernel
+            form of the same loss).
+        num_locations: vocabulary size ``L``.
+        num_negatives: negatives per positive, the paper's ``neg``.
+        negative_sharing: ``"batch"`` or ``"per_pair"``.
+        learning_rate: local SGD ``eta``.
+        clip_bound: the overall clipping magnitude ``C``.
+        clipping: ``"per_layer"`` (paper) or ``"global"``.
+    """
+
+    loss: CandidateSamplingLoss
+    loss_name: str
+    num_locations: int
+    num_negatives: int
+    negative_sharing: str
+    learning_rate: float
+    clip_bound: float
+    clipping: str
+
+
+@dataclass(slots=True)
+class BucketDelta:
+    """A bucket's clipped model delta in sparse (rows, values) form.
+
+    ``values`` are always float64 — the delta is what enters clipping,
+    aggregation, and noise, all of which run at reference precision
+    regardless of the backend's accumulation dtype.
+    """
+
+    rows: dict[str, np.ndarray]
+    values: dict[str, np.ndarray]
+    shapes: dict[str, tuple[int, ...]]
+    mean_loss: float
+    num_batches: int
+    unclipped_norm: float
+
+
+def empty_bucket_delta(theta: ParameterSet) -> BucketDelta:
+    """The delta of a bucket with no data (all tensors untouched)."""
+    rows: dict[str, np.ndarray] = {}
+    values: dict[str, np.ndarray] = {}
+    for name in TENSOR_NAMES:
+        rows[name] = np.empty(0, dtype=np.int64)
+        values[name] = np.empty((0, *theta[name].shape[1:]))
+    return BucketDelta(
+        rows=rows,
+        values=values,
+        shapes={name: theta[name].shape for name in TENSOR_NAMES},
+        mean_loss=float("nan"),
+        num_batches=0,
+        unclipped_norm=0.0,
+    )
+
+
+def clip_bucket_delta(
+    values: dict[str, np.ndarray], clip_bound: float, clipping: str
+) -> float:
+    """Clip sparse delta values in place; returns the unclipped joint norm.
+
+    This is the single float64 clipping implementation every backend
+    shares — Algorithm 1 line 21 (``per_layer`` per McMahan & Andrew 2018,
+    or ``global``) applied to the non-zero rows of the delta, exactly as
+    :mod:`repro.privacy.clipping` defines it. Keeping one implementation
+    is what makes the sensitivity bound (and hence the ledger) identical
+    across backends by construction.
+    """
+    squared = sum(float(np.sum(np.square(v))) for v in values.values())
+    unclipped_norm = math.sqrt(squared)
+    if clipping == "per_layer":
+        bound = per_layer_clip_bound(clip_bound, len(values))
+        for name in values:
+            norm = float(np.linalg.norm(values[name]))
+            if norm > bound:
+                values[name] *= bound / norm
+    else:
+        if unclipped_norm > clip_bound:
+            scale = clip_bound / unclipped_norm
+            for name in values:
+                values[name] *= scale
+    return unclipped_norm
+
+
+class KernelBackend(abc.ABC):
+    """Swappable compute backend for skip-gram training.
+
+    Subclasses implement the forward pass, loss + sparse gradients, the
+    sparse SGD step, and the fused per-bucket update. The step-level
+    aggregate/noise helpers have shared float64 implementations here
+    (overridable, but the RNG draw order of :meth:`add_noise` is part of
+    the cross-backend contract and must not change).
+    """
+
+    #: Registry/config name of the backend.
+    name: ClassVar[str] = "abstract"
+    #: Dtype used for local-update accumulation (documentation of the
+    #: precision contract; clipping and aggregation stay float64).
+    accumulation_dtype: ClassVar[Any] = np.float64
+
+    # -- forward / loss / gradients ----------------------------------------
+
+    @abc.abstractmethod
+    def candidate_logits(
+        self, params: ParameterSet, targets: np.ndarray, candidates: np.ndarray
+    ) -> np.ndarray:
+        """Logits ``(batch, 1 + neg)`` for a candidate token matrix."""
+
+    @abc.abstractmethod
+    def loss_and_sparse_grads(
+        self,
+        loss: CandidateSamplingLoss,
+        params: ParameterSet,
+        targets: np.ndarray,
+        contexts: np.ndarray,
+        negatives: np.ndarray,
+    ) -> tuple[float, dict]:
+        """Mean batch loss + sparse gradient pieces (per-pair negatives)."""
+
+    @abc.abstractmethod
+    def loss_and_shared_grads(
+        self,
+        loss: CandidateSamplingLoss,
+        params: ParameterSet,
+        targets: np.ndarray,
+        contexts: np.ndarray,
+        negatives: np.ndarray,
+    ) -> tuple[float, dict]:
+        """Mean batch loss + sparse gradient pieces (shared negatives)."""
+
+    @abc.abstractmethod
+    def apply_sparse_update(
+        self, params: ParameterSet, pieces: dict, learning_rate: float
+    ) -> None:
+        """One in-place SGD step from sparse gradient pieces."""
+
+    # -- the fused hot path -------------------------------------------------
+
+    @abc.abstractmethod
+    def fused_bucket_update(
+        self,
+        theta: ParameterSet,
+        batches: Sequence[BucketBatch],
+        spec: LocalUpdateSpec,
+    ) -> BucketDelta:
+        """One bucket's local SGD plus clipping, fused (lines 15-22).
+
+        ``theta`` is read-only; the returned delta is already clipped (via
+        :func:`clip_bucket_delta` semantics) and carries float64 values.
+        """
+
+    def fused_multi_bucket_update(
+        self,
+        theta: ParameterSet,
+        bucket_batches: Sequence[Sequence[BucketBatch]],
+        spec: LocalUpdateSpec,
+    ) -> list[BucketDelta]:
+        """All of a chunk's buckets in one call, in bucket order.
+
+        Buckets are independent — each starts local SGD from the same
+        ``theta`` — so the default is simply :meth:`fused_bucket_update`
+        per bucket. Backends may override to batch the per-step compute
+        *across* buckets (the fast backend does), under the same delta
+        contract: element ``i`` must stay within the backend's documented
+        tolerance of ``fused_bucket_update(theta, bucket_batches[i],
+        spec)``, and the ledger-relevant outputs (clip bound handling,
+        delta rows) must be identical however buckets are chunked.
+        """
+        return [
+            self.fused_bucket_update(theta, batches, spec)
+            for batches in bucket_batches
+        ]
+
+    # -- step-level helpers (shared float64 implementations) ----------------
+
+    def aggregate(
+        self,
+        deltas: Iterable[tuple[dict[str, np.ndarray], dict[str, np.ndarray]]],
+        accumulators: dict[str, np.ndarray],
+    ) -> None:
+        """Scatter-add clipped sparse deltas into dense float64 accumulators.
+
+        Deltas are consumed in the order given (bucket-index order), so
+        the floating-point summation order — and therefore the result —
+        is executor- and backend-independent.
+        """
+        for rows, values in deltas:
+            for name, tensor_rows in rows.items():
+                if tensor_rows.size:
+                    accumulators[name][tensor_rows] += values[name]
+
+    def add_noise(
+        self,
+        accumulators: dict[str, np.ndarray],
+        noise_stddev: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Add ``N(0, noise_stddev^2)`` to every accumulator entry in place.
+
+        Draw order (tensor insertion order, full-shape float64 draws) is
+        part of the cross-backend contract: the same step RNG stream must
+        yield the same noise no matter which backend computed the deltas.
+        """
+        if noise_stddev <= 0.0:
+            return
+        for tensor in accumulators.values():
+            tensor += rng.normal(0.0, noise_stddev, size=tensor.shape)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

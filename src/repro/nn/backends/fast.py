@@ -1,0 +1,1025 @@
+"""The fast backend: float32 compact-gather fused bucket updates.
+
+Five ideas, all classic word2vec-at-scale techniques:
+
+1. **Compact gather.** A bucket's local SGD only ever touches the rows
+   named by its (pre-drawn) targets, contexts, and negatives. The union of
+   touched rows is computed once, gathered into one stacked float32 compact
+   matrix (embedding rows first, context rows after), and every batch runs
+   in the remapped compact index space (``np.searchsorted`` against the
+   sorted row universe).
+2. **Bias-as-a-column.** The compact matrix carries one extra column:
+   context rows store their bias there, target rows store a constant 1.
+   ``W_t . Wc_c + b_c`` is then a plain ``dim + 1`` dot product, and the
+   gradient w.r.t. a context row's extended vector *is* its ``(Wc, b)``
+   update — biases ride along in every GEMM and scatter for free.
+3. **Precomputed scatter plans.** The row-scatter pattern of every batch is
+   known before any math runs. The plan sorts the scatter destinations of
+   *all* batches with one flat ``argsort`` and compiles, per batch, a tiny
+   one-hot *merge matrix* that sums duplicate-destination updates with a
+   single small GEMM — the hot loop then updates the compact matrix with
+   one fancy-index add per batch and never sorts, masks, or allocates.
+4. **float32 accumulation.** The compact working copies are float32; the
+   delta (``work - theta``) is promoted back to float64 *before* clipping,
+   so the sensitivity bound, aggregation, and noise stay at reference
+   precision (see :mod:`repro.nn.backends.base`).
+5. **Sigmoid lookup table.** The sigmoid-based losses use the precomputed
+   :class:`~repro.nn.functional.SigmoidTable` instead of per-element
+   ``exp`` (the sampled-softmax default needs no sigmoid and is inlined
+   directly into the batch step).
+
+The backend instance itself is stateless (lookup table and loss kernels
+are lazily-built module-level caches), so it pickles cheaply into process
+executor workers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.backends.base import (
+    BIAS,
+    CONTEXT,
+    EMBEDDING,
+    TENSOR_NAMES,
+    BucketBatch,
+    BucketDelta,
+    LocalUpdateSpec,
+    clip_bucket_delta,
+    empty_bucket_delta,
+)
+from repro.nn.backends.reference import ReferenceBackend
+from repro.nn.functional import SigmoidTable
+from repro.nn.losses import LossKernel, make_loss_kernel
+
+_sigmoid_table: SigmoidTable | None = None
+_loss_kernels: dict[tuple[str, int], LossKernel] = {}
+
+_TINY32 = np.finfo(np.float32).tiny
+
+
+def sigmoid_table() -> SigmoidTable:
+    """The process-wide sigmoid lookup table (built on first use)."""
+    global _sigmoid_table
+    if _sigmoid_table is None:
+        _sigmoid_table = SigmoidTable()
+    return _sigmoid_table
+
+
+def _loss_kernel(name: str, num_locations: int) -> LossKernel:
+    key = (name, num_locations)
+    kernel = _loss_kernels.get(key)
+    if kernel is None:
+        table = sigmoid_table() if name in ("negative_sampling", "nce") else None
+        kernel = make_loss_kernel(name, num_locations, sigmoid_fn=table)
+        _loss_kernels[key] = kernel
+    return kernel
+
+
+def _stable_argsort(keys: np.ndarray, key_bound: int) -> np.ndarray:
+    """Stable argsort of non-negative int64 ``keys`` (< ``key_bound``).
+
+    Tie-breaking by position is folded into the key (``key * size + i``),
+    which makes every key unique — an unstable introsort then returns
+    exactly the stable order, several times faster than numpy's stable
+    kind on int64. Falls back to ``kind="stable"`` when the widened key
+    would not fit in int64.
+    """
+    size = int(keys.size)
+    if size == 0:
+        return np.empty(0, dtype=np.int64)
+    if key_bound > (2**62) // size:
+        return np.argsort(keys, kind="stable")
+    tie = keys * size
+    tie += np.arange(size, dtype=np.int64)
+    return np.argsort(tie)
+
+
+def _unique_sorted(values: np.ndarray) -> np.ndarray:
+    """``np.unique`` for a non-empty 1-D int array, via one explicit sort."""
+    ordered = np.sort(values)
+    keep = np.empty(ordered.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    return ordered[keep]
+
+
+class _BucketPlan:
+    """A bucket's batches compiled into compact arrays + scatter plans.
+
+    Layout: ``P`` stacks the embedding rows (``P[:num_emb]``, the compact
+    ``W``) on top of the context rows (``P[num_emb:]``, the compact ``Wc``),
+    with one extra trailing column holding the bias for context rows and a
+    constant 1 for target rows (idea 2 of the module docstring). ``bias``
+    is the live view of the context rows' bias column.
+
+    Every batch's update block is laid out ``[d_target | d_context |
+    d_negative]`` (``m = 2n + k`` rows of width ``dim + 1``). Duplicate
+    destinations inside a block are merged ahead of time: one flat stable
+    sort over all batches' destination rows yields, per batch, the unique
+    destination rows plus a (scatter order, segment starts) pair that
+    merges duplicates with one ``take`` + ``np.add.reduceat``. Both step
+    runners consume exactly this schedule — :func:`_shared_step` per
+    batch, :func:`_grouped_step` after concatenating the (order, starts)
+    pairs of many buckets — and ``reduceat`` sums every segment
+    sequentially over the same entry order, which is what keeps the two
+    paths bit-identical however buckets are chunked.
+
+    Target rows keep their constant-1 trailing column by construction:
+    the step runners zero the trailing column of the ``d_target`` part of
+    the update block before it is merged, so every value that could land
+    on a target row's ones column is an exact ``0.0``.
+
+    ``steps`` holds one tuple per batch::
+
+        (shared, n, row_block, scatter_order, segment_starts,
+         segment_rows)
+
+    where ``row_block`` is the batch's ``[targets | contexts | negatives]``
+    destination rows in ``P`` as one contiguous ``(m,)`` array
+    (context/negative rows already offset by ``num_emb``).
+    """
+
+    __slots__ = (
+        "emb_rows",
+        "ctx_rows",
+        "num_emb",
+        "P",
+        "bias",
+        "steps",
+        "_h",
+        "_c",
+        "_n",
+        "_wk",
+        "_lg",
+        "_mx",
+        "_s",
+        "_vals",
+        "_seg",
+    )
+
+    def __init__(
+        self,
+        theta,
+        batches: Sequence[BucketBatch],
+        dtype: type = np.float32,
+    ) -> None:
+        # Union of touched rows, then one vectorized remap of every batch's
+        # indices into compact space (split back out by batch offsets).
+        all_targets = np.concatenate([batch.targets for batch in batches])
+        all_candidates = np.concatenate(
+            [batch.contexts for batch in batches]
+            + [batch.negatives.ravel() for batch in batches]
+        )
+        self.emb_rows = _unique_sorted(all_targets)
+        self.ctx_rows = _unique_sorted(all_candidates)
+        num_emb = int(self.emb_rows.size)
+        self.num_emb = num_emb
+        num_rows = num_emb + int(self.ctx_rows.size)
+        dim = int(theta[EMBEDDING].shape[1])
+
+        self.P = np.empty((num_rows, dim + 1), dtype=dtype)
+        self.P[:num_emb, :dim] = theta[EMBEDDING][self.emb_rows]
+        self.P[:num_emb, dim] = 1.0
+        self.P[num_emb:, :dim] = theta[CONTEXT][self.ctx_rows]
+        self.P[num_emb:, dim] = theta[BIAS][self.ctx_rows]
+        self.bias = self.P[num_emb:, dim]
+
+        target_local = np.searchsorted(self.emb_rows, all_targets)
+        candidate_stacked = np.searchsorted(self.ctx_rows, all_candidates)
+        candidate_stacked += num_emb
+        num_pairs = int(all_targets.size)
+        ctx_stacked = candidate_stacked[:num_pairs]
+        neg_stacked = candidate_stacked[num_pairs:]
+
+        num_batches = len(batches)
+        sizes = np.array([batch.targets.size for batch in batches], dtype=np.int64)
+        neg_sizes = np.array(
+            [batch.negatives.size for batch in batches], dtype=np.int64
+        )
+        block_sizes = 2 * sizes + neg_sizes
+        block_off = np.zeros(num_batches + 1, dtype=np.int64)
+        np.cumsum(block_sizes, out=block_off[1:])
+
+        # Flat destination-row array laid out [targets | contexts |
+        # negatives] per batch, context/negative rows offset into P.
+        scatter_parts: list[np.ndarray] = []
+        pair_at = neg_at = 0
+        for index in range(num_batches):
+            n = int(sizes[index])
+            k = int(neg_sizes[index])
+            scatter_parts.append(target_local[pair_at : pair_at + n])
+            scatter_parts.append(ctx_stacked[pair_at : pair_at + n])
+            scatter_parts.append(neg_stacked[neg_at : neg_at + k])
+            pair_at += n
+            neg_at += k
+        scatter_idx = np.concatenate(scatter_parts)
+
+        # One flat stable sort builds every batch's duplicate-merging plan:
+        # offset each batch's rows into a disjoint range, sort once, and
+        # read per-batch segment structure back out by slice.
+        repeat_off = np.repeat(block_off[:-1], block_sizes)
+        flat = scatter_idx + np.repeat(
+            np.arange(num_batches, dtype=np.int64) * num_rows, block_sizes
+        )
+        order = _stable_argsort(flat, num_batches * num_rows)
+        sorted_flat = flat[order]
+        starts = np.concatenate(
+            ([0], np.flatnonzero(sorted_flat[1:] != sorted_flat[:-1]) + 1)
+        )
+        seg_flat = sorted_flat[starts]
+        seg_batch = seg_flat // num_rows
+        seg_rows_all = seg_flat - seg_batch * num_rows
+        seg_bounds = np.searchsorted(
+            seg_batch, np.arange(num_batches + 1, dtype=np.int64)
+        )
+        order_local = order - repeat_off
+        starts_local = starts - block_off[seg_batch]
+
+        sizes_list = sizes.tolist()
+        neg_sizes_list = neg_sizes.tolist()
+        block_off_list = block_off.tolist()
+        seg_bounds_list = seg_bounds.tolist()
+        self.steps: list[tuple] = []
+        for index, batch in enumerate(batches):
+            n = sizes_list[index]
+            k = neg_sizes_list[index]
+            a = block_off_list[index]
+            m = 2 * n + k
+            s0, s1 = seg_bounds_list[index], seg_bounds_list[index + 1]
+            step = (
+                batch.shared,
+                n,
+                scatter_idx[a : a + m],
+                order_local[a : a + m],
+                starts_local[s0:s1],
+                seg_rows_all[s0:s1],
+            )
+            self.steps.append(step)
+
+        # Scratch buffers reused by every shared-negative batch step (the
+        # per-pair path allocates per batch; it is not the paper default).
+        shared_dims = [
+            (step[1], step[2].size - 2 * step[1])
+            for step in self.steps
+            if step[0]
+        ]
+        if shared_dims:
+            width = dim + 1
+            n_max = max(n for n, _ in shared_dims)
+            k_max = max(k for _, k in shared_dims)
+            rows_max = 2 * n_max + k_max
+            self._h = np.empty((n_max, width), dtype=dtype)
+            self._c = np.empty((n_max, width), dtype=dtype)
+            self._n = np.empty((k_max, width), dtype=dtype)
+            self._wk = np.empty((n_max, width), dtype=dtype)
+            self._lg = np.empty((1 + k_max, n_max), dtype=dtype)
+            self._mx = np.empty(n_max, dtype=dtype)
+            self._s = np.empty(n_max, dtype=dtype)
+            self._vals = np.empty((rows_max, width), dtype=dtype)
+            self._seg = np.empty((rows_max, width), dtype=dtype)
+
+    def collect_delta(self, theta) -> tuple[dict, dict]:
+        """Rows + float64 ``work - theta`` values for the touched universe."""
+        num_emb = self.num_emb
+        dim = self.P.shape[1] - 1
+        rows = {
+            EMBEDDING: self.emb_rows,
+            CONTEXT: self.ctx_rows,
+            BIAS: self.ctx_rows.copy(),
+        }
+        values = {
+            EMBEDDING: np.subtract(
+                self.P[:num_emb, :dim],
+                theta[EMBEDDING][self.emb_rows],
+                dtype=np.float64,
+            ),
+            CONTEXT: np.subtract(
+                self.P[num_emb:, :dim],
+                theta[CONTEXT][self.ctx_rows],
+                dtype=np.float64,
+            ),
+            BIAS: np.subtract(
+                self.bias, theta[BIAS][self.ctx_rows], dtype=np.float64
+            ),
+        }
+        return rows, values
+
+
+class FastBackend(ReferenceBackend):
+    """Compact float32 fused kernels; non-fused entry points stay exact.
+
+    Only the hot path (:meth:`fused_bucket_update`) differs from the
+    reference — forward/loss/gradient calls outside bucket training (loss
+    evaluation, serving) keep the float64 reference math.
+    """
+
+    name = "fast"
+    accumulation_dtype = np.float32
+
+    def fused_bucket_update(
+        self,
+        theta,
+        batches: Sequence[BucketBatch],
+        spec: LocalUpdateSpec,
+    ) -> BucketDelta:
+        if not batches:
+            return empty_bucket_delta(theta)
+        plan = _BucketPlan(theta, batches, dtype=self.accumulation_dtype)
+        loss_total = self._run_steps(plan, spec)
+        return _finalize(plan, theta, spec, loss_total, len(batches))
+
+    def _run_steps(self, plan: _BucketPlan, spec: LocalUpdateSpec) -> float:
+        softmax = spec.loss_name == "sampled_softmax"
+        kernel = None if softmax else _loss_kernel(spec.loss_name, spec.num_locations)
+        pair_kernel = _loss_kernel(spec.loss_name, spec.num_locations)
+        loss_total = 0.0
+        for step in plan.steps:
+            if step[0]:
+                loss_total += _shared_step(plan, step, spec, kernel)
+            else:
+                loss_total += _per_pair_step(plan, step, spec, pair_kernel)
+        return loss_total
+
+    def fused_multi_bucket_update(
+        self,
+        theta,
+        bucket_batches: Sequence[Sequence[BucketBatch]],
+        spec: LocalUpdateSpec,
+    ) -> list[BucketDelta]:
+        """A chunk of buckets with the per-step compute batched across them.
+
+        Buckets are independent (each runs local SGD from the same
+        ``theta``), so local step ``j`` of *every* bucket can execute as
+        one set of batched numpy calls over one concatenated compact
+        matrix — amortizing the python/BLAS dispatch cost of the tiny
+        per-batch kernels over the whole chunk. Same-shape steps are
+        grouped so each GEMM slice has chunk-independent dimensions,
+        keeping the result identical however the executor chunks buckets
+        across workers.
+
+        Only the paper-default configuration (sampled softmax, shared
+        negatives) takes this path; anything else falls back to
+        :meth:`fused_bucket_update` per bucket.
+        """
+        eligible = spec.loss_name == "sampled_softmax" and all(
+            batch.shared for batches in bucket_batches for batch in batches
+        )
+        if not eligible:
+            return [
+                self.fused_bucket_update(theta, batches, spec)
+                for batches in bucket_batches
+            ]
+        results: list[BucketDelta | None] = [
+            None if batches else empty_bucket_delta(theta)
+            for batches in bucket_batches
+        ]
+        occupied = [
+            (index, batches)
+            for index, batches in enumerate(bucket_batches)
+            if batches
+        ]
+        if occupied:
+            schedule = _compile_chunk(
+                theta,
+                [batches for _, batches in occupied],
+                self.accumulation_dtype,
+            )
+            losses = _execute_chunk(schedule, spec)
+            deltas = _finalize_chunk(
+                schedule,
+                theta,
+                spec,
+                losses,
+                [len(batches) for _, batches in occupied],
+            )
+            for (index, _), delta in zip(occupied, deltas):
+                results[index] = delta
+        return results  # type: ignore[return-value]
+
+
+def _finalize(
+    plan: _BucketPlan,
+    theta,
+    spec: LocalUpdateSpec,
+    loss_total: float,
+    num_batches: int,
+) -> BucketDelta:
+    """Promote to float64, clip, and wrap the plan's result as a delta."""
+    rows, values = plan.collect_delta(theta)
+    unclipped_norm = clip_bucket_delta(values, spec.clip_bound, spec.clipping)
+    return BucketDelta(
+        rows=rows,
+        values=values,
+        shapes={name: theta[name].shape for name in TENSOR_NAMES},
+        mean_loss=loss_total / num_batches,
+        num_batches=num_batches,
+        unclipped_norm=unclipped_norm,
+    )
+
+
+def _shared_step(
+    plan: _BucketPlan,
+    step: tuple,
+    spec: LocalUpdateSpec,
+    kernel: LossKernel | None,
+) -> float:
+    """One shared-negative SGD step through the plan's scratch buffers.
+
+    ``kernel=None`` means sampled softmax, inlined in place; any other
+    loss goes through its dtype-preserving kernel. Returns the batch loss.
+
+    The logits live transposed — ``(1 + neg, n)``, example per column —
+    so the negative block is the direct output of one contiguous GEMM.
+    """
+    _, n, block, order, starts = step[:5]
+    seg_rows = step[5]
+    k = block.size - 2 * n
+    P = plan.P
+    dim = P.shape[1] - 1
+
+    hidden = P.take(block[:n], 0, plan._h[:n], "clip")
+    ctx = P.take(block[n : 2 * n], 0, plan._c[:n], "clip")
+    neg = P.take(block[2 * n :], 0, plan._n[:k], "clip")
+
+    # The trailing bias/ones column makes these dot products the biased
+    # logits directly: W_t . Wc_c + b_c (idea 2 of the module docstring).
+    logits = plan._lg if n == plan._lg.shape[1] else np.empty(
+        (1 + k, n), dtype=P.dtype
+    )
+    work = plan._wk[:n]
+    np.einsum("nd,nd->n", hidden, ctx, out=logits[0])
+    np.dot(neg, hidden.T, out=logits[1:])
+
+    if kernel is None:
+        # Sampled softmax, fused in place: softmax -> loss -> grad, with
+        # the -lr/batch update scale folded straight into the gradient.
+        peak = logits.max(0, plan._mx[:n])
+        np.subtract(logits, peak, out=logits)
+        np.exp(logits, out=logits)
+        denominator = logits.sum(0, None, plan._s[:n])
+        np.divide(logits, denominator, out=logits)
+        clamped = np.maximum(logits[0], _TINY32, out=plan._mx[:n])
+        np.log(clamped, out=clamped)
+        loss = -float(clamped.sum()) / n
+        logits[0] -= 1.0
+        grad = np.multiply(
+            logits, np.float32(-spec.learning_rate / n), out=logits
+        )
+    else:
+        loss, untransposed = kernel(logits.T)
+        grad = np.multiply(
+            untransposed.T, np.float32(-spec.learning_rate), out=logits
+        )
+
+    grad_positive = grad[0][:, None]  # (n, 1)
+    grad_negative = grad[1:]  # (k, n)
+
+    # Update block [d_target | d_context | d_negative]; duplicate
+    # destinations merge through the precomputed sort + reduceat schedule
+    # (sequential per-segment sums — the association the chunk-batched
+    # path reproduces bit for bit), then one fancy-index add applies it.
+    num_updates = 2 * n + k
+    vals = plan._vals[:num_updates]
+    np.multiply(ctx, grad_positive, out=vals[:n])
+    vals[:n] += np.dot(grad_negative.T, neg, out=work)
+    # Zero the d_target block's trailing column up front: every entry a
+    # target-row segment sums is then an exact 0.0, so the constant-1
+    # column survives without any per-segment masking.
+    vals[:n, dim] = 0.0
+    np.multiply(hidden, grad_positive, out=vals[n : 2 * n])
+    np.dot(grad_negative, hidden, out=vals[2 * n :])
+    merged = vals.take(order, 0, plan._seg[:num_updates], "clip")
+    segments = np.add.reduceat(merged, starts, 0)
+    P[seg_rows] += segments
+    return loss
+
+
+def _per_pair_step(
+    plan: _BucketPlan,
+    step: tuple,
+    spec: LocalUpdateSpec,
+    kernel: LossKernel,
+) -> float:
+    """One per-pair-negative SGD step on the compact arrays."""
+    _, n, block = step[:3]
+    order, seg_starts, seg_rows = step[3:]
+    k = (block.size - 2 * n) // n
+    P = plan.P
+    dim = P.shape[1] - 1
+
+    hidden = P.take(block[:n], axis=0, mode="clip")
+    ctx = P.take(block[n : 2 * n], axis=0, mode="clip")
+    neg = P.take(block[2 * n :], axis=0, mode="clip").reshape(n, k, dim + 1)
+
+    logits = np.empty((n, 1 + k), dtype=P.dtype)
+    np.einsum("nd,nd->n", hidden, ctx, out=logits[:, 0])
+    np.einsum("nd,nkd->nk", hidden, neg, out=logits[:, 1:])
+
+    loss, grad = kernel(logits)
+    np.multiply(grad, np.float32(-spec.learning_rate), out=grad)
+
+    vals = np.empty((2 * n + n * k, dim + 1), dtype=P.dtype)
+    np.multiply(ctx, grad[:, :1], out=vals[:n])
+    vals[:n] += np.einsum("nk,nkd->nd", grad[:, 1:], neg)
+    # Pre-zeroed d_target trailing column: see _shared_step.
+    vals[:n, dim] = 0.0
+    np.multiply(hidden, grad[:, :1], out=vals[n : 2 * n])
+    np.multiply(
+        hidden[:, None, :], grad[:, 1:, None], out=vals[2 * n :].reshape(n, k, dim + 1)
+    )
+    merged = vals.take(order, axis=0)
+    segments = np.add.reduceat(merged, seg_starts, axis=0)
+    P[seg_rows] += segments
+    return loss
+
+
+class _ChunkSchedule:
+    """A chunk of buckets compiled into one batched execution schedule.
+
+    The chunk-level twin of :class:`_BucketPlan`: every bucket's compact
+    rows live in one ``stacked`` float32 matrix (per bucket
+    ``[emb | ctx]``, buckets back to back), and ``compiled[j]`` holds the
+    shape groups of local step ``j`` across all buckets in the group
+    tuple format :func:`_grouped_step` executes. Unlike per-bucket plans,
+    the whole schedule is assembled by global vectorized passes — one
+    flat stable sort and a handful of ragged-index manipulations for the
+    entire chunk — so compile cost does not scale with the number of
+    python-level (bucket, batch) visits.
+
+    ``emb_src`` / ``ctx_src`` are the buckets' touched vocabulary rows
+    back to back (``emb_bounds`` / ``ctx_bounds`` delimit buckets), and
+    ``dest_emb`` / ``dest_ctx`` map them to their ``stacked`` rows —
+    everything :func:`_finalize_chunk` needs to diff the trained rows
+    against theta in one batched float64 pass.
+    """
+
+    __slots__ = (
+        "stacked",
+        "compiled",
+        "emb_src",
+        "ctx_src",
+        "emb_bounds",
+        "ctx_bounds",
+        "dest_emb",
+        "dest_ctx",
+    )
+
+
+def _compile_chunk(
+    theta, bucket_lists: Sequence[Sequence[BucketBatch]], dtype: type
+) -> _ChunkSchedule:
+    """Compile a chunk of (non-empty) buckets into a `_ChunkSchedule`.
+
+    Produces exactly the schedule a per-bucket :class:`_BucketPlan` build
+    followed by shape-grouping would: the same stacked rows, the same
+    sort-derived duplicate-merge segments (stable sort, so the same entry
+    order within each segment), and the same singleton/duplicate split —
+    which is what keeps the batched execution bit-identical to the
+    single-bucket step path.
+    """
+    num_buckets = len(bucket_lists)
+    vocab = int(theta[EMBEDDING].shape[0])
+    width = int(theta[EMBEDDING].shape[1]) + 1
+
+    # -- flat per-batch metadata (the only python-level pass) --------------
+    t_parts: list[np.ndarray] = []
+    c_parts: list[np.ndarray] = []
+    g_parts: list[np.ndarray] = []
+    n_list: list[int] = []
+    k_list: list[int] = []
+    b_list: list[int] = []
+    s_list: list[int] = []
+    for b, batches in enumerate(bucket_lists):
+        for j, batch in enumerate(batches):
+            t_parts.append(batch.targets)
+            c_parts.append(batch.contexts)
+            g_parts.append(batch.negatives)
+            n_list.append(batch.targets.size)
+            k_list.append(batch.negatives.size)
+            b_list.append(b)
+            s_list.append(j)
+    q_n = np.asarray(n_list, dtype=np.int64)
+    q_k = np.asarray(k_list, dtype=np.int64)
+    q_bucket = np.asarray(b_list, dtype=np.int64)
+    q_step = np.asarray(s_list, dtype=np.int64)
+    num_batches = int(q_n.size)
+    all_t = np.concatenate(t_parts)
+    all_c = np.concatenate(c_parts)
+    all_g = np.concatenate(g_parts)
+    total_pairs = int(all_t.size)
+
+    # -- per-bucket unique rows and the stacked layout ---------------------
+    # Keys ``bucket * vocab + row`` make one global sort yield every
+    # bucket's sorted unique rows back to back — the same per-bucket
+    # ``[emb | ctx]`` compact layout _BucketPlan builds one at a time.
+    pair_bucket = np.repeat(q_bucket, q_n)
+    neg_bucket = np.repeat(q_bucket, q_k)
+    t_keys = pair_bucket * vocab + all_t
+    c_keys = np.concatenate(
+        (pair_bucket * vocab + all_c, neg_bucket * vocab + all_g)
+    )
+    uniq_t, inv_t = np.unique(t_keys, return_inverse=True)
+    uniq_c, inv_c = np.unique(c_keys, return_inverse=True)
+    emb_bucket = uniq_t // vocab
+    ctx_bucket = uniq_c // vocab
+    emb_src = uniq_t - emb_bucket * vocab
+    ctx_src = uniq_c - ctx_bucket * vocab
+    emb_counts = np.bincount(emb_bucket, minlength=num_buckets)
+    ctx_counts = np.bincount(ctx_bucket, minlength=num_buckets)
+    emb_bounds = np.zeros(num_buckets + 1, dtype=np.int64)
+    np.cumsum(emb_counts, out=emb_bounds[1:])
+    ctx_bounds = np.zeros(num_buckets + 1, dtype=np.int64)
+    np.cumsum(ctx_counts, out=ctx_bounds[1:])
+    offsets = np.zeros(num_buckets + 1, dtype=np.int64)
+    np.cumsum(emb_counts + ctx_counts, out=offsets[1:])
+    total_rows = int(offsets[-1])
+    dest_emb = (
+        offsets[emb_bucket]
+        + np.arange(uniq_t.size, dtype=np.int64)
+        - emb_bounds[emb_bucket]
+    )
+    dest_ctx = (
+        offsets[ctx_bucket]
+        + emb_counts[ctx_bucket]
+        + np.arange(uniq_c.size, dtype=np.int64)
+        - ctx_bounds[ctx_bucket]
+    )
+
+    # Fill the stacked compact matrix straight from theta: the fancy
+    # gather casts each touched float64 row to the working dtype on
+    # assignment — the same rounding a per-bucket plan's fill applies.
+    # Each bucket's rows are a contiguous [emb | ctx] run, so the store
+    # side is a plain slice per bucket (cheaper than one fancy scatter).
+    stacked = np.empty((total_rows, width), dtype=dtype)
+    dim = width - 1
+    e_off = emb_bounds.tolist()
+    c_off = ctx_bounds.tolist()
+    row_off = offsets.tolist()
+    for b in range(num_buckets):
+        e0, e1 = e_off[b], e_off[b + 1]
+        mid = row_off[b] + e1 - e0
+        top = stacked[row_off[b] : mid]
+        top[:, :dim] = theta[EMBEDDING][emb_src[e0:e1]]
+        top[:, dim] = 1.0
+        c0, c1 = c_off[b], c_off[b + 1]
+        bot = stacked[mid : row_off[b + 1]]
+        bot[:, :dim] = theta[CONTEXT][ctx_src[c0:c1]]
+        bot[:, dim] = theta[BIAS][ctx_src[c0:c1]]
+
+    # -- entry -> stacked-row map, block-major [t | c | g] per batch -------
+    t_rows = dest_emb[inv_t]
+    c_rows = dest_ctx[inv_c[:total_pairs]]
+    g_rows = dest_ctx[inv_c[total_pairs:]]
+    m_q = 2 * q_n + q_k
+    block_off = np.zeros(num_batches + 1, dtype=np.int64)
+    np.cumsum(m_q, out=block_off[1:])
+    total_entries = int(block_off[-1])
+    pair_off = np.zeros(num_batches + 1, dtype=np.int64)
+    np.cumsum(q_n, out=pair_off[1:])
+    neg_off = np.zeros(num_batches + 1, dtype=np.int64)
+    np.cumsum(q_k, out=neg_off[1:])
+    scatter_idx = np.empty(total_entries, dtype=np.int64)
+    dest_t = (
+        np.arange(total_pairs, dtype=np.int64)
+        - np.repeat(pair_off[:-1], q_n)
+        + np.repeat(block_off[:-1], q_n)
+    )
+    scatter_idx[dest_t] = t_rows
+    scatter_idx[dest_t + np.repeat(q_n, q_n)] = c_rows
+    dest_g = (
+        np.arange(all_g.size, dtype=np.int64)
+        - np.repeat(neg_off[:-1], q_k)
+        + np.repeat(block_off[:-1] + 2 * q_n, q_k)
+    )
+    scatter_idx[dest_g] = g_rows
+
+    # -- one flat stable sort merges duplicate destinations per batch ------
+    # (the same construction _BucketPlan runs per bucket, lifted to the
+    # whole chunk: batch-offset keys keep batches disjoint, stable order
+    # keeps each segment's entries in original order for ``reduceat``)
+    flat = scatter_idx + np.repeat(
+        np.arange(num_batches, dtype=np.int64) * total_rows, m_q
+    )
+    order = _stable_argsort(flat, num_batches * total_rows)
+    sorted_flat = flat[order]
+    starts = np.concatenate(
+        ([0], np.flatnonzero(sorted_flat[1:] != sorted_flat[:-1]) + 1)
+    )
+    seg_flat = sorted_flat[starts]
+    seg_batch = seg_flat // total_rows
+    seg_row = seg_flat - seg_batch * total_rows
+    seg_sizes = np.diff(np.append(starts, total_entries))
+    seg_bounds = np.searchsorted(
+        seg_batch, np.arange(num_batches + 1, dtype=np.int64)
+    )
+    seg_counts = np.diff(seg_bounds)
+    order_rel = order - np.repeat(block_off[:-1], m_q)
+    starts_rel = starts - block_off[seg_batch]
+
+    # -- group batches by (local step index, n, k) -------------------------
+    # Same-shape step ``j`` of many buckets runs as one batched call;
+    # grouping never crosses step indices, so each bucket's local SGD
+    # steps still execute strictly in order.
+    nmax = int(q_n.max()) + 1
+    kmax = int(q_k.max()) + 1
+    gkey = (q_step * nmax + q_n) * kmax + q_k
+    uniq_g, g_inv = np.unique(gkey, return_inverse=True)
+    by_group = np.argsort(g_inv, kind="stable")
+    num_groups = int(uniq_g.size)
+    group_bounds = np.searchsorted(
+        g_inv[by_group], np.arange(num_groups + 1, dtype=np.int64)
+    )
+    group_num = np.diff(group_bounds)
+
+    # Everything a group tuple needs is assembled here in group-major
+    # order by global ragged gathers, so the per-group loop at the end
+    # only takes slices. The ``*_all`` arrays list the chunk's sorted
+    # entries / merge segments member by member, members ordered group by
+    # group (``by_group``); offsets indexed by ``group_bounds`` delimit
+    # the groups.
+    m_by = m_q[by_group]
+    ent_off = np.zeros(num_batches + 1, dtype=np.int64)
+    np.cumsum(m_by, out=ent_off[1:])
+    ent_idx = (
+        np.arange(total_entries, dtype=np.int64)
+        - np.repeat(ent_off[:-1], m_by)
+        + np.repeat(block_off[by_group], m_by)
+    )
+    pos_in_group = np.arange(num_batches, dtype=np.int64) - np.repeat(
+        group_bounds[:-1], group_num
+    )
+    member_base = pos_in_group * m_by
+    block_all = scatter_idx[ent_idx]
+    order_all = order_rel[ent_idx] + np.repeat(member_base, m_by)
+    bucket_by = q_bucket[by_group]
+
+    counts_by = seg_counts[by_group]
+    segoff_by = np.zeros(num_batches + 1, dtype=np.int64)
+    np.cumsum(counts_by, out=segoff_by[1:])
+    seg_idx = (
+        np.arange(int(segoff_by[-1]), dtype=np.int64)
+        - np.repeat(segoff_by[:-1], counts_by)
+        + np.repeat(seg_bounds[by_group], counts_by)
+    )
+    starts_all = starts_rel[seg_idx] + np.repeat(member_base, counts_by)
+    rows_all = seg_row[seg_idx]
+    sizes_all = seg_sizes[seg_idx]
+    g_ent_off = ent_off[group_bounds]
+    g_seg_off = segoff_by[group_bounds]
+    g_segs = np.diff(g_seg_off)
+    seg_grp = np.repeat(np.arange(num_groups, dtype=np.int64), g_segs)
+
+    # Nearly every segment is a singleton (a destination hit once in its
+    # batch), and ``np.add.reduceat`` pays a per-segment cost that dwarfs
+    # the adds themselves — so the schedule splits segments by
+    # multiplicity: singletons become one direct gather + fancy add, and
+    # only the rare duplicate segments keep a (tiny) reduceat. The
+    # per-row arithmetic is unchanged, so the split is bitwise neutral.
+    single = sizes_all == 1
+    single_order_all = order_all[
+        starts_all[single] + np.repeat(g_ent_off[:-1], g_segs)[single]
+    ]
+    single_rows_all = rows_all[single]
+    g_single_off = np.zeros(num_groups + 1, dtype=np.int64)
+    np.cumsum(np.bincount(seg_grp[single], minlength=num_groups),
+              out=g_single_off[1:])
+
+    dup = ~single
+    dup_order_all = order_all[np.repeat(dup, sizes_all)]
+    dup_sizes = sizes_all[dup]
+    dup_rows_all = rows_all[dup]
+    dup_grp = seg_grp[dup]
+    g_dup = np.bincount(dup_grp, minlength=num_groups)
+    g_dup_off = np.zeros(num_groups + 1, dtype=np.int64)
+    np.cumsum(g_dup, out=g_dup_off[1:])
+    g_dupent_off = np.zeros(num_groups + 1, dtype=np.int64)
+    np.cumsum(
+        np.bincount(
+            dup_grp, weights=dup_sizes.astype(np.float64), minlength=num_groups
+        ).astype(np.int64),
+        out=g_dupent_off[1:],
+    )
+    dup_starts_all = np.zeros(dup_sizes.size, dtype=np.int64)
+    np.cumsum(dup_sizes[:-1], out=dup_starts_all[1:])
+    dup_starts_all -= np.repeat(g_dupent_off[:-1], g_dup)
+
+    compiled: list[list[tuple]] = [[] for _ in range(int(q_step.max()) + 1)]
+    keys = uniq_g.tolist()
+    gb = group_bounds.tolist()
+    e_off = g_ent_off.tolist()
+    s_off = g_single_off.tolist()
+    de_off = g_dupent_off.tolist()
+    d_off = g_dup_off.tolist()
+    nums = group_num.tolist()
+    for g in range(num_groups):
+        key = keys[g]
+        k = key % kmax
+        n = (key // kmax) % nmax
+        compiled[key // (kmax * nmax)].append(
+            (
+                bucket_by[gb[g] : gb[g + 1]],
+                n,
+                k,
+                block_all[e_off[g] : e_off[g + 1]].reshape(nums[g], 2 * n + k),
+                single_order_all[s_off[g] : s_off[g + 1]],
+                single_rows_all[s_off[g] : s_off[g + 1]],
+                dup_order_all[de_off[g] : de_off[g + 1]],
+                dup_starts_all[d_off[g] : d_off[g + 1]],
+                dup_rows_all[d_off[g] : d_off[g + 1]],
+            )
+        )
+
+    schedule = _ChunkSchedule()
+    schedule.stacked = stacked
+    schedule.compiled = compiled
+    schedule.emb_src = emb_src
+    schedule.ctx_src = ctx_src
+    schedule.emb_bounds = emb_bounds
+    schedule.ctx_bounds = ctx_bounds
+    schedule.dest_emb = dest_emb
+    schedule.dest_ctx = dest_ctx
+    return schedule
+
+
+def _execute_chunk(
+    schedule: _ChunkSchedule, spec: LocalUpdateSpec
+) -> list[float]:
+    """Run a compiled chunk schedule; returns per-bucket summed losses."""
+    stacked = schedule.stacked
+    compiled = schedule.compiled
+    width = stacked.shape[1]
+    dtype = stacked.dtype
+
+    # One set of working buffers, sized to the largest group; every
+    # executed step carves contiguous views out of these.
+    gather_max = logits_max = work_max = singles_max = 0
+    num_buckets = 0
+    for step_groups in compiled:
+        for group in step_groups:
+            num = group[3].shape[0]
+            n, k = group[1], group[2]
+            m = 2 * n + k
+            gather_max = max(gather_max, num * m)
+            logits_max = max(logits_max, num * (1 + k) * n)
+            work_max = max(work_max, num * n)
+            singles_max = max(singles_max, group[4].size)
+            num_buckets = max(num_buckets, int(group[0].max()) + 1)
+    scratch = (
+        np.empty((gather_max, width), dtype=dtype),
+        np.empty(logits_max, dtype=dtype),
+        np.empty((work_max, width), dtype=dtype),
+        np.empty((gather_max, width), dtype=dtype),
+        np.empty((singles_max, width), dtype=dtype),
+    )
+
+    # Buckets accumulate their batch losses in local-step order — the
+    # same float64 summation order the single-bucket loop uses.
+    losses = [0.0] * num_buckets
+    learning_rate = spec.learning_rate
+    for step_groups in compiled:
+        for group in step_groups:
+            batch_losses = _grouped_step(stacked, group, learning_rate, scratch)
+            for bucket, batch_loss in zip(group[0].tolist(), batch_losses):
+                losses[bucket] += batch_loss
+    return losses
+
+
+def _finalize_chunk(
+    schedule: _ChunkSchedule,
+    theta,
+    spec: LocalUpdateSpec,
+    losses: list[float],
+    batch_counts: list[int],
+) -> list[BucketDelta]:
+    """Promote, clip, and wrap every bucket's result as a delta.
+
+    The float64 promotion (``trained - theta``) runs as one batched pass
+    over the whole chunk; clipping stays the shared per-bucket
+    :func:`clip_bucket_delta` call on each bucket's slice so its float64
+    reduction order — and hence the sensitivity bound — is untouched.
+    """
+    dim = int(theta[EMBEDDING].shape[1])
+    stacked_emb = schedule.stacked.take(schedule.dest_emb, 0)
+    stacked_ctx = schedule.stacked.take(schedule.dest_ctx, 0)
+    emb_src = schedule.emb_src
+    ctx_src = schedule.ctx_src
+    # The float64 theta gathers double as the output buffers: subtracting
+    # into them (reversed via negation-free ``subtract(trained, theta)``)
+    # avoids a second chunk-sized float64 allocation per tensor.
+    emb_delta = theta[EMBEDDING].take(emb_src, 0)
+    np.subtract(stacked_emb[:, :dim], emb_delta, out=emb_delta)
+    ctx_delta = theta[CONTEXT].take(ctx_src, 0)
+    np.subtract(stacked_ctx[:, :dim], ctx_delta, out=ctx_delta)
+    bias_delta = theta[BIAS].take(ctx_src, 0)
+    np.subtract(stacked_ctx[:, dim], bias_delta, out=bias_delta)
+
+    shapes = {name: theta[name].shape for name in TENSOR_NAMES}
+    emb_bounds = schedule.emb_bounds
+    ctx_bounds = schedule.ctx_bounds
+    deltas: list[BucketDelta] = []
+    for index, num_batches in enumerate(batch_counts):
+        e0, e1 = int(emb_bounds[index]), int(emb_bounds[index + 1])
+        c0, c1 = int(ctx_bounds[index]), int(ctx_bounds[index + 1])
+        rows = {
+            EMBEDDING: emb_src[e0:e1],
+            CONTEXT: ctx_src[c0:c1],
+            BIAS: ctx_src[c0:c1].copy(),
+        }
+        values = {
+            EMBEDDING: emb_delta[e0:e1],
+            CONTEXT: ctx_delta[c0:c1],
+            BIAS: bias_delta[c0:c1],
+        }
+        unclipped_norm = clip_bucket_delta(
+            values, spec.clip_bound, spec.clipping
+        )
+        deltas.append(
+            BucketDelta(
+                rows=rows,
+                values=values,
+                shapes=shapes,
+                mean_loss=losses[index] / num_batches,
+                num_batches=num_batches,
+                unclipped_norm=unclipped_norm,
+            )
+        )
+    return deltas
+
+
+def _grouped_step(
+    stacked: np.ndarray,
+    group: tuple,
+    learning_rate: float,
+    scratch: tuple,
+) -> list[float]:
+    """One local-SGD step of one compiled shape group as batched math.
+
+    The sampled-softmax shared-negative step of :func:`_shared_step`,
+    lifted to one extra leading axis: one gather returns the whole
+    ``(B, m, dim + 1)`` row block per bucket and the logits run through
+    one batched GEMM per direction. Duplicate scatter destinations merge
+    through the precompiled singleton/duplicate schedule, and fancy-index
+    adds apply every bucket's update (segment rows are unique across the
+    group because per-bucket row ranges are disjoint). Returns the
+    per-member batch losses.
+    """
+    _, n, k, block_idx, single_order, single_rows = group[:6]
+    dup_order, dup_starts, dup_rows = group[6:]
+    num = block_idx.shape[0]
+    m = 2 * n + k
+    width = stacked.shape[1]
+    dim = width - 1
+
+    gathered = scratch[0][: num * m].reshape(num, m, width)
+    stacked.take(block_idx, 0, gathered, "clip")
+    hidden = gathered[:, :n]
+    ctx = gathered[:, n : 2 * n]
+    neg = gathered[:, 2 * n :]  # (B, k, width)
+
+    logits = scratch[1][: num * (1 + k) * n].reshape(num, 1 + k, n)
+    work = scratch[2][: num * n].reshape(num, n, width)
+    np.einsum("bnd,bnd->bn", hidden, ctx, out=logits[:, 0])
+    np.matmul(neg, hidden.transpose(0, 2, 1), out=logits[:, 1:])
+
+    # Batched sampled softmax (axis 1 is the candidate axis), with the
+    # -lr/n update scale folded into the gradient in place.
+    peak = logits.max(1)
+    np.subtract(logits, peak[:, None, :], out=logits)
+    np.exp(logits, out=logits)
+    denominator = logits.sum(1)
+    np.divide(logits, denominator[:, None, :], out=logits)
+    clamped = np.maximum(logits[:, 0], _TINY32)
+    np.log(clamped, out=clamped)
+    # float32 row sums (the association _shared_step uses), then the
+    # -1/n scale in float64 — matching its ``-float(sum) / n`` exactly.
+    batch_losses = clamped.sum(1).astype(np.float64)
+    batch_losses /= -n
+    logits[:, 0] -= 1.0
+    grad = np.multiply(logits, np.float32(-learning_rate / n), out=logits)
+    grad_positive = grad[:, 0][:, :, None]  # (B, n, 1)
+    grad_negative = grad[:, 1:]  # (B, k, n)
+
+    vals = scratch[3][: num * m].reshape(num, m, width)
+    np.multiply(ctx, grad_positive, out=vals[:, :n])
+    np.matmul(grad_negative.transpose(0, 2, 1), neg, out=work)
+    vals[:, :n] += work
+    # Pre-zeroed d_target trailing column: see _shared_step.
+    vals[:, :n, dim] = 0.0
+    np.multiply(hidden, grad_positive, out=vals[:, n : 2 * n])
+    np.matmul(grad_negative, hidden, out=vals[:, 2 * n :])
+
+    # Scatter: singleton segments are one gather + one fancy add; the
+    # rare duplicate segments merge through a small reduceat first. The
+    # two row sets are disjoint, so the per-row arithmetic matches the
+    # single reduceat-over-everything formulation bit for bit.
+    vals_flat = vals.reshape(num * m, width)
+    singles = scratch[4][: single_order.size]
+    vals_flat.take(single_order, 0, singles, "clip")
+    stacked[single_rows] += singles
+    if dup_rows.size:
+        merged = np.add.reduceat(vals_flat.take(dup_order, 0), dup_starts, 0)
+        stacked[dup_rows] += merged
+    return batch_losses.tolist()

@@ -1,0 +1,85 @@
+"""The optional numba backend: JIT-compiled inner loops over compact arrays.
+
+Extends the fast backend: same compact gather, same float32 accumulation
+and float64 clipping contract, but the per-batch step for the default
+configuration (shared negatives + sampled softmax) runs through the
+``@njit``-compiled loop kernel in :mod:`repro.nn.backends.numba_kernels`.
+Configurations the loop kernel does not cover fall back, batch by batch,
+to the fast backend's vectorized step — the backend is always correct,
+just not always compiled.
+
+numba itself is an *optional* dependency: when it is missing, the registry
+(:func:`repro.nn.backends.get_backend`) degrades ``"numba"`` to the fast
+backend with a warning, and the plain-Python kernel definitions remain
+importable so tests can verify the math without the compiler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.backends import numba_kernels
+from repro.nn.backends.base import LocalUpdateSpec
+from repro.nn.backends.fast import (
+    FastBackend,
+    _BucketPlan,
+    _loss_kernel,
+    _per_pair_step,
+    _shared_step,
+)
+
+
+class NumbaBackend(FastBackend):
+    """Fast backend with numba-compiled inner loops where available."""
+
+    name = "numba"
+    accumulation_dtype = np.float32
+
+    @staticmethod
+    def is_compiled() -> bool:
+        """Whether the loop kernels are actually JIT-compiled."""
+        return numba_kernels.NUMBA_AVAILABLE
+
+    def fused_multi_bucket_update(self, theta, bucket_batches, spec):
+        """Chunks run bucket by bucket: the JIT loop kernel is already
+        dispatch-free, so the fast backend's cross-bucket batching (a
+        numpy-dispatch amortization) would only bypass it."""
+        return [
+            self.fused_bucket_update(theta, batches, spec)
+            for batches in bucket_batches
+        ]
+
+    def _run_steps(self, plan: _BucketPlan, spec: LocalUpdateSpec) -> float:
+        softmax = spec.loss_name == "sampled_softmax"
+        kernel = None if softmax else _loss_kernel(spec.loss_name, spec.num_locations)
+        pair_kernel = _loss_kernel(spec.loss_name, spec.num_locations)
+        num_emb = plan.num_emb
+        dim = plan.P.shape[1] - 1
+        # The stacked compact matrix splits into W / Wc / bias views (the
+        # trailing column carries the bias); the loop kernel updates all
+        # three in place and never touches the target rows' ones column.
+        emb = plan.P[:num_emb, :dim]
+        ctx = plan.P[num_emb:, :dim]
+        learning_rate = float(spec.learning_rate)
+
+        loss_total = 0.0
+        for step in plan.steps:
+            if step[0] and softmax:
+                n = step[1]
+                block = step[2]
+                loss_total += float(
+                    numba_kernels.shared_softmax_batch_step(
+                        emb,
+                        ctx,
+                        plan.bias,
+                        block[:n],
+                        block[n : 2 * n] - num_emb,
+                        block[2 * n :] - num_emb,
+                        learning_rate,
+                    )
+                )
+            elif step[0]:
+                loss_total += _shared_step(plan, step, spec, kernel)
+            else:
+                loss_total += _per_pair_step(plan, step, spec, pair_kernel)
+        return loss_total

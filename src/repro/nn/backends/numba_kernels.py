@@ -1,0 +1,132 @@
+"""Loop-form kernels for the optional numba backend.
+
+These functions are written in nopython-compatible Python: explicit loops,
+preallocated outputs, no fancy indexing beyond what numba supports. When
+numba is installed they are compiled with ``@njit(cache=True)`` at import
+time; when it is not, the plain-Python definitions remain — slow, but
+executable, which is what lets the equivalence tests exercise the exact
+code numba would compile without numba in the environment.
+
+``NUMBA_AVAILABLE`` is the single source of truth the registry consults
+for graceful degradation to the fast backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the in-repo default
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):
+        """No-numba stand-in: return the function unchanged."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def decorate(func):
+            return func
+
+        return decorate
+
+
+@njit(cache=True)
+def shared_softmax_batch_step(
+    W: np.ndarray,
+    Wc: np.ndarray,
+    b: np.ndarray,
+    targets: np.ndarray,
+    contexts: np.ndarray,
+    negatives: np.ndarray,
+    learning_rate: float,
+) -> float:
+    """One shared-negative sampled-softmax SGD step on compact arrays.
+
+    Mathematically identical to the fast backend's ``_shared_step``
+    with the sampled-softmax loss kernel: candidate logits with column 0
+    positive, shifted-softmax loss/gradient, scatter-subtract into the
+    compact ``W``/``Wc``/``b`` working copies. Returns the mean batch loss.
+    """
+    n = targets.shape[0]
+    neg = negatives.shape[0]
+    dim = W.shape[1]
+    width = 1 + neg
+    dtype = W.dtype
+
+    logits = np.empty((n, width), dtype=dtype)
+    for i in range(n):
+        hidden_row = W[targets[i]]
+        acc = 0.0
+        ctx_row = Wc[contexts[i]]
+        for d in range(dim):
+            acc += hidden_row[d] * ctx_row[d]
+        logits[i, 0] = acc + b[contexts[i]]
+        for k in range(neg):
+            neg_row = Wc[negatives[k]]
+            acc = 0.0
+            for d in range(dim):
+                acc += hidden_row[d] * neg_row[d]
+            logits[i, k + 1] = acc + b[negatives[k]]
+
+    # Sampled softmax: loss = -mean log softmax(z)[0]; grad = (p - onehot)/n.
+    loss = 0.0
+    grad = np.empty((n, width), dtype=dtype)
+    for i in range(n):
+        row_max = logits[i, 0]
+        for k in range(1, width):
+            if logits[i, k] > row_max:
+                row_max = logits[i, k]
+        denom = 0.0
+        for k in range(width):
+            value = np.exp(logits[i, k] - row_max)
+            grad[i, k] = value
+            denom += value
+        loss -= np.log(grad[i, 0] / denom)
+        for k in range(width):
+            grad[i, k] = grad[i, k] / denom
+        grad[i, 0] -= 1.0
+    loss /= n
+
+    # ``grad`` above is not yet divided by the batch size; folding the 1/n
+    # into the step size keeps every update identical to the vector form
+    # (which divides the gradient instead).
+    inv = learning_rate / n
+    grad_hidden = np.zeros((n, dim), dtype=dtype)
+    for i in range(n):
+        g0 = grad[i, 0]
+        ctx_row = Wc[contexts[i]]
+        for d in range(dim):
+            grad_hidden[i, d] += g0 * ctx_row[d]
+        for k in range(neg):
+            gk = grad[i, k + 1]
+            neg_row = Wc[negatives[k]]
+            for d in range(dim):
+                grad_hidden[i, d] += gk * neg_row[d]
+
+    # Every gradient reads pre-update values: grad_hidden is fully built
+    # from pre-update Wc before Wc is touched, and the context/bias pass
+    # reads W rows before the final W pass updates them. In-place
+    # accumulation on duplicate rows matches scatter-add semantics.
+    for i in range(n):
+        hidden_row = W[targets[i]]
+        g0 = grad[i, 0]
+        ctx_row = Wc[contexts[i]]
+        for d in range(dim):
+            ctx_row[d] -= inv * g0 * hidden_row[d]
+        b[contexts[i]] -= inv * g0
+        for k in range(neg):
+            gk = grad[i, k + 1]
+            neg_row = Wc[negatives[k]]
+            for d in range(dim):
+                neg_row[d] -= inv * gk * hidden_row[d]
+            b[negatives[k]] -= inv * gk
+
+    for i in range(n):
+        target_row = W[targets[i]]
+        for d in range(dim):
+            target_row[d] -= inv * grad_hidden[i, d]
+
+    return loss

@@ -1,0 +1,261 @@
+"""The reference backend: float64, bit-for-bit the library's defining math.
+
+Every array operation here is the exact sequence the pre-backend
+implementation performed — same dtypes, same op order, same copy-on-write
+materialization pattern — so a model trained through this backend is
+bit-identical to historical results. The other backends are validated
+against it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.backends.base import (
+    BIAS,
+    CONTEXT,
+    EMBEDDING,
+    TENSOR_NAMES,
+    BucketBatch,
+    BucketDelta,
+    KernelBackend,
+    LocalUpdateSpec,
+    clip_bucket_delta,
+)
+from repro.nn.functional import scatter_add_rows
+from repro.nn.losses import CandidateSamplingLoss
+from repro.nn.parameters import ParameterSet
+
+
+class _CowOverlay:
+    """Copy-on-write row overlay of ``theta`` for one bucket's local SGD.
+
+    The scratch buffers start uninitialized (``np.empty_like``); a row is
+    only valid after :meth:`materialize` copied it from ``theta``. The
+    batch loop materializes a batch's full read set (targets, contexts,
+    negatives) before the forward pass, so every row the model reads or
+    writes is backed by real values. The bias buffer is zero-initialized
+    because the shared-negative fast path updates it through a dense
+    ``bincount`` subtraction that touches every entry.
+    """
+
+    def __init__(self, theta: ParameterSet) -> None:
+        self._theta = theta
+        work: dict[str, np.ndarray] = {}
+        for name in TENSOR_NAMES:
+            source = theta[name]
+            work[name] = (
+                np.zeros_like(source) if source.ndim == 1 else np.empty_like(source)
+            )
+        self.params = ParameterSet(work, copy=False)
+        self._mask = {
+            name: np.zeros(theta[name].shape[0], dtype=bool)
+            for name in TENSOR_NAMES
+        }
+
+    def materialize(self, name: str, rows: np.ndarray) -> None:
+        """Copy not-yet-materialized ``theta`` rows into the scratch buffer."""
+        rows = np.unique(rows)
+        mask = self._mask[name]
+        fresh = rows[~mask[rows]]
+        if fresh.size:
+            self.params[name][fresh] = self._theta[name][fresh]
+            mask[fresh] = True
+
+    def collect_delta(self) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        """Row indices and ``scratch - theta`` values for every touched row."""
+        rows_out: dict[str, np.ndarray] = {}
+        values_out: dict[str, np.ndarray] = {}
+        for name in TENSOR_NAMES:
+            rows = np.flatnonzero(self._mask[name])
+            if rows.size:
+                rows_out[name] = rows
+                values_out[name] = self.params[name][rows] - self._theta[name][rows]
+            else:
+                rows_out[name] = np.empty(0, dtype=np.int64)
+                trailing = self._theta[name].shape[1:]
+                values_out[name] = np.empty((0, *trailing))
+        return rows_out, values_out
+
+
+class ReferenceBackend(KernelBackend):
+    """Exact float64 kernels — the semantics every other backend must match."""
+
+    name = "reference"
+    accumulation_dtype = np.float64
+
+    # -- forward / loss / gradients ----------------------------------------
+
+    def candidate_logits(
+        self, params: ParameterSet, targets: np.ndarray, candidates: np.ndarray
+    ) -> np.ndarray:
+        hidden = params[EMBEDDING][targets]  # (batch, dim)
+        context_rows = params[CONTEXT][candidates]  # (batch, 1+neg, dim)
+        logits = np.einsum("bd,bkd->bk", hidden, context_rows)
+        logits += params[BIAS][candidates]
+        return logits
+
+    def loss_and_sparse_grads(
+        self,
+        loss: CandidateSamplingLoss,
+        params: ParameterSet,
+        targets: np.ndarray,
+        contexts: np.ndarray,
+        negatives: np.ndarray,
+    ) -> tuple[float, dict]:
+        targets = np.asarray(targets, dtype=np.int64)
+        contexts = np.asarray(contexts, dtype=np.int64)
+        negatives = np.asarray(negatives, dtype=np.int64)
+        candidates = np.concatenate([contexts[:, None], negatives], axis=1)
+        hidden = params[EMBEDDING][targets]  # (batch, dim)
+        context_rows = params[CONTEXT][candidates]  # (batch, 1+neg, dim)
+        logits = (
+            np.einsum("bd,bkd->bk", hidden, context_rows) + params[BIAS][candidates]
+        )
+
+        output = loss.value_and_grad(logits)
+        grad_logits = output.grad_logits  # already divided by batch size
+
+        # dL/dWc[cand] = grad_logits * h ; dL/db[cand] = grad_logits
+        grad_context_rows = grad_logits[:, :, None] * hidden[:, None, :]
+        # dL/dh = sum_k grad_logits[k] * Wc[cand_k] ; dL/dW[target] = dL/dh
+        grad_hidden = np.einsum("bk,bkd->bd", grad_logits, context_rows)
+
+        pieces = {
+            "targets": targets,
+            "grad_hidden": grad_hidden,
+            "candidates": candidates,
+            "grad_context_rows": grad_context_rows,
+            "grad_bias_rows": grad_logits,
+        }
+        return output.loss, pieces
+
+    def loss_and_shared_grads(
+        self,
+        loss: CandidateSamplingLoss,
+        params: ParameterSet,
+        targets: np.ndarray,
+        contexts: np.ndarray,
+        negatives: np.ndarray,
+    ) -> tuple[float, dict]:
+        targets = np.asarray(targets, dtype=np.int64)
+        contexts = np.asarray(contexts, dtype=np.int64)
+        negatives = np.asarray(negatives, dtype=np.int64).ravel()
+        hidden = params[EMBEDDING][targets]  # (batch, dim)
+        context_rows = params[CONTEXT][contexts]  # (batch, dim)
+        negative_rows = params[CONTEXT][negatives]  # (neg, dim)
+
+        positive_logits = (
+            np.einsum("bd,bd->b", hidden, context_rows) + params[BIAS][contexts]
+        )
+        negative_logits = hidden @ negative_rows.T + params[BIAS][negatives]
+        logits = np.concatenate([positive_logits[:, None], negative_logits], axis=1)
+        output = loss.value_and_grad(logits)
+        grad_logits = output.grad_logits  # (batch, 1 + neg), already / batch
+
+        grad_positive = grad_logits[:, 0]  # (batch,)
+        grad_negative = grad_logits[:, 1:]  # (batch, neg)
+
+        # dL/dh = g_pos * Wc[ctx] + g_neg @ Wc[negs]
+        grad_hidden = (
+            grad_positive[:, None] * context_rows + grad_negative @ negative_rows
+        )
+        pieces = {
+            "shared": True,
+            "targets": targets,
+            "grad_hidden": grad_hidden,
+            "contexts": contexts,
+            "grad_context_pos": grad_positive[:, None] * hidden,  # (batch, dim)
+            "grad_bias_pos": grad_positive,
+            "negatives": negatives,
+            "grad_context_neg": grad_negative.T @ hidden,  # (neg, dim)
+            "grad_bias_neg": grad_negative.sum(axis=0),  # (neg,)
+        }
+        return output.loss, pieces
+
+    def apply_sparse_update(
+        self, params: ParameterSet, pieces: dict, learning_rate: float
+    ) -> None:
+        scatter_add_rows(
+            params[EMBEDDING],
+            pieces["targets"],
+            -learning_rate * pieces["grad_hidden"],
+        )
+        if pieces.get("shared"):
+            scatter_add_rows(
+                params[CONTEXT],
+                pieces["contexts"],
+                -learning_rate * pieces["grad_context_pos"],
+            )
+            scatter_add_rows(
+                params[CONTEXT],
+                pieces["negatives"],
+                -learning_rate * pieces["grad_context_neg"],
+            )
+            bias = params[BIAS]
+            bias -= learning_rate * np.bincount(
+                pieces["contexts"],
+                weights=pieces["grad_bias_pos"],
+                minlength=bias.shape[0],
+            )
+            bias -= learning_rate * np.bincount(
+                pieces["negatives"],
+                weights=pieces["grad_bias_neg"],
+                minlength=bias.shape[0],
+            )
+            return
+        candidates_flat = pieces["candidates"].ravel()
+        batch, width = pieces["candidates"].shape
+        scatter_add_rows(
+            params[CONTEXT],
+            candidates_flat,
+            (-learning_rate * pieces["grad_context_rows"]).reshape(batch * width, -1),
+        )
+        scatter_add_rows(
+            params[BIAS],
+            candidates_flat,
+            (-learning_rate * pieces["grad_bias_rows"]).ravel(),
+        )
+
+    # -- the fused hot path -------------------------------------------------
+
+    def fused_bucket_update(
+        self,
+        theta: ParameterSet,
+        batches: Sequence[BucketBatch],
+        spec: LocalUpdateSpec,
+    ) -> BucketDelta:
+        overlay = _CowOverlay(theta)
+        work = overlay.params
+        losses: list[float] = []
+
+        for batch in batches:
+            # Materialize each batch's full read set (targets, contexts,
+            # negatives) before the forward pass, like the historical loop.
+            context_rows = np.concatenate([batch.contexts, batch.negatives.ravel()])
+            overlay.materialize(EMBEDDING, batch.targets)
+            overlay.materialize(CONTEXT, context_rows)
+            overlay.materialize(BIAS, context_rows)
+            if batch.shared:
+                loss, pieces = self.loss_and_shared_grads(
+                    spec.loss, work, batch.targets, batch.contexts, batch.negatives
+                )
+            else:
+                loss, pieces = self.loss_and_sparse_grads(
+                    spec.loss, work, batch.targets, batch.contexts, batch.negatives
+                )
+            self.apply_sparse_update(work, pieces, spec.learning_rate)
+            losses.append(loss)
+
+        rows, values = overlay.collect_delta()
+        unclipped_norm = clip_bucket_delta(values, spec.clip_bound, spec.clipping)
+        return BucketDelta(
+            rows=rows,
+            values=values,
+            shapes={name: theta[name].shape for name in TENSOR_NAMES},
+            mean_loss=float(np.mean(losses)) if losses else float("nan"),
+            num_batches=len(losses),
+            unclipped_norm=unclipped_norm,
+        )

@@ -1,8 +1,17 @@
-"""Numerically stable tensor primitives used across the library."""
+"""Numerically stable tensor primitives used across the library.
+
+This module is the **backend-neutral** part of :mod:`repro.nn`: every
+function here defines reference semantics in float64. Backend-specific
+variants (float32 accumulation, lookup tables, compiled kernels) live in
+:mod:`repro.nn.backends` and are regression-tested against these
+definitions.
+"""
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.exceptions import ConfigError
 
 
 def logsumexp(x: np.ndarray, axis: int = -1, keepdims: bool = False) -> np.ndarray:
@@ -88,6 +97,53 @@ def scatter_add_rows(matrix: np.ndarray, rows: np.ndarray, values: np.ndarray) -
     starts = np.flatnonzero(boundaries)
     sums = np.add.reduceat(values_sorted, starts, axis=0)
     matrix[rows_sorted[starts]] += sums
+
+
+class SigmoidTable:
+    """Precomputed logistic-sigmoid lookup table (the word2vec-at-scale trick).
+
+    The classic word2vec/deepwalk implementations replace per-element
+    ``exp`` calls in the inner training loop with a table lookup:
+    ``sigmoid(x)`` is precomputed on a uniform grid over ``[-bound, bound]``
+    and queried by index. Outside the clamp range the sigmoid saturates to
+    within ``sigmoid(-bound) < 4e-4`` (for the default bound of 8) of its
+    asymptote, so the approximation error is bounded by the grid pitch
+    ``2 * bound / size`` times the sigmoid's maximum slope (1/4) plus the
+    tail saturation — well below float32 training noise for the defaults.
+
+    The fast kernel backend uses this table for the sigmoid-based losses;
+    the reference backend keeps the exact :func:`sigmoid`.
+
+    Args:
+        bound: clamp range; inputs are clipped to ``[-bound, bound]``.
+        size: number of grid points.
+        dtype: dtype of the stored table (and of lookups).
+    """
+
+    def __init__(
+        self, bound: float = 8.0, size: int = 4096, dtype: type = np.float32
+    ) -> None:
+        if bound <= 0.0:
+            raise ConfigError(f"bound must be positive, got {bound}")
+        if size < 2:
+            raise ConfigError(f"size must be >= 2, got {size}")
+        self.bound = float(bound)
+        self.size = int(size)
+        grid = np.linspace(-self.bound, self.bound, self.size, dtype=np.float64)
+        self.table = sigmoid(grid).astype(dtype)
+        self._scale = (self.size - 1) / (2.0 * self.bound)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Approximate ``sigmoid(x)`` elementwise via table lookup."""
+        x = np.asarray(x)
+        index = (x + self.bound) * self._scale
+        np.clip(index, 0, self.size - 1, out=index)
+        return self.table[index.astype(np.intp)]
+
+    def max_absolute_error(self) -> float:
+        """Worst-case |table lookup - exact sigmoid| over a dense probe grid."""
+        probe = np.linspace(-2.0 * self.bound, 2.0 * self.bound, 40001)
+        return float(np.max(np.abs(self(probe).astype(np.float64) - sigmoid(probe))))
 
 
 def normalize_rows(matrix: np.ndarray, epsilon: float = 1e-12) -> np.ndarray:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -126,6 +127,102 @@ class NoiseContrastiveEstimationLoss(CandidateSamplingLoss):
         loss = float(np.mean(np.sum(loss_matrix, axis=1)))
         grad = sigmoid(corrected) - labels
         return LossOutput(loss=loss, grad_logits=grad / batch)
+
+
+# -- dtype-preserving kernel forms ------------------------------------------
+#
+# The class-based losses above are the reference implementations: they
+# coerce to float64 and favor numerical exactness. Kernel backends need the
+# same math as a raw function that (a) preserves the input dtype (float32
+# accumulation in the fast path), (b) allocates nothing it can compute in
+# place, and (c) lets the caller substitute an approximate sigmoid (the
+# lookup table). ``make_loss_kernel`` is that backend-facing API; the
+# backend-neutral contract is "same loss/gradient as the reference class
+# within the dtype's precision", enforced by tests/nn/test_backends.py.
+
+#: A loss kernel maps candidate logits ``(batch, 1 + neg)`` — column 0
+#: positive — to ``(mean_loss, grad_logits)`` with ``grad_logits`` already
+#: divided by the batch size, computed in the dtype of the input.
+LossKernel = Callable[[np.ndarray], tuple[float, np.ndarray]]
+
+
+def _sampled_softmax_kernel(logits: np.ndarray) -> tuple[float, np.ndarray]:
+    batch = logits.shape[0]
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    np.exp(shifted, out=shifted)
+    denominator = shifted.sum(axis=1, keepdims=True)
+    probs = shifted
+    probs /= denominator
+    tiny = np.finfo(probs.dtype).tiny
+    loss = float(-np.mean(np.log(np.maximum(probs[:, 0], tiny))))
+    grad = probs
+    grad[:, 0] -= 1.0
+    grad /= batch
+    return loss, grad
+
+
+def _negative_sampling_kernel(
+    logits: np.ndarray, sigmoid_fn: Callable[[np.ndarray], np.ndarray]
+) -> tuple[float, np.ndarray]:
+    batch = logits.shape[0]
+    probs = np.asarray(sigmoid_fn(logits), dtype=logits.dtype)
+    if probs.base is not None or probs is logits:
+        probs = probs.copy()
+    tiny = np.finfo(probs.dtype).tiny
+    positive_term = -np.log(np.maximum(probs[:, 0], tiny))
+    negative_term = -np.sum(np.log1p(-np.minimum(probs[:, 1:], 1.0 - 1e-7)), axis=1)
+    loss = float(np.mean(positive_term + negative_term))
+    grad = probs
+    grad[:, 0] -= 1.0
+    grad /= batch
+    return loss, grad
+
+
+def _nce_kernel(
+    logits: np.ndarray,
+    num_locations: int,
+    sigmoid_fn: Callable[[np.ndarray], np.ndarray],
+) -> tuple[float, np.ndarray]:
+    batch, width = logits.shape
+    correction = logits.dtype.type(math.log((width - 1) / num_locations))
+    corrected = logits - correction
+    loss_matrix = np.logaddexp(0.0, corrected, dtype=corrected.dtype)
+    loss_matrix[:, 0] -= corrected[:, 0]
+    loss = float(np.mean(np.sum(loss_matrix, axis=1)))
+    grad = np.asarray(sigmoid_fn(corrected), dtype=logits.dtype)
+    if grad.base is not None or grad is corrected:
+        grad = grad.copy()
+    grad[:, 0] -= 1.0
+    grad /= batch
+    return loss, grad
+
+
+def make_loss_kernel(
+    name: str,
+    num_locations: int | None = None,
+    sigmoid_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> LossKernel:
+    """Backend-facing kernel form of :func:`make_loss`.
+
+    Args:
+        name: loss identifier (same names as :func:`make_loss`).
+        num_locations: required for ``"nce"``.
+        sigmoid_fn: sigmoid implementation for the sigmoid-based losses;
+            defaults to the exact :func:`repro.nn.functional.sigmoid`. The
+            fast backend passes its precomputed
+            :class:`~repro.nn.functional.SigmoidTable` here.
+    """
+    if sigmoid_fn is None:
+        sigmoid_fn = sigmoid
+    if name == "sampled_softmax":
+        return _sampled_softmax_kernel
+    if name == "negative_sampling":
+        return lambda logits: _negative_sampling_kernel(logits, sigmoid_fn)
+    if name == "nce":
+        if num_locations is None:
+            raise ConfigError("nce loss requires num_locations")
+        return lambda logits: _nce_kernel(logits, num_locations, sigmoid_fn)
+    raise ConfigError(f"unknown loss {name!r}")
 
 
 def make_loss(name: str, num_locations: int | None = None) -> CandidateSamplingLoss:

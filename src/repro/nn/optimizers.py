@@ -23,9 +23,25 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigError
+from repro.nn.functional import scatter_add_rows
 from repro.nn.parameters import ParameterSet
 
 Grads = dict[str, np.ndarray]
+
+
+def sparse_sgd_step(
+    tensor: np.ndarray,
+    rows: np.ndarray,
+    grad_rows: np.ndarray,
+    learning_rate: float,
+) -> None:
+    """In-place SGD on a row subset: ``tensor[rows] -= lr * grad_rows``.
+
+    Duplicate row indices accumulate (the semantics skip-gram's sparse
+    gradients need); this is the backend-neutral primitive both the
+    reference and fast kernel backends build their local updates from.
+    """
+    scatter_add_rows(tensor, rows, -learning_rate * grad_rows)
 
 
 class Optimizer:

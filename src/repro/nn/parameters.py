@@ -16,16 +16,28 @@ import numpy as np
 
 
 class ParameterSet:
-    """An ordered collection of named float64 tensors.
+    """An ordered collection of named tensors sharing one dtype.
+
+    The model state of record is float64 (the default): Algorithm 1's
+    clipping, noise, and accounting all operate on float64 tensors. Kernel
+    backends may hold *scratch* parameter sets in a lower precision
+    (``dtype=np.float32``) for fused local updates; such sets never back
+    the ledger directly.
 
     Construction copies the input arrays, so a ``ParameterSet`` never
     aliases caller memory unless explicitly asked to (``copy=False``).
     """
 
-    def __init__(self, tensors: Mapping[str, np.ndarray], copy: bool = True) -> None:
+    def __init__(
+        self,
+        tensors: Mapping[str, np.ndarray],
+        copy: bool = True,
+        dtype: type = np.float64,
+    ) -> None:
+        self.dtype = np.dtype(dtype)
         self._tensors: dict[str, np.ndarray] = {}
         for name, tensor in tensors.items():
-            array = np.asarray(tensor, dtype=np.float64)
+            array = np.asarray(tensor, dtype=self.dtype)
             self._tensors[name] = array.copy() if copy else array
 
     # -- mapping protocol ---------------------------------------------------
@@ -34,7 +46,7 @@ class ParameterSet:
         return self._tensors[name]
 
     def __setitem__(self, name: str, tensor: np.ndarray) -> None:
-        self._tensors[name] = np.asarray(tensor, dtype=np.float64)
+        self._tensors[name] = np.asarray(tensor, dtype=self.dtype)
 
     def __contains__(self, name: str) -> bool:
         return name in self._tensors
@@ -61,13 +73,18 @@ class ParameterSet:
 
     def copy(self) -> "ParameterSet":
         """Deep copy of all tensors."""
-        return ParameterSet(self._tensors, copy=True)
+        return ParameterSet(self._tensors, copy=True, dtype=self.dtype)
+
+    def astype(self, dtype: type) -> "ParameterSet":
+        """A converted copy of this set in the given dtype."""
+        return ParameterSet(self._tensors, copy=True, dtype=dtype)
 
     def zeros_like(self) -> "ParameterSet":
         """A ParameterSet of zeros with matching shapes."""
         return ParameterSet(
             {name: np.zeros_like(tensor) for name, tensor in self._tensors.items()},
             copy=False,
+            dtype=self.dtype,
         )
 
     def add_(self, other: Mapping[str, np.ndarray], scale: float = 1.0) -> "ParameterSet":

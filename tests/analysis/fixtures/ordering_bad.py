@@ -27,3 +27,13 @@ def hard_coded_sigma(summed, step_rng):
 def noises_before_clipping(tensors, bound, step_rng, mechanism):
     noised = {name: mechanism.add_noise(v, step_rng) for name, v in tensors.items()}
     return clip_parameters(noised, bound)  # clip AFTER noise: wrong sensitivity
+
+
+def noises_before_fused_update(backend, theta, bucket_batches, spec, sigma, step_rng):
+    noised_theta = {
+        name: tensor + step_rng.normal(0.0, sigma, size=tensor.shape)
+        for name, tensor in theta.items()
+    }
+    # The fused kernel is the clip site; noising its *input* puts noise
+    # before the clip, so sigma no longer matches the clipped sensitivity.
+    return backend.fused_multi_bucket_update(noised_theta, bucket_batches, spec)

@@ -23,3 +23,14 @@ def clip_then_noise(tensors, bound, sigma, step_rng):
         name: tensor + step_rng.normal(0.0, sigma, size=tensor.shape)
         for name, tensor in clipped.items()
     }
+
+
+def fused_then_noise(backend, theta, bucket_batches, spec, sigma, step_rng, ledger):
+    # The fused kernel clips every bucket delta internally, so calling it
+    # before noising satisfies the clip -> noise ordering.
+    deltas = backend.fused_multi_bucket_update(theta, bucket_batches, spec)
+    noised = [
+        delta + step_rng.normal(0.0, sigma, size=delta.shape) for delta in deltas
+    ]
+    ledger.track_budget(1.0, sigma)
+    return noised

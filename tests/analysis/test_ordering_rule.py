@@ -29,6 +29,15 @@ class TestOrderingFlags:
         violations = lint_fixture("ordering_bad.py", PATH, select=SELECT)
         assert any("before clipping" in v.message for v in violations)
 
+    def test_noise_before_fused_update_fires(self):
+        # The fused kernel is a clip site, so noising its input is a
+        # noise-before-clip violation on the fixture's last function.
+        violations = lint_fixture("ordering_bad.py", PATH, select=SELECT)
+        flagged_lines = {
+            v.line for v in violations if "before clipping" in v.message
+        }
+        assert len(flagged_lines) >= 2  # classic variant + fused variant
+
     def test_literal_gaussian_mechanism_multiplier(self):
         source = (
             "from repro.privacy.mechanisms import GaussianMechanism\n"
@@ -49,6 +58,20 @@ class TestOrderingClean:
         )
         assert violations == []
 
+    def test_fused_clip_site_is_recognized(self):
+        # A function that runs the fused kernel (internal clip) and only
+        # then noises + accounts is the sanctioned ordering: no flag.
+        source = (
+            "def step(backend, theta, chunks, spec, config, step_rng, ledger):\n"
+            "    deltas = backend.fused_multi_bucket_update(theta, chunks, spec)\n"
+            "    sigma = config.noise_multiplier\n"
+            "    noised = [d + step_rng.normal(0.0, sigma) for d in deltas]\n"
+            "    ledger.track_budget(1.0, sigma)\n"
+            "    return noised\n"
+        )
+        violations = lint_source(source, path=PATH)
+        assert not [v for v in violations if v.rule_id == "DPL003"]
+
     def test_shipped_engine_is_clean(self):
         from tests.analysis.helpers import REPO_ROOT
 
@@ -56,6 +79,12 @@ class TestOrderingClean:
             "src/repro/core/engine/engine.py",
             "src/repro/core/engine/stages.py",
             "src/repro/privacy/mechanisms.py",
+            # The widened scope covers the backend kernels: the fused
+            # fast path must never trip the ordering rule itself.
+            "src/repro/nn/backends/base.py",
+            "src/repro/nn/backends/reference.py",
+            "src/repro/nn/backends/fast.py",
+            "src/repro/nn/backends/numba_backend.py",
         ):
             source = (REPO_ROOT / relative).read_text()
             violations = lint_source(source, path=relative)

@@ -1,0 +1,30 @@
+"""Fused fast-path speedup over the reference backend (bench tier).
+
+Runs the same interleaved per-backend ``local_train`` measurement the
+benchmark report uses (:func:`repro.bench.measure_kernel_speedup`) and
+gates on the fast backend's speedup. On the 1-core CI box the measured
+ratio at the default config is typically 3.8-4.7x (best observed 4.7x);
+the assertion floor is set well below that band so scheduler noise —
+which swings single runs by tens of percent — cannot flake the gate,
+while still catching any real regression of the fused path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import measure_kernel_speedup
+
+pytestmark = pytest.mark.bench
+
+
+def test_fast_backend_local_train_speedup():
+    result = measure_kernel_speedup(repeats=3, seed=7)
+    timings = result["local_train_seconds"]
+    speedup = result["speedup_vs_reference"]["fast"]
+    assert timings["fast"] < timings["reference"], result
+    assert speedup >= 2.5, (
+        "fast backend no longer delivers its documented speedup over "
+        f"reference (measured {speedup:.2f}x, typical range 3.8-4.7x): "
+        f"{result}"
+    )

@@ -1,0 +1,247 @@
+"""Cross-backend equivalence: the contract of :mod:`repro.nn.backends`.
+
+The backend protocol's promise (docs/kernels.md) has three tiers:
+
+1. **Ledger bit-identity** — every backend produces the exact same
+   privacy accounting (epsilon to the last bit) because clipping runs in
+   float64 through the shared :func:`clip_bucket_delta` and the noise/
+   accounting stages never see backend-dependent values.
+2. **Reference exactness** — the ``reference`` backend reproduces the
+   pre-backend implementation bit for bit (golden hash below).
+3. **Bounded drift** — ``fast``/``numba`` embeddings stay within a
+   documented float32 tolerance of the reference, across bucket sizes,
+   negative-sample counts, and accumulation dtypes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.bucket import _local_update_spec, build_bucket_batches
+from repro.exceptions import ConfigError
+from repro.models.skipgram import SkipGramModel
+from repro.nn.backends import (
+    NUMBA_AVAILABLE,
+    FastBackend,
+    NumbaBackend,
+    ReferenceBackend,
+    available_backends,
+    get_backend,
+)
+
+#: Native (non-fallback) backends in this environment.
+BACKENDS = list(available_backends())
+
+#: Documented worst-case embedding drift of the float32 fused path vs the
+#: float64 reference for a few local steps (see docs/kernels.md).
+FLOAT32_DRIFT = 2e-3
+
+GOLDEN_EMBEDDINGS_SHA256 = (
+    "368e48a87d843759ec207045f3ae999829bd155f1b78805eb08e6a0036c58ebe"
+)
+GOLDEN_EPSILON_REPR = "0.6906504340143358"
+
+
+def _train(backend: str):
+    config = repro.PLPConfig(
+        max_steps=3, sampling_probability=0.3, backend=backend
+    )
+    raw = repro.generate_checkins(
+        repro.SyntheticConfig(num_users=120, num_locations=80), rng=5
+    )
+    dataset = repro.CheckinDataset(repro.paper_preprocessing(raw))
+    return repro.train(config, dataset, rng=11)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """One trained model per native backend, same data and seed."""
+    return {backend: _train(backend) for backend in BACKENDS}
+
+
+def _bucket_setup(num_negatives=16, num_pairs=300, seed=3, backend="reference"):
+    rng = np.random.default_rng(seed)
+    model = SkipGramModel(
+        num_locations=200,
+        embedding_dim=32,
+        num_negatives=num_negatives,
+        rng=np.random.default_rng(7),
+        backend=backend,
+    )
+    pairs = rng.integers(0, 200, size=(num_pairs, 2))
+    batches = build_bucket_batches(
+        model, pairs, 32, rng=np.random.default_rng(17)
+    )
+    spec = _local_update_spec(model, 0.06, 0.5, "per_layer")
+    return model, batches, spec
+
+
+class TestGoldenReference:
+    """The reference backend is the pre-backend implementation, exactly."""
+
+    def test_reference_training_is_bit_identical_to_seed(self):
+        model = repro.train(
+            repro.PLPConfig(max_steps=4, sampling_probability=0.2), None, rng=11
+        )
+        digest = hashlib.sha256(
+            np.ascontiguousarray(model.embeddings.matrix).tobytes()
+        ).hexdigest()
+        assert digest == GOLDEN_EMBEDDINGS_SHA256
+        assert repr(model.privacy["epsilon"]) == GOLDEN_EPSILON_REPR
+
+
+class TestLedgerBitIdentity:
+    def test_privacy_ledger_identical_across_backends(self, trained):
+        reference = trained["reference"].privacy
+        for backend in BACKENDS[1:]:
+            privacy = trained[backend].privacy
+            assert set(privacy) == set(reference)
+            for key, value in reference.items():
+                assert repr(privacy[key]) == repr(value), (backend, key)
+
+    def test_unclipped_norms_and_losses_are_finite(self):
+        for backend in BACKENDS:
+            model, batches, spec = _bucket_setup(backend=backend)
+            delta = model.backend.fused_bucket_update(
+                model.params, batches, spec
+            )
+            assert np.isfinite(delta.mean_loss)
+            assert np.isfinite(delta.unclipped_norm)
+            assert delta.num_batches == len(batches)
+
+
+class TestEmbeddingDrift:
+    def test_trained_embeddings_within_tolerance(self, trained):
+        reference = trained["reference"].embeddings.matrix
+        for backend in BACKENDS[1:]:
+            matrix = trained[backend].embeddings.matrix
+            drift = float(np.max(np.abs(matrix - reference)))
+            assert drift < FLOAT32_DRIFT, (backend, drift)
+            assert drift > 0.0  # float32 really is a different path
+
+    @pytest.mark.parametrize("num_negatives", [1, 8, 40])
+    @pytest.mark.parametrize("num_pairs", [1, 33, 500])
+    def test_bucket_delta_equivalence(self, num_negatives, num_pairs):
+        model_ref, batches_ref, spec = _bucket_setup(num_negatives, num_pairs)
+        reference = model_ref.backend.fused_bucket_update(
+            model_ref.params, batches_ref, spec
+        )
+        for backend in BACKENDS[1:]:
+            model, batches, spec_b = _bucket_setup(
+                num_negatives, num_pairs, backend=backend
+            )
+            delta = model.backend.fused_bucket_update(
+                model.params, batches, spec_b
+            )
+            for name in reference.rows:
+                assert np.array_equal(delta.rows[name], reference.rows[name])
+                assert np.allclose(
+                    delta.values[name],
+                    reference.values[name],
+                    atol=FLOAT32_DRIFT,
+                    rtol=0,
+                ), (backend, name)
+
+    def test_float64_accumulation_matches_reference_tightly(self):
+        """The drift is float32 accumulation, not the fused algorithm:
+        running the fast backend's kernels in float64 lands within
+        rounding distance of the reference."""
+
+        class Float64Fast(FastBackend):
+            accumulation_dtype = np.float64
+
+        model, batches, spec = _bucket_setup()
+        reference = model.backend.fused_bucket_update(
+            model.params, batches, spec
+        )
+        delta = Float64Fast().fused_bucket_update(model.params, batches, spec)
+        for name in reference.rows:
+            assert np.array_equal(delta.rows[name], reference.rows[name])
+            assert np.allclose(
+                delta.values[name], reference.values[name], atol=1e-9, rtol=0
+            )
+
+
+class TestFusedChunkContract:
+    """Chunk batching is an optimization, never a semantic change."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_multi_bucket_matches_single_bucket_bitwise(self, backend):
+        rng = np.random.default_rng(3)
+        model, _, spec = _bucket_setup(backend=backend)
+        chunks = []
+        for b in range(7):
+            pairs = rng.integers(0, 200, size=(int(rng.integers(1, 160)), 2))
+            chunks.append(
+                build_bucket_batches(
+                    model, pairs, 32, rng=np.random.default_rng(100 + b)
+                )
+            )
+        multi = model.backend.fused_multi_bucket_update(
+            model.params, chunks, spec
+        )
+        for i, batches in enumerate(chunks):
+            single = model.backend.fused_bucket_update(
+                model.params, batches, spec
+            )
+            for name in single.rows:
+                assert np.array_equal(single.rows[name], multi[i].rows[name])
+                assert np.array_equal(
+                    single.values[name], multi[i].values[name]
+                ), (backend, i, name)
+            assert single.mean_loss == multi[i].mean_loss
+            assert single.unclipped_norm == multi[i].unclipped_norm
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_bucket_in_chunk(self, backend):
+        model, batches, spec = _bucket_setup(backend=backend)
+        deltas = model.backend.fused_multi_bucket_update(
+            model.params, [[], batches, []], spec
+        )
+        assert deltas[0].num_batches == 0
+        assert np.isnan(deltas[0].mean_loss)
+        assert all(rows.size == 0 for rows in deltas[0].rows.values())
+        assert deltas[1].num_batches == len(batches)
+        assert deltas[2].num_batches == 0
+
+
+class TestRegistry:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="unknown backend"):
+            get_backend("cuda")
+
+    def test_instances_are_cached_and_picklable(self):
+        for backend in BACKENDS:
+            instance = get_backend(backend)
+            assert get_backend(backend) is instance
+            clone = pickle.loads(pickle.dumps(instance))
+            assert type(clone) is type(instance)
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba is installed")
+    def test_numba_absent_falls_back_to_fast(self):
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            backend = get_backend("numba")
+        assert isinstance(backend, FastBackend)
+        assert not isinstance(backend, NumbaBackend)
+        assert "numba" not in available_backends()
+        assert not NumbaBackend.is_compiled()
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba is installed")
+    def test_numba_fallback_training_matches_fast(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            fallback = _train("numba")
+        fast = _train("fast")
+        assert np.array_equal(
+            fallback.embeddings.matrix, fast.embeddings.matrix
+        )
+
+    def test_reference_is_float64(self):
+        assert ReferenceBackend.accumulation_dtype == np.float64
+        assert FastBackend.accumulation_dtype == np.float32

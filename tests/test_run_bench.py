@@ -1,17 +1,23 @@
-"""The end-to-end benchmark runner (``benchmarks/run_bench.py``)."""
+"""The end-to-end benchmark runner (``repro.bench`` via its shim)."""
 
 import json
 
 import pytest
 
-from benchmarks.run_bench import STAGE_NAMES, main, validate_report
+from benchmarks.run_bench import (
+    STAGE_NAMES,
+    compare_to_baseline,
+    main,
+    validate_report,
+)
 
 
 @pytest.fixture(scope="module")
 def report(tmp_path_factory):
     """One real ``--quick`` run, shared by every test in the module."""
     out = tmp_path_factory.mktemp("bench") / "BENCH_plp.json"
-    assert main(["--quick", "--out", str(out), "--seed", "3"]) == 0
+    assert main(["--quick", "--out", str(out), "--seed", "3",
+                 "--baseline", "none"]) == 0
     return json.loads(out.read_text())
 
 
@@ -28,6 +34,22 @@ class TestQuickRun:
         # Every stage ran once per step.
         for aggregate in training["stage_seconds"].values():
             assert aggregate["count"] == training["steps"]
+
+    def test_kernel_section(self, report):
+        kernels = report["kernels"]
+        timings = kernels["local_train_seconds"]
+        assert "reference" in timings and "fast" in timings
+        assert all(seconds > 0 for seconds in timings.values())
+        speedup = kernels["speedup_vs_reference"]["fast"]
+        assert speedup == pytest.approx(
+            timings["reference"] / timings["fast"]
+        )
+        # Without numba installed the compiled backend is not re-timed.
+        if not kernels["numba_compiled"]:
+            assert "numba" not in timings
+
+    def test_backend_recorded(self, report):
+        assert report["backend"] == "reference"
 
     def test_latency_sections(self, report):
         assert report["recommend"]["queries"] > 0
@@ -56,3 +78,97 @@ class TestValidateReport:
         broken["schema_version"] = 999
         with pytest.raises(ValueError, match="schema_version"):
             validate_report(broken)
+
+    def test_rejects_missing_kernels(self, report):
+        broken = json.loads(json.dumps(report))
+        del broken["kernels"]["speedup_vs_reference"]
+        with pytest.raises(ValueError, match="speedup_vs_reference"):
+            validate_report(broken)
+
+
+class TestCommittedBaseline:
+    """The repo-root ``BENCH_plp.json`` is a real, current report."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        from repro.bench import _default_baseline
+
+        path = _default_baseline()
+        assert path is not None, "committed BENCH_plp.json missing"
+        return json.loads(path.read_text())
+
+    def test_baseline_is_schema_valid(self, baseline):
+        validate_report(baseline)
+
+    def test_baseline_shows_fast_kernel_speedup(self, baseline):
+        # The committed report must make the fused fast path's win
+        # visible; the live measurement gate is the bench-marked
+        # tests/nn/test_backend_speedup.py.
+        assert baseline["kernels"]["speedup_vs_reference"]["fast"] >= 2.5
+
+
+class TestCompareToBaseline:
+    def test_identical_reports_pass(self, report):
+        assert compare_to_baseline(report, report) == []
+
+    def test_small_drift_within_threshold_passes(self, report):
+        baseline = json.loads(json.dumps(report))
+        baseline["training"]["buckets_per_second"] *= 1.10
+        baseline["recommend"]["p95_seconds"] *= 0.90
+        assert compare_to_baseline(report, baseline) == []
+
+    def test_throughput_regression_fails(self, report):
+        baseline = json.loads(json.dumps(report))
+        baseline["training"]["buckets_per_second"] = (
+            report["training"]["buckets_per_second"] * 2.0
+        )
+        messages = compare_to_baseline(report, baseline)
+        assert len(messages) == 1
+        assert "buckets/sec" in messages[0]
+
+    def test_recommend_p95_regression_fails(self, report):
+        baseline = json.loads(json.dumps(report))
+        baseline["recommend"]["p95_seconds"] = 0.010
+        fresh = json.loads(json.dumps(report))
+        fresh["recommend"]["p95_seconds"] = 0.020
+        messages = compare_to_baseline(fresh, baseline)
+        assert len(messages) == 1
+        assert "p95" in messages[0]
+
+    def test_microsecond_p95_jitter_is_not_a_regression(self, report):
+        # At the quick scale p95 is tens of microseconds; a 2x blip there
+        # is scheduler noise, not a regression (absolute slack applies).
+        baseline = json.loads(json.dumps(report))
+        baseline["recommend"]["p95_seconds"] = 0.0001
+        fresh = json.loads(json.dumps(report))
+        fresh["recommend"]["p95_seconds"] = 0.0002
+        assert compare_to_baseline(fresh, baseline) == []
+
+    def test_mismatched_mode_is_not_comparable(self, report):
+        baseline = json.loads(json.dumps(report))
+        baseline["quick"] = not report["quick"]
+        with pytest.raises(ValueError, match="not comparable"):
+            compare_to_baseline(report, baseline)
+
+    def test_mismatched_backend_is_not_comparable(self, report):
+        baseline = json.loads(json.dumps(report))
+        baseline["backend"] = "fast"
+        with pytest.raises(ValueError, match="backend"):
+            compare_to_baseline(report, baseline)
+
+    def test_regression_exits_3(self, report, tmp_path, monkeypatch):
+        import repro.bench as bench_module
+
+        # Reuse the fixture's report instead of re-running the pipeline.
+        monkeypatch.setattr(
+            bench_module,
+            "run_benchmark",
+            lambda **kwargs: json.loads(json.dumps(report)),
+        )
+        baseline = json.loads(json.dumps(report))
+        baseline["training"]["buckets_per_second"] *= 1e6
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(baseline))
+        out = tmp_path / "BENCH_plp.json"
+        assert main(["--quick", "--out", str(out), "--seed", "3",
+                     "--baseline", str(baseline_path)]) == 3
