@@ -42,6 +42,7 @@ from typing import Sequence
 from repro.core.config import PLPConfig
 from repro.data.checkins import CheckinDataset
 from repro.data.splitting import sessionize_dataset
+from repro.data.store import CheckinStore, open_corpus
 from repro.eval.evaluator import EvaluationResult, LeaveOneOutEvaluator
 from repro.exceptions import ConfigError
 from repro.models.embeddings import EmbeddingMatrix
@@ -136,7 +137,7 @@ class TrainedModel:
 
 def train(
     config: PLPConfig | dict | None = None,
-    dataset: CheckinDataset | None = None,
+    dataset: "CheckinDataset | CheckinStore | str | Path | None" = None,
     method: str = "plp",
     rng: int | object = 7,
     epochs: int = 5,
@@ -148,8 +149,14 @@ def train(
     Args:
         config: a :class:`PLPConfig`, a partial field dict (run through
             :meth:`PLPConfig.from_dict`), or ``None`` for paper defaults.
-        dataset: the training check-ins; ``None`` trains on a fresh
-            synthetic workload (paper-preprocessed).
+        dataset: the training corpus in any :func:`repro.data.open_corpus`
+            spelling — an in-memory :class:`CheckinDataset`, any
+            :class:`~repro.data.CheckinStore` (including the memory-mapped
+            sharded store for out-of-core training), or a path to a CSV
+            file / sharded-store directory. ``None`` trains on a fresh
+            synthetic workload (paper-preprocessed). The corpus provenance
+            is recorded under ``privacy["corpus"]`` in the artifact
+            metadata.
         method: ``"plp"`` (Algorithm 1, default), ``"dpsgd"`` (user-level
             DP-SGD baseline), or ``"nonprivate"``.
         rng: seed or ``numpy.random.Generator`` for determinism.
@@ -159,8 +166,9 @@ def train(
             with :func:`with_observability`); the engine emits per-stage
             spans and ``repro_engine_*`` metrics into it. Attaching one
             never changes the trained model or the ledger.
-        **engine_options: forwarded to the trainer — ``executor``,
-            ``workers``, ``observers``.
+        **engine_options: forwarded to the trainer — ``executor``
+            (``"serial"``, ``"parallel"``, or the out-of-core
+            ``"sharded"``), ``workers``, ``observers``.
     """
     if method not in _METHODS:
         raise ConfigError(f"method must be one of {_METHODS}, got {method!r}")
@@ -179,6 +187,9 @@ def train(
         dataset = CheckinDataset(
             paper_preprocessing(generate_checkins(SyntheticConfig(), rng=rng))
         )
+    if isinstance(dataset, Path):
+        dataset = str(dataset)
+    corpus = open_corpus(dataset)
 
     if method == "nonprivate":
         from repro.core.nonprivate import NonPrivateTrainer
@@ -192,7 +203,7 @@ def train(
             observability=with_observability,
             **engine_options,
         )
-        history = trainer.fit(dataset, epochs=epochs)
+        history = trainer.fit(corpus, epochs=epochs)
         privacy: dict = {"mechanism": "none", "epsilon": "inf"}
     else:
         if method == "dpsgd":
@@ -202,13 +213,14 @@ def train(
         trainer = trainer_cls(
             config, rng=rng, observability=with_observability, **engine_options
         )
-        history = trainer.fit(dataset)
+        history = trainer.fit(corpus)
         privacy = {
             "mechanism": method,
             "epsilon": history.final_epsilon,
             "delta": config.delta,
             "steps": len(history),
         }
+    privacy["corpus"] = corpus.describe()
     return TrainedModel(
         embeddings=trainer.embeddings(),
         vocabulary=trainer.vocabulary,
@@ -237,13 +249,19 @@ def evaluate(
     Args:
         model: a :class:`TrainedModel`, a recommender (anything with
             ``score_all``), or a raw :class:`EmbeddingMatrix`.
-        dataset: held-out trajectories, or a :class:`CheckinDataset` to
-            sessionize first.
+        dataset: held-out trajectories, a :class:`CheckinDataset` to
+            sessionize first, or any other :func:`repro.data.open_corpus`
+            spelling (store / path) — stores are materialized in memory
+            for evaluation.
         k_values / input_scope: forwarded to
             :class:`~repro.eval.evaluator.LeaveOneOutEvaluator`.
         with_observability: optional :class:`Observability` bundle; the
             run feeds ``repro_eval_*`` latency histograms into it.
     """
+    if isinstance(dataset, (str, Path, CheckinStore)):
+        dataset = open_corpus(
+            str(dataset) if isinstance(dataset, Path) else dataset
+        ).to_dataset()
     if isinstance(dataset, CheckinDataset):
         trajectories = sessionize_dataset(dataset)
     else:

@@ -14,7 +14,17 @@ Runs the full pipeline on the synthetic Foursquare-Tokyo workload with an
 - tier-1 evaluation metrics (HR@k, MRR) plus per-query latency p50/p95
   from the ``repro_eval_query_seconds`` histogram,
 - single-query ``recommend`` latency p50/p95,
+- a sharded-executor scaling section: bucket throughput for the serial
+  baseline vs the sharded executor at 1 and 2 workers on one fixed
+  workload, with the end-to-end check that ledger and embeddings came
+  out bit-identical across executors (:func:`measure_sharded_scaling`),
 - peak RSS.
+
+A second mode, ``--out-of-core``, materializes a disk-backed sharded
+corpus and trains on it through the sharded executor, reporting build
+and training throughput plus peak RSS; ``--rss-cap-mb`` turns the RSS
+figure into a hard gate (exit code 4), which CI uses to prove training
+memory stays flat as the corpus grows (:func:`run_out_of_core`).
 
 The report is schema-validated (:func:`validate_report`) before writing.
 When a committed baseline report exists (``BENCH_plp.json`` at the repo
@@ -35,8 +45,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 from pathlib import Path
+
+import numpy as np
 
 import repro
 from repro.core.engine.engine import STAGE_NAMES
@@ -50,12 +63,14 @@ __all__ = [
     "compare_to_baseline",
     "main",
     "measure_kernel_speedup",
+    "measure_sharded_scaling",
     "run_benchmark",
     "run_from_args",
+    "run_out_of_core",
     "validate_report",
 ]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Workload/config knobs per mode. ``quick`` finishes in seconds; ``full``
 #: trains to a meaningful fraction of the budget.
@@ -77,6 +92,17 @@ _MODES = {
 _KERNEL_WORKLOAD = dict(
     num_users=1500, num_locations=9000, mean_checkins_per_user=80.0,
     max_steps=3, data_seed=5,
+)
+
+#: The sharded-scaling workload: reference backend and a high grouping
+#: factor, so each bucket carries substantial local compute relative to
+#: its fixed shipping cost (a bucket's clipped delta is dense in the
+#: vocabulary regardless of how many users it holds), and enough steps
+#: to amortize the one-time pool start. Sized to stay a few seconds.
+_SHARDED_WORKLOAD = dict(
+    num_users=400, num_locations=300, num_clusters=8,
+    mean_checkins_per_user=60.0, max_steps=8, grouping_factor=8,
+    sampling_probability=0.4, backend="reference", data_seed=9,
 )
 
 #: Regression threshold for :func:`compare_to_baseline` (fractional).
@@ -164,6 +190,202 @@ def measure_kernel_speedup(repeats: int = 3, seed: int = 7) -> dict:
     }
 
 
+def measure_sharded_scaling(
+    seed: int = 7, worker_counts: tuple[int, ...] = (1, 2)
+) -> dict:
+    """Bucket throughput of the sharded executor vs the serial baseline.
+
+    All runs train the same fixed workload (``_SHARDED_WORKLOAD``) from
+    the same seed; besides the timings, the section records that the
+    privacy ledger and the embeddings came out **bit-identical** across
+    executors — the executor-equivalence contract, measured end to end.
+    """
+    spec = _SHARDED_WORKLOAD
+    dataset = repro.CheckinDataset(
+        repro.paper_preprocessing(
+            repro.generate_checkins(
+                repro.SyntheticConfig(
+                    num_users=spec["num_users"],
+                    num_locations=spec["num_locations"],
+                    num_clusters=spec["num_clusters"],
+                    mean_checkins_per_user=spec["mean_checkins_per_user"],
+                ),
+                rng=spec["data_seed"],
+            )
+        )
+    )
+    config = repro.PLPConfig(
+        max_steps=spec["max_steps"],
+        grouping_factor=spec["grouping_factor"],
+        sampling_probability=spec["sampling_probability"],
+        backend=spec["backend"],
+    )
+
+    def run(executor: str, workers: int | None):
+        # Time the local_train stage — the part the executor owns. The
+        # other stages (sample/aggregate/apply/...) are single-writer by
+        # design and identical across executors.
+        obs = repro.with_observability()
+        model = repro.train(
+            config,
+            dataset,
+            rng=seed,
+            executor=executor,
+            workers=workers,
+            with_observability=obs,
+        )
+        summary = obs.profiler.summary()
+        seconds = float(summary["engine.stage.local_train"]["total_seconds"])
+        obs.close()
+        buckets = sum(record.num_buckets for record in model.history)
+        return model, seconds, buckets
+
+    serial_model, serial_seconds, buckets = run("serial", None)
+    per_worker: dict[str, dict] = {}
+    ledger_identical = True
+    embeddings_identical = True
+    for count in worker_counts:
+        model, seconds, sharded_buckets = run("sharded", count)
+        ledger_identical &= (
+            model.privacy["epsilon"] == serial_model.privacy["epsilon"]
+            and sharded_buckets == buckets
+        )
+        embeddings_identical &= bool(
+            np.array_equal(
+                model.embeddings.matrix, serial_model.embeddings.matrix
+            )
+        )
+        per_worker[str(count)] = {
+            "seconds": seconds,
+            "buckets_per_second": sharded_buckets / seconds if seconds else 0.0,
+            "speedup_vs_serial": serial_seconds / seconds if seconds else 0.0,
+        }
+
+    try:
+        available_cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        available_cores = os.cpu_count() or 1
+
+    return {
+        "workload": {
+            "num_users": spec["num_users"],
+            "num_locations": spec["num_locations"],
+            "max_steps": spec["max_steps"],
+            "grouping_factor": spec["grouping_factor"],
+            "sampling_probability": spec["sampling_probability"],
+        },
+        # Worker scaling is bounded by the cores the process may use;
+        # on a single-core host the sharded numbers measure pure
+        # shipping overhead, not parallel throughput.
+        "available_cores": int(available_cores),
+        "buckets_total": int(buckets),
+        "serial": {
+            "seconds": serial_seconds,
+            "buckets_per_second": buckets / serial_seconds
+            if serial_seconds
+            else 0.0,
+        },
+        "workers": per_worker,
+        "ledger_identical": bool(ledger_identical),
+        "embeddings_identical": bool(embeddings_identical),
+    }
+
+
+def run_out_of_core(
+    users: int = 20_000,
+    rounds: int = 2,
+    workers: int = 2,
+    rss_cap_mb: float | None = None,
+    seed: int = 7,
+    store_dir: "str | Path | None" = None,
+) -> dict:
+    """Materialize a disk-backed corpus and train on it out-of-core.
+
+    Builds a sharded store with the vectorized bulk generator, runs
+    ``rounds`` Algorithm 1 steps through the sharded executor, and
+    records wall times, throughput, store size, and the process peak RSS.
+    With ``rss_cap_mb`` set, ``under_cap`` reports whether the peak RSS
+    stayed below the cap (the CLI exits 4 when it did not).
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.trainer import PrivateLocationPredictor
+    from repro.data.synthetic import materialize_synthetic_store
+
+    config = repro.SyntheticConfig(
+        num_users=users,
+        num_locations=min(2000, max(100, users // 50)),
+        num_clusters=20,
+    )
+    scratch = None
+    if store_dir is None:
+        scratch = tempfile.mkdtemp(prefix="repro-ooc-")
+        store_path = Path(scratch) / "corpus"
+    else:
+        store_path = Path(store_dir)
+
+    try:
+        build_started = time.perf_counter()
+        store = materialize_synthetic_store(
+            config, path=store_path, rng=seed, profile="bulk"
+        )
+        build_seconds = time.perf_counter() - build_started
+        store_bytes = sum(
+            entry.stat().st_size for entry in store_path.iterdir()
+        )
+
+        # Sample a few hundred users per round regardless of corpus size,
+        # so the measured round cost reflects out-of-core access, not a
+        # corpus-proportional amount of local training.
+        q = min(0.5, max(256.0 / users, 1e-6))
+        plp = repro.PLPConfig(
+            embedding_dim=32,
+            sampling_probability=q,
+            max_steps=rounds,
+            epsilon=1000.0,
+            backend="fast",
+        )
+        trainer = PrivateLocationPredictor(
+            plp, rng=seed, executor="sharded", workers=workers
+        )
+        train_started = time.perf_counter()
+        with store:
+            trainer.fit(store)
+        train_seconds = time.perf_counter() - train_started
+        buckets = sum(record.num_buckets for record in trainer.history)
+
+        peak_rss = peak_rss_bytes()
+        under_cap = None
+        if rss_cap_mb is not None and peak_rss is not None:
+            under_cap = peak_rss <= rss_cap_mb * 1024 * 1024
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "out_of_core": {
+                "num_users": int(store.num_users),
+                "num_checkins": int(store.num_checkins),
+                "num_shards": int(store.describe()["num_shards"]),
+                "store_bytes": int(store_bytes),
+                "build_seconds": build_seconds,
+                "rounds": len(trainer.history),
+                "workers": int(workers),
+                "sampling_probability": q,
+                "train_seconds": train_seconds,
+                "buckets_total": int(buckets),
+                "buckets_per_second": buckets / train_seconds
+                if train_seconds
+                else 0.0,
+                "epsilon_spent": trainer.epsilon_spent(),
+                "peak_rss_bytes": peak_rss,
+                "rss_cap_mb": rss_cap_mb,
+                "under_cap": under_cap,
+            },
+        }
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
 def run_benchmark(
     quick: bool = True, seed: int = 7, backend: str = "reference"
 ) -> dict:
@@ -244,6 +466,7 @@ def run_benchmark(
         "kernels": measure_kernel_speedup(
             repeats=mode["kernel_repeats"], seed=seed
         ),
+        "sharded": measure_sharded_scaling(seed=seed),
         "evaluation": {
             "cases": result.num_cases,
             "skipped": result.num_skipped,
@@ -280,7 +503,8 @@ def validate_report(report: dict) -> None:
     top = {
         "schema_version": int, "quick": bool, "seed": int, "backend": str,
         "generated_unix": float, "workload": dict, "training": dict,
-        "kernels": dict, "evaluation": dict, "recommend": dict,
+        "kernels": dict, "sharded": dict, "evaluation": dict,
+        "recommend": dict,
     }
     for key, kind in top.items():
         expect(isinstance(report.get(key), kind), f"{key}: expected {kind.__name__}")
@@ -321,6 +545,43 @@ def validate_report(report: dict) -> None:
                f"kernels.speedup_vs_reference.{backend}: expected positive float")
     expect(isinstance(kernels.get("numba_compiled"), bool),
            "kernels.numba_compiled: expected bool")
+
+    sharded = report.get("sharded") or {}
+    serial_section = sharded.get("serial") or {}
+    expect(
+        isinstance(serial_section.get("buckets_per_second"), float)
+        and serial_section.get("buckets_per_second", -1.0) > 0,
+        "sharded.serial.buckets_per_second: expected positive float",
+    )
+    worker_sections = sharded.get("workers")
+    expect(isinstance(worker_sections, dict) and worker_sections,
+           "sharded.workers: expected non-empty dict")
+    cores = sharded.get("available_cores", 1)
+    for count, entry in (worker_sections or {}).items():
+        for key in ("seconds", "buckets_per_second", "speedup_vs_serial"):
+            expect(
+                isinstance(entry.get(key), float) and entry.get(key, -1.0) > 0,
+                f"sharded.workers.{count}.{key}: expected positive float",
+            )
+        speedup = entry.get("speedup_vs_serial", 0.0)
+        # Shipping overhead must stay bounded everywhere; genuine scaling
+        # can only be demanded when the host has cores to scale onto.
+        expect(
+            speedup >= 0.5,
+            f"sharded.workers.{count}: speedup {speedup:.2f}x vs serial is "
+            "below the 0.5x overhead floor",
+        )
+        if isinstance(cores, int) and cores >= int(count) > 1:
+            expect(
+                speedup >= 0.6 * int(count),
+                f"sharded.workers.{count}: expected near-linear scaling "
+                f"(>= {0.6 * int(count):.1f}x) with {cores} cores available, "
+                f"got {speedup:.2f}x",
+            )
+    expect(sharded.get("ledger_identical") is True,
+           "sharded.ledger_identical: executors must produce one ledger")
+    expect(sharded.get("embeddings_identical") is True,
+           "sharded.embeddings_identical: executors must produce one model")
 
     evaluation = report.get("evaluation") or {}
     expect(isinstance(evaluation.get("hit_rate"), dict) and evaluation.get("hit_rate"),
@@ -416,10 +677,69 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         help="baseline report to diff against (default: the committed "
         "repo-root BENCH_plp.json; 'none' disables the check)",
     )
+    parser.add_argument(
+        "--out-of-core",
+        action="store_true",
+        help="instead of the pipeline benchmark: materialize a "
+        "disk-backed corpus and train on it through the sharded "
+        "executor, reporting throughput and peak RSS",
+    )
+    parser.add_argument(
+        "--ooc-users", type=int, default=20_000,
+        help="corpus size (users) for --out-of-core",
+    )
+    parser.add_argument(
+        "--ooc-rounds", type=int, default=2,
+        help="training rounds for --out-of-core",
+    )
+    parser.add_argument(
+        "--ooc-workers", type=int, default=2,
+        help="sharded-executor workers for --out-of-core",
+    )
+    parser.add_argument(
+        "--rss-cap-mb", type=float, default=None,
+        help="with --out-of-core: fail (exit 4) when the process peak "
+        "RSS exceeds this many MiB",
+    )
 
 
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute the benchmark from parsed arguments (CLI entry point)."""
+    if getattr(args, "out_of_core", False):
+        report = run_out_of_core(
+            users=args.ooc_users,
+            rounds=args.ooc_rounds,
+            workers=args.ooc_workers,
+            rss_cap_mb=args.rss_cap_mb,
+            seed=args.seed,
+        )
+        out = Path(args.out)
+        out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        section = report["out_of_core"]
+        print(f"wrote {out}")
+        print(
+            f"out-of-core: {section['num_users']} users / "
+            f"{section['num_checkins']} check-ins in "
+            f"{section['num_shards']} shards "
+            f"({section['store_bytes'] / 1e6:.1f} MB on disk, "
+            f"built in {section['build_seconds']:.1f}s)"
+        )
+        print(
+            f"  {section['rounds']} rounds with {section['workers']} workers "
+            f"in {section['train_seconds']:.1f}s "
+            f"({section['buckets_per_second']:.1f} buckets/s)"
+        )
+        peak = section["peak_rss_bytes"]
+        if peak is not None:
+            print(f"  peak RSS {peak / (1024 * 1024):.0f} MiB")
+        if section["under_cap"] is False:
+            print(
+                f"RSS CAP EXCEEDED: peak {peak / (1024 * 1024):.0f} MiB > "
+                f"cap {section['rss_cap_mb']:.0f} MiB"
+            )
+            return 4
+        return 0
+
     report = run_benchmark(
         quick=args.quick, seed=args.seed, backend=args.backend
     )
@@ -441,6 +761,15 @@ def run_from_args(args: argparse.Namespace) -> int:
         speedup = kernels["speedup_vs_reference"].get(backend)
         suffix = f" ({speedup:.2f}x vs reference)" if speedup else ""
         print(f"kernel local_train[{backend}]: {seconds:.3f}s{suffix}")
+    sharded = report["sharded"]
+    cores = sharded.get("available_cores", "?")
+    for count, entry in sharded["workers"].items():
+        print(
+            f"sharded[{count} workers, {cores} cores]: "
+            f"{entry['buckets_per_second']:.1f} "
+            f"buckets/s ({entry['speedup_vs_serial']:.2f}x vs serial, "
+            f"identical ledger={sharded['ledger_identical']})"
+        )
     print(
         f"recommend: p50={report['recommend']['p50_seconds'] * 1e3:.2f}ms "
         f"p95={report['recommend']['p95_seconds'] * 1e3:.2f}ms"

@@ -3,7 +3,9 @@
 Subcommands cover the full workflow::
 
     repro generate  --users 600 --locations 300 --out checkins.csv
+    repro generate  --users 100000 --store --profile bulk --out corpus/
     repro train     --data checkins.csv --method plp --epsilon 2.0 --out model.npz
+    repro train     --data corpus/ --executor sharded --workers 4 --out model.npz
     repro evaluate  --data checkins.csv --model model.npz
     repro recommend --model model.npz --recent 17,42,8 --top-k 10
     repro serve     --model model.npz --port 8000
@@ -26,10 +28,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import warnings
 from pathlib import Path
 from typing import Sequence
 
+from repro._compat import register_deprecation, warn_deprecated
 from repro.analysis.runner import add_lint_arguments, run_from_args
 from repro.attacks import MembershipInferenceAttack
 from repro.core.config import PLPConfig
@@ -40,7 +42,12 @@ from repro.data.checkins import CheckinDataset
 from repro.data.io import load_checkins_csv, save_checkins_csv
 from repro.data.preprocessing import paper_preprocessing
 from repro.data.splitting import holdout_users_split, sessionize_dataset
-from repro.data.synthetic import SyntheticConfig, generate_checkins
+from repro.data.store import CheckinStore, open_corpus
+from repro.data.synthetic import (
+    SyntheticConfig,
+    generate_checkins,
+    materialize_synthetic_store,
+)
 from repro.eval.evaluator import LeaveOneOutEvaluator
 from repro.exceptions import ConfigError, ReproError
 from repro.models.serialization import load_recommender, save_deployable_model
@@ -66,11 +73,15 @@ _TRAIN_FLAG_DEFAULTS = {
 
 
 # Renamed/retired flags and their replacement spelling. Every entry is
-# still accepted (wired through _DeprecatedAlias) but warns on use.
+# still accepted (wired through _DeprecatedAlias) but warns on use;
+# warning mechanics and removal policy live in :mod:`repro._compat`.
 _DEPRECATED_ALIASES = {
     "--negatives": "--num-negatives",
     "--metrics-jsonl": "--metrics-out PATH --metrics-format jsonl",
 }
+
+for _old, _new in _DEPRECATED_ALIASES.items():
+    register_deprecation(f"repro train {_old}", _new)
 
 
 class _DeprecatedAlias(argparse.Action):
@@ -84,11 +95,7 @@ class _DeprecatedAlias(argparse.Action):
         replacement = self.new_option or _DEPRECATED_ALIASES.get(
             option_string or "", "the current flag"
         )
-        warnings.warn(
-            f"{option_string} is deprecated; use {replacement}",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        warn_deprecated(option_string or "this flag", replacement, stacklevel=1)
         setattr(namespace, self.dest, values)
 
 
@@ -105,11 +112,32 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--clusters", type=int, default=15)
     generate.add_argument("--mean-checkins", type=float, default=30.0)
     generate.add_argument("--seed", type=int, default=7)
-    generate.add_argument("--out", required=True, help="output CSV path")
+    generate.add_argument(
+        "--out", required=True, help="output CSV path (a directory with --store)"
+    )
+    generate.add_argument(
+        "--store",
+        action="store_true",
+        help="write a sharded on-disk store (directory) instead of a CSV; "
+        "the corpus is written raw (unpreprocessed), one memory-mapped "
+        "shard per block of users — see docs/data.md",
+    )
+    generate.add_argument(
+        "--profile",
+        choices=("session", "bulk"),
+        default="session",
+        help="synthesis profile for --store: 'session' matches "
+        "generate_checkins bit-for-bit, 'bulk' uses the vectorized "
+        "block generator for very large corpora",
+    )
 
     train = subparsers.add_parser("train", help="train a next-location model")
     source = train.add_mutually_exclusive_group(required=True)
-    source.add_argument("--data", help="input check-in CSV")
+    source.add_argument(
+        "--data",
+        help="input corpus: a check-in CSV or a sharded-store directory "
+        "(from `repro generate --store`)",
+    )
     source.add_argument(
         "--synthetic", action="store_true", help="train on a fresh synthetic workload"
     )
@@ -158,15 +186,26 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=7)
     train.add_argument(
         "--executor",
-        choices=("serial", "parallel"),
+        choices=("serial", "parallel", "sharded"),
         default="serial",
-        help="bucket execution backend (results are identical either way)",
+        help="bucket execution backend: serial, parallel (process pool "
+        "over materialized pairs), or sharded (persistent workers "
+        "streaming pairs from the corpus store; the out-of-core "
+        "backend). Results are bit-identical across all three.",
     )
     train.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="worker processes for --executor parallel (default: all cores)",
+        help="worker processes for --executor parallel/sharded "
+        "(default: all cores)",
+    )
+    train.add_argument(
+        "--shard-dir",
+        default=None,
+        help="with --synthetic --executor sharded: materialize the "
+        "synthetic corpus into this sharded-store directory (raw, "
+        "unpreprocessed) and train out-of-core from it",
     )
     train.add_argument(
         "--metrics-jsonl",
@@ -296,6 +335,16 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         num_clusters=args.clusters,
         mean_checkins_per_user=args.mean_checkins,
     )
+    if args.store:
+        with materialize_synthetic_store(
+            config, path=args.out, rng=args.seed, profile=args.profile
+        ) as store:
+            print(
+                f"wrote {store.num_checkins} check-ins "
+                f"({store.num_users} users) to sharded store {args.out}"
+            )
+            print(f"  {store.stats().as_dict()}")
+        return 0
     checkins = paper_preprocessing(generate_checkins(config, rng=args.seed))
     count = save_checkins_csv(args.out, checkins)
     stats = CheckinDataset(checkins).stats()
@@ -305,11 +354,47 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _load_dataset(args: argparse.Namespace) -> CheckinDataset:
+    """The corpus as an in-memory dataset (evaluate/audit need full passes)."""
     if getattr(args, "synthetic", False):
         checkins = paper_preprocessing(generate_checkins(SyntheticConfig(), rng=args.seed))
-    else:
-        checkins = load_checkins_csv(args.data)
-    return CheckinDataset(checkins)
+        return CheckinDataset(checkins)
+    with open_corpus(args.data) as corpus:
+        return corpus.to_dataset()
+
+
+def _resolve_train_corpus(args: argparse.Namespace) -> "CheckinDataset | CheckinStore":
+    """The training corpus, honoring --synthetic / --data / --shard-dir.
+
+    Raises:
+        ConfigError: on flag combinations that cannot work (``--workers``
+            without a multi-process executor, ``--shard-dir`` without
+            ``--synthetic --executor sharded``).
+    """
+    if args.workers is not None and args.executor not in ("parallel", "sharded"):
+        raise ConfigError(
+            "--workers only applies to --executor parallel or sharded, "
+            f"not {args.executor!r}"
+        )
+    if args.shard_dir is not None:
+        if args.executor != "sharded":
+            raise ConfigError(
+                "--shard-dir requires --executor sharded "
+                f"(got --executor {args.executor})"
+            )
+        if not args.synthetic:
+            raise ConfigError(
+                "--shard-dir materializes a fresh synthetic corpus; to train "
+                "from an existing store, point --data at its directory"
+            )
+        return materialize_synthetic_store(
+            SyntheticConfig(), path=args.shard_dir, rng=args.seed
+        )
+    if args.synthetic:
+        checkins = paper_preprocessing(
+            generate_checkins(SyntheticConfig(), rng=args.seed)
+        )
+        return CheckinDataset(checkins)
+    return open_corpus(args.data)
 
 
 def _load_config_json(source: str) -> dict:
@@ -347,8 +432,8 @@ def _resolve_train_config(args: argparse.Namespace) -> PLPConfig:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    dataset = _load_dataset(args)
-    print(f"training on {dataset.num_users} users / {dataset.num_locations} POIs")
+    corpus = _resolve_train_corpus(args)
+    print(f"training on {corpus.num_users} users / {corpus.num_locations} POIs")
 
     observers = []
     if args.metrics_jsonl:
@@ -372,34 +457,43 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
     config = _resolve_train_config(args)
 
-    if args.method == "nonprivate":
-        trainer = NonPrivateTrainer(
-            embedding_dim=config.embedding_dim,
-            num_negatives=config.num_negatives,
-            learning_rate=config.learning_rate,
-            backend=config.backend,
-            rng=args.seed,
-            **engine_opts,
-        )
-        history = trainer.fit(dataset, epochs=args.epochs)
-        privacy = {"mechanism": "none", "epsilon": "inf"}
-    else:
-        trainer_cls = UserLevelDPSGD if args.method == "dpsgd" else PrivateLocationPredictor
-        trainer = trainer_cls(config, rng=args.seed, **engine_opts)
-        history = trainer.fit(dataset)
-        privacy = {
-            "mechanism": args.method,
-            "epsilon": history.final_epsilon,
-            "delta": config.delta,
-            "steps": len(history),
-        }
-        print(
-            f"  {len(history)} steps ({history.stop_reason}); "
-            f"epsilon spent = {history.final_epsilon:.3f}"
-        )
-        from repro.reporting import sparkline
+    try:
+        if args.method == "nonprivate":
+            trainer = NonPrivateTrainer(
+                embedding_dim=config.embedding_dim,
+                num_negatives=config.num_negatives,
+                learning_rate=config.learning_rate,
+                backend=config.backend,
+                rng=args.seed,
+                **engine_opts,
+            )
+            history = trainer.fit(corpus, epochs=args.epochs)
+            privacy = {"mechanism": "none", "epsilon": "inf"}
+        else:
+            trainer_cls = (
+                UserLevelDPSGD if args.method == "dpsgd" else PrivateLocationPredictor
+            )
+            trainer = trainer_cls(config, rng=args.seed, **engine_opts)
+            history = trainer.fit(corpus)
+            privacy = {
+                "mechanism": args.method,
+                "epsilon": history.final_epsilon,
+                "delta": config.delta,
+                "steps": len(history),
+            }
+            print(
+                f"  {len(history)} steps ({history.stop_reason}); "
+                f"epsilon spent = {history.final_epsilon:.3f}"
+            )
+            from repro.reporting import sparkline
 
-        print(f"  loss {sparkline(history.losses())}")
+            print(f"  loss {sparkline(history.losses())}")
+    finally:
+        if isinstance(corpus, CheckinStore):
+            corpus.close()
+
+    if getattr(trainer, "corpus_source", None) is not None:
+        privacy["corpus"] = trainer.corpus_source
 
     save_deployable_model(
         args.out, trainer.embeddings(), trainer.vocabulary, privacy

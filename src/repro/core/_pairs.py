@@ -7,9 +7,29 @@ locations as a trajectory that reflects her visit patterns" (Section 3.2);
 by default sequences are sessionized with the paper's 6-hour rule so a
 window never spans a multi-day gap, with the full-history alternative
 available.
+
+Two access shapes are provided on top of the same pair math:
+
+- :func:`build_training_data` — the historical eager path: every user's
+  pair array materialized into one dict (what in-memory training uses).
+- :class:`PairSource` / :func:`build_pair_source` — a per-user pair
+  *source*: the vocabulary is still built in one deterministic streaming
+  scan, but pair arrays are produced lazily per user, so a disk-backed
+  corpus never has all pairs resident at once and worker processes can
+  rebuild the source locally from a small picklable spec instead of
+  receiving the arrays over a pipe.
+
+Both paths produce bit-identical vocabularies and per-user pair arrays
+for the same corpus — the cross-executor determinism contract depends on
+it.
 """
 
 from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Mapping
 
 import numpy as np
 
@@ -18,6 +38,10 @@ from repro.data.splitting import SIX_HOURS_SECONDS, sessionize
 from repro.exceptions import DataError
 from repro.models.vocabulary import LocationVocabulary
 from repro.models.windowing import pairs_from_sequences
+from repro.types import UserHistory
+
+if TYPE_CHECKING:
+    from repro.data.store import CheckinStore
 
 _EMPTY_PAIRS = np.empty((0, 2), dtype=np.int64)
 
@@ -73,3 +97,263 @@ def build_training_data(
             "no training pairs produced; sequences are too short for the window"
         )
     return vocabulary, user_pairs
+
+
+def _history_pairs(
+    history: UserHistory,
+    vocabulary: LocationVocabulary,
+    window: int,
+    sessionize_training: bool,
+    max_session_seconds: float,
+) -> np.ndarray:
+    """One user's (target, context) pairs — the math both paths share."""
+    if sessionize_training:
+        sequences = [
+            list(trajectory.locations)
+            for trajectory in sessionize(history, max_session_seconds)
+        ]
+    else:
+        sequences = [history.locations()]
+    encoded = [vocabulary.encode(sequence) for sequence in sequences]
+    pairs = pairs_from_sequences(encoded, window)
+    return pairs if pairs.shape[0] else _EMPTY_PAIRS
+
+
+class PairSource(abc.ABC):
+    """Per-user access to (target, context) pair arrays.
+
+    The pipeline's grouping and local-training stages only ever need the
+    sampled users' pairs; a ``PairSource`` lets them pull exactly those,
+    whether the backing corpus is a dict in RAM or a sharded store on
+    disk. Sources are read-only and must be deterministic: ``pairs(user)``
+    always returns the same array contents for the same source.
+    """
+
+    @property
+    @abc.abstractmethod
+    def users(self) -> list[int]:
+        """Training users, in corpus order."""
+
+    @abc.abstractmethod
+    def pairs(self, user: int) -> np.ndarray:
+        """The ``(n_u, 2)`` int64 pair array of ``user``."""
+
+    @abc.abstractmethod
+    def pair_count(self, user: int) -> int:
+        """``len(pairs(user))`` without materializing the array."""
+
+    def spec(self) -> "PairSourceSpec | None":
+        """A picklable recipe rebuilding this source in another process.
+
+        Returns ``None`` when the source cannot be shipped (the sharded
+        executor then refuses the run with a :class:`ConfigError` rather
+        than silently serializing the world).
+        """
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class InMemorySourceSpec:
+    """Ships the full pair dict to workers (in-memory corpora are small)."""
+
+    user_pairs: dict[int, np.ndarray]
+
+    def build(self) -> "PairSource":
+        return InMemoryPairSource(self.user_pairs)
+
+
+@dataclass(frozen=True, slots=True)
+class StoreSourceSpec:
+    """Rebuilds a disk-backed source worker-side: path + tokenization.
+
+    Only the store path, the token-ordered location list, and the window
+    parameters travel over the pipe; the worker reopens the memory-mapped
+    store locally and computes pairs on demand.
+    """
+
+    path: str
+    locations: tuple[Hashable, ...]
+    window: int
+    sessionize_training: bool
+    max_session_seconds: float
+
+    def build(self) -> "PairSource":
+        from repro.data.store import ShardedCheckinStore
+
+        store = ShardedCheckinStore(self.path)
+        vocabulary = LocationVocabulary.from_locations(list(self.locations))
+        return StorePairSource(
+            store,
+            vocabulary,
+            window=self.window,
+            sessionize_training=self.sessionize_training,
+            max_session_seconds=self.max_session_seconds,
+        )
+
+
+PairSourceSpec = InMemorySourceSpec | StoreSourceSpec
+
+
+class InMemoryPairSource(PairSource):
+    """The historical shape: every user's pairs in one dict."""
+
+    def __init__(self, user_pairs: Mapping[int, np.ndarray]) -> None:
+        self.user_pairs = dict(user_pairs)
+
+    @property
+    def users(self) -> list[int]:
+        return list(self.user_pairs)
+
+    def pairs(self, user: int) -> np.ndarray:
+        try:
+            return self.user_pairs[user]
+        except KeyError:
+            raise DataError(f"unknown training user {user}") from None
+
+    def pair_count(self, user: int) -> int:
+        return int(self.pairs(user).shape[0])
+
+    def spec(self) -> "PairSourceSpec | None":
+        return InMemorySourceSpec(user_pairs=self.user_pairs)
+
+
+class StorePairSource(PairSource):
+    """Lazy per-user pairs over a :class:`~repro.data.store.CheckinStore`.
+
+    Pair arrays are computed from the store's memory-mapped history on
+    first access and kept in a small LRU (Poisson sampling revisits users
+    across rounds), so resident pair memory is bounded by the cache — not
+    the corpus.
+
+    Args:
+        store: the backing corpus store.
+        vocabulary: the full training vocabulary (already built by
+            :func:`build_pair_source`'s streaming scan).
+        window: symmetric context radius.
+        sessionize_training: the 6-hour session split toggle.
+        max_session_seconds: session duration bound.
+        pair_counts: optional precomputed per-user pair counts (from the
+            vocabulary scan); computed on demand when absent.
+        max_cached_users: LRU capacity of materialized pair arrays.
+    """
+
+    def __init__(
+        self,
+        store: "CheckinStore",
+        vocabulary: LocationVocabulary,
+        window: int,
+        sessionize_training: bool = True,
+        max_session_seconds: float = SIX_HOURS_SECONDS,
+        pair_counts: dict[int, int] | None = None,
+        max_cached_users: int = 256,
+    ) -> None:
+        self.store = store
+        self.vocabulary = vocabulary
+        self.window = window
+        self.sessionize_training = sessionize_training
+        self.max_session_seconds = max_session_seconds
+        self._pair_counts = pair_counts
+        self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._max_cached_users = max(1, int(max_cached_users))
+
+    @property
+    def users(self) -> list[int]:
+        return self.store.users
+
+    def pairs(self, user: int) -> np.ndarray:
+        cached = self._cache.get(user)
+        if cached is not None:
+            self._cache.move_to_end(user)
+            return cached
+        pairs = _history_pairs(
+            self.store.history(user),
+            self.vocabulary,
+            self.window,
+            self.sessionize_training,
+            self.max_session_seconds,
+        )
+        self._cache[user] = pairs
+        if len(self._cache) > self._max_cached_users:
+            self._cache.popitem(last=False)
+        return pairs
+
+    def pair_count(self, user: int) -> int:
+        if self._pair_counts is not None:
+            try:
+                return self._pair_counts[user]
+            except KeyError:
+                raise DataError(f"unknown training user {user}") from None
+        return int(self.pairs(user).shape[0])
+
+    def spec(self) -> "PairSourceSpec | None":
+        from repro.data.store import ShardedCheckinStore
+
+        if not isinstance(self.store, ShardedCheckinStore):
+            return None
+        return StoreSourceSpec(
+            path=str(self.store.path),
+            locations=tuple(self.vocabulary.locations()),
+            window=self.window,
+            sessionize_training=self.sessionize_training,
+            max_session_seconds=self.max_session_seconds,
+        )
+
+
+def build_pair_source(
+    store: "CheckinStore",
+    window: int,
+    sessionize_training: bool = True,
+    max_session_seconds: float = SIX_HOURS_SECONDS,
+) -> tuple[LocationVocabulary, PairSource]:
+    """Build the vocabulary and a :class:`PairSource` over any corpus store.
+
+    For an in-memory store this delegates to :func:`build_training_data`
+    (bit-identical to the historical path). For a disk-backed store it
+    makes **one streaming pass** in store user order — adding each user's
+    tokens to the vocabulary, counting their pairs, and discarding the
+    arrays — so the scan's peak memory is one user's history. Token ids
+    are append-only, so encoding user ``u`` right after adding ``u``'s
+    tokens yields exactly the ids the final vocabulary assigns: per-user
+    pair arrays recomputed later are bit-identical to the eager path.
+
+    Raises:
+        DataError: when no user yields a single training pair.
+    """
+    from repro.data.store import InMemoryCheckinStore
+
+    if isinstance(store, InMemoryCheckinStore):
+        vocabulary, user_pairs = build_training_data(
+            store.to_dataset(), window, sessionize_training, max_session_seconds
+        )
+        return vocabulary, InMemoryPairSource(user_pairs)
+
+    vocabulary = LocationVocabulary()
+    pair_counts: dict[int, int] = {}
+    total = 0
+    for history in store:
+        if sessionize_training:
+            sequences = [
+                list(trajectory.locations)
+                for trajectory in sessionize(history, max_session_seconds)
+            ]
+        else:
+            sequences = [history.locations()]
+        encoded = [
+            [vocabulary.add(location_id) for location_id in sequence]
+            for sequence in sequences
+        ]
+        count = int(pairs_from_sequences(encoded, window).shape[0])
+        pair_counts[history.user] = count
+        total += count
+    if total == 0:
+        raise DataError(
+            "no training pairs produced; sequences are too short for the window"
+        )
+    return vocabulary, StorePairSource(
+        store,
+        vocabulary,
+        window=window,
+        sessionize_training=sessionize_training,
+        max_session_seconds=max_session_seconds,
+        pair_counts=pair_counts,
+    )

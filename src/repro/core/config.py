@@ -8,15 +8,16 @@ follow the paper's Section 5.1 settings: ``dim = 50``, ``b = 32``,
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Any
 
+from repro._compat import register_deprecation, resolve_alias
 from repro.exceptions import ConfigError
 
 # Renamed/paper-symbol keyword shims accepted (with a DeprecationWarning)
 # by :meth:`PLPConfig.with_overrides`. Keys are the paper's Table 1 symbols
 # and historical kwarg spellings; values are the canonical field names.
+# Warning mechanics and removal policy live in :mod:`repro._compat`.
 _DEPRECATED_ALIASES = {
     "dim": "embedding_dim",
     "neg": "num_negatives",
@@ -30,6 +31,9 @@ _DEPRECATED_ALIASES = {
     "sigma": "noise_multiplier",
     "omega": "split_factor",
 }
+
+for _alias, _canonical in _DEPRECATED_ALIASES.items():
+    register_deprecation(f"PLPConfig({_alias}=...)", f"{_canonical}=...")
 
 _GROUPING_STRATEGIES = ("random", "equal_frequency")
 _CLIPPING_MODES = ("per_layer", "global")
@@ -204,15 +208,9 @@ class PLPConfig:
         valid = {field.name for field in fields(self)}
         resolved: dict[str, Any] = {}
         for key, value in overrides.items():
-            canonical = _DEPRECATED_ALIASES.get(key)
-            if canonical is not None:
-                warnings.warn(
-                    f"PLPConfig override {key!r} is deprecated; "
-                    f"use {canonical!r}",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
-                key = canonical
+            key = resolve_alias(
+                key, _DEPRECATED_ALIASES, context="PLPConfig override"
+            )
             if key not in valid:
                 raise ConfigError(f"unknown PLPConfig field {key!r}")
             if key in resolved:

@@ -6,8 +6,10 @@ Three layers, composed by the trainers in :mod:`repro.core`:
   explicit pipeline ``sample -> group -> local_train -> aggregate ->
   noise -> apply -> account``, each stage returning a typed result.
 - **Executors** (:mod:`~repro.core.engine.executors`): pluggable bucket
-  execution backends — :class:`SerialExecutor` and the process-pool
-  :class:`ParallelExecutor` — that are bit-identical for the same seed.
+  execution backends — :class:`SerialExecutor`, the process-pool
+  :class:`ParallelExecutor`, and the out-of-core :class:`ShardedExecutor`
+  (user ids + theta over the wire, pairs resolved worker-side) — all
+  bit-identical for the same seed.
 - **Observers** (:mod:`~repro.core.engine.observers`): callbacks carrying
   history recording, stop conditions, evaluation scheduling, JSONL
   metrics, and checkpointing. Their base class is the unified
@@ -26,6 +28,7 @@ from repro.core.engine.executors import (
     LocalTrainSpec,
     ParallelExecutor,
     SerialExecutor,
+    ShardedExecutor,
     make_executor,
     run_bucket_chunk,
     run_bucket_job,
@@ -67,6 +70,7 @@ __all__ = [
     "BucketExecutor",
     "SerialExecutor",
     "ParallelExecutor",
+    "ShardedExecutor",
     "BucketJob",
     "LocalTrainSpec",
     "make_executor",

@@ -158,6 +158,12 @@ class TrainingEngine:
         context = EngineContext(pipeline)
         context.step = self.start_step
         obs = self.observability
+        # Pre-run handshake: the pipeline adapts its materialization mode
+        # to the executor (and hands sharded executors their pair-source
+        # spec); the executor gets the run's observability for per-shard
+        # spans/metrics. Neither touches any RNG stream.
+        pipeline.prepare_for(self.executor)
+        self.executor.bind_observability(obs)
         engine_metrics = None
         if obs is not None and obs.metrics is not None:
             from repro.observability.hooks import EngineMetrics

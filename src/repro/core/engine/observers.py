@@ -23,10 +23,10 @@ emits a :class:`DeprecationWarning`.
 from __future__ import annotations
 
 import json
-import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
+from repro._compat import deprecated_observer_alias
 from repro.core.history import StepRecord, TrainingHistory
 from repro.observability.observer import Observer
 
@@ -35,33 +35,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.engine.engine import EngineContext
     from repro.core.engine.stages import StepResult
 
-
-class StepObserver(Observer):
-    """Deprecated alias of :class:`repro.observability.Observer`.
-
-    Kept so pre-observability code importing
-    ``repro.core.engine.StepObserver`` keeps working; new code should
-    subclass the unified :class:`~repro.observability.Observer`, which
-    additionally carries the serving hooks.
-    """
-
-    def __init_subclass__(cls, **kwargs: object) -> None:
-        warnings.warn(
-            "StepObserver is deprecated; subclass "
-            "repro.observability.Observer instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        super().__init_subclass__(**kwargs)
-
-    def __init__(self) -> None:
-        if type(self) is StepObserver:
-            warnings.warn(
-                "StepObserver is deprecated; use "
-                "repro.observability.Observer instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
+#: The engine's historical observer base class; subclassing or
+#: instantiating it warns (see :mod:`repro._compat` for the policy).
+StepObserver = deprecated_observer_alias("StepObserver", __name__)
 
 
 class HistoryObserver(Observer):

@@ -22,11 +22,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core._pairs import InMemoryPairSource, PairSource
 from repro.core.bucket import BucketUpdate
 from repro.core.config import PLPConfig
 from repro.core.engine.executors import BucketExecutor, BucketJob, LocalTrainSpec
-from repro.core.grouping import group_data
+from repro.core.grouping import assign_buckets, build_bucket_arrays, group_data
 from repro.core.sampling import poisson_sample
+from repro.exceptions import ConfigError
 from repro.models.skipgram import SkipGramModel
 from repro.nn.optimizers import DPAdam
 from repro.nn.parameters import ParameterSet
@@ -47,13 +49,23 @@ class SampleResult:
 
 @dataclass(frozen=True, slots=True)
 class GroupResult:
-    """Line 6 — bucket assignment of the sampled users' pair data."""
+    """Line 6 — bucket assignment of the sampled users' pair data.
+
+    Two materialization modes share this result type. The eager mode
+    (serial/parallel executors) fills ``buckets`` with concatenated pair
+    arrays. The deferred mode (sharded executor) leaves ``buckets`` empty
+    and fills ``assignment`` with each bucket's user ids — pairs are
+    resolved worker-side. Both modes are computed from the **same RNG
+    draws**, so which mode ran is invisible to everything downstream.
+    """
 
     buckets: tuple[np.ndarray, ...]
+    assignment: tuple[tuple[int, ...], ...] = ()
+    deferred: bool = False
 
     @property
     def num_buckets(self) -> int:
-        return len(self.buckets)
+        return len(self.assignment) if self.deferred else len(self.buckets)
 
 
 @dataclass(frozen=True, slots=True)
@@ -119,7 +131,9 @@ class StepPipeline:
     Args:
         config: the Algorithm 1 hyper-parameters.
         model: the skip-gram model being trained (owns ``theta``).
-        user_pairs: per-user (target, context) pair arrays.
+        user_pairs: per-user (target, context) pair arrays — either the
+            historical dict or any :class:`~repro.core._pairs.PairSource`
+            (a dict is wrapped in an in-memory source).
         root: RNG root (seed or generator); per-step and per-bucket
             sub-streams are derived from its seed material without
             consuming draws.
@@ -131,16 +145,21 @@ class StepPipeline:
         self,
         config: PLPConfig,
         model: SkipGramModel,
-        user_pairs: dict[int, np.ndarray],
+        user_pairs: "dict[int, np.ndarray] | PairSource",
         root: RngLike,
         ledger: PrivacyLedger | None = None,
     ) -> None:
         self.config = config
         self.model = model
-        self.user_pairs = user_pairs
-        self.users = list(user_pairs)
+        if isinstance(user_pairs, PairSource):
+            self.source: PairSource = user_pairs
+        else:
+            self.source = InMemoryPairSource(user_pairs)
+            self.user_pairs = user_pairs  # historical attribute, dict input only
+        self.users = self.source.users
         self.root = root
         self.ledger = ledger
+        self._defer_pairs = False
         self.sensitivity = GaussianSumQuerySensitivity(
             clip_bound=config.clip_bound, split_factor=config.split_factor
         )
@@ -149,6 +168,43 @@ class StepPipeline:
             if config.server_optimizer == "adam"
             else None
         )
+
+    # -- pre-run handshake -----------------------------------------------------
+
+    def prepare_for(self, executor: BucketExecutor) -> None:
+        """Adapt the pipeline to the executor before the first step.
+
+        Executors that resolve pairs worker-side
+        (``needs_materialized_pairs`` False) flip the pipeline into
+        deferred mode — :meth:`group` then produces user-id assignments
+        instead of concatenated arrays — and receive the pair-source spec
+        their workers rebuild from. The stage *randomness* is unaffected:
+        deferred and eager grouping consume identical draws.
+
+        Raises:
+            ConfigError: when the executor defers pairs but the run's
+                configuration or data source cannot be shipped to workers
+                (``split_factor`` > 1 consumes pair-data-dependent draws;
+                some sources have no picklable spec).
+        """
+        if executor.needs_materialized_pairs:
+            self._defer_pairs = False
+            return
+        if self.config.split_factor > 1:
+            raise ConfigError(
+                "the sharded executor requires split_factor (omega) == 1: "
+                f"splitting draws pair-data-dependent randomness, got "
+                f"{self.config.split_factor}"
+            )
+        spec = self.source.spec()
+        if spec is None:
+            raise ConfigError(
+                "this pair source cannot be shipped to sharded workers "
+                "(no picklable spec); use the serial or parallel executor, "
+                "or train from a sharded on-disk corpus"
+            )
+        executor.configure(spec)
+        self._defer_pairs = True
 
     # -- stages, in Algorithm 1 order -----------------------------------------
 
@@ -163,14 +219,42 @@ class StepPipeline:
         self, sample: SampleResult, step_rng: np.random.Generator
     ) -> GroupResult:
         """Group the sampled users' pairs into lambda-user buckets (line 6)."""
-        sampled_pairs = {user: self.user_pairs[user] for user in sample.users}
-        buckets = group_data(
-            sampled_pairs,
-            grouping_factor=self.config.grouping_factor,
-            split_factor=self.config.split_factor,
-            strategy=self.config.grouping_strategy,
-            rng=step_rng,
+        config = self.config
+        if config.split_factor > 1:
+            # omega > 1 splits pair arrays with pair-data-dependent draws;
+            # only the eager path supports it (prepare_for() enforces this).
+            sampled_pairs = {
+                user: self.source.pairs(user) for user in sample.users
+            }
+            buckets = group_data(
+                sampled_pairs,
+                grouping_factor=config.grouping_factor,
+                split_factor=config.split_factor,
+                strategy=config.grouping_strategy,
+                rng=step_rng,
+            )
+            return GroupResult(buckets=tuple(buckets))
+
+        counts = (
+            {user: self.source.pair_count(user) for user in sample.users}
+            if config.grouping_strategy == "equal_frequency"
+            else None
         )
+        assignment = assign_buckets(
+            list(sample.users),
+            config.grouping_factor,
+            config.grouping_strategy,
+            step_rng,
+            record_counts=counts,
+        )
+        if self._defer_pairs:
+            return GroupResult(
+                buckets=(),
+                assignment=tuple(tuple(bucket) for bucket in assignment),
+                deferred=True,
+            )
+        sampled_pairs = {user: self.source.pairs(user) for user in sample.users}
+        buckets = build_bucket_arrays(assignment, sampled_pairs)
         return GroupResult(buckets=tuple(buckets))
 
     def local_train(
@@ -186,14 +270,28 @@ class StepPipeline:
             clipping=config.clipping,
             local_update=config.local_update,
         )
-        jobs = [
-            BucketJob(
-                index=index,
-                pairs=pairs,
-                seed=derive_seed_sequence(self.root, step, index),
-            )
-            for index, pairs in enumerate(group.buckets)
-        ]
+        if group.deferred:
+            # Ship user ids only; workers resolve pairs from their local
+            # source. Seeds are derived per bucket index exactly as in the
+            # eager path, so local-training randomness is identical.
+            jobs = [
+                BucketJob(
+                    index=index,
+                    pairs=None,
+                    seed=derive_seed_sequence(self.root, step, index),
+                    users=bucket_users,
+                )
+                for index, bucket_users in enumerate(group.assignment)
+            ]
+        else:
+            jobs = [
+                BucketJob(
+                    index=index,
+                    pairs=pairs,
+                    seed=derive_seed_sequence(self.root, step, index),
+                )
+                for index, pairs in enumerate(group.buckets)
+            ]
         updates = executor.run_step(spec, jobs)
         losses = [u.mean_loss for u in updates if u.num_batches]
         norms = [u.unclipped_norm for u in updates]

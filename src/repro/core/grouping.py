@@ -92,6 +92,39 @@ def split_pairs(
     return [pairs[chunk] for chunk in chunks]
 
 
+def assign_buckets(
+    users: Sequence[int],
+    grouping_factor: int,
+    strategy: str = "random",
+    rng: RngLike = None,
+    record_counts: Mapping[int, int] | None = None,
+) -> list[list[int]]:
+    """Bucket *assignment* only: which users share a bucket (no pair data).
+
+    This is the strategy-dispatch half of :func:`group_data`, split out so
+    callers that defer pair materialization (the sharded executor ships
+    user ids, not arrays) can compute the assignment with the **exact same
+    RNG draw sequence** as the materialized path — the determinism contract
+    across executors rests on this.
+
+    Args:
+        users: sampled users, in sampling order.
+        grouping_factor: lambda, users per bucket.
+        strategy: "random" or "equal_frequency".
+        rng: randomness for the random strategy's shuffle.
+        record_counts: per-user record counts; required by the
+            equal-frequency strategy (which is draw-free).
+    """
+    if strategy not in ("random", "equal_frequency"):
+        raise ConfigError(f"unknown grouping strategy {strategy!r}")
+    if strategy == "random":
+        return assign_random_buckets(users, grouping_factor, rng)
+    if record_counts is None:
+        raise ConfigError("equal_frequency grouping requires record counts")
+    counts = {user: int(record_counts[user]) for user in users}
+    return assign_equal_frequency_buckets(counts, grouping_factor)
+
+
 def build_bucket_arrays(
     assignment: Sequence[Sequence[int]],
     user_pairs: Mapping[int, np.ndarray],
@@ -154,11 +187,10 @@ def group_data(
                 virtual += 1
 
     users = list(effective_pairs)
-    if strategy == "random":
-        assignment = assign_random_buckets(users, grouping_factor, generator)
-    else:
-        counts = {user: int(effective_pairs[user].shape[0]) for user in users}
-        assignment = assign_equal_frequency_buckets(counts, grouping_factor)
+    counts = {user: int(effective_pairs[user].shape[0]) for user in users}
+    assignment = assign_buckets(
+        users, grouping_factor, strategy, generator, record_counts=counts
+    )
 
     if split_factor > 1:
         assignment = _separate_same_owner(assignment, owner_of)

@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.core.history import TrainingHistory
 from repro.core.trainer import EvalFn
 from repro.data.checkins import CheckinDataset
+from repro.data.store import CheckinStore, open_corpus
 from repro.exceptions import ConfigError, NotFittedError
 from repro.models.embeddings import EmbeddingMatrix
 from repro.models.recommender import NextLocationRecommender
@@ -133,7 +134,7 @@ class NonPrivateTrainer:
 
     def fit(
         self,
-        dataset: CheckinDataset,
+        dataset: "CheckinDataset | CheckinStore | str",
         epochs: int = 20,
         eval_fn: EvalFn | None = None,
         eval_every_epochs: int = 5,
@@ -141,7 +142,11 @@ class NonPrivateTrainer:
         """Train for a fixed number of epochs over all pooled pairs.
 
         Args:
-            dataset: training users' check-ins.
+            dataset: training users' check-ins, in any
+                :func:`repro.data.open_corpus` spelling. Non-private
+                training pools every user's pairs into a single bucket, so
+                a disk-backed store is **materialized in memory** here; use
+                the private trainers for out-of-core corpora.
             epochs: full passes over the pair set.
             eval_fn: optional embeddings -> metrics callback.
             eval_every_epochs: evaluation cadence.
@@ -154,7 +159,7 @@ class NonPrivateTrainer:
         if eval_every_epochs < 1:
             raise ConfigError(f"eval_every_epochs must be >= 1, got {eval_every_epochs}")
         self.vocabulary, user_pairs = build_training_data(
-            dataset, self.window, self.sessionize_training
+            open_corpus(dataset).to_dataset(), self.window, self.sessionize_training
         )
         config = self._degenerate_config(len(user_pairs), epochs, eval_every_epochs)
         self.model = SkipGramModel(

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Sequence
 
-from repro.core._pairs import build_training_data
+from repro.core._pairs import build_pair_source
 from repro.core.config import PLPConfig
 from repro.core.engine import (
     BucketExecutor,
@@ -49,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.core.schedules import NoiseSchedule
 from repro.core.history import TrainingHistory
 from repro.data.checkins import CheckinDataset
+from repro.data.store import CheckinStore, open_corpus
 from repro.exceptions import ConfigError, NotFittedError
 from repro.models.embeddings import EmbeddingMatrix
 from repro.models.recommender import NextLocationRecommender
@@ -72,11 +73,13 @@ class PrivateLocationPredictor:
         noise_schedule: optional per-step sigma schedule (default: the
             config's constant ``noise_multiplier``).
         executor: bucket execution backend — ``"serial"`` (default),
-            ``"parallel"`` (process pool), or a ready
+            ``"parallel"`` (process pool over materialized pairs),
+            ``"sharded"`` (persistent workers resolving pairs from a
+            shared corpus source; the out-of-core backend), or a ready
             :class:`~repro.core.engine.BucketExecutor` instance (kept open
             across ``fit`` calls; the caller closes it).
-        workers: worker-process count for ``executor="parallel"``
-            (default: all cores).
+        workers: worker-process count for the parallel and sharded
+            executors (default: all cores).
         observers: extra :class:`~repro.observability.Observer` instances
             notified on every step (e.g. metrics/checkpoint observers);
             appended after the built-in history/stop/eval observers.
@@ -114,18 +117,26 @@ class PrivateLocationPredictor:
         self.vocabulary: LocationVocabulary | None = None
         self.history = TrainingHistory()
         self.ledger: PrivacyLedger | None = None
+        #: Provenance of the last fit's corpus (``store.describe()``),
+        #: recorded into artifact metadata by the API facade.
+        self.corpus_source: dict[str, object] | None = None
 
     # -- training ----------------------------------------------------------------
 
     def fit(
         self,
-        dataset: CheckinDataset,
+        dataset: "CheckinDataset | CheckinStore | str",
         eval_fn: EvalFn | None = None,
     ) -> TrainingHistory:
         """Run Algorithm 1 until the privacy budget (or ``max_steps``) is hit.
 
         Args:
-            dataset: training users' check-ins.
+            dataset: the training corpus in any
+                :func:`repro.data.open_corpus` spelling — an in-memory
+                :class:`~repro.data.CheckinDataset`, any
+                :class:`~repro.data.CheckinStore` (including the
+                memory-mapped sharded store for out-of-core training), or
+                a path to a CSV file / sharded-store directory.
             eval_fn: optional callback receiving the current (normalized)
                 embeddings every ``config.eval_every`` steps; its returned
                 metrics are stored in the history.
@@ -146,8 +157,10 @@ class PrivateLocationPredictor:
                 "noise_multiplier=0 provides no privacy and an unbounded budget; "
                 "set max_steps to bound such a (non-private) run"
             )
-        self.vocabulary, user_pairs = build_training_data(
-            dataset, config.window, config.sessionize_training
+        store = open_corpus(dataset)
+        self.corpus_source = store.describe()
+        self.vocabulary, pair_source = build_pair_source(
+            store, config.window, config.sessionize_training
         )
         self.model = SkipGramModel(
             num_locations=self.vocabulary.size,
@@ -164,7 +177,7 @@ class PrivateLocationPredictor:
         self.history = TrainingHistory()
 
         pipeline = StepPipeline(
-            config, self.model, user_pairs, root=self._rng, ledger=self.ledger
+            config, self.model, pair_source, root=self._rng, ledger=self.ledger
         )
         # Registration order is stop priority: on a step that both crosses
         # the budget and reaches max_steps, the budget stop (with rollback)

@@ -8,11 +8,27 @@ long-tailed per-user activity, spatial clustering, session structure
 format if a copy is available (:mod:`repro.data.foursquare`), (c) the
 paper's preprocessing pipeline (:mod:`repro.data.preprocessing`), and
 (d) the holdout-users split and 6-hour sessionization used for evaluation
-(:mod:`repro.data.splitting`).
+(:mod:`repro.data.splitting`), and (e) corpus *stores* — one data-access
+protocol over in-memory and chunked, memory-mapped on-disk corpora, with
+:func:`open_corpus` as the single normalization entry point
+(:mod:`repro.data.store`).
 """
 
 from repro.data.checkins import CheckinDataset, DatasetStats
-from repro.data.synthetic import SyntheticConfig, TOKYO_BBOX, generate_checkins
+from repro.data.store import (
+    CheckinStore,
+    InMemoryCheckinStore,
+    ShardedCheckinStore,
+    ShardedStoreWriter,
+    open_corpus,
+    write_sharded_store,
+)
+from repro.data.synthetic import (
+    SyntheticConfig,
+    TOKYO_BBOX,
+    generate_checkins,
+    materialize_synthetic_store,
+)
 from repro.data.foursquare import load_foursquare_tsv
 from repro.data.preprocessing import (
     filter_bounding_box,
@@ -24,10 +40,17 @@ from repro.data.splitting import holdout_users_split, sessionize, sessionize_dat
 
 __all__ = [
     "CheckinDataset",
+    "CheckinStore",
     "DatasetStats",
+    "InMemoryCheckinStore",
+    "ShardedCheckinStore",
+    "ShardedStoreWriter",
     "SyntheticConfig",
     "TOKYO_BBOX",
     "generate_checkins",
+    "materialize_synthetic_store",
+    "open_corpus",
+    "write_sharded_store",
     "load_foursquare_tsv",
     "filter_min_user_checkins",
     "filter_min_location_users",

@@ -30,6 +30,7 @@ from repro.observability.hooks import (
     EngineMetrics,
     EvalMetrics,
     Observability,
+    ShardMetrics,
     with_observability,
 )
 from repro.observability.metrics import (
@@ -56,6 +57,7 @@ __all__ = [
     "MetricsRegistry",
     "Observability",
     "Observer",
+    "ShardMetrics",
     "Span",
     "StageProfiler",
     "Tracer",

@@ -194,6 +194,39 @@ class EngineMetrics:
             self._loss.set(loss)
 
 
+class ShardMetrics:
+    """Registers and feeds the sharded executor's metric families.
+
+    Created by :class:`~repro.core.engine.executors.ShardedExecutor` when
+    observability is bound; fed once per training round. Families
+    (prefixed ``repro_engine_shard_``):
+
+    - ``rounds_total`` (counter): rounds executed through the shard pool
+    - ``retries_total`` (counter): rounds rerun after a worker death
+    - ``seconds{shard=...}`` (histogram): per-shard local-training time
+    - ``buckets_total{shard=...}`` (counter): buckets each shard ran
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.rounds = registry.counter(
+            "repro_engine_shard_rounds_total",
+            "Training rounds executed by the sharded executor",
+        )
+        self.retries = registry.counter(
+            "repro_engine_shard_retries_total",
+            "Rounds rerun after a worker process died mid-round",
+        )
+        self.shard_seconds = registry.histogram(
+            "repro_engine_shard_seconds",
+            "Per-shard local-training wall time (label: shard)",
+        )
+        self.shard_buckets = registry.counter(
+            "repro_engine_shard_buckets_total",
+            "Buckets executed per shard (label: shard)",
+        )
+
+
 class EvalMetrics:
     """Registers and feeds the evaluator's latency metric families.
 

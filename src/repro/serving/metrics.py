@@ -25,39 +25,15 @@ from __future__ import annotations
 
 import json
 import threading
-import warnings
 from pathlib import Path
 
+from repro._compat import deprecated_observer_alias
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.observer import Observer
 
-
-class ServingObserver(Observer):
-    """Deprecated alias of :class:`repro.observability.Observer`.
-
-    Kept so pre-observability code importing
-    ``repro.serving.ServingObserver`` keeps working; new code should
-    subclass the unified :class:`~repro.observability.Observer`, which
-    additionally carries the training hooks.
-    """
-
-    def __init_subclass__(cls, **kwargs: object) -> None:
-        warnings.warn(
-            "ServingObserver is deprecated; subclass "
-            "repro.observability.Observer instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        super().__init_subclass__(**kwargs)
-
-    def __init__(self) -> None:
-        if type(self) is ServingObserver:
-            warnings.warn(
-                "ServingObserver is deprecated; use "
-                "repro.observability.Observer instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
+#: The serving stack's historical observer base class; subclassing or
+#: instantiating it warns (see :mod:`repro._compat` for the policy).
+ServingObserver = deprecated_observer_alias("ServingObserver", __name__)
 
 
 class MetricsObserver(Observer):

@@ -1,0 +1,209 @@
+"""Tests for the out-of-core ShardedExecutor and the deferred pipeline path.
+
+The load-bearing contract: for the same seed, training results (embeddings
+AND privacy ledger) are bit-identical across the serial, parallel, and
+sharded executors, whether the corpus lives in memory or in a sharded
+on-disk store, for every kernel backend and grouping strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core._pairs import PairSource
+from repro.core.config import PLPConfig
+from repro.core.engine import (
+    CheckpointObserver,
+    ShardedExecutor,
+    StepPipeline,
+    make_executor,
+)
+from repro.core.trainer import PrivateLocationPredictor
+from repro.data.checkins import CheckinDataset
+from repro.data.store import write_sharded_store
+from repro.data.synthetic import SyntheticConfig, generate_checkins
+from repro.exceptions import ConfigError, ExecutorError
+from repro.models.serialization import load_training_checkpoint
+from repro.models.skipgram import SkipGramModel
+from repro.privacy.accountant import PrivacyLedger
+
+
+def _fast_config(**overrides) -> PLPConfig:
+    base = dict(
+        embedding_dim=8,
+        num_negatives=4,
+        sampling_probability=0.3,
+        noise_multiplier=2.0,
+        epsilon=50.0,
+        grouping_factor=3,
+        max_steps=3,
+    )
+    base.update(overrides)
+    return PLPConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    config = SyntheticConfig(num_users=60, num_locations=50, num_clusters=5)
+    return CheckinDataset(generate_checkins(config, rng=17))
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(corpus, tmp_path_factory):
+    path = tmp_path_factory.mktemp("store") / "corpus"
+    write_sharded_store(path, corpus, users_per_shard=25)
+    return path
+
+
+def _train(dataset, config, executor, workers=None, observers=()):
+    trainer = PrivateLocationPredictor(
+        config, rng=42, executor=executor, workers=workers, observers=observers
+    )
+    trainer.fit(dataset)
+    return trainer
+
+
+def _assert_same_run(a, b):
+    np.testing.assert_array_equal(a.model.params["W"], b.model.params["W"])
+    np.testing.assert_array_equal(a.model.params["Wc"], b.model.params["Wc"])
+    assert a.ledger.cumulative_budget_spent() == b.ledger.cumulative_budget_spent()
+    assert len(a.history) == len(b.history)
+    for left, right in zip(a.history, b.history):
+        assert left.mean_loss == right.mean_loss
+        assert left.num_buckets == right.num_buckets
+
+
+class TestBitIdentityAcrossExecutors:
+    @pytest.mark.parametrize("backend", ["reference", "fast", "numba"])
+    def test_serial_parallel_sharded_identical(self, corpus, corpus_dir, backend):
+        config = _fast_config(backend=backend)
+        serial = _train(corpus, config, "serial")
+        parallel = _train(corpus, config, "parallel", workers=2)
+        sharded_mem = _train(corpus, config, "sharded", workers=2)
+        sharded_disk = _train(str(corpus_dir), config, "sharded", workers=2)
+        _assert_same_run(serial, parallel)
+        _assert_same_run(serial, sharded_mem)
+        _assert_same_run(serial, sharded_disk)
+
+    def test_equal_frequency_grouping_identical(self, corpus, corpus_dir):
+        config = _fast_config(grouping_strategy="equal_frequency")
+        serial = _train(corpus, config, "serial")
+        sharded_disk = _train(str(corpus_dir), config, "sharded", workers=2)
+        _assert_same_run(serial, sharded_disk)
+
+
+class TestFaultTolerance:
+    def test_worker_death_retries_to_identical_result(
+        self, corpus, corpus_dir, tmp_path
+    ):
+        config = _fast_config()
+        serial = _train(corpus, config, "serial")
+
+        marker = tmp_path / "kill-one-worker"
+        marker.touch()
+        executor = ShardedExecutor(max_workers=2, fault_marker=str(marker))
+        with executor:
+            survived = _train(str(corpus_dir), config, executor)
+        # The marker was claimed: exactly one worker died and the round
+        # was deterministically replayed on a fresh pool.
+        assert not marker.exists()
+        _assert_same_run(serial, survived)
+
+    def test_retry_budget_exhaustion_raises(self, corpus_dir, tmp_path):
+        # A marker that re-arms on every claim exhausts the retry budget.
+        config = _fast_config(max_steps=1)
+        marker = tmp_path / "always-dead"
+
+        class RearmingExecutor(ShardedExecutor):
+            def run_step(self, spec, jobs):
+                marker.touch()
+                return super().run_step(spec, jobs)
+
+            def _run_round(self, spec, jobs):
+                marker.touch()
+                return super()._run_round(spec, jobs)
+
+        executor = RearmingExecutor(
+            max_workers=2, max_round_retries=1, fault_marker=str(marker)
+        )
+        with executor, pytest.raises(ExecutorError, match="retry budget"):
+            _train(str(corpus_dir), config, executor)
+
+    def test_checkpoint_round_trip_through_sharded_executor(
+        self, corpus_dir, tmp_path
+    ):
+        path = tmp_path / "checkpoint.npz"
+        config = _fast_config()
+        trainer = _train(
+            str(corpus_dir),
+            config,
+            "sharded",
+            workers=2,
+            observers=[CheckpointObserver(path)],
+        )
+        checkpoint = load_training_checkpoint(path)
+        assert checkpoint.step == len(trainer.history)
+        np.testing.assert_array_equal(
+            checkpoint.parameters["W"], trainer.model.params["W"]
+        )
+        resumed = checkpoint.restore_ledger()
+        assert (
+            resumed.cumulative_budget_spent()
+            == trainer.ledger.cumulative_budget_spent()
+        )
+
+
+class TestConfigValidation:
+    def test_make_executor_sharded(self):
+        executor, owned = make_executor("sharded", workers=2)
+        try:
+            assert isinstance(executor, ShardedExecutor)
+            assert owned
+            assert executor.max_workers == 2
+        finally:
+            executor.close()
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ConfigError, match="max_workers"):
+            ShardedExecutor(max_workers=0)
+        with pytest.raises(ConfigError, match="max_round_retries"):
+            ShardedExecutor(max_round_retries=-1)
+
+    def test_split_factor_rejected(self, corpus):
+        config = _fast_config(split_factor=2)
+        with pytest.raises(ConfigError, match="split_factor"):
+            _train(corpus, config, "sharded", workers=2)
+
+    def test_unshippable_source_rejected(self, corpus):
+        class OpaqueSource(PairSource):
+            def __init__(self, inner):
+                self.inner = inner
+
+            @property
+            def users(self):
+                return self.inner.users
+
+            def pairs(self, user):
+                return self.inner.pairs(user)
+
+            def pair_count(self, user):
+                return self.inner.pair_count(user)
+
+        from repro.core._pairs import build_pair_source
+        from repro.data.store import open_corpus
+
+        _, source = build_pair_source(open_corpus(corpus), window=2)
+        model = SkipGramModel(num_locations=80, embedding_dim=8, rng=0)
+        pipeline = StepPipeline(
+            _fast_config(), model, OpaqueSource(source), root=7,
+            ledger=PrivacyLedger(delta=2e-4, sampling_probability=0.3),
+        )
+        with ShardedExecutor(max_workers=2) as executor:
+            with pytest.raises(ConfigError, match="shipped"):
+                pipeline.prepare_for(executor)
+
+    def test_unconfigured_executor_rejects_jobs(self):
+        with ShardedExecutor(max_workers=1) as executor:
+            with pytest.raises(ExecutorError, match="configure"):
+                executor.run_step(None, [object()])

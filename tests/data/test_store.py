@@ -1,0 +1,225 @@
+"""Tests for the corpus-store layer (repro.data.store).
+
+Covers the CheckinStore protocol, the memory-mapped sharded store and its
+writer, open_corpus normalization, and the synthetic materializers'
+bit-parity with the in-memory generator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.checkins import CheckinDataset
+from repro.data.store import (
+    CheckinStore,
+    InMemoryCheckinStore,
+    ShardedCheckinStore,
+    ShardedStoreWriter,
+    open_corpus,
+    write_sharded_store,
+)
+from repro.data.synthetic import (
+    SyntheticConfig,
+    generate_checkins,
+    materialize_synthetic_store,
+)
+from repro.exceptions import DataError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = SyntheticConfig(num_users=40, num_locations=50, num_clusters=5)
+    return CheckinDataset(generate_checkins(config, rng=11))
+
+
+@pytest.fixture()
+def store_dir(tmp_path, dataset):
+    path = tmp_path / "corpus"
+    write_sharded_store(path, dataset, users_per_shard=16)
+    return path
+
+
+class TestInMemoryStore:
+    def test_protocol_views(self, dataset):
+        store = InMemoryCheckinStore(dataset)
+        assert isinstance(store, CheckinStore)
+        assert store.num_users == dataset.num_users
+        assert store.num_checkins == dataset.num_checkins
+        assert store.num_locations == dataset.num_locations
+        assert list(store.users) == list(dataset.users)
+        assert len(store) == dataset.num_users
+        user = dataset.users[0]
+        assert user in store
+        assert store.history(user) == dataset.history(user)
+        assert store.stats() == dataset.stats()
+
+    def test_to_dataset_is_identity(self, dataset):
+        store = InMemoryCheckinStore(dataset)
+        assert store.to_dataset() is dataset
+
+    def test_describe(self, dataset):
+        described = InMemoryCheckinStore(dataset).describe()
+        assert described["kind"] == "memory"
+        assert described["num_users"] == dataset.num_users
+
+
+class TestShardedStoreRoundTrip:
+    def test_histories_round_trip_exactly(self, store_dir, dataset):
+        with ShardedCheckinStore(store_dir) as store:
+            assert sorted(store.users) == sorted(dataset.users)
+            for user in dataset.users:
+                assert store.history(user) == dataset.history(user)
+
+    def test_stats_match_dataset(self, store_dir, dataset):
+        with ShardedCheckinStore(store_dir) as store:
+            assert store.stats() == dataset.stats()
+
+    def test_multiple_shards_written(self, store_dir):
+        shards = sorted(store_dir.glob("shard_*.npy"))
+        assert len(shards) == 3  # 40 users / 16 per shard
+
+    def test_lazy_shard_cache_is_bounded(self, store_dir, dataset):
+        with ShardedCheckinStore(store_dir, max_open_shards=1) as store:
+            for user in dataset.users:
+                store.history(user)
+            assert len(store._open_shards) <= 1
+
+    def test_describe_and_dunder_views(self, store_dir, dataset):
+        with ShardedCheckinStore(store_dir) as store:
+            described = store.describe()
+            assert described["kind"] == "sharded"
+            assert described["num_shards"] == 3
+            assert len(store) == dataset.num_users
+            assert dataset.users[0] in store
+            assert -1 not in store
+
+    def test_unknown_user_raises(self, store_dir):
+        with ShardedCheckinStore(store_dir) as store:
+            with pytest.raises(DataError, match="unknown user"):
+                store.history(10**9)
+
+    def test_to_dataset_materializes(self, store_dir, dataset):
+        with ShardedCheckinStore(store_dir) as store:
+            materialized = store.to_dataset()
+        assert materialized.num_checkins == dataset.num_checkins
+
+
+class TestWriter:
+    def test_refuses_existing_store(self, store_dir, dataset):
+        with pytest.raises(DataError, match="refusing to overwrite"):
+            write_sharded_store(store_dir, dataset)
+
+    def test_rejects_duplicate_user(self, tmp_path):
+        writer = ShardedStoreWriter(tmp_path / "dup")
+        writer.append(1, [5, 6], [0.0, 1.0])
+        with pytest.raises(DataError, match="duplicate"):
+            writer.append(1, [7], [2.0])
+
+    def test_rejects_empty_history(self, tmp_path):
+        writer = ShardedStoreWriter(tmp_path / "empty")
+        with pytest.raises(DataError):
+            writer.append(1, [], [])
+
+    def test_rejects_length_mismatch(self, tmp_path):
+        writer = ShardedStoreWriter(tmp_path / "mismatch")
+        with pytest.raises(DataError):
+            writer.append(1, [5, 6], [0.0])
+
+    def test_corrupt_manifest_rejected(self, store_dir):
+        (store_dir / "manifest.json").write_text('{"format": "something-else"}')
+        with pytest.raises(DataError):
+            ShardedCheckinStore(store_dir)
+
+
+class TestOpenCorpus:
+    def test_store_passes_through(self, dataset):
+        store = InMemoryCheckinStore(dataset)
+        assert open_corpus(store) is store
+
+    def test_dataset_wrapped(self, dataset):
+        store = open_corpus(dataset)
+        assert isinstance(store, InMemoryCheckinStore)
+        assert store.to_dataset() is dataset
+
+    def test_checkin_iterable_wrapped(self, dataset):
+        store = open_corpus(dataset.all_checkins())
+        assert store.num_users == dataset.num_users
+
+    def test_directory_opens_sharded(self, store_dir, dataset):
+        with open_corpus(str(store_dir)) as store:
+            assert isinstance(store, ShardedCheckinStore)
+            assert store.num_users == dataset.num_users
+
+    def test_csv_loads_in_memory(self, tmp_path, dataset):
+        from repro.data.io import save_checkins_csv
+
+        path = tmp_path / "checkins.csv"
+        save_checkins_csv(path, dataset.all_checkins())
+        store = open_corpus(str(path))
+        assert isinstance(store, InMemoryCheckinStore)
+        assert store.num_users == dataset.num_users
+
+    def test_missing_path_rejected(self, tmp_path):
+        with pytest.raises(DataError, match="corpus not found"):
+            open_corpus(str(tmp_path / "nope"))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(DataError):
+            open_corpus(42)
+
+
+class TestSyntheticMaterialization:
+    def test_session_profile_bit_identical_to_generator(self, tmp_path):
+        config = SyntheticConfig(num_users=25, num_locations=40, num_clusters=4)
+        reference = CheckinDataset(generate_checkins(config, rng=3))
+        with materialize_synthetic_store(
+            config, path=tmp_path / "s", rng=3, users_per_shard=10
+        ) as store:
+            assert sorted(store.users) == sorted(reference.users)
+            for user in reference.users:
+                assert store.history(user) == reference.history(user)
+            assert store.stats() == reference.stats()
+
+    def test_bulk_profile_is_valid_and_deterministic(self, tmp_path):
+        config = SyntheticConfig(num_users=30, num_locations=40, num_clusters=4)
+        with materialize_synthetic_store(
+            config, path=tmp_path / "a", rng=5, profile="bulk", users_per_shard=8
+        ) as first, materialize_synthetic_store(
+            config, path=tmp_path / "b", rng=5, profile="bulk", users_per_shard=8
+        ) as second:
+            assert first.num_users == 30
+            assert first.num_checkins == second.num_checkins
+            for user in first.users:
+                history = first.history(user)
+                assert history == second.history(user)
+                times = [checkin.timestamp for checkin in history.checkins]
+                assert times == sorted(times)
+
+    def test_unknown_profile_rejected(self, tmp_path):
+        from repro.exceptions import ConfigError
+
+        with pytest.raises(ConfigError, match="profile"):
+            materialize_synthetic_store(
+                SyntheticConfig(num_users=4), path=tmp_path / "x", profile="stream"
+            )
+
+
+class TestTrainingFromStore:
+    def test_trainer_accepts_store_path_and_records_provenance(
+        self, store_dir, dataset
+    ):
+        from repro.core.config import PLPConfig
+        from repro.core.trainer import PrivateLocationPredictor
+
+        config = PLPConfig(max_steps=2, sampling_probability=0.5, embedding_dim=8)
+        from_path = PrivateLocationPredictor(config, rng=9)
+        from_path.fit(str(store_dir))
+        assert from_path.corpus_source is not None
+        assert from_path.corpus_source["kind"] == "sharded"
+
+        in_memory = PrivateLocationPredictor(config, rng=9)
+        in_memory.fit(dataset)
+        assert in_memory.corpus_source is not None
+        assert in_memory.corpus_source["kind"] == "memory"
+        np.testing.assert_array_equal(
+            from_path.model.params["W"], in_memory.model.params["W"]
+        )
