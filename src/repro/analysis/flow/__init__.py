@@ -1,0 +1,24 @@
+"""dpflow: the whole-program layer of the dplint suite.
+
+The single-module rules (DPL001-005) inspect one AST at a time; dpflow
+builds a :class:`~repro.analysis.flow.graph.Program` over *every* linted
+module — qualified function/method definitions, import-alias-aware call
+resolution, and per-module thread/process-pool evidence — and runs
+interprocedural analyses on top of it:
+
+- :mod:`repro.analysis.flow.catalog` — the declared sources of sensitive
+  check-in data, the export sinks, the taint-clearing sanitizers, and the
+  shared-mutable-state / fork-safety class catalogs.
+- :mod:`repro.analysis.flow.taint` — return-flow taint summaries with
+  witness chains, plus the sink-site argument analysis.
+
+The rules shipped on top (DPL006 sensitive-flow-to-export, DPL007
+shared-state-locking, DPL008 fork-pickle-safety) live in
+:mod:`repro.analysis.rules` with the rest of the suite; see
+``docs/static-analysis.md`` for the rule <-> invariant table and the
+"declaring a new sink" recipe.
+"""
+
+from repro.analysis.flow.graph import FunctionInfo, Program
+
+__all__ = ["FunctionInfo", "Program"]

@@ -1,0 +1,206 @@
+"""The whole-program graph dpflow rules run over.
+
+A :class:`Program` aggregates the parsed :class:`~repro.analysis.astutils.
+ModuleContext` of every linted file into one queryable structure:
+
+- **Definitions** — every top-level function and every class method gets a
+  :class:`FunctionInfo` under its dotted qualname
+  (``repro.data.store.ShardedCheckinStore.history``), plus a terminal-name
+  index for method-call resolution.
+- **Call resolution** — :meth:`Program.resolve_call` maps a ``Call`` node
+  to candidate definitions: exact import-alias resolution first
+  (``from repro.data.io import load_checkins_csv`` -> the definition),
+  same-module lookup for bare names, then name-based matching for method
+  calls (``source.pairs(u)`` matches every method named ``pairs``). The
+  name-based step over-approximates on purpose: dpflow would rather chase
+  a few extra edges than miss a flow because the receiver type is unknown.
+- **Concurrency evidence** — which modules spawn threads or process pools
+  (:attr:`Program.thread_evidence`), the precondition of DPL007.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.astutils import ModuleContext, call_name
+
+#: Names whose presence in a module counts as thread / process-pool usage.
+_CONCURRENCY_MARKERS = frozenset(
+    {
+        "Thread",
+        "Timer",
+        "ThreadingHTTPServer",
+        "ThreadingMixIn",
+        "ThreadPoolExecutor",
+        "ProcessPoolExecutor",
+    }
+)
+_CONCURRENCY_MODULES = ("threading", "concurrent.futures", "multiprocessing")
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition inside the program.
+
+    Attributes:
+        qualname: dotted name (``repro.core._pairs.StorePairSource.pairs``).
+        name: the terminal identifier (``pairs``).
+        cls: the enclosing class name, or ``None`` for module-level defs.
+        module: the defining module's context.
+        node: the ``FunctionDef`` / ``AsyncFunctionDef`` AST node.
+    """
+
+    qualname: str
+    name: str
+    cls: str | None
+    module: ModuleContext
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class definition inside the program."""
+
+    qualname: str
+    name: str
+    module: ModuleContext
+    node: ast.ClassDef
+
+
+def module_dotted_name(logical_path: str) -> str:
+    """The dotted module name of a logical file path.
+
+    ``src/repro/data/store.py`` -> ``repro.data.store``; paths outside a
+    ``repro`` tree (fixtures, scratch files) fall back to their stem so
+    single-module programs still get stable qualnames.
+    """
+    parts = logical_path.split("/")
+    if "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    stem = parts[-1]
+    if stem.endswith(".py"):
+        stem = stem[:-3]
+    parts = parts[:-1] + ([] if stem == "__init__" else [stem])
+    return ".".join(parts) if parts else stem
+
+
+class Program:
+    """Definitions, call resolution, and concurrency evidence of a program."""
+
+    def __init__(self, modules: list[ModuleContext]) -> None:
+        self.modules: dict[str, ModuleContext] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.methods_by_name: dict[str, list[FunctionInfo]] = {}
+        self.classes: list[ClassInfo] = []
+        self.thread_evidence: dict[str, str] = {}
+        for module in modules:
+            self._add_module(module)
+
+    # -- construction ------------------------------------------------------
+
+    def _add_module(self, module: ModuleContext) -> None:
+        dotted = module_dotted_name(module.logical)
+        self.modules[dotted] = module
+        for statement in module.tree.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(dotted, module, statement, cls=None)
+            elif isinstance(statement, ast.ClassDef):
+                self.classes.append(
+                    ClassInfo(
+                        qualname=f"{dotted}.{statement.name}",
+                        name=statement.name,
+                        module=module,
+                        node=statement,
+                    )
+                )
+                for member in statement.body:
+                    if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._add_function(
+                            f"{dotted}.{statement.name}",
+                            module,
+                            member,
+                            cls=statement.name,
+                        )
+        evidence = _concurrency_evidence(module)
+        if evidence is not None:
+            self.thread_evidence[module.logical] = evidence
+
+    def _add_function(
+        self,
+        prefix: str,
+        module: ModuleContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: str | None,
+    ) -> None:
+        info = FunctionInfo(
+            qualname=f"{prefix}.{node.name}",
+            name=node.name,
+            cls=cls,
+            module=module,
+            node=node,
+        )
+        self.functions[info.qualname] = info
+        if cls is not None:
+            self.methods_by_name.setdefault(node.name, []).append(info)
+
+    # -- queries -----------------------------------------------------------
+
+    def resolve_call(
+        self, module: ModuleContext, call: ast.Call
+    ) -> list[FunctionInfo]:
+        """Candidate definitions a ``Call`` in ``module`` may dispatch to.
+
+        Exact matches (import-alias resolution, same-module bare names)
+        return a single candidate; attribute calls whose receiver type is
+        unknown fall back to every method sharing the terminal name.
+        """
+        resolved = module.resolve(call.func)
+        if resolved is not None:
+            exact = self.functions.get(resolved)
+            if exact is not None:
+                return [exact]
+            # Modules outside a ``repro`` tree (fixtures, scratch dirs)
+            # register under path-derived qualnames; an alias like
+            # ``a.collect`` still identifies them by dotted suffix.
+            suffix = [
+                info
+                for info in self.functions.values()
+                if info.qualname.endswith(f".{resolved}")
+            ]
+            if suffix:
+                return suffix
+        name = call_name(call)
+        if name is None:
+            return []
+        if isinstance(call.func, ast.Name):
+            dotted = module_dotted_name(module.logical)
+            local = self.functions.get(f"{dotted}.{name}")
+            return [local] if local is not None else []
+        return list(self.methods_by_name.get(name, ()))
+
+    def has_thread_evidence(self) -> bool:
+        """Whether any linted module spawns threads or process pools."""
+        return bool(self.thread_evidence)
+
+    def thread_evidence_summary(self) -> str:
+        """A short ``path (marker)`` listing for DPL007 messages."""
+        items = sorted(self.thread_evidence.items())[:3]
+        return "; ".join(f"{path} uses {marker}" for path, marker in items)
+
+
+def _concurrency_evidence(module: ModuleContext) -> str | None:
+    """The first thread/pool marker a module references, if any."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Attribute) and node.attr in _CONCURRENCY_MARKERS:
+            resolved = module.resolve(node)
+            if resolved is not None and resolved.startswith(_CONCURRENCY_MODULES):
+                return resolved
+        elif isinstance(node, ast.Name) and node.id in _CONCURRENCY_MARKERS:
+            resolved = module.aliases.get(node.id)
+            if resolved is not None and resolved.startswith(_CONCURRENCY_MODULES):
+                return resolved
+            # http.server.ThreadingHTTPServer is threading-backed too.
+            if resolved is not None and resolved.endswith(node.id):
+                return resolved
+    return None

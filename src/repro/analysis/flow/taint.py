@@ -1,0 +1,317 @@
+"""Interprocedural taint propagation with witness chains (DPL006's core).
+
+The analysis is *return-flow* taint with one-level local dataflow, the
+whole-program generalization of the heuristics DPL002/DPL004 use inside a
+module:
+
+1. A **source call** (``store.history(u)``, ``load_checkins_csv(p)``)
+   produces tainted data at its call site.
+2. A function is **return-tainted** when a source call — or a call to an
+   already return-tainted function — reaches one of its ``return`` /
+   ``yield`` expressions, where "reaches" means: appears in the expression
+   itself or in the right-hand side of a local name binding the expression
+   mentions (expansion is depth-capped and cycle-safe). Summaries are
+   computed to a fixpoint over the whole program, so taint crosses module
+   boundaries through the call graph.
+3. A **sink site** is flagged when a tainted call reaches one of its
+   argument expressions the same way.
+
+Three things clear taint, in catalog-declared ways: **sanitizers** (noise
+application — the DP mechanism itself), the **include_counts guard** (an
+enclosing ``if ... include_counts:`` opt-in, as in DPL004), and
+**declassifiers** (reviewed aggregate surfaces; the walk does not descend
+into their call subtrees).
+
+Known, documented limits: parameter taint is not tracked (taint enters at
+source *calls*, not function parameters), tuple-unpacking bindings are not
+expanded, and attribute stores are not tracked across statements. The
+runtime half of those blind spots is dpsan's job.
+
+Every finding carries a witness ``trace`` — the source site and each call
+site the taint travelled through — which the runner uses for suppression
+matching (a ``# dplint: disable`` anywhere on the path silences the
+finding) and the text renderer prints as ``flow:`` lines.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.astutils import (
+    ModuleContext,
+    call_name,
+    local_assignments,
+    postorder_calls,
+)
+from repro.analysis.flow.catalog import Catalog, SinkSpec, SourceSpec
+from repro.analysis.flow.graph import Program
+from repro.analysis.violations import TraceSite
+
+#: Expansion depth of local name bindings (matches astutils' default).
+_EXPAND_DEPTH = 3
+
+#: Longest witness chain kept on a finding (ends are more informative
+#: than the middle: the source and the final hops before the sink).
+_MAX_TRACE = 8
+
+_SCOPE_BOUNDARIES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+class _ExprScan:
+    """Calls and names reachable from an expression, barrier-aware."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self.calls: list[ast.Call] = []
+        self.names: set[str] = set()
+        self.sanitized = False
+
+    def scan(self, node: ast.AST) -> None:
+        if isinstance(node, _SCOPE_BOUNDARIES):
+            return
+        if isinstance(node, ast.Call):
+            if self.catalog.is_sanitizer(node):
+                self.sanitized = True
+                return
+            if self.catalog.is_declassifier(node):
+                return  # barrier: aggregates don't carry per-user taint out
+            self.calls.append(node)
+        elif isinstance(node, ast.Attribute):
+            # ``corpus.num_users`` declassifies exactly like
+            # ``corpus.stats()``: property-style aggregate access is a
+            # barrier too, and skipping the subtree keeps the receiver
+            # name out of the binding expansion.
+            if node.attr in self.catalog.declassifiers:
+                return
+        elif isinstance(node, ast.Name):
+            self.names.add(node.id)
+        for child in ast.iter_child_nodes(node):
+            self.scan(child)
+
+
+def analyze_expr(
+    expr: ast.AST, bindings: dict[str, ast.expr], catalog: Catalog
+) -> _ExprScan:
+    """Scan ``expr`` plus the bindings of every local name it mentions."""
+    scan = _ExprScan(catalog)
+    scan.scan(expr)
+    seen: set[str] = set()
+    frontier = {name for name in scan.names if name in bindings}
+    for _ in range(_EXPAND_DEPTH):
+        next_names: set[str] = set()
+        for name in frontier:
+            if name in seen:
+                continue
+            seen.add(name)
+            before = set(scan.names)
+            scan.scan(bindings[name])
+            next_names |= scan.names - before
+        frontier = {name for name in next_names if name in bindings} - seen
+        if not frontier:
+            break
+    return scan
+
+
+@dataclass(frozen=True)
+class TaintSummary:
+    """Why one function's return value is tainted.
+
+    Attributes:
+        qualname: the tainted function.
+        source: the originating source spec.
+        trace: witness sites, source access first, ending with the
+            taint-carrying call inside this function.
+    """
+
+    qualname: str
+    source: SourceSpec
+    trace: tuple[TraceSite, ...]
+
+
+def _cap_trace(trace: tuple[TraceSite, ...]) -> tuple[TraceSite, ...]:
+    if len(trace) <= _MAX_TRACE:
+        return trace
+    keep_head = _MAX_TRACE // 2
+    keep_tail = _MAX_TRACE - keep_head
+    return trace[:keep_head] + trace[-keep_tail:]
+
+
+def _return_exprs(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[ast.expr]:
+    """Return / yield expressions of a function body (not nested scopes)."""
+    exprs: list[ast.expr] = []
+
+    def visit(current: ast.AST, root: bool) -> None:
+        if not root and isinstance(current, _SCOPE_BOUNDARIES):
+            return
+        if isinstance(current, ast.Return) and current.value is not None:
+            exprs.append(current.value)
+        elif isinstance(current, (ast.Yield, ast.YieldFrom)):
+            if current.value is not None:
+                exprs.append(current.value)
+        for child in ast.iter_child_nodes(current):
+            visit(child, root=False)
+
+    visit(node, root=True)
+    return exprs
+
+
+def _first_taint(
+    calls: list[ast.Call],
+    module: ModuleContext,
+    program: Program,
+    catalog: Catalog,
+    summaries: dict[str, TaintSummary],
+) -> tuple[TraceSite, tuple[TraceSite, ...], SourceSpec] | None:
+    """The highest-confidence taint hit among ``calls``.
+
+    Direct source calls win over tainted-callee calls (shorter witness);
+    returns ``(site_here, upstream_trace, source_spec)``.
+    """
+    for call in calls:
+        spec = catalog.match_source(call)
+        if spec is not None:
+            site = TraceSite(
+                path=module.path,
+                line=call.lineno,
+                note=f"source `{call_name(call)}`: {spec.description}",
+            )
+            return site, (), spec
+    for call in calls:
+        for target in program.resolve_call(module, call):
+            summary = summaries.get(target.qualname)
+            if summary is not None:
+                site = TraceSite(
+                    path=module.path,
+                    line=call.lineno,
+                    note=f"call into tainted `{target.qualname}`",
+                )
+                return site, summary.trace, summary.source
+    return None
+
+
+def compute_taint(program: Program, catalog: Catalog) -> dict[str, TaintSummary]:
+    """Fixpoint over all functions: which return values carry raw data."""
+    summaries: dict[str, TaintSummary] = {}
+    changed = True
+    while changed:
+        changed = False
+        for info in program.functions.values():
+            if info.qualname in summaries:
+                continue
+            if info.name in catalog.declassifiers:
+                continue
+            bindings = local_assignments(info.node)
+            for expr in _return_exprs(info.node):
+                scan = analyze_expr(expr, bindings, catalog)
+                if scan.sanitized:
+                    continue
+                hit = _first_taint(
+                    scan.calls, info.module, program, catalog, summaries
+                )
+                if hit is None:
+                    continue
+                site, upstream, source = hit
+                summaries[info.qualname] = TaintSummary(
+                    qualname=info.qualname,
+                    source=source,
+                    trace=_cap_trace(upstream + (site,)),
+                )
+                changed = True
+                break
+    return summaries
+
+
+@dataclass(frozen=True)
+class FlowFinding:
+    """One sensitive-flow-to-export hit, ready for DPL006 to report."""
+
+    module: ModuleContext
+    line: int
+    col: int
+    sink: SinkSpec
+    source: SourceSpec
+    trace: tuple[TraceSite, ...]
+
+
+def _module_level_bindings(tree: ast.Module) -> dict[str, ast.expr]:
+    bindings: dict[str, ast.expr] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                bindings[target.id] = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                bindings[node.target.id] = node.value
+    return bindings
+
+
+def _guarded(module: ModuleContext, node: ast.AST, guard: str) -> bool:
+    """Whether an enclosing ``if``/conditional tests the opt-in flag."""
+    for ancestor in module.ancestors(node):
+        if not isinstance(ancestor, (ast.If, ast.IfExp)):
+            continue
+        for sub in ast.walk(ancestor.test):
+            if isinstance(sub, ast.Name) and sub.id == guard:
+                return True
+            if isinstance(sub, ast.Attribute) and sub.attr == guard:
+                return True
+    return False
+
+
+def _sink_arguments(call: ast.Call, spec: SinkSpec) -> list[ast.expr]:
+    kwarg_values = [kw.value for kw in call.keywords if kw.arg is not None]
+    if spec.kwargs_only:
+        return kwarg_values
+    return list(call.args) + kwarg_values
+
+
+def find_flows(program: Program, catalog: Catalog) -> list[FlowFinding]:
+    """Every tainted-data-reaches-sink site in the program."""
+    summaries = compute_taint(program, catalog)
+    findings: list[FlowFinding] = []
+    scopes: list[tuple[ast.AST, ModuleContext, dict[str, ast.expr]]] = [
+        (info.node, info.module, local_assignments(info.node))
+        for info in program.functions.values()
+    ]
+    scopes.extend(
+        (module.tree, module, _module_level_bindings(module.tree))
+        for module in program.modules.values()
+    )
+    for scope, module, bindings in scopes:
+        for call in postorder_calls(scope):
+            sinks = catalog.match_sinks(call, module)
+            if not sinks:
+                continue
+            if _guarded(module, call, catalog.opt_in_guard):
+                continue
+            for spec in sinks:
+                hit = None
+                for expr in _sink_arguments(call, spec):
+                    scan = analyze_expr(expr, bindings, catalog)
+                    if scan.sanitized:
+                        continue
+                    hit = _first_taint(
+                        scan.calls, module, program, catalog, summaries
+                    )
+                    if hit is not None:
+                        break
+                if hit is None:
+                    continue
+                site, upstream, source = hit
+                trace = upstream + (site,)
+                findings.append(
+                    FlowFinding(
+                        module=module,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        sink=spec,
+                        source=source,
+                        trace=_cap_trace(trace),
+                    )
+                )
+                break  # one finding per call site is enough
+    return findings

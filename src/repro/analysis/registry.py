@@ -11,10 +11,13 @@ registry in rule-id order.
 from __future__ import annotations
 
 import abc
-from typing import ClassVar
+from typing import TYPE_CHECKING, ClassVar
 
 from repro.analysis.astutils import ModuleContext
-from repro.analysis.violations import Violation
+from repro.analysis.violations import TraceSite, Violation
+
+if TYPE_CHECKING:
+    from repro.analysis.flow.graph import Program
 
 
 class Rule(abc.ABC):
@@ -54,6 +57,43 @@ class Rule(abc.ABC):
             line=line,
             col=col + 1,  # ast columns are 0-based; report 1-based
             message=message,
+        )
+
+
+class ProgramRule(Rule):
+    """Base class for whole-program (dpflow) rules.
+
+    Where a plain :class:`Rule` sees one module at a time, a program rule
+    runs once over the :class:`~repro.analysis.flow.graph.Program` built
+    from *every* linted module, so it can follow data across call and
+    module boundaries. ``check`` (the single-module hook) is a no-op;
+    the runner calls :meth:`check_program` after the per-module pass.
+    """
+
+    def check(self, module: ModuleContext) -> list[Violation]:
+        return []
+
+    @abc.abstractmethod
+    def check_program(self, program: "Program") -> list[Violation]:
+        """Run the rule over the whole program; return its violations."""
+
+    def program_violation(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        trace: tuple[TraceSite, ...] = (),
+    ) -> Violation:
+        """Build a :class:`Violation` with an interprocedural witness path."""
+        return Violation(
+            rule_id=self.rule_id,
+            rule_name=self.name,
+            path=path,
+            line=line,
+            col=col + 1,  # ast columns are 0-based; report 1-based
+            message=message,
+            trace=trace,
         )
 
 

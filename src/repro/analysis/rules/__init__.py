@@ -4,7 +4,10 @@ from repro.analysis.rules import (  # noqa: F401 (import-for-side-effect)
     accounting_hygiene,
     count_export,
     dp_ordering,
+    fork_safety,
     rng_discipline,
+    sensitive_flow,
+    shared_state,
     uniform_negatives,
 )
 
@@ -12,6 +15,9 @@ __all__ = [
     "accounting_hygiene",
     "count_export",
     "dp_ordering",
+    "fork_safety",
     "rng_discipline",
+    "sensitive_flow",
+    "shared_state",
     "uniform_negatives",
 ]

@@ -74,6 +74,9 @@ class NoRawCountExport(Rule):
         "repro/serving/",
         "repro/models/serialization",
         "repro/observability/",
+        # The on-disk corpus layer writes exported artifacts too (store
+        # manifests, describe() payloads); added when PR 6 introduced it.
+        "repro/data/store",
     )
 
     def check(self, module: ModuleContext) -> list[Violation]:

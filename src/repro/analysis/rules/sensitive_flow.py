@@ -1,0 +1,61 @@
+"""DPL006: sensitive per-user data never reaches an export sink unsanitized.
+
+DPL004 polices count-shaped *keys* inside the export modules; this rule
+polices the *data itself*, program-wide. It runs the dpflow taint engine
+(:mod:`repro.analysis.flow.taint`) over the whole program: a call whose
+result is raw check-in data (``store.history(u)``, ``load_checkins_csv``,
+``dataset.all_checkins()`` — the declared sources in
+:mod:`repro.analysis.flow.catalog`) must not reach a serialization, HTTP,
+metrics-label, JSONL-observer, or log-string sink, directly or through
+any chain of return-tainted helper functions, unless the data passed
+through a declared sanitizer (noise application) or the sink sits under
+the explicit ``include_counts`` opt-in.
+
+Each finding carries the witness path as ``flow:`` trace lines, and a
+``# dplint: disable=DPL006`` on *any* site of that path (source, sink, or
+an intermediate call) suppresses it — the reviewed hop clears the whole
+flow.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.flow.catalog import DEFAULT_CATALOG, Catalog
+from repro.analysis.flow.taint import find_flows
+from repro.analysis.registry import ProgramRule, register
+from repro.analysis.violations import Violation
+
+if TYPE_CHECKING:
+    from repro.analysis.flow.graph import Program
+
+
+@register
+class SensitiveFlowToExport(ProgramRule):
+    rule_id = "DPL006"
+    name = "sensitive-flow-to-export"
+    invariant = (
+        "raw per-user check-in data only leaves the process after noise "
+        "(the DP mechanism) or through the explicit include_counts opt-in"
+    )
+
+    def __init__(self, catalog: Catalog = DEFAULT_CATALOG) -> None:
+        self.catalog = catalog
+
+    def check_program(self, program: "Program") -> list[Violation]:
+        violations: list[Violation] = []
+        for finding in find_flows(program, self.catalog):
+            violations.append(
+                self.program_violation(
+                    finding.module.path,
+                    finding.line,
+                    finding.col,
+                    f"{finding.source.description} reaches export sink "
+                    f"`{finding.sink.name}` ({finding.sink.description}) "
+                    "without a declared sanitizer (noise application) or an "
+                    "include_counts gate; route the data through the noise "
+                    "stage or gate the sink on the opt-in",
+                    trace=finding.trace,
+                )
+            )
+        return violations

@@ -1,0 +1,189 @@
+"""DPL007: shared mutable state is locked or has a documented single writer.
+
+The serving stack handles requests on ``ThreadingHTTPServer`` threads, the
+engine fans buckets out to process pools, and the observability registry
+is written from all of them. Every class on that boundary — the catalog's
+``SHARED_STATE_CLASSES`` plus any class that *owns* a lock (assigns one to
+``self`` in ``__init__``) — must follow one of two disciplines for each
+``self`` mutation outside ``__init__``:
+
+1. the mutation happens under ``with <something named lock-ish>:``, or
+2. the class or method docstring documents ownership with a marker —
+   ``single-writer`` (one coordinator thread mutates, readers tolerate
+   staleness) or ``lock held`` (helper only called with the lock taken).
+
+The rule is whole-program on purpose: it only fires when some linted
+module actually spawns threads or pools (otherwise there is no second
+writer to race with), and the evidence is named in the message.
+
+Runtime enforcement of the same invariant is dpsan's job
+(:mod:`repro.analysis.sanitizer`): what this rule accepts on paper, the
+sanitizer asserts under real concurrent execution.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.analysis.flow.catalog import DEFAULT_CATALOG, Catalog
+from repro.analysis.registry import ProgramRule, register
+from repro.analysis.violations import Violation
+
+if TYPE_CHECKING:
+    from repro.analysis.flow.graph import ClassInfo, Program
+
+_INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Semaphore", "BoundedSemaphore"})
+
+
+def _mentions_lock(expr: ast.AST) -> bool:
+    """Whether an expression names anything lock-ish (``self._lock``)."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and "lock" in node.id.lower():
+            return True
+        if isinstance(node, ast.Attribute) and "lock" in node.attr.lower():
+            return True
+    return False
+
+
+def _owns_lock(cls_node: ast.ClassDef) -> bool:
+    """Whether ``__init__`` assigns a lock (by name or factory) to ``self``."""
+    for member in cls_node.body:
+        if not isinstance(member, ast.FunctionDef) or member.name != "__init__":
+            continue
+        for node in ast.walk(member):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                if "lock" in target.attr.lower():
+                    return True
+                if (
+                    isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and node.value.func.attr in _LOCK_FACTORIES
+                ):
+                    return True
+    return False
+
+
+def _has_marker(node: ast.AST, markers: tuple[str, ...]) -> bool:
+    docstring = ast.get_docstring(node)  # type: ignore[arg-type]
+    if not docstring:
+        return False
+    lowered = docstring.lower()
+    return any(marker in lowered for marker in markers)
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """The attribute name if ``node`` is ``self.x`` or ``self.x[...]``."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@register
+class SharedStateLocking(ProgramRule):
+    rule_id = "DPL007"
+    name = "shared-state-locking"
+    invariant = (
+        "state reachable from handler threads or pool callbacks is mutated "
+        "under a lock or by a documented single writer"
+    )
+
+    def __init__(self, catalog: Catalog = DEFAULT_CATALOG) -> None:
+        self.catalog = catalog
+
+    def check_program(self, program: "Program") -> list[Violation]:
+        if not program.has_thread_evidence():
+            return []
+        evidence = program.thread_evidence_summary()
+        violations: list[Violation] = []
+        for cls in program.classes:
+            if not (
+                cls.name in self.catalog.shared_state_classes
+                or _owns_lock(cls.node)
+            ):
+                continue
+            if _has_marker(cls.node, self.catalog.ownership_markers):
+                continue
+            violations.extend(self._check_class(cls, evidence))
+        return violations
+
+    def _check_class(self, cls: "ClassInfo", evidence: str) -> list[Violation]:
+        violations: list[Violation] = []
+        for member in cls.node.body:
+            if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if member.name in _INIT_METHODS:
+                continue
+            if _has_marker(member, self.catalog.ownership_markers):
+                continue
+            for node, attr, action in self._mutations(member):
+                if self._under_lock(cls, member, node):
+                    continue
+                violations.append(
+                    self.program_violation(
+                        cls.module.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"`{cls.name}.{member.name}` {action} `self.{attr}` "
+                        "without holding a lock; the program runs threads/"
+                        f"pools ({evidence}) — wrap the mutation in "
+                        "`with <lock>:` or document ownership with a "
+                        "'single-writer' / 'lock held' docstring marker",
+                    )
+                )
+        return violations
+
+    def _mutations(
+        self, method: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[tuple[ast.AST, str, str]]:
+        """``(node, self-attribute, action)`` mutation sites in a method."""
+        found: list[tuple[ast.AST, str, str]] = []
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        found.append((node, attr, "assigns"))
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.catalog.mutator_methods
+            ):
+                attr = _self_attr(node.func.value)
+                if attr is not None:
+                    found.append((node, attr, f"calls `.{node.func.attr}()` on"))
+        return found
+
+    def _under_lock(
+        self,
+        cls: "ClassInfo",
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: ast.AST,
+    ) -> bool:
+        """Whether a mutation sits inside ``with <lock-ish>:`` in its method."""
+        for ancestor in cls.module.ancestors(node):
+            if ancestor is method:
+                break
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)) and any(
+                _mentions_lock(item.context_expr) for item in ancestor.items
+            ):
+                return True
+        return False

@@ -9,7 +9,23 @@ violations show inline on pull requests.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSite:
+    """One intermediate site of an interprocedural finding's witness path.
+
+    Whole-program rules (DPL006+) report a violation at one location (the
+    sink) but justify it with a chain of sites — the source access and the
+    call sites the taint travelled through. Each site participates in
+    suppression matching: a ``# dplint: disable`` on any site of the path
+    silences the finding (see ``docs/static-analysis.md``).
+    """
+
+    path: str
+    line: int
+    note: str
 
 
 @dataclass(frozen=True, slots=True)
@@ -23,6 +39,8 @@ class Violation:
         line: 1-based source line.
         col: 1-based source column.
         message: what is wrong and what the fix direction is.
+        trace: witness path of an interprocedural finding, ordered from
+            the source toward the sink (empty for single-module rules).
     """
 
     rule_id: str
@@ -31,6 +49,7 @@ class Violation:
     line: int
     col: int
     message: str
+    trace: tuple[TraceSite, ...] = field(default=())
 
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule_id)
@@ -43,11 +62,18 @@ def _summary(count: int) -> str:
 
 
 def render_text(violations: list[Violation]) -> str:
-    """``path:line:col: DPL00x message [slug]`` lines plus a summary."""
-    lines = [
-        f"{v.path}:{v.line}:{v.col}: {v.rule_id} {v.message} [{v.rule_name}]"
-        for v in violations
-    ]
+    """``path:line:col: DPL00x message [slug]`` lines plus a summary.
+
+    Interprocedural findings append their witness path as indented
+    ``flow:`` lines, source first, so the report reads source -> sink.
+    """
+    lines = []
+    for v in violations:
+        lines.append(
+            f"{v.path}:{v.line}:{v.col}: {v.rule_id} {v.message} [{v.rule_name}]"
+        )
+        for site in v.trace:
+            lines.append(f"    flow: {site.path}:{site.line}: {site.note}")
     lines.append(_summary(len(violations)))
     return "\n".join(lines)
 

@@ -151,6 +151,17 @@ class PairSource(abc.ABC):
         """
         return None
 
+    def release_resources(self) -> None:
+        """Drop process-local handles (mmaps, caches) ahead of a fork.
+
+        The close-before-fork half of the fork-safety contract (DPL008):
+        the engine calls this right before an executor may start worker
+        processes, so no memory-mapped shard handle is inherited across
+        ``fork``. The source stays usable — dropped state is rebuilt
+        lazily on the next access. In-memory sources hold nothing to
+        release; the default is a no-op.
+        """
+
 
 @dataclass(frozen=True, slots=True)
 class InMemorySourceSpec:
@@ -225,6 +236,10 @@ class StorePairSource(PairSource):
     across rounds), so resident pair memory is bounded by the cache — not
     the corpus.
 
+    Concurrency: single-writer. An instance is owned by the coordinating
+    trainer thread; worker processes never share it — they rebuild their
+    own source from :meth:`spec` (enforced at runtime by dpsan).
+
     Args:
         store: the backing corpus store.
         vocabulary: the full training vocabulary (already built by
@@ -297,6 +312,18 @@ class StorePairSource(PairSource):
             sessionize_training=self.sessionize_training,
             max_session_seconds=self.max_session_seconds,
         )
+
+    def release_resources(self) -> None:
+        """Drop the pair cache and the store's mmap handles pre-fork.
+
+        Both rebuild lazily: the next :meth:`pairs` call recomputes (or
+        the store remaps) exactly the same bytes, so releasing never
+        changes results — only what a forked child could inherit.
+        """
+        self._cache.clear()
+        release_maps = getattr(self.store, "release_maps", None)
+        if release_maps is not None:
+            release_maps()
 
 
 def build_pair_source(

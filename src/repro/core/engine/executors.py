@@ -248,6 +248,10 @@ class ParallelExecutor(BucketExecutor):
     seed, and updates are reassembled in bucket-index order before the
     order-sensitive floating-point aggregation downstream.
 
+    Concurrency: single-writer. The executor object (pool handle
+    included) is owned by the coordinating trainer thread; worker
+    processes only ever see pickled job payloads.
+
     Args:
         max_workers: worker process count (default: ``os.cpu_count()``).
     """
@@ -389,7 +393,10 @@ class ShardedExecutor(BucketExecutor):
     each bucket's pairs on demand, and stream back clipped float64 bucket
     deltas. The coordinator reassembles them in bucket-index order and
     remains the single writer for aggregation, noising, and accounting —
-    so the privacy ledger is bit-identical to a serial run.
+    so the privacy ledger is bit-identical to a serial run. The executor
+    object itself follows the same single-writer discipline: only the
+    coordinating trainer thread mutates it (pool lifecycle, spec,
+    observability bindings); dpsan asserts this at runtime.
 
     Fault tolerance: a worker death breaks the process pool mid-round. The
     executor closes the broken pool, rebuilds it (workers re-run the

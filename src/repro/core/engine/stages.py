@@ -128,6 +128,11 @@ class StepResult:
 class StepPipeline:
     """The stage functions of Algorithm 1 over one model/dataset/ledger.
 
+    Concurrency: single-writer. The pipeline (snapshot, deferral flags,
+    ledger writes) is mutated only by the engine's step loop on the
+    coordinating trainer thread — executors return bucket results; they
+    never touch pipeline state. dpsan asserts this at runtime.
+
     Args:
         config: the Algorithm 1 hyper-parameters.
         model: the skip-gram model being trained (owns ``theta``).
@@ -204,6 +209,11 @@ class StepPipeline:
                 "or train from a sharded on-disk corpus"
             )
         executor.configure(spec)
+        # Close-before-fork: the executor's pool start may fork this
+        # process, and any mmap handle open on the source would be
+        # inherited by the children. Dropping them here is cheap — the
+        # coordinator lazily reopens on its next access.
+        self.source.release_resources()
         self._defer_pairs = True
 
     # -- stages, in Algorithm 1 order -----------------------------------------

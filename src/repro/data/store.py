@@ -207,6 +207,14 @@ class ShardedCheckinStore(CheckinStore):
     maps, so resident memory tracks the OS page cache of the users
     actually visited — not the corpus size.
 
+    Concurrency: single-writer. A store handle (its LRU of open maps and
+    lazy position index) belongs to one thread in one process; sharded
+    workers each open their own handle from the path, and a handle that
+    is about to cross a fork must drop its maps first — see
+    :meth:`release_maps` and the fork-safety contract in
+    ``docs/static-analysis.md``. dpsan asserts the single-writer part at
+    runtime.
+
     Args:
         path: the store directory (see module docstring for the layout).
         max_open_shards: LRU capacity of concurrently mapped shard files.
@@ -341,6 +349,26 @@ class ShardedCheckinStore(CheckinStore):
             "num_checkins": self.num_checkins,
             "num_shards": int(self.manifest["num_shards"]),
         }
+
+    def release_maps(self) -> None:
+        """Drop every open shard map; the store stays usable.
+
+        The close-before-fork half of the fork-safety contract (DPL008):
+        called ahead of any worker-pool start so no mmap handle is
+        inherited across ``fork``. Unlike :meth:`close`, the handle
+        remains live — the next :meth:`history` access simply remaps the
+        shard it needs, yielding byte-identical records.
+        """
+        self._open_shards.clear()
+
+    def __getstate__(self) -> dict[str, object]:
+        # Pickling a numpy memmap serializes the full shard bytes — a
+        # silent corpus copy into the pickle stream — and the underlying
+        # OS handle must not cross a fork either. Ship the store without
+        # its maps; the receiving process remaps lazily on first access.
+        state = dict(self.__dict__)
+        state["_open_shards"] = OrderedDict()
+        return state
 
     def close(self) -> None:
         self._open_shards.clear()

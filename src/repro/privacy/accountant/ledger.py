@@ -31,6 +31,10 @@ class LedgerEntry:
 class PrivacyLedger:
     """Append-only record of private steps with cumulative budget queries.
 
+    Concurrency: single-writer. Exactly one training loop accounts into a
+    ledger; serving and observability only call the read-only budget
+    queries. dpsan asserts the single-writer discipline at runtime.
+
     Args:
         delta: the fixed failure probability of the overall guarantee (the
             paper fixes ``delta = 2e-4 < 1/N``).

@@ -8,11 +8,26 @@ seed-or-generator convention and deterministic stream splitting.
 
 from __future__ import annotations
 
-from typing import Final, TypeAlias, Union
+from typing import Callable, Final, Optional, TypeAlias, Union
 
 import numpy as np
 
 RngLike: TypeAlias = Union[int, np.random.Generator, None]
+
+#: Optional observation hook for the dpsan runtime sanitizer
+#: (:mod:`repro.analysis.sanitizer`). When set, every :func:`spawn` and
+#: :func:`derive_seed_sequence` call reports ``(event, tags)`` — e.g.
+#: ``("derive", (step, bucket))`` — *before* doing its (draw-free) work.
+#: The hook observes and never alters results; it lives here, inside the
+#: module, so call sites that bound the functions at import time
+#: (``from repro.rng import derive_seed_sequence``) are still observed.
+_OBSERVER: Optional[Callable[[str, tuple[int, ...]], None]] = None
+
+
+def _observe(event: str, tags: tuple[int, ...]) -> None:
+    observer = _OBSERVER
+    if observer is not None:
+        observer(event, tags)
 
 
 def ensure_rng(rng: RngLike = None) -> np.random.Generator:
@@ -38,6 +53,7 @@ def spawn(rng: RngLike, count: int) -> list[np.random.Generator]:
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
+    _observe("spawn", (count,))
     return ensure_rng(rng).spawn(count)
 
 
@@ -79,6 +95,7 @@ def derive_seed_sequence(rng: RngLike, *tags: int) -> np.random.SeedSequence:
     stream, and the result does not depend on how many values the parent
     has already generated. Cheap enough to call once per bucket per step.
     """
+    _observe("derive", tags)
     parent_seq = seed_sequence_of(rng)
     return np.random.SeedSequence(
         entropy=parent_seq.entropy,

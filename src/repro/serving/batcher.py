@@ -110,7 +110,12 @@ class MicroBatcher:
         return pending.result
 
     def close(self, join_timeout: float = 5.0) -> None:
-        """Stop the worker; subsequent :meth:`submit` calls fail fast."""
+        """Stop the worker; subsequent :meth:`submit` calls fail fast.
+
+        Single-writer: only the owning (server) thread calls ``close``;
+        the worker and submitters read ``_closed`` without a lock, which
+        is safe — a stale read just means one more queue round-trip.
+        """
         if self._closed:
             return
         self._closed = True

@@ -1,0 +1,44 @@
+"""DPL006 flagged fixture: raw per-user history flows to export sinks.
+
+Linted under an export-module logical path (the tests pass one), so the
+scoped ``dumps`` sink applies alongside the global ones.
+"""
+
+import json
+
+
+def collect_history(store, user):
+    # Return-tainted: the source call reaches the return expression.
+    return store.history(user)
+
+
+def build_payload(store, user):
+    # Return-tainted transitively, through the local binding.
+    rows = collect_history(store, user)
+    return {"user": user, "rows": rows}
+
+
+def export_artifact(store, user, out):
+    # Sink: tainted data serialized into an artifact (interprocedural).
+    payload = build_payload(store, user)
+    out.write(json.dumps(payload))
+
+
+def respond(handler, store, user):
+    # Sink: tainted data into an HTTP payload, two hops from the source.
+    _send_json(handler, build_payload(store, user))
+
+
+def log_raw(store, user):
+    # Sink: tainted data into a log string, direct from the source.
+    print(store.history(user))
+
+
+def record_metric(metrics, store, user):
+    # Sink: tainted data as a metric label value (kwargs-only sink).
+    rows = collect_history(store, user)
+    metrics.inc(1.0, location=rows[0])
+
+
+def _send_json(handler, payload):
+    handler.wfile.write(json.dumps(payload).encode())

@@ -1,0 +1,35 @@
+"""DPL006 clean fixture: every export is sanitized, declassified, or gated."""
+
+import json
+
+
+def collect_history(store, user):
+    return store.history(user)
+
+
+def export_noised(store, user, out, backend):
+    # Sanitizer clears taint: noise application is the DP mechanism.
+    noised = backend.add_noise(collect_history(store, user))
+    out.write(json.dumps(noised))
+
+
+def log_aggregates(store):
+    # Declassifiers: reviewed aggregate surfaces, call- and attribute-style.
+    print(store.stats())
+    print(f"{store.num_users} users / {store.num_checkins} check-ins")
+
+
+def export_counts(store, user, out, options):
+    # The include_counts opt-in gates the sink site.
+    if options.include_counts:
+        out.write(json.dumps(collect_history(store, user)))
+
+
+def respond_model_output(handler, recommender, user):
+    # Model outputs are post-processing of the DP mechanism.
+    scores = recommender.fit(user)
+    _send_json(handler, {"scores": scores})
+
+
+def _send_json(handler, payload):
+    handler.wfile.write(json.dumps(payload).encode())

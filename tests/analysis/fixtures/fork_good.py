@@ -1,0 +1,26 @@
+"""DPL008 clean fixture: only plain data and seed material cross the boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+class PathSourceSpec:
+    path: str
+    locations: tuple
+    window: int
+
+
+def ship_spec(path, locations, window):
+    return PathSourceSpec(path, locations=locations, window=window)
+
+
+def submit_job(pool, spec, jobs, seeds):
+    # Pre-derived SeedSequence material is the sanctioned payload.
+    return pool.submit(run_chunk, spec, jobs, seeds)
+
+
+def make_pool(spec, fault_marker):
+    return ProcessPoolExecutor(max_workers=2, initargs=(spec, fault_marker))
+
+
+def run_chunk(spec, jobs, seeds):
+    return jobs

@@ -1,0 +1,32 @@
+"""DPL007 flagged fixture: unlocked mutation of thread-shared state.
+
+The module spawns threads, so the program-wide concurrency precondition
+holds; ``SeriesRegistry`` owns a lock (auto-detected, no catalog entry
+needed) but mutates shared dictionaries outside it.
+"""
+
+import threading
+
+
+class SeriesRegistry:
+    """Shared between handler threads."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._series = {}
+        self._names = []
+
+    def record(self, name, value):
+        self._series[name] = value  # mutation outside the lock
+        self._names.append(name)  # mutator call outside the lock
+
+    def rename(self, old, new):
+        with self._lock:
+            self._series[new] = self._series.pop(old)
+        self._flushed = False  # mutation after the lock was released
+
+
+def start_worker(registry):
+    thread = threading.Thread(target=registry.record, args=("x", 1.0))
+    thread.start()
+    return thread

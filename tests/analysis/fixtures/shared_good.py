@@ -1,0 +1,42 @@
+"""DPL007 clean fixture: locked mutations and documented single writers."""
+
+import threading
+
+
+class SeriesRegistry:
+    """Shared between handler threads."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._series = {}
+        self._names = []
+
+    def record(self, name, value):
+        with self._lock:
+            self._series[name] = value
+            self._names.append(name)
+
+    def _store(self, name, value):
+        """Insert a series entry (lock held by the caller)."""
+        self._series[name] = value
+
+
+class StepAccumulator:
+    """Per-run scratch state.
+
+    Concurrency: single-writer — only the coordinating loop thread
+    touches an accumulator; worker threads get their own.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.totals = []
+
+    def add(self, value):
+        self.totals.append(value)
+
+
+def start_worker(registry):
+    thread = threading.Thread(target=registry.record, args=("x", 1.0))
+    thread.start()
+    return thread

@@ -40,6 +40,9 @@ class TestShippedTree:
             "DPL003",
             "DPL004",
             "DPL005",
+            "DPL006",
+            "DPL007",
+            "DPL008",
         }
 
 
@@ -108,6 +111,26 @@ class TestCliSurfaces:
         with pytest.raises(UsageError):
             lint_paths([tmp_path], select=["NOPE"])
 
+    def test_exit_code_parity_between_entry_points(self, tmp_path, capsys):
+        # repro lint and python -m repro.analysis share the runner module
+        # end to end, so exit codes agree on clean, dirty, and usage-error
+        # invocations alike.
+        from repro.cli import main as cli_main
+
+        bad = tmp_path / "repro" / "core" / "seeded.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import numpy as np\n\ndef f():\n    return np.random.default_rng()\n"
+        )
+        target = str(tmp_path)
+        assert main([target]) == cli_main(["lint", target]) == 1
+        assert (
+            main(["--select", "DPL999", target])
+            == cli_main(["lint", "--select", "DPL999", target])
+            == 2
+        )
+        capsys.readouterr()
+
     @pytest.mark.slow
     def test_python_dash_m_entry_point(self):
         result = subprocess.run(
@@ -119,3 +142,88 @@ class TestCliSurfaces:
         )
         assert result.returncode == 0, result.stderr
         assert "no violations" in result.stdout
+
+
+BAD_RNG = "import numpy as np\n\ndef f():\n    return np.random.default_rng()\n"
+
+
+class TestChangedScope:
+    @pytest.fixture()
+    def git_repo(self, tmp_path):
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv],
+                cwd=str(tmp_path),
+                check=True,
+                capture_output=True,
+            )
+
+        git("init")
+        git("config", "user.email", "dev@example.com")
+        git("config", "user.name", "dev")
+        committed_bad = tmp_path / "repro" / "core" / "legacy.py"
+        committed_bad.parent.mkdir(parents=True)
+        committed_bad.write_text(BAD_RNG)
+        git("add", "-A")
+        git("commit", "-m", "seed")
+        return tmp_path
+
+    def test_only_changed_files_reported(self, git_repo):
+        # legacy.py violates DPL001 but is committed and unchanged; the
+        # untracked newcomer is the only file --changed reports on.
+        new_bad = git_repo / "repro" / "core" / "fresh.py"
+        new_bad.write_text(BAD_RNG)
+        violations = lint_paths([git_repo], only_changed=True, cwd=git_repo)
+        assert {v.path.rsplit("/", 1)[-1] for v in violations} == {"fresh.py"}
+        full = lint_paths([git_repo])
+        assert {v.path.rsplit("/", 1)[-1] for v in full} == {
+            "fresh.py",
+            "legacy.py",
+        }
+
+    def test_modified_tracked_file_reported(self, git_repo):
+        legacy = git_repo / "repro" / "core" / "legacy.py"
+        legacy.write_text(BAD_RNG + "\nVALUE = 1\n")
+        violations = lint_paths([git_repo], only_changed=True, cwd=git_repo)
+        assert {v.path.rsplit("/", 1)[-1] for v in violations} == {"legacy.py"}
+
+    def test_unchanged_tree_reports_nothing(self, git_repo):
+        assert lint_paths([git_repo], only_changed=True, cwd=git_repo) == []
+
+    def test_program_context_spans_unchanged_files(self, git_repo):
+        # The taint source sits in a committed file; only the sink file is
+        # new. The flow is still found (the full tree is parsed for
+        # program context) and reported at the changed file.
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv],
+                cwd=str(git_repo),
+                check=True,
+                capture_output=True,
+            )
+
+        source_mod = git_repo / "a.py"
+        source_mod.write_text(
+            "def collect(store, user):\n    return store.history(user)\n"
+        )
+        git("add", "-A")
+        git("commit", "-m", "source module")
+        sink_mod = git_repo / "b.py"
+        sink_mod.write_text(
+            "from a import collect\n"
+            "\n"
+            "def export(store, user):\n"
+            "    print(collect(store, user))\n"
+        )
+        violations = lint_paths(
+            [git_repo], select=["DPL006"], only_changed=True, cwd=git_repo
+        )
+        assert len(violations) == 1
+        assert violations[0].path.endswith("b.py")
+
+    def test_changed_outside_git_is_usage_error(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("VALUE = 1\n")
+        env_isolated = tmp_path / "not-a-repo"
+        env_isolated.mkdir()
+        with pytest.raises(UsageError):
+            lint_paths([tmp_path], only_changed=True, cwd=env_isolated)

@@ -1,0 +1,164 @@
+"""dpsan: the runtime concurrency/determinism sanitizer.
+
+Covers the draw log, single-writer detection teeth, bit-identity of
+instrumented vs uninstrumented training, and clean uninstall.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.rng as rng_module
+from repro.analysis.sanitizer import MonitoredRLock, Sanitizer, SanitizerError
+from repro.core.config import PLPConfig
+from repro.core.trainer import PrivateLocationPredictor
+from repro.data.checkins import CheckinDataset
+from repro.data.synthetic import SyntheticConfig, generate_checkins
+from repro.observability.metrics import MetricsRegistry
+from repro.privacy.accountant import PrivacyLedger
+
+
+@pytest.fixture(autouse=True)
+def _standalone(_dpsan_session):
+    """Stand the REPRO_DPSAN session sanitizer down for this module.
+
+    These tests install and uninstall their own sanitizers to observe
+    the patching lifecycle; a session-wide instance would make install
+    refuse (nesting) and skew the before/after assertions.
+    """
+    if _dpsan_session is None:
+        yield
+        return
+    _dpsan_session.uninstall()
+    try:
+        yield
+    finally:
+        _dpsan_session.install()
+
+
+def _fast_config() -> PLPConfig:
+    return PLPConfig(
+        embedding_dim=8,
+        num_negatives=4,
+        sampling_probability=0.4,
+        noise_multiplier=2.0,
+        epsilon=50.0,
+        grouping_factor=3,
+        max_steps=2,
+    )
+
+
+def _corpus() -> CheckinDataset:
+    return CheckinDataset(
+        generate_checkins(
+            SyntheticConfig(num_users=20, num_locations=30, num_clusters=3),
+            rng=5,
+        )
+    )
+
+
+def _train(sanitized: bool):
+    data = _corpus()
+    config = _fast_config()
+
+    def run():
+        trainer = PrivateLocationPredictor(config, rng=42, executor="serial")
+        trainer.fit(data)
+        return (
+            trainer.model.params["W"].tobytes(),
+            trainer.ledger.cumulative_budget_spent(),
+        )
+
+    if sanitized:
+        with Sanitizer():
+            return run()
+    return run()
+
+
+class TestDrawLog:
+    def test_rng_draws_are_observed(self):
+        with Sanitizer() as sanitizer:
+            root = rng_module.derive_seed_sequence(7, 1, 2)
+            rng_module.derive_seed_sequence(root, 3)
+        events = sanitizer.draw_log.snapshot()
+        assert ("derive", (1, 2)) in events
+        assert ("derive", (3,)) in events
+
+    def test_per_step_counts_key_on_leading_tag(self):
+        with Sanitizer() as sanitizer:
+            for step in (0, 0, 1):
+                rng_module.derive_seed_sequence(9, step)
+        assert sanitizer.draw_log.per_step_counts() == {0: 2, 1: 1}
+
+    def test_observer_cleared_after_uninstall(self):
+        with Sanitizer():
+            assert rng_module._OBSERVER is not None
+        assert rng_module._OBSERVER is None
+
+
+class TestBitIdentity:
+    def test_training_unchanged_under_instrumentation(self):
+        plain_weights, plain_spend = _train(sanitized=False)
+        sanitized_weights, sanitized_spend = _train(sanitized=True)
+        assert plain_weights == sanitized_weights
+        assert plain_spend == sanitized_spend
+
+
+class TestDetectionTeeth:
+    def test_cross_thread_ledger_write_raises(self):
+        with Sanitizer():
+            ledger = PrivacyLedger(delta=1e-4, sampling_probability=0.4)
+            ledger.track_budget(clip_bound=1.0, noise_multiplier=2.0)
+            caught: list[BaseException] = []
+
+            def intrude():
+                try:
+                    ledger.track_budget(clip_bound=1.0, noise_multiplier=2.0)
+                except BaseException as error:  # noqa: BLE001
+                    caught.append(error)
+
+            thread = threading.Thread(target=intrude, name="dpsan-intruder")
+            thread.start()
+            thread.join()
+        assert len(caught) == 1
+        assert isinstance(caught[0], SanitizerError)
+        assert "dpsan-intruder" in str(caught[0])
+
+    def test_same_thread_writes_stay_silent(self):
+        with Sanitizer():
+            ledger = PrivacyLedger(delta=1e-4, sampling_probability=0.4)
+            ledger.track_budget(clip_bound=1.0, noise_multiplier=2.0)
+            ledger.track_budget(clip_bound=1.0, noise_multiplier=2.0)
+
+    def test_metrics_mutations_run_under_monitored_lock(self):
+        with Sanitizer():
+            registry = MetricsRegistry()
+            assert isinstance(registry._lock, MonitoredRLock)
+            counter = registry.counter("dpsan_test_total")
+            before = registry._lock.acquisitions()
+            counter.inc()
+            assert registry._lock.acquisitions() > before
+
+    def test_nested_install_refuses(self):
+        with Sanitizer():
+            with pytest.raises(SanitizerError):
+                Sanitizer().install()
+
+
+class TestUninstallRestoration:
+    def test_patched_methods_restored(self):
+        original_track = PrivacyLedger.__dict__["track_budget"]
+        original_init = MetricsRegistry.__dict__["__init__"]
+        with Sanitizer():
+            assert PrivacyLedger.__dict__["track_budget"] is not original_track
+            assert MetricsRegistry.__dict__["__init__"] is not original_init
+        assert PrivacyLedger.__dict__["track_budget"] is original_track
+        assert MetricsRegistry.__dict__["__init__"] is original_init
+
+    def test_registries_built_after_uninstall_use_plain_locks(self):
+        with Sanitizer():
+            pass
+        registry = MetricsRegistry()
+        assert not isinstance(registry._lock, MonitoredRLock)

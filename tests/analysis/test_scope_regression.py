@@ -1,0 +1,56 @@
+"""Scope-drift regression: rules cover the modules later PRs introduced.
+
+The out-of-core PR added ``repro/data/store.py``, ``repro/data/synthetic.py``,
+and ``repro/core/_pairs.py`` after the original dplint scopes were drawn.
+These tests pin that the rules actually fire there, so future layout
+changes cannot silently shrink coverage again.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .helpers import lint_fixture, rule_ids
+
+PR6_MODULES = (
+    "src/repro/data/store.py",
+    "src/repro/data/synthetic.py",
+    "src/repro/core/_pairs.py",
+)
+
+
+class TestRngDisciplineCoversNewModules:
+    @pytest.mark.parametrize("path", PR6_MODULES)
+    def test_dpl001_fires(self, path):
+        violations = lint_fixture("rng_bad.py", path, select=("DPL001",))
+        assert rule_ids(violations) == {"DPL001"}
+
+    @pytest.mark.parametrize("path", PR6_MODULES)
+    def test_dpl001_clean_fixture_passes(self, path):
+        assert lint_fixture("rng_good.py", path, select=("DPL001",)) == []
+
+
+class TestCountExportCoversStore:
+    def test_dpl004_fires_in_store_module(self):
+        violations = lint_fixture(
+            "counts_bad.py", "src/repro/data/store.py", select=("DPL004",)
+        )
+        assert rule_ids(violations) == {"DPL004"}
+
+    def test_dpl004_clean_fixture_passes_in_store_module(self):
+        assert (
+            lint_fixture(
+                "counts_good.py", "src/repro/data/store.py", select=("DPL004",)
+            )
+            == []
+        )
+
+    def test_dpl004_still_scoped_out_of_non_export_modules(self):
+        # The synthetic generator neither serves nor serializes; DPL004
+        # deliberately does not apply there.
+        assert (
+            lint_fixture(
+                "counts_bad.py", "src/repro/data/synthetic.py", select=("DPL004",)
+            )
+            == []
+        )

@@ -1,0 +1,95 @@
+"""DPL007 (shared-state-locking): unlocked mutation of thread-shared state."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.runner import _select_rules
+
+from .helpers import lint_fixture, rule_ids
+
+CORE_PATH = "src/repro/core/engine/stages.py"
+
+DPL007 = _select_rules(select=("DPL007",))
+
+
+def _lint(source: str):
+    return lint_source(textwrap.dedent(source), path=CORE_PATH, rules=DPL007)
+
+
+class TestFlaggedFixture:
+    def test_unlocked_mutations_fire(self):
+        violations = lint_fixture("shared_bad.py", CORE_PATH, select=("DPL007",))
+        assert rule_ids(violations) == {"DPL007"}
+        # record mutates two attributes unlocked; rename mutates one more
+        # after releasing the lock.
+        assert len(violations) == 3
+
+    def test_messages_name_class_method_and_attribute(self):
+        violations = lint_fixture("shared_bad.py", CORE_PATH, select=("DPL007",))
+        messages = " ".join(v.message for v in violations)
+        assert "SeriesRegistry" in messages
+        assert "_series" in messages
+        assert "_names" in messages
+        assert "_flushed" in messages
+
+
+class TestCleanFixture:
+    def test_locked_and_documented_mutations_pass(self):
+        assert lint_fixture("shared_good.py", CORE_PATH, select=("DPL007",)) == []
+
+
+class TestPreconditions:
+    def test_no_thread_evidence_means_no_findings(self):
+        # Owning a lock is not by itself evidence of concurrency; without
+        # any thread/pool construction in the program, the rule is silent.
+        source = """\
+            import threading
+
+            class SeriesRegistry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._series = {}
+
+                def record(self, name, value):
+                    self._series[name] = value
+            """
+        assert _lint(source) == []
+
+    def test_cataloged_class_flagged_without_own_lock(self):
+        # Classes in the shared-state catalog are checked even when they
+        # do not construct a lock themselves.
+        source = """\
+            import threading
+
+            class ModelRegistry:
+                def __init__(self):
+                    self._models = {}
+
+                def publish(self, name, model):
+                    self._models[name] = model
+
+            def serve(registry):
+                threading.Thread(target=registry.publish).start()
+            """
+        violations = _lint(source)
+        assert len(violations) == 1
+        assert "_models" in violations[0].message
+
+    def test_single_writer_docstring_exempts_method(self):
+        source = """\
+            import threading
+
+            class ModelRegistry:
+                def __init__(self):
+                    self._models = {}
+
+                def publish(self, name, model):
+                    \"\"\"Install a model (single-writer: loop thread only).\"\"\"
+                    self._models[name] = model
+
+            def serve(registry):
+                threading.Thread(target=registry.publish).start()
+            """
+        assert _lint(source) == []

@@ -1,6 +1,17 @@
-"""Shared fixtures: a small but structured synthetic dataset."""
+"""Shared fixtures: a small but structured synthetic dataset, plus dpsan.
+
+Setting ``REPRO_DPSAN=1`` runs the whole session under the runtime
+sanitizer (:mod:`repro.analysis.sanitizer`): RNG draw-site logging,
+single-writer assertions, and registry lock discipline — CI's ``dpsan``
+job runs the engine and serving suites this way. Individual tests opt in
+explicitly with the ``dpsan`` fixture, which yields a fresh sanitizer
+(temporarily standing down the session-wide one, since sanitizers do not
+nest in-process).
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -9,6 +20,33 @@ from repro.data.checkins import CheckinDataset
 from repro.data.preprocessing import paper_preprocessing
 from repro.data.splitting import holdout_users_split, sessionize_dataset
 from repro.data.synthetic import SyntheticConfig, generate_checkins
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _dpsan_session():
+    """Session-wide sanitizer when ``REPRO_DPSAN`` is set; else inert."""
+    from repro.analysis.sanitizer import ENV_VAR, Sanitizer
+
+    if not os.environ.get(ENV_VAR):
+        yield None
+        return
+    with Sanitizer() as sanitizer:
+        yield sanitizer
+
+
+@pytest.fixture
+def dpsan(_dpsan_session):
+    """A fresh per-test sanitizer with its own empty draw log."""
+    from repro.analysis.sanitizer import Sanitizer
+
+    if _dpsan_session is not None:
+        _dpsan_session.uninstall()
+    try:
+        with Sanitizer() as sanitizer:
+            yield sanitizer
+    finally:
+        if _dpsan_session is not None:
+            _dpsan_session.install()
 
 
 @pytest.fixture(scope="session")

@@ -207,3 +207,88 @@ class TestConfigValidation:
         with ShardedExecutor(max_workers=1) as executor:
             with pytest.raises(ExecutorError, match="configure"):
                 executor.run_step(None, [object()])
+
+
+class TestForkSafetyContract:
+    """Close-before-fork / reopen-in-worker for mmap-backed stores (DPL008).
+
+    A memory-mapped shard must never cross a process boundary: pickling a
+    numpy memmap silently serializes the *full shard bytes*, and the OS
+    handle is invalid in the child anyway. The contract is that the
+    coordinator drops its maps before shipping work and remaps lazily.
+    """
+
+    def _store_source(self, corpus_dir):
+        from repro.core._pairs import build_pair_source
+        from repro.data.store import ShardedCheckinStore
+
+        store = ShardedCheckinStore(corpus_dir)
+        _, source = build_pair_source(store, window=2)
+        return store, source
+
+    def test_release_resources_drops_maps_and_cache(self, corpus_dir):
+        store, source = self._store_source(corpus_dir)
+        user = store.users[0]
+        before = source.pairs(user).copy()
+        assert store._open_shards, "reading history should map a shard"
+        assert source._cache, "reading pairs should populate the LRU"
+
+        source.release_resources()
+        assert not store._open_shards
+        assert not source._cache
+        # The store stays usable: access lazily remaps.
+        np.testing.assert_array_equal(source.pairs(user), before)
+
+    def test_pickling_a_mapped_store_drops_handles_and_stays_small(
+        self, corpus_dir
+    ):
+        import pickle
+
+        from repro.data.store import ShardedCheckinStore
+
+        store = ShardedCheckinStore(corpus_dir)
+        user = store.users[0]
+        original = store.history(user)
+        assert store._open_shards
+
+        payload = pickle.dumps(store)
+        fresh = pickle.dumps(ShardedCheckinStore(corpus_dir))
+        # Without __getstate__ the live memmap would serialize the whole
+        # shard; with it, a mapped store pickles like an unmapped one.
+        assert abs(len(payload) - len(fresh)) < 4096
+
+        clone = pickle.loads(payload)
+        assert not clone._open_shards
+        assert clone.history(user).checkins == original.checkins
+
+    def test_prepare_for_releases_coordinator_resources(self, corpus_dir):
+        store, source = self._store_source(corpus_dir)
+        source.pairs(store.users[0])
+        assert store._open_shards and source._cache
+
+        model = SkipGramModel(num_locations=80, embedding_dim=8, rng=0)
+        pipeline = StepPipeline(
+            _fast_config(), model, source, root=7,
+            ledger=PrivacyLedger(delta=2e-4, sampling_probability=0.3),
+        )
+        with ShardedExecutor(max_workers=2) as executor:
+            pipeline.prepare_for(executor)
+            assert not store._open_shards
+            assert not source._cache
+
+    def test_worker_death_while_coordinator_held_a_map(
+        self, corpus, corpus_dir, tmp_path
+    ):
+        from repro.data.store import ShardedCheckinStore
+
+        config = _fast_config()
+        serial = _train(corpus, config, "serial")
+
+        store = ShardedCheckinStore(corpus_dir)
+        store.history(store.users[0])  # coordinator holds a live map
+        marker = tmp_path / "kill-one-worker"
+        marker.touch()
+        with ShardedExecutor(max_workers=2, fault_marker=str(marker)) as executor:
+            survived = _train(store, config, executor)
+        assert not marker.exists()
+        _assert_same_run(serial, survived)
