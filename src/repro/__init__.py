@@ -40,10 +40,12 @@ Subpackages:
 from repro.api import (
     MetricsRegistry,
     Observability,
+    ServingConfig,
     TrainedModel,
     Tracer,
     evaluate,
     load,
+    serve,
     train,
     with_observability,
 )
@@ -113,6 +115,8 @@ __all__ = [
     "train",
     "load",
     "evaluate",
+    "serve",
+    "ServingConfig",
     "TrainedModel",
     # observability (also part of the stable surface)
     "Tracer",

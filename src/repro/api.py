@@ -35,10 +35,11 @@ are the canonical spellings (plus ``repro.Tracer``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Sequence
 
+from repro._compat import register_deprecation, warn_deprecated
 from repro.core.config import PLPConfig
 from repro.data.checkins import CheckinDataset
 from repro.data.splitting import sessionize_dataset
@@ -52,8 +53,19 @@ from repro.models.vocabulary import LocationVocabulary
 from repro.observability.hooks import Observability, with_observability
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import Tracer
+from repro.serving.api import ServingConfig
 
 _METHODS = ("plp", "dpsgd", "nonprivate")
+
+# Live serve() shims (see repro._compat for the removal policy).
+register_deprecation(
+    "repro.api.serve(model_path)",
+    "serve(ServingConfig(artifacts=...))",
+)
+register_deprecation(
+    "repro.api.serve(include_counts=...)",
+    "ServingConfig(include_counts=...)",
+)
 
 
 @dataclass(slots=True)
@@ -235,6 +247,68 @@ def load(path: str | Path) -> TrainedModel:
     return TrainedModel(
         embeddings=embeddings, vocabulary=vocabulary, privacy=privacy
     )
+
+
+def serve(
+    config: "ServingConfig | str | Path | None" = None,
+    with_observability: "Observability | None" = None,
+    **overrides,
+) -> None:
+    """Serve models over HTTP until interrupted (``repro serve``).
+
+    The canonical spelling is one :class:`ServingConfig` value describing
+    the whole deployment::
+
+        repro.serve(repro.ServingConfig(
+            artifacts={"sf": "sf.npz", "nyc": "nyc.npz"},
+            default_model="sf",
+            ann=True,
+            max_queue=2048,
+        ))
+
+    Requests are answered by the asyncio front end
+    (:mod:`repro.serving.asgi`): bounded queue, 503 + ``Retry-After``
+    load shedding, micro-batched scoring, and per-model metrics.
+
+    Args:
+        config: the deployment config. Passing an artifact *path* here is
+            the deprecated single-model spelling and warns — use
+            ``ServingConfig(artifacts={"default": path})``.
+        with_observability: optional :class:`Observability` bundle backing
+            the serving metrics and spans.
+        **overrides: individual :class:`ServingConfig` fields, applied on
+            top of ``config`` (``include_counts=`` is deprecated here —
+            set it on the config instead).
+
+    Raises:
+        ConfigError: unknown override field or invalid config.
+    """
+    if isinstance(config, (str, Path)):
+        warn_deprecated(
+            "repro.api.serve(model_path)",
+            "serve(ServingConfig(artifacts=...))",
+        )
+        config = ServingConfig(artifacts=(("default", str(config)),))
+    elif config is None:
+        config = ServingConfig()
+    elif not isinstance(config, ServingConfig):
+        raise ConfigError(
+            "config must be a ServingConfig or an artifact path, got "
+            f"{type(config).__name__}"
+        )
+    if "include_counts" in overrides:
+        warn_deprecated(
+            "repro.api.serve(include_counts=...)",
+            "ServingConfig(include_counts=...)",
+        )
+    if overrides:
+        try:
+            config = replace(config, **overrides)
+        except TypeError as error:
+            raise ConfigError(f"unknown serving option: {error}") from error
+    from repro.serving.asgi import serve as _serve
+
+    _serve(config, observability=with_observability)
 
 
 def evaluate(

@@ -18,6 +18,11 @@ Runs the full pipeline on the synthetic Foursquare-Tokyo workload with an
   baseline vs the sharded executor at 1 and 2 workers on one fixed
   workload, with the end-to-end check that ledger and embeddings came
   out bit-identical across executors (:func:`measure_sharded_scaling`),
+- a serving section (:func:`measure_serving`): the asyncio front end
+  driven over real HTTP — serial per-request baseline vs sustained
+  concurrent throughput (micro-batch coalescing), p50/p95 under load,
+  the overload probe (503 + ``Retry-After``, zero silent drops), and
+  the clustered ANN index's recall@10 against the exact kernel,
 - peak RSS.
 
 A second mode, ``--out-of-core``, materializes a disk-backed sharded
@@ -63,6 +68,7 @@ __all__ = [
     "compare_to_baseline",
     "main",
     "measure_kernel_speedup",
+    "measure_serving",
     "measure_sharded_scaling",
     "run_benchmark",
     "run_from_args",
@@ -70,7 +76,7 @@ __all__ = [
     "validate_report",
 ]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Workload/config knobs per mode. ``quick`` finishes in seconds; ``full``
 #: trains to a meaningful fraction of the budget.
@@ -103,6 +109,24 @@ _SHARDED_WORKLOAD = dict(
     num_users=400, num_locations=300, num_clusters=8,
     mean_checkins_per_user=60.0, max_steps=8, grouping_factor=8,
     sampling_probability=0.4, backend="reference", data_seed=9,
+)
+
+#: The serving workload: a seconds-scale model plus the request counts
+#: for the three phases (serial baseline, sustained concurrency, the
+#: overload burst). Sized so the whole section stays a few seconds while
+#: the sustained phase still fills micro-batches.
+_SERVING_WORKLOAD = dict(
+    num_users=80, num_locations=60, num_clusters=5, max_steps=3,
+    baseline_requests=40, sustained_requests=360, clients=24,
+    max_batch=64, max_wait_seconds=0.005, overload_clients=32,
+    data_seed=11,
+)
+
+#: The ANN-recall workload: a clustered synthetic embedding matrix large
+#: enough that the index's default partition (about ``sqrt(L)`` clusters,
+#: ``nprobe=8``) is genuinely sublinear rather than a full scan.
+_ANN_WORKLOAD = dict(
+    num_locations=2048, dim=32, num_clusters=24, spread=0.25, top_k=10,
 )
 
 #: Regression threshold for :func:`compare_to_baseline` (fractional).
@@ -291,6 +315,249 @@ def measure_sharded_scaling(
     }
 
 
+def _clustered_embeddings(
+    num_locations: int, dim: int, num_clusters: int, spread: float, seed: int
+):
+    """A deterministic clustered unit-norm embedding matrix (ANN workload)."""
+    from repro.models.embeddings import EmbeddingMatrix
+    from repro.rng import ensure_rng
+
+    rng = ensure_rng(seed)
+    centers = rng.normal(size=(num_clusters, dim))
+    assignment = np.arange(num_locations) % num_clusters
+    points = centers[assignment] + spread * rng.normal(size=(num_locations, dim))
+    points /= np.linalg.norm(points, axis=1, keepdims=True)
+    return EmbeddingMatrix.from_normalized(points)
+
+
+def measure_ann_recall(seed: int = 7) -> dict:
+    """Recall@k of the clustered sublinear index vs the exact kernel.
+
+    Builds :class:`~repro.serving.ann.ClusteredIndex` with its defaults
+    (about ``sqrt(L)`` clusters, ``nprobe=8``) over a clustered synthetic
+    embedding matrix and compares its top-k against the exact full-matrix
+    float32 scoring for a spread of query profiles.
+    """
+    from repro.serving.ann import ClusteredIndex
+
+    spec = _ANN_WORKLOAD
+    embeddings = _clustered_embeddings(
+        spec["num_locations"], spec["dim"], spec["num_clusters"],
+        spec["spread"], seed,
+    )
+    index = ClusteredIndex(embeddings)
+    matrix = embeddings.matrix32
+    profiles = matrix[:: max(1, spec["num_locations"] // 128)]
+    exact_top = np.argsort(
+        -(profiles @ matrix.T), axis=1, kind="stable"
+    )[:, : spec["top_k"]]
+    recall = index.recall_at_k(profiles, exact_top)
+    return {
+        "num_locations": int(spec["num_locations"]),
+        "dim": int(spec["dim"]),
+        "num_clusters": int(index.num_clusters),
+        "nprobe": int(index.nprobe),
+        "profiles": int(profiles.shape[0]),
+        "top_k": int(spec["top_k"]),
+        "recall": float(recall),
+    }
+
+
+def measure_serving(seed: int = 7) -> dict:
+    """Benchmark the asyncio serving front end over real HTTP.
+
+    Three phases against a freshly trained seconds-scale artifact:
+
+    1. **baseline** — one client, one request in flight: every request
+       pays the full micro-batch window alone (the per-request cost).
+    2. **sustained** — ``clients`` concurrent keep-alive connections:
+       the batcher coalesces, so throughput should multiply while the
+       queue bound keeps latency flat.
+    3. **overload** — a burst against a tiny-queue deployment: excess
+       load must be shed with 503 + ``Retry-After`` and every request
+       must still get *some* response (zero silent drops).
+
+    Plus the exact-vs-ANN recall comparison (:func:`measure_ann_recall`).
+    """
+    import shutil
+    import tempfile
+    import threading
+    from http.client import HTTPConnection
+
+    from repro.models.serialization import save_deployable_model
+    from repro.serving.asgi import BackgroundServer
+    from repro.serving.service import RecommendService
+
+    spec = _SERVING_WORKLOAD
+    train_set, holdout = _build_workload(spec, seed)
+    config = repro.PLPConfig(
+        epsilon=2.0, max_steps=spec["max_steps"], grouping_factor=4,
+        sampling_probability=0.2,
+    )
+    model = repro.train(config, train_set, rng=seed)
+    trajectories = repro.sessionize_dataset(holdout)
+    queries = [
+        list(trajectory.locations[:-1])
+        for trajectory in trajectories
+        if len(trajectory) >= 2
+    ] or [[0]]
+    bodies = [
+        json.dumps({"v": 1, "recent": query, "top_k": 10}).encode("utf-8")
+        for query in queries
+    ]
+    headers = {"Content-Type": "application/json"}
+
+    def post(conn: HTTPConnection, body: bytes):
+        started = time.perf_counter()
+        conn.request("POST", "/recommend", body, headers)
+        response = conn.getresponse()
+        response.read()
+        return (
+            response.status,
+            response.getheader("Retry-After"),
+            time.perf_counter() - started,
+        )
+
+    scratch = tempfile.mkdtemp(prefix="repro-serving-bench-")
+    try:
+        artifact = Path(scratch) / "model.npz"
+        save_deployable_model(
+            artifact, model.embeddings, model.vocabulary, model.privacy
+        )
+
+        service = RecommendService.from_artifact(
+            artifact, max_batch=spec["max_batch"],
+            max_wait_seconds=spec["max_wait_seconds"],
+            timeout_seconds=10.0, max_queue=8192,
+        )
+        with BackgroundServer(service) as server:
+            port = server.port
+            conn = HTTPConnection("127.0.0.1", port)
+            post(conn, bodies[0])  # warm the connection and the caches
+            baseline_latencies: list[float] = []
+            started = time.perf_counter()
+            for i in range(spec["baseline_requests"]):
+                _, _, latency = post(conn, bodies[i % len(bodies)])
+                baseline_latencies.append(latency)
+            baseline_wall = time.perf_counter() - started
+            conn.close()
+
+            clients = spec["clients"]
+            per_client = spec["sustained_requests"] // clients
+            results: list[list[tuple]] = [[] for _ in range(clients)]
+            barrier = threading.Barrier(clients + 1)
+
+            def run_client(idx: int) -> None:
+                client_conn = HTTPConnection("127.0.0.1", port)
+                try:
+                    post(client_conn, bodies[0])  # connect before the gun
+                    barrier.wait()
+                    for j in range(per_client):
+                        body = bodies[(idx + j) % len(bodies)]
+                        results[idx].append(post(client_conn, body))
+                finally:
+                    client_conn.close()
+
+            threads = [
+                threading.Thread(target=run_client, args=(i,))
+                for i in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            started = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            sustained_wall = time.perf_counter() - started
+        service.close()
+
+        flat = [entry for per in results for entry in per]
+        sent = clients * per_client
+        ok = [entry for entry in flat if entry[0] == 200]
+        shed = [entry for entry in flat if entry[0] == 503]
+        latencies = [entry[2] for entry in ok]
+
+        # Overload probe: a deliberately tiny deployment (queue bound 2,
+        # slow batch cadence) hit with one simultaneous burst.
+        overload_service = RecommendService.from_artifact(
+            artifact, max_batch=4, max_wait_seconds=0.05,
+            timeout_seconds=10.0, max_queue=2,
+        )
+        burst_size = spec["overload_clients"]
+        burst: list = [None] * burst_size
+        with BackgroundServer(overload_service) as server:
+            burst_port = server.port
+            burst_barrier = threading.Barrier(burst_size + 1)
+
+            def run_burst(idx: int) -> None:
+                burst_conn = HTTPConnection("127.0.0.1", burst_port)
+                try:
+                    burst_barrier.wait()
+                    burst[idx] = post(burst_conn, bodies[idx % len(bodies)])
+                finally:
+                    burst_conn.close()
+
+            burst_threads = [
+                threading.Thread(target=run_burst, args=(i,))
+                for i in range(burst_size)
+            ]
+            for thread in burst_threads:
+                thread.start()
+            burst_barrier.wait()
+            for thread in burst_threads:
+                thread.join()
+        overload_service.close()
+
+        burst_shed = [entry for entry in burst if entry and entry[0] == 503]
+        burst_ok = [entry for entry in burst if entry and entry[0] == 200]
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    baseline_rps = (
+        spec["baseline_requests"] / baseline_wall if baseline_wall else 0.0
+    )
+    sustained_rps = len(ok) / sustained_wall if sustained_wall else 0.0
+    return {
+        "workload": {
+            "num_users": int(spec["num_users"]),
+            "num_locations": int(spec["num_locations"]),
+            "max_batch": int(spec["max_batch"]),
+            "max_wait_seconds": float(spec["max_wait_seconds"]),
+        },
+        "baseline": {
+            "requests": int(spec["baseline_requests"]),
+            "req_per_s": baseline_rps,
+            "p50_seconds": float(np.percentile(baseline_latencies, 50)),
+            "p95_seconds": float(np.percentile(baseline_latencies, 95)),
+        },
+        "sustained": {
+            "requests": int(sent),
+            "clients": int(clients),
+            "req_per_s": sustained_rps,
+            "p50_seconds": float(np.percentile(latencies, 50)),
+            "p95_seconds": float(np.percentile(latencies, 95)),
+            "ok": len(ok),
+            "shed": len(shed),
+            "errors": int(sent - len(ok) - len(shed)),
+            "shed_rate": len(shed) / sent if sent else 0.0,
+            "all_responded": len(flat) == sent,
+            "speedup_vs_baseline": (
+                sustained_rps / baseline_rps if baseline_rps else 0.0
+            ),
+        },
+        "overload": {
+            "requests": int(burst_size),
+            "ok": len(burst_ok),
+            "shed": len(burst_shed),
+            "shed_rate": len(burst_shed) / burst_size if burst_size else 0.0,
+            "retry_after_present": bool(burst_shed)
+            and all(entry[1] is not None for entry in burst_shed),
+            "all_responded": all(entry is not None for entry in burst),
+        },
+        "ann": measure_ann_recall(seed=seed),
+    }
+
+
 def run_out_of_core(
     users: int = 20_000,
     rounds: int = 2,
@@ -467,6 +734,7 @@ def run_benchmark(
             repeats=mode["kernel_repeats"], seed=seed
         ),
         "sharded": measure_sharded_scaling(seed=seed),
+        "serving": measure_serving(seed=seed),
         "evaluation": {
             "cases": result.num_cases,
             "skipped": result.num_skipped,
@@ -503,8 +771,8 @@ def validate_report(report: dict) -> None:
     top = {
         "schema_version": int, "quick": bool, "seed": int, "backend": str,
         "generated_unix": float, "workload": dict, "training": dict,
-        "kernels": dict, "sharded": dict, "evaluation": dict,
-        "recommend": dict,
+        "kernels": dict, "sharded": dict, "serving": dict,
+        "evaluation": dict, "recommend": dict,
     }
     for key, kind in top.items():
         expect(isinstance(report.get(key), kind), f"{key}: expected {kind.__name__}")
@@ -583,6 +851,9 @@ def validate_report(report: dict) -> None:
     expect(sharded.get("embeddings_identical") is True,
            "sharded.embeddings_identical: executors must produce one model")
 
+    serving = report.get("serving") or {}
+    _validate_serving_section(serving, expect)
+
     evaluation = report.get("evaluation") or {}
     expect(isinstance(evaluation.get("hit_rate"), dict) and evaluation.get("hit_rate"),
            "evaluation.hit_rate: expected non-empty dict")
@@ -601,6 +872,69 @@ def validate_report(report: dict) -> None:
         raise ValueError(
             "invalid benchmark report:\n  " + "\n  ".join(problems)
         )
+
+
+def _validate_serving_section(serving: dict, expect) -> None:
+    """Schema/sanity checks for the serving section (helper of
+    :func:`validate_report`; also applied to ``--serving-only`` output).
+
+    Structural facts and deterministic contracts are hard-gated (shed
+    accounting, ``Retry-After`` on overload, the 0.95 ANN recall floor);
+    the throughput ratio only has a >1x sanity floor here — the >=10x
+    acceptance gate runs in CI where the load is controlled.
+    """
+    for phase in ("baseline", "sustained"):
+        entry = serving.get(phase) or {}
+        expect(
+            isinstance(entry.get("req_per_s"), float)
+            and entry.get("req_per_s", -1.0) > 0,
+            f"serving.{phase}.req_per_s: expected positive float",
+        )
+        p50, p95 = entry.get("p50_seconds"), entry.get("p95_seconds")
+        expect(
+            isinstance(p50, float) and isinstance(p95, float) and 0 <= p50 <= p95,
+            f"serving.{phase}: expected float p50_seconds <= p95_seconds",
+        )
+    sustained = serving.get("sustained") or {}
+    expect(
+        sustained.get("all_responded") is True,
+        "serving.sustained.all_responded: silent request drops detected",
+    )
+    shed_rate = sustained.get("shed_rate")
+    expect(
+        isinstance(shed_rate, float) and 0.0 <= shed_rate <= 1.0,
+        "serving.sustained.shed_rate: expected float in [0, 1]",
+    )
+    speedup = sustained.get("speedup_vs_baseline")
+    expect(
+        isinstance(speedup, float) and speedup > 1.0,
+        "serving.sustained.speedup_vs_baseline: batched throughput must "
+        "beat the serial per-request baseline",
+    )
+    overload = serving.get("overload") or {}
+    expect(
+        isinstance(overload.get("shed"), int) and overload.get("shed", 0) > 0,
+        "serving.overload.shed: the overload burst must shed load",
+    )
+    expect(
+        overload.get("retry_after_present") is True,
+        "serving.overload.retry_after_present: 503 responses must carry "
+        "Retry-After",
+    )
+    expect(
+        overload.get("all_responded") is True,
+        "serving.overload.all_responded: silent request drops detected",
+    )
+    ann = serving.get("ann") or {}
+    recall = ann.get("recall")
+    expect(
+        isinstance(recall, float) and 0.0 <= recall <= 1.0,
+        "serving.ann.recall: expected float in [0, 1]",
+    )
+    expect(
+        isinstance(recall, float) and recall >= 0.95,
+        "serving.ann.recall: below the 0.95 recall@10 contract",
+    )
 
 
 def compare_to_baseline(
@@ -678,6 +1012,13 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         "repo-root BENCH_plp.json; 'none' disables the check)",
     )
     parser.add_argument(
+        "--serving-only",
+        action="store_true",
+        help="instead of the pipeline benchmark: run only the serving "
+        "section (asyncio server throughput, overload shedding, ANN "
+        "recall) and write a serving-only report",
+    )
+    parser.add_argument(
         "--out-of-core",
         action="store_true",
         help="instead of the pipeline benchmark: materialize a "
@@ -703,8 +1044,56 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _print_serving_summary(serving: dict) -> None:
+    baseline = serving["baseline"]
+    sustained = serving["sustained"]
+    overload = serving["overload"]
+    ann = serving["ann"]
+    print(
+        f"serving baseline: {baseline['req_per_s']:.0f} req/s serial "
+        f"(p50={baseline['p50_seconds'] * 1e3:.2f}ms "
+        f"p95={baseline['p95_seconds'] * 1e3:.2f}ms)"
+    )
+    print(
+        f"serving sustained[{sustained['clients']} clients]: "
+        f"{sustained['req_per_s']:.0f} req/s "
+        f"({sustained['speedup_vs_baseline']:.1f}x baseline, "
+        f"p50={sustained['p50_seconds'] * 1e3:.2f}ms "
+        f"p95={sustained['p95_seconds'] * 1e3:.2f}ms, "
+        f"shed rate {sustained['shed_rate']:.1%})"
+    )
+    print(
+        f"serving overload: {overload['shed']}/{overload['requests']} shed "
+        f"(Retry-After present={overload['retry_after_present']}, "
+        f"all responded={overload['all_responded']})"
+    )
+    print(
+        f"serving ann: recall@{ann['top_k']}={ann['recall']:.3f} "
+        f"({ann['num_clusters']} clusters, nprobe={ann['nprobe']}, "
+        f"L={ann['num_locations']})"
+    )
+
+
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute the benchmark from parsed arguments (CLI entry point)."""
+    if getattr(args, "serving_only", False):
+        serving = measure_serving(seed=args.seed)
+        problems: list[str] = []
+        _validate_serving_section(
+            serving,
+            lambda ok, message: None if ok else problems.append(message),
+        )
+        if problems:
+            raise ValueError(
+                "invalid serving benchmark:\n  " + "\n  ".join(problems)
+            )
+        report = {"schema_version": SCHEMA_VERSION, "serving": serving}
+        out = Path(args.out)
+        out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+        _print_serving_summary(serving)
+        return 0
+
     if getattr(args, "out_of_core", False):
         report = run_out_of_core(
             users=args.ooc_users,
@@ -770,6 +1159,7 @@ def run_from_args(args: argparse.Namespace) -> int:
             f"buckets/s ({entry['speedup_vs_serial']:.2f}x vs serial, "
             f"identical ledger={sharded['ledger_identical']})"
         )
+    _print_serving_summary(report["serving"])
     print(
         f"recommend: p50={report['recommend']['p50_seconds'] * 1e3:.2f}ms "
         f"p95={report['recommend']['p95_seconds'] * 1e3:.2f}ms"

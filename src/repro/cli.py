@@ -8,7 +8,8 @@ Subcommands cover the full workflow::
     repro train     --data corpus/ --executor sharded --workers 4 --out model.npz
     repro evaluate  --data checkins.csv --model model.npz
     repro recommend --model model.npz --recent 17,42,8 --top-k 10
-    repro serve     --model model.npz --port 8000
+    repro serve     model.npz --port 8000
+    repro serve     city=a.npz beach=b.npz --model city --ann --mmap
     repro audit     --data checkins.csv --model model.npz
     repro lint      src --format text
     repro bench     --quick --out BENCH_plp.json
@@ -82,6 +83,12 @@ _DEPRECATED_ALIASES = {
 
 for _old, _new in _DEPRECATED_ALIASES.items():
     register_deprecation(f"repro train {_old}", _new)
+
+register_deprecation(
+    "repro serve --model PATH",
+    "repro serve PATH (positional; NAME=PATH to host many) with "
+    "--model NAME to pick the default",
+)
 
 
 class _DeprecatedAlias(argparse.Action):
@@ -249,11 +256,61 @@ def _build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--top-k", type=int, default=10)
 
     serve = subparsers.add_parser(
-        "serve", help="serve a model over HTTP (POST /recommend)"
+        "serve",
+        help="serve one or more models over HTTP (asyncio, POST /recommend)",
     )
-    serve.add_argument("--model", required=True, help="model .npz")
+    serve.add_argument(
+        "artifacts",
+        nargs="*",
+        metavar="NAME=PATH",
+        help="deployable .npz artifacts to host, as NAME=PATH pairs; "
+        "a single bare PATH is hosted under the name 'default'",
+    )
+    serve.add_argument(
+        "--model",
+        default=None,
+        help="default model for requests that name none, as NAME[@VERSION] "
+        "(deprecated: a bare artifact path, kept for old invocations)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8000)
+    topk_path = serve.add_mutually_exclusive_group()
+    topk_path.add_argument(
+        "--ann",
+        action="store_true",
+        help="answer top-k through the clustered sublinear index "
+        "(recall knob: --nprobe; see docs/serving.md)",
+    )
+    topk_path.add_argument(
+        "--exact",
+        action="store_true",
+        help="score every location per query (the default path)",
+    )
+    serve.add_argument(
+        "--nprobe",
+        type=int,
+        default=8,
+        help="clusters probed per ANN query (higher = better recall)",
+    )
+    serve.add_argument(
+        "--clusters",
+        type=int,
+        default=None,
+        help="ANN partition count (default: about sqrt(num_locations))",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        help="bound on queued requests; beyond it the server sheds load "
+        "with 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map artifact embeddings so concurrent serving "
+        "processes share one read-only copy",
+    )
     serve.add_argument(
         "--mode",
         choices=("fast", "exact"),
@@ -528,23 +585,80 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serving.http import serve
+def _looks_like_artifact_path(value: str) -> bool:
+    """Heuristic for the deprecated ``--model PATH`` spelling."""
+    if "@" in value:
+        return False
+    return value.endswith(".npz") or "/" in value or Path(value).exists()
 
-    serve(
-        args.model,
-        host=args.host,
-        port=args.port,
-        exclude_input=args.exclude_input,
-        with_fallback=not args.no_fallback,
+
+def _serve_config_from_args(args: argparse.Namespace) -> "ServingConfig":
+    """Resolve the serve flags into a :class:`ServingConfig` value."""
+    from repro.serving.api import ModelRef, ServingConfig
+
+    artifacts: list[tuple[str, str]] = []
+    for spec in args.artifacts:
+        name, sep, path = spec.partition("=")
+        if sep and name and path:
+            artifacts.append((name, path))
+        elif not sep and len(args.artifacts) == 1:
+            artifacts.append(("default", spec))
+        else:
+            raise ConfigError(
+                "artifacts must be NAME=PATH pairs (or a single bare "
+                f"PATH), got {spec!r}"
+            )
+
+    default_model: str | None = None
+    if args.model is not None:
+        if not artifacts and _looks_like_artifact_path(args.model):
+            warn_deprecated(
+                "repro serve --model PATH",
+                "repro serve PATH (positional; NAME=PATH to host many) "
+                "with --model NAME to pick the default",
+            )
+            artifacts.append(("default", args.model))
+        else:
+            ref = ModelRef.parse(args.model)
+            if ref.version not in (None, 1):
+                raise ConfigError(
+                    "--model can only pin @1: artifacts publish as "
+                    f"version 1 at startup (got {args.model!r}); pin "
+                    "later versions per request instead"
+                )
+            default_model = ref.name
+
+    if not artifacts:
+        raise ConfigError(
+            "nothing to serve: pass artifacts as NAME=PATH positionals "
+            "(or a single bare PATH)"
+        )
+    return ServingConfig(
+        artifacts=tuple(artifacts),
+        default_model=default_model or artifacts[0][0],
         mode=args.mode,
+        ann=args.ann,
+        nprobe=args.nprobe,
+        num_clusters=args.clusters,
         max_batch=args.max_batch,
         max_wait_seconds=args.max_wait_ms / 1000.0,
         timeout_seconds=args.timeout,
+        max_queue=args.max_queue,
+        exclude_input=args.exclude_input,
+        with_fallback=not args.no_fallback,
+        mmap=args.mmap,
+        host=args.host,
+        port=args.port,
         metrics_format=args.metrics_format,
-        trace_jsonl=args.trace_jsonl,
         include_counts=args.include_counts,
+        trace_jsonl=args.trace_jsonl,
     )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving.asgi import serve
+
+    serve(_serve_config_from_args(args))
     return 0
 
 

@@ -66,5 +66,23 @@ class ServingError(ReproError, RuntimeError):
     """
 
 
+class OverloadedError(ServingError):
+    """The serving layer is saturated and is shedding this request.
+
+    Raised when the bounded request queue is full: admitting more work
+    would only grow latency past every caller's deadline. The HTTP layer
+    maps this to 503 with a ``Retry-After`` header; every shed request is
+    counted (``status="shed"`` in the serving metrics), so overload is
+    always observable — nothing is dropped silently.
+
+    Attributes:
+        retry_after: suggested client back-off in seconds.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        self.retry_after = float(retry_after)
+        super().__init__(message)
+
+
 class VocabularyError(ReproError, KeyError):
     """A location identifier is not present in the model vocabulary."""

@@ -25,6 +25,46 @@ class EmbeddingMatrix:
         self._matrix = normalize_rows(matrix) if normalize else matrix.copy()
         self._matrix32: np.ndarray | None = None
 
+    @classmethod
+    def from_normalized(
+        cls, matrix: np.ndarray, matrix32: np.ndarray | None = None
+    ) -> "EmbeddingMatrix":
+        """Wrap an already-normalized matrix WITHOUT copying it.
+
+        This is the shared-memory path: the serving registry hands in
+        read-only memory-mapped arrays (``np.load(mmap_mode="r")``) so N
+        worker processes share one physical copy of θ. The arrays are used
+        as-is — including the float32 cache when given — so the caller
+        must guarantee rows are unit-normalized and the arrays are never
+        mutated.
+
+        Args:
+            matrix: ``(L, dim)`` float64 unit-row matrix (not copied).
+            matrix32: optional matching float32 matrix (not copied); when
+                omitted, the float32 cache materializes a private copy on
+                first use, which defeats sharing for the fast kernel.
+
+        Raises:
+            ConfigError: on a dtype/shape mismatch.
+        """
+        if matrix.ndim != 2 or matrix.dtype != np.float64:
+            raise ConfigError(
+                "from_normalized requires a 2-D float64 matrix, got "
+                f"shape {matrix.shape} dtype {matrix.dtype}"
+            )
+        instance = cls.__new__(cls)
+        instance._matrix = matrix
+        instance._matrix32 = None
+        if matrix32 is not None:
+            if matrix32.shape != matrix.shape or matrix32.dtype != np.float32:
+                raise ConfigError(
+                    "matrix32 must be a float32 matrix of shape "
+                    f"{matrix.shape}, got shape {matrix32.shape} "
+                    f"dtype {matrix32.dtype}"
+                )
+            instance._matrix32 = matrix32
+        return instance
+
     @property
     def matrix(self) -> np.ndarray:
         """The normalized matrix (no copy; treat read-only)."""

@@ -14,6 +14,7 @@ the privacy metadata so consumers can audit what they received.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Hashable
@@ -24,8 +25,96 @@ from repro.exceptions import DataError
 from repro.models.embeddings import EmbeddingMatrix
 from repro.models.recommender import NextLocationRecommender
 from repro.models.vocabulary import LocationVocabulary
+from repro.nn.functional import normalize_rows
 
 _FORMAT_VERSION = 1
+
+# -- shared read-only embedding store ------------------------------------------
+#
+# ``np.savez_compressed`` archives cannot be memory-mapped (``mmap_mode``
+# is silently ignored for zip members), so multi-worker serving would pay
+# one private heap copy of θ per process. The sidecar cache below
+# materializes the *normalized* matrix — float64 for the exact kernel and
+# float32 for the fast kernel — as plain ``.npy`` files next to the
+# artifact, which ``np.load(mmap_mode="r")`` then maps read-only: N
+# workers share one page-cache copy (mirroring ``ShardedCheckinStore``'s
+# lazy-map discipline).
+
+_MMAP_CACHE_SUFFIX = ".mmapcache"
+_MMAP_CACHE_VERSION = 1
+
+
+def _mmap_cache_dir(path: Path) -> Path:
+    return path.with_name(path.name + _MMAP_CACHE_SUFFIX)
+
+
+def _atomic_write_array(target: Path, array: np.ndarray) -> None:
+    """Write ``target`` via tmp-file + ``os.replace`` (never half-visible)."""
+    tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            np.save(handle, array)
+        os.replace(tmp, target)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def ensure_mmap_cache(path: str | Path) -> tuple[np.ndarray, np.ndarray]:
+    """Build (when stale) and map the artifact's shared embedding cache.
+
+    Returns:
+        ``(matrix64, matrix32)`` — read-only memory-mapped views of the
+        normalized embedding matrix, byte-identical to what the in-heap
+        load path computes. Concurrent builders race benignly: each writes
+        through private tmp files and the last ``os.replace`` wins with
+        identical contents.
+
+    Raises:
+        DataError: when the artifact is missing or malformed.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"model file not found: {path}")
+    stat = path.stat()
+    stamp = {
+        "cache_version": _MMAP_CACHE_VERSION,
+        "source_mtime_ns": stat.st_mtime_ns,
+        "source_size": stat.st_size,
+    }
+    cache = _mmap_cache_dir(path)
+    meta_path = cache / "meta.json"
+    fresh = False
+    if meta_path.exists():
+        try:
+            fresh = json.loads(meta_path.read_text()) == stamp
+        except (OSError, json.JSONDecodeError):
+            fresh = False
+    if not fresh:
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                matrix = np.asarray(archive["embeddings"], dtype=np.float64)
+        except (KeyError, ValueError, OSError) as error:
+            raise DataError(f"malformed model file {path}: {error}") from error
+        if matrix.ndim != 2:
+            raise DataError(
+                f"embedding matrix in {path} must be 2-D, got {matrix.shape}"
+            )
+        matrix = normalize_rows(matrix)
+        cache.mkdir(parents=True, exist_ok=True)
+        _atomic_write_array(cache / "embeddings64.npy", matrix)
+        _atomic_write_array(
+            cache / "embeddings32.npy",
+            np.ascontiguousarray(matrix, dtype=np.float32),
+        )
+        tmp = cache / f".meta.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(stamp))
+        os.replace(tmp, meta_path)
+    try:
+        matrix64 = np.load(cache / "embeddings64.npy", mmap_mode="r")
+        matrix32 = np.load(cache / "embeddings32.npy", mmap_mode="r")
+    except (ValueError, OSError) as error:
+        raise DataError(f"corrupt mmap cache {cache}: {error}") from error
+    return matrix64, matrix32
 
 
 def save_deployable_model(
@@ -84,8 +173,16 @@ def save_deployable_model(
 
 def load_deployable_model(
     path: str | Path,
+    mmap: bool = False,
 ) -> tuple[EmbeddingMatrix, LocationVocabulary, dict]:
     """Load a deployable artifact saved by :func:`save_deployable_model`.
+
+    Args:
+        path: the ``.npz`` artifact.
+        mmap: map the embedding matrix read-only from the shared sidecar
+            cache (:func:`ensure_mmap_cache`) instead of materializing a
+            private in-heap copy — N serving workers then share one
+            physical copy of θ. Scores are byte-identical either way.
 
     Returns:
         ``(embeddings, vocabulary, privacy_metadata)``.
@@ -98,7 +195,9 @@ def load_deployable_model(
         raise DataError(f"model file not found: {path}")
     try:
         with np.load(path, allow_pickle=False) as archive:
-            matrix = archive["embeddings"]
+            # In mmap mode only the (tiny) metadata member is decompressed;
+            # the matrix comes from the sidecar cache mapping instead.
+            matrix = None if mmap else archive["embeddings"]
             metadata_bytes = archive["metadata"].tobytes()
     except (KeyError, ValueError, OSError) as error:
         raise DataError(f"malformed model file {path}: {error}") from error
@@ -110,10 +209,17 @@ def load_deployable_model(
         raise DataError(
             f"unsupported model format version {payload.get('format_version')!r}"
         )
+    if mmap:
+        matrix64, matrix32 = ensure_mmap_cache(path)
+        embeddings = EmbeddingMatrix.from_normalized(matrix64, matrix32)
+    else:
+        # Matrix was normalized before save; normalization is idempotent.
+        embeddings = EmbeddingMatrix(matrix, normalize=True)
     locations: list[Hashable] = payload["locations"]
-    if len(locations) != matrix.shape[0]:
+    if len(locations) != embeddings.num_locations:
         raise DataError(
-            f"vocabulary size {len(locations)} != embedding rows {matrix.shape[0]}"
+            f"vocabulary size {len(locations)} != embedding rows "
+            f"{embeddings.num_locations}"
         )
     counts = payload.get("counts")
     if counts is not None and len(counts) != len(locations):
@@ -121,8 +227,6 @@ def load_deployable_model(
             f"counts length {len(counts)} != vocabulary size {len(locations)}"
         )
     vocabulary = LocationVocabulary.from_locations(locations, counts=counts)
-    # Matrix was normalized before save; normalization is idempotent.
-    embeddings = EmbeddingMatrix(matrix, normalize=True)
     return embeddings, vocabulary, payload.get("privacy", {})
 
 

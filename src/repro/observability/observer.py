@@ -67,6 +67,19 @@ class Observer:
                 location was known to the model).
         """
 
+    def on_model_request(self, model: str, status: str) -> None:
+        """Called alongside :meth:`on_request` with the model's name.
+
+        A separate hook (rather than a new ``on_request`` parameter) so
+        observer subclasses written against the single-model signature
+        keep working unchanged under multi-tenant serving.
+
+        Args:
+            model: registry name of the model the request addressed.
+            status: same terminal status passed to :meth:`on_request`
+                (plus ``"shed"`` for load-shed requests).
+        """
+
     def on_batch(self, batch_size: int, latency_seconds: float) -> None:
         """Called after the batcher scores one coalesced micro-batch."""
 

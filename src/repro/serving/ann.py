@@ -1,0 +1,221 @@
+"""Sublinear top-k: clustered (IVF-style) scoring over POI embeddings.
+
+The exact serving kernel scores a query profile against *every* location —
+an ``O(L·d)`` matmul per query that dominates latency once the vocabulary
+reaches city scale. :class:`ClusteredIndex` partitions the unit-normalized
+embedding rows with a deterministic spherical k-means and, per query,
+scores only the members of the ``nprobe`` clusters whose centroids are
+most similar to the profile: ``O(C·d + (nprobe/C)·L·d)`` — sublinear in
+``L`` for ``nprobe << C``.
+
+Recall contract (asserted in ``tests/serving/test_ann.py`` and measured in
+``BENCH_plp.json``): with the default ``nprobe``, recall@10 against the
+exact batched kernel is >= 0.95. ``nprobe`` is the recall/latency knob —
+``nprobe == num_clusters`` degenerates to an exact (re-ordered) scan.
+
+Determinism: index construction uses no random draws (RNG discipline,
+DPL001 — all randomness lives in :mod:`repro.rng`). Centroids are seeded
+from evenly-spaced rows of the embedding matrix and refined with Lloyd
+iterations whose tie-breaks (``argmax``) are index-ordered, so the same
+matrix always yields the same partition.
+
+Privacy: the index is a derived view of the (already privately trained)
+embedding matrix θ — no user data is touched, so building or querying it
+consumes no additional privacy budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.models.embeddings import EmbeddingMatrix
+
+_LLOYD_ITERATIONS = 8
+
+
+def default_num_clusters(num_locations: int) -> int:
+    """The default partition count: about ``sqrt(L)``, at least 1."""
+    return max(1, int(round(float(num_locations) ** 0.5)))
+
+
+class ClusteredIndex:
+    """A k-means partition of the embedding rows for sublinear top-k.
+
+    Args:
+        embeddings: the (unit-normalized) location embeddings to index.
+        num_clusters: partition count; ``None`` uses about ``sqrt(L)``.
+        nprobe: default number of clusters scored per query.
+        iterations: Lloyd refinement passes over the assignment.
+    """
+
+    def __init__(
+        self,
+        embeddings: EmbeddingMatrix,
+        num_clusters: int | None = None,
+        nprobe: int = 8,
+        iterations: int = _LLOYD_ITERATIONS,
+    ) -> None:
+        if num_clusters is None:
+            num_clusters = default_num_clusters(embeddings.num_locations)
+        if num_clusters < 1:
+            raise ConfigError(f"num_clusters must be >= 1, got {num_clusters}")
+        if nprobe < 1:
+            raise ConfigError(f"nprobe must be >= 1, got {nprobe}")
+        if iterations < 0:
+            raise ConfigError(f"iterations must be >= 0, got {iterations}")
+        matrix = embeddings.matrix32
+        num_clusters = min(int(num_clusters), matrix.shape[0])
+        self._matrix = matrix
+        self.num_clusters = num_clusters
+        self.nprobe = min(int(nprobe), num_clusters)
+        assignment = self._partition(matrix, num_clusters, int(iterations))
+        # Bucket the row tokens by cluster: one stable argsort, then split.
+        order = np.argsort(assignment, kind="stable").astype(np.int64)
+        boundaries = np.searchsorted(
+            assignment[order], np.arange(1, num_clusters)
+        )
+        self._members: list[np.ndarray] = np.split(order, boundaries)
+        self._centroids = self._centroids_of(matrix, assignment, num_clusters)
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def _centroids_of(
+        matrix: np.ndarray, assignment: np.ndarray, num_clusters: int
+    ) -> np.ndarray:
+        """Unit-normalized mean of each cluster's member rows."""
+        sums = np.zeros((num_clusters, matrix.shape[1]), dtype=np.float64)
+        np.add.at(sums, assignment, matrix.astype(np.float64, copy=False))
+        norms = np.linalg.norm(sums, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return np.ascontiguousarray(sums / norms, dtype=np.float32)
+
+    @classmethod
+    def _partition(
+        cls, matrix: np.ndarray, num_clusters: int, iterations: int
+    ) -> np.ndarray:
+        """Deterministic spherical k-means assignment of every row.
+
+        Seeds centroids from evenly-spaced rows (no random draws) and runs
+        Lloyd iterations: assign each row to its most-similar centroid
+        (cosine == dot on unit vectors), recompute centroids as normalized
+        member means. An emptied cluster is re-seeded with the row that
+        fits its current centroid worst, so every cluster stays non-empty.
+        """
+        num_rows = matrix.shape[0]
+        seeds = np.linspace(0, num_rows - 1, num_clusters).astype(np.int64)
+        centroids = np.ascontiguousarray(matrix[seeds])
+        assignment = np.zeros(num_rows, dtype=np.int64)
+        for _ in range(max(1, iterations)):
+            similarity = matrix @ centroids.T
+            assignment = np.argmax(similarity, axis=1).astype(np.int64)
+            best = similarity[np.arange(num_rows), assignment]
+            # Re-seed emptied clusters from the worst-fitting rows; ties
+            # break by row index (argsort stable), keeping this draw-free.
+            present = np.zeros(num_clusters, dtype=bool)
+            present[assignment] = True
+            missing = np.flatnonzero(~present)
+            if missing.size:
+                worst = np.argsort(best, kind="stable")[: missing.size]
+                assignment[worst] = missing
+            centroids = cls._centroids_of(matrix, assignment, num_clusters)
+        return assignment
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def cluster_sizes(self) -> np.ndarray:
+        """Member count of each cluster (sums to L)."""
+        return np.asarray([m.size for m in self._members], dtype=np.int64)
+
+    def probe(self, profiles: np.ndarray, nprobe: int | None = None) -> np.ndarray:
+        """Per-query indices of the ``nprobe`` most-similar clusters.
+
+        Args:
+            profiles: ``(B, d)`` query profile matrix.
+
+        Returns:
+            ``(B, nprobe)`` cluster-index matrix, most similar first.
+        """
+        nprobe = self.nprobe if nprobe is None else min(
+            int(nprobe), self.num_clusters
+        )
+        if nprobe < 1:
+            raise ConfigError(f"nprobe must be >= 1, got {nprobe}")
+        profiles = np.ascontiguousarray(profiles, dtype=np.float32)
+        if profiles.ndim != 2 or profiles.shape[1] != self._matrix.shape[1]:
+            raise ConfigError(
+                f"profiles must have shape (B, {self._matrix.shape[1]}), "
+                f"got {profiles.shape}"
+            )
+        similarity = profiles @ self._centroids.T
+        if nprobe >= self.num_clusters:
+            order = np.argsort(-similarity, axis=1, kind="stable")
+            return order.astype(np.int64)
+        partition = np.argpartition(-similarity, nprobe - 1, axis=1)[:, :nprobe]
+        ranks = np.take_along_axis(similarity, partition, axis=1)
+        order = np.argsort(-ranks, axis=1, kind="stable")
+        return np.take_along_axis(partition, order, axis=1).astype(np.int64)
+
+    def search(
+        self,
+        profiles: np.ndarray,
+        top_k: int,
+        nprobe: int | None = None,
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Approximate top-k location tokens for each query profile.
+
+        Scores only the members of the probed clusters — the sublinear
+        path. Scores come from the same float32 dot product as the exact
+        ``"fast"`` kernel, so a token that both paths retrieve gets the
+        same score from either.
+
+        Args:
+            profiles: ``(B, d)`` query profile matrix.
+            top_k: candidates to return per query.
+            nprobe: clusters to probe; defaults to the index's knob.
+
+        Returns:
+            ``(tokens, scores)`` — two length-B lists; row i holds query
+            i's candidate tokens and their scores, best first. Rows may be
+            shorter than ``top_k`` when the probed clusters hold fewer
+            members.
+        """
+        if top_k < 1:
+            raise ConfigError(f"top_k must be >= 1, got {top_k}")
+        probed = self.probe(profiles, nprobe=nprobe)
+        profiles = np.ascontiguousarray(profiles, dtype=np.float32)
+        tokens_out: list[np.ndarray] = []
+        scores_out: list[np.ndarray] = []
+        for row, clusters in enumerate(probed):
+            candidates = np.concatenate([self._members[c] for c in clusters])
+            scores = self._matrix[candidates] @ profiles[row]
+            k = min(int(top_k), candidates.size)
+            partition = np.argpartition(-scores, k - 1)[:k]
+            order = np.argsort(-scores[partition], kind="stable")
+            best = partition[order]
+            tokens_out.append(candidates[best])
+            scores_out.append(scores[best])
+        return tokens_out, scores_out
+
+    def recall_at_k(
+        self,
+        profiles: np.ndarray,
+        exact_top: np.ndarray,
+        nprobe: int | None = None,
+    ) -> float:
+        """Mean fraction of the exact top-k this index retrieves.
+
+        Args:
+            profiles: ``(B, d)`` query profiles.
+            exact_top: ``(B, k)`` exact top-k token matrix to compare with.
+        """
+        exact_top = np.asarray(exact_top)
+        k = exact_top.shape[1]
+        approx, _ = self.search(profiles, top_k=k, nprobe=nprobe)
+        hits = sum(
+            np.intersect1d(row, exact_row).size
+            for row, exact_row in zip(approx, exact_top)
+        )
+        return hits / float(exact_top.size) if exact_top.size else 1.0

@@ -1,17 +1,31 @@
 """Request coalescing: the micro-batcher behind ``POST /recommend``.
 
-Concurrent HTTP handler threads each hold one query; scoring them one by
-one would pay the full-matrix pass per query. The batcher funnels them
-through a queue into a single worker that coalesces up to ``max_batch``
-requests arriving within a short window and hands them to the batch
-handler as one call — turning N independent requests into one
-``recommend_batch``. Each caller blocks on its own event with a deadline;
-a request that cannot be answered in time fails with
-:class:`~repro.exceptions.ServingError` (HTTP 503) instead of hanging.
+Concurrent callers each hold one query; scoring them one by one would pay
+the full-matrix pass per query. The batcher funnels them through a queue
+into a single worker that coalesces up to ``max_batch`` requests arriving
+within a short window and hands them to the batch handler as one call —
+turning N independent requests into one ``recommend_batch``.
+
+Two submission styles feed the same queue:
+
+- :meth:`MicroBatcher.submit` — blocking, for thread-per-request callers;
+  the caller waits on its own event with a deadline and a request that
+  cannot be answered in time fails with
+  :class:`~repro.exceptions.ServingError` (HTTP 503) instead of hanging.
+- :meth:`MicroBatcher.submit_future` — non-blocking, for the asyncio
+  front end; returns a :class:`concurrent.futures.Future` the event loop
+  awaits via ``asyncio.wrap_future`` without pinning a thread.
+
+The queue is bounded when ``max_queue`` is set: a submission that finds
+the queue full is *shed* with :class:`~repro.exceptions.OverloadedError`
+(HTTP 503 + ``Retry-After``) instead of being admitted into a backlog no
+deadline can survive. Shedding is explicit and counted by the caller —
+no request is ever dropped silently.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import queue
 import threading
 import time
@@ -19,15 +33,39 @@ from typing import Callable, Sequence
 
 
 class _Pending:
-    """One enqueued request: its payload, completion event, and outcome."""
+    """One enqueued request: its payload, completion signal, and outcome.
 
-    __slots__ = ("item", "event", "result", "error")
+    Completion is signalled through the event (blocking :meth:`submit`)
+    or the future (:meth:`submit_future`), never both.
+    """
 
-    def __init__(self, item) -> None:
+    __slots__ = ("item", "event", "result", "error", "future")
+
+    def __init__(
+        self, item, future: concurrent.futures.Future | None = None
+    ) -> None:
         self.item = item
-        self.event = threading.Event()
+        self.event = threading.Event() if future is None else None
         self.result = None
         self.error: BaseException | None = None
+        self.future = future
+
+    def finish(self, result=None, error: BaseException | None = None) -> None:
+        """Deliver the outcome to whichever completion style is attached."""
+        if self.future is not None:
+            try:
+                if error is not None:
+                    self.future.set_exception(error)
+                else:
+                    self.future.set_result(result)
+            except concurrent.futures.InvalidStateError:
+                # The awaiting caller already cancelled (deadline); the
+                # front end accounted the timeout, so just discard.
+                pass
+            return
+        self.result = result
+        self.error = error
+        self.event.set()
 
 
 _STOP = object()
@@ -48,6 +86,10 @@ class MicroBatcher:
         timeout_seconds: default per-request deadline for :meth:`submit`.
         on_batch: optional ``(batch_size, latency_seconds)`` callback after
             each handler call (the service wires this to its observers).
+        max_queue: bound on queued-but-unscored requests; ``None`` keeps
+            the legacy unbounded queue. When full, submissions raise
+            :class:`~repro.exceptions.OverloadedError` (load shedding).
+        retry_after_seconds: back-off hint attached to shed requests.
     """
 
     def __init__(
@@ -57,6 +99,8 @@ class MicroBatcher:
         max_wait_seconds: float = 0.002,
         timeout_seconds: float = 2.0,
         on_batch: Callable[[int, float], None] | None = None,
+        max_queue: int | None = None,
+        retry_after_seconds: float = 1.0,
     ) -> None:
         from repro.exceptions import ConfigError
 
@@ -70,17 +114,59 @@ class MicroBatcher:
             raise ConfigError(
                 f"timeout_seconds must be > 0, got {timeout_seconds}"
             )
+        if max_queue is not None and max_queue < 1:
+            raise ConfigError(f"max_queue must be >= 1, got {max_queue}")
+        if retry_after_seconds <= 0:
+            raise ConfigError(
+                f"retry_after_seconds must be > 0, got {retry_after_seconds}"
+            )
         self._handler = handler
         self._max_batch = int(max_batch)
         self._max_wait = float(max_wait_seconds)
         self._timeout = float(timeout_seconds)
         self._on_batch = on_batch
+        self._max_queue = None if max_queue is None else int(max_queue)
+        self._retry_after = float(retry_after_seconds)
         self._queue: queue.Queue = queue.Queue()
         self._closed = False
         self._worker = threading.Thread(
             target=self._run, name="repro-microbatcher", daemon=True
         )
         self._worker.start()
+
+    @property
+    def depth(self) -> int:
+        """Approximate number of queued-but-unscored requests."""
+        return self._queue.qsize()
+
+    @property
+    def max_queue(self) -> int | None:
+        """The configured queue bound (``None`` = unbounded)."""
+        return self._max_queue
+
+    def _admit(self, pending: _Pending) -> None:
+        """Admit one request, or shed it when the bounded queue is full.
+
+        The size check and the put are not one atomic step, so a racing
+        burst can briefly overshoot the bound by the number of concurrent
+        submitters — the bound is a shedding threshold, not a hard
+        capacity; what matters is that overload is detected and refused
+        loudly rather than queued silently.
+        """
+        from repro.exceptions import OverloadedError, ServingError
+
+        if self._closed:
+            raise ServingError("batcher is closed")
+        if (
+            self._max_queue is not None
+            and self._queue.qsize() >= self._max_queue
+        ):
+            raise OverloadedError(
+                f"request queue is full ({self._max_queue} pending); "
+                "shedding load",
+                retry_after=self._retry_after,
+            )
+        self._queue.put(pending)
 
     def submit(self, item, timeout: float | None = None):
         """Enqueue one payload and block until its result is ready.
@@ -91,15 +177,14 @@ class MicroBatcher:
                 ``timeout_seconds``.
 
         Raises:
+            OverloadedError: when the bounded queue is full (load shed).
             ServingError: when the batcher is closed or the deadline
                 passes before the batch executes.
         """
         from repro.exceptions import ServingError
 
-        if self._closed:
-            raise ServingError("batcher is closed")
         pending = _Pending(item)
-        self._queue.put(pending)
+        self._admit(pending)
         deadline = self._timeout if timeout is None else float(timeout)
         if not pending.event.wait(deadline):
             # The worker may still score this payload; the result is
@@ -108,6 +193,24 @@ class MicroBatcher:
         if pending.error is not None:
             raise pending.error
         return pending.result
+
+    def submit_future(self, item) -> concurrent.futures.Future:
+        """Enqueue one payload without blocking; resolve via a future.
+
+        The asyncio front end awaits the returned
+        :class:`concurrent.futures.Future` through ``asyncio.wrap_future``,
+        so one event-loop thread can hold thousands of in-flight requests
+        while this worker coalesces them. Deadlines are the *caller's*
+        job (``asyncio.wait_for``); a future whose caller gave up is
+        discarded on completion, never blocked on.
+
+        Raises:
+            OverloadedError: when the bounded queue is full (load shed).
+            ServingError: when the batcher is closed.
+        """
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        self._admit(_Pending(item, future=future))
+        return future
 
     def close(self, join_timeout: float = 5.0) -> None:
         """Stop the worker; subsequent :meth:`submit` calls fail fast.
@@ -170,16 +273,14 @@ class MicroBatcher:
                 )
         except Exception as error:
             for pending in batch:
-                pending.error = error
-                pending.event.set()
+                pending.finish(error=error)
             return
         latency = time.perf_counter() - start
         for pending, result in zip(batch, results):
             if isinstance(result, Exception):
-                pending.error = result
+                pending.finish(error=result)
             else:
-                pending.result = result
-            pending.event.set()
+                pending.finish(result=result)
         if self._on_batch is not None:
             self._on_batch(len(batch), latency)
 
@@ -194,5 +295,4 @@ class MicroBatcher:
                 return
             if pending is _STOP:
                 continue
-            pending.error = ServingError("batcher is closed")
-            pending.event.set()
+            pending.finish(error=ServingError("batcher is closed"))

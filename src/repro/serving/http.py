@@ -1,26 +1,32 @@
-"""Stdlib HTTP front-end for :class:`~repro.serving.service.RecommendService`.
+"""Threaded HTTP front-end for :class:`~repro.serving.service.RecommendService`.
 
-No web framework — ``http.server.ThreadingHTTPServer`` is enough for the
-paper's serving story (Section 3.3: consumers query a downloaded model).
-Each connection gets a handler thread; handler threads block in
-``service.recommend`` while the micro-batcher coalesces them, so
-concurrency turns directly into batch size.
+The thread-per-connection transport: ``http.server.ThreadingHTTPServer``
+with handler threads blocking in ``service.submit_request`` while the
+micro-batcher coalesces them. The asyncio front end
+(:mod:`repro.serving.asgi`) is the default for ``repro serve``; this
+module stays as the simple embedded/test transport — both speak the same
+wire v1 protocol (:mod:`repro.serving.api`).
 
 Protocol (all bodies JSON; see ``docs/serving.md``):
 
-- ``POST /recommend``  ``{"recent": [...], "top_k": 10}`` ->
-  ``{"recommendations": [[location, score], ...], "model_version": n,
-  "fallback": false}``
-- ``GET /healthz``     liveness + loaded-model info
+- ``POST /recommend``  ``{"v": 1, "recent": [...], "top_k": 10,
+  "model": "name[@version]"}`` (the ``v`` and ``model`` fields are
+  optional — a v-less body is decoded as v1) ->
+  ``{"v": 1, "recommendations": [[location, score], ...], "model": name,
+  "version": n, "served_by": "exact"|"ann"|"popularity-prior", ...}``
+  plus the legacy ``model_version`` / ``fallback`` keys.
+- ``GET /healthz``     liveness + loaded-model info (all hosted models)
 - ``GET /metrics``     Prometheus text exposition of the unified metrics
   registry (label values fully escaped, so POI ids containing quotes or
   newlines are safe). ``?format=json`` returns the legacy JSON counters,
   ``?format=jsonl`` one JSON object per sample; the server's default
   format is configurable (``--metrics-format``).
-- ``POST /reload``     atomic hot-reload of the artifact
+- ``POST /reload``     atomic hot-reload (body ``{"model": "name"}``
+  picks which; default model otherwise)
 
-Error mapping: malformed request -> 400, operational failure (no model,
-deadline missed) -> 503, anything else -> 500.
+Error mapping: malformed request -> 400, queue-full load shed -> 503 with
+a ``Retry-After`` header, other operational failure (no model, deadline
+missed) -> 503, anything else -> 500.
 """
 
 from __future__ import annotations
@@ -30,7 +36,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from urllib.parse import parse_qs, urlsplit
 
-from repro.exceptions import ConfigError, ReproError, ServingError
+from repro.exceptions import ConfigError, OverloadedError, ReproError, ServingError
+from repro.serving.api import RecommendRequest
 from repro.serving.service import RecommendService
 
 _MAX_BODY_BYTES = 1 << 20
@@ -52,11 +59,15 @@ class _RecommendHandler(BaseHTTPRequestHandler):
             return
         super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, headers: dict[str, str] | None = None
+    ) -> None:
         body = json.dumps(payload, default=str).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -84,17 +95,21 @@ class _RecommendHandler(BaseHTTPRequestHandler):
         return payload
 
     def _handle(self, action) -> None:
+        headers: dict[str, str] | None = None
         try:
             status, payload = action()
         except ConfigError as error:
             status, payload = 400, {"error": str(error)}
+        except OverloadedError as error:
+            status, payload = 503, {"error": str(error)}
+            headers = {"Retry-After": f"{error.retry_after:g}"}
         except ServingError as error:
             status, payload = 503, {"error": str(error)}
         except ReproError as error:
             status, payload = 500, {"error": str(error)}
         except Exception as error:  # pragma: no cover - defensive
             status, payload = 500, {"error": f"internal error: {error}"}
-        self._send_json(status, payload)
+        self._send_json(status, payload, headers)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         parts = urlsplit(self.path)
@@ -130,18 +145,18 @@ class _RecommendHandler(BaseHTTPRequestHandler):
         if self.path == "/recommend":
             self._handle(self._recommend)
         elif self.path == "/reload":
-            self._handle(lambda: (200, self.service.reload()))
+            self._handle(self._reload)
         else:
             self._send_json(404, {"error": f"unknown path {self.path}"})
 
     def _recommend(self) -> tuple[int, dict]:
+        request = RecommendRequest.from_dict(self._read_json())
+        response = self.service.submit_request(request)
+        return 200, response.as_dict()
+
+    def _reload(self) -> tuple[int, dict]:
         payload = self._read_json()
-        if "recent" not in payload:
-            raise ConfigError('request must carry a "recent" list')
-        result = self.service.recommend(
-            payload["recent"], top_k=payload.get("top_k", 10)
-        )
-        return 200, result
+        return 200, self.service.reload(model=payload.get("model"))
 
 
 def make_server(

@@ -88,6 +88,17 @@ class MetricsObserver(Observer):
             "repro_serving_max_batch_size",
             "Largest micro-batch coalesced so far",
         )
+        self._model_requests = self.registry.counter(
+            "repro_serving_model_requests_total",
+            "Serving requests by model name and terminal status "
+            "(labels: model, status)",
+        )
+        self._shed = self.registry.counter(
+            "repro_serving_shed_total",
+            "Requests refused with 503 + Retry-After because the bounded "
+            "queue was full (every shed request is counted here — "
+            "overload is never silent)",
+        )
         self._reloads = self.registry.counter(
             "repro_serving_reloads_total",
             "Model (re)load attempts by outcome (label: result)",
@@ -113,9 +124,14 @@ class MetricsObserver(Observer):
         self, status: str, latency_seconds: float, fallback: bool = False
     ) -> None:
         self._requests.inc(status=status)
+        if status == "shed":
+            self._shed.inc()
         if fallback:
             self._fallbacks.inc()
         self._request_seconds.observe(latency_seconds)
+
+    def on_model_request(self, model: str, status: str) -> None:
+        self._model_requests.inc(model=model, status=status)
 
     def on_batch(self, batch_size: int, latency_seconds: float) -> None:
         self._batch_seconds.observe(latency_seconds)
@@ -153,9 +169,16 @@ class MetricsObserver(Observer):
             dict(key).get("result", ""): int(value)
             for key, value in self._reloads.items().items()
         }
+        model_requests: dict[str, dict[str, int]] = {}
+        for key, value in self._model_requests.items().items():
+            labels = dict(key)
+            by_status = model_requests.setdefault(labels.get("model", ""), {})
+            by_status[labels.get("status", "")] = int(value)
         return {
             "requests": requests,
             "requests_total": sum(requests.values()),
+            "shed": int(self._shed.total()),
+            "model_requests": model_requests,
             "fallback_answers": int(self._fallbacks.total()),
             "request_latency": _latency_dict(request_stats),
             "batches": {

@@ -1,12 +1,22 @@
-"""Model registry: loading deployable artifacts with atomic hot-reload.
+"""Multi-tenant model registry: named models with atomic hot-reload.
 
-The registry owns the mapping from an on-disk ``.npz`` artifact (written by
-:func:`repro.models.serialization.save_deployable_model`) to a warm,
-ready-to-serve :class:`~repro.models.recommender.NextLocationRecommender`.
-Loading is done off to the side and published with a single reference swap,
-so in-flight requests keep scoring against the model they started with and
-a failed reload never takes down a healthy server — the previous model
-stays current and the failure is reported through the observers.
+The registry owns the mapping from on-disk ``.npz`` artifacts (written by
+:func:`repro.models.serialization.save_deployable_model`) to warm,
+ready-to-serve :class:`~repro.models.recommender.NextLocationRecommender`
+instances. One registry hosts many *named* models (per-city, per-epsilon —
+the FedGeo-style deployment), each with its own monotonically increasing
+version counter; requests address them as ``name`` or ``name@version``
+via :class:`~repro.serving.api.ModelRef`.
+
+Loading is done off to the side and published with a single reference
+swap, so in-flight requests keep scoring against the snapshot they
+started with and a failed reload never takes down a healthy model — the
+previous snapshot stays current and the failure is reported through the
+observers. Reloading model A is invisible to traffic on model B.
+
+With ``mmap=True`` artifact embeddings are memory-mapped read-only from
+the shared sidecar cache (:func:`repro.models.serialization.ensure_mmap_cache`),
+so N serving workers share one physical copy of each model's θ.
 """
 
 from __future__ import annotations
@@ -15,11 +25,19 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.baselines.popularity import popularity_prior
-from repro.exceptions import ServingError
+from repro.exceptions import ConfigError, ServingError
 from repro.models.recommender import NextLocationRecommender
 from repro.models.serialization import load_deployable_model
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.ann import ClusteredIndex
+    from repro.serving.api import ModelRef
+
+#: Name of the model that answers requests which name none.
+DEFAULT_MODEL = "default"
 
 
 @dataclass(frozen=True, slots=True)
@@ -30,9 +48,14 @@ class LoadedModel:
         recommender: the warm recommender (normalized float64 matrix plus
             the cached float32 copy for the fast kernel).
         source: the artifact path it was loaded from.
-        version: monotonically increasing load counter (1 = first load).
+        version: the slot's monotonically increasing load counter
+            (1 = first load of that name).
         privacy: the privacy-audit metadata stored in the artifact.
         loaded_at: ``time.time()`` of the load.
+        name: the registry name this snapshot is published under.
+        ann_index: the model's clustered sublinear top-k index, built
+            before publication when the registry serves ANN (``None``
+            otherwise) — a reload swaps model and index together.
     """
 
     recommender: NextLocationRecommender
@@ -40,18 +63,43 @@ class LoadedModel:
     version: int
     privacy: dict = field(default_factory=dict)
     loaded_at: float = 0.0
+    name: str = DEFAULT_MODEL
+    ann_index: "ClusteredIndex | None" = None
+
+
+class _Slot:
+    """One named model's mutable state (guarded by the registry lock)."""
+
+    __slots__ = ("path", "current", "versions")
+
+    def __init__(self, path: str | None) -> None:
+        self.path = path
+        self.current: LoadedModel | None = None
+        self.versions = 0
 
 
 class ModelRegistry:
-    """Loads deployable artifacts and publishes them atomically.
+    """Loads deployable artifacts and publishes them atomically, by name.
 
     Args:
-        path: default artifact path for :meth:`load` / :meth:`reload`.
+        path: artifact path for the ``"default"`` model (more models are
+            registered with :meth:`add_model`).
         exclude_input: configure loaded recommenders to drop the query's
             own locations from recommendation lists.
         with_fallback: configure the popularity fallback prior so queries
             with no known location degrade gracefully instead of failing
             (uniform when the artifact was saved without counts).
+        mmap: memory-map artifact embeddings read-only so concurrent
+            workers share one copy of each θ.
+        ann: build a :class:`~repro.serving.ann.ClusteredIndex` for each
+            loaded model (published atomically with it).
+        nprobe / num_clusters: ANN index knobs (see
+            :mod:`repro.serving.ann`).
+
+    Locking: every slot mutation (register, version bump, snapshot swap)
+    happens with the registry lock held; readers take the lock only long
+    enough to grab the immutable :class:`LoadedModel` reference. Artifact
+    builds run outside the lock, so a slow load never blocks serving.
     """
 
     def __init__(
@@ -59,32 +107,76 @@ class ModelRegistry:
         path: str | Path | None = None,
         exclude_input: bool = False,
         with_fallback: bool = True,
+        mmap: bool = False,
+        ann: bool = False,
+        nprobe: int = 8,
+        num_clusters: int | None = None,
     ) -> None:
-        self._path = str(path) if path is not None else None
         self._exclude_input = bool(exclude_input)
         self._with_fallback = bool(with_fallback)
+        self._mmap = bool(mmap)
+        self._ann = bool(ann)
+        self._nprobe = int(nprobe)
+        self._num_clusters = num_clusters
         self._lock = threading.Lock()
-        self._current: LoadedModel | None = None
-        self._versions = 0
+        self._slots: dict[str, _Slot] = {
+            DEFAULT_MODEL: _Slot(str(path) if path is not None else None)
+        }
+
+    # -- legacy single-model surface --------------------------------------
+
+    @property
+    def _path(self) -> str | None:
+        """The default model's artifact path (legacy single-model alias)."""
+        return self._slots[DEFAULT_MODEL].path
+
+    @_path.setter
+    def _path(self, value: str | None) -> None:
+        with self._lock:
+            self._slots[DEFAULT_MODEL].path = value
 
     @property
     def loaded(self) -> bool:
-        """Whether a model has been published."""
-        return self._current is not None
+        """Whether at least one model has been published."""
+        return any(slot.current is not None for slot in self._slots.values())
 
-    def current(self) -> LoadedModel:
-        """The currently published model snapshot.
+    # -- registration ------------------------------------------------------
 
-        Raises:
-            ServingError: when nothing has been loaded yet.
+    def add_model(self, name: str, path: str | Path) -> None:
+        """Register (or re-point) a named model's artifact path.
+
+        Registration alone publishes nothing; call :meth:`load` (or
+        :meth:`load_all`) to build and publish a snapshot.
         """
-        current = self._current
-        if current is None:
-            raise ServingError("no model loaded; call load() first")
-        return current
+        if not name or "@" in name:
+            raise ConfigError(
+                f"model name must be non-empty and without '@', got {name!r}"
+            )
+        with self._lock:
+            slot = self._slots.get(name)
+            if slot is None:
+                self._slots[name] = _Slot(str(path))
+            else:
+                slot.path = str(path)
 
-    def _build(self, source: str) -> tuple[NextLocationRecommender, dict]:
-        embeddings, vocabulary, privacy = load_deployable_model(source)
+    def model_names(self) -> list[str]:
+        """Registered model names, sorted."""
+        with self._lock:
+            return sorted(self._slots)
+
+    def models(self) -> dict[str, LoadedModel | None]:
+        """Snapshot of every slot's currently published model."""
+        with self._lock:
+            return {name: slot.current for name, slot in sorted(self._slots.items())}
+
+    # -- loading -----------------------------------------------------------
+
+    def _build(
+        self, source: str
+    ) -> tuple[NextLocationRecommender, dict, "ClusteredIndex | None"]:
+        embeddings, vocabulary, privacy = load_deployable_model(
+            source, mmap=self._mmap
+        )
         fallback = popularity_prior(vocabulary) if self._with_fallback else None
         recommender = NextLocationRecommender(
             embeddings,
@@ -92,47 +184,114 @@ class ModelRegistry:
             exclude_input=self._exclude_input,
             fallback_scores=fallback,
         )
-        # Warm the float32 cache now so no request pays the conversion.
+        # Warm the float32 cache now so no request pays the conversion
+        # (with mmap it is already materialized as a shared mapping).
         embeddings.matrix32
-        return recommender, privacy
+        index = None
+        if self._ann:
+            from repro.serving.ann import ClusteredIndex
 
-    def load(self, path: str | Path | None = None) -> LoadedModel:
-        """Load an artifact and publish it, replacing any current model.
+            index = ClusteredIndex(
+                embeddings,
+                num_clusters=self._num_clusters,
+                nprobe=self._nprobe,
+            )
+        return recommender, privacy, index
 
-        The load (file read, normalization, fallback prior, float32 warm-up)
-        happens entirely before the swap; requests racing a reload see
-        either the old snapshot or the new one, never a half-built model.
+    def load(
+        self, path: str | Path | None = None, name: str = DEFAULT_MODEL
+    ) -> LoadedModel:
+        """Load an artifact and publish it under ``name``.
+
+        The load (file read, normalization, fallback prior, float32
+        warm-up, ANN index build) happens entirely before the swap;
+        requests racing a reload see either the old snapshot or the new
+        one, never a half-built model — and other names are untouched.
 
         Args:
-            path: artifact to load; defaults to the registry's configured
+            path: artifact to load; defaults to the name's registered
                 path, which subsequent :meth:`reload` calls then reuse.
+            name: which model slot to publish into (created on demand
+                when a path is given).
 
         Raises:
             ServingError: when no path is configured or given.
             DataError: when the artifact is missing or malformed (the
-                previously published model, if any, stays current).
+                previously published snapshot, if any, stays current).
         """
-        source = str(path) if path is not None else self._path
-        if source is None:
-            raise ServingError("no artifact path configured for this registry")
-        recommender, privacy = self._build(source)
         with self._lock:
-            self._versions += 1
+            slot = self._slots.get(name)
+            source = str(path) if path is not None else (slot.path if slot else None)
+        if source is None:
+            raise ServingError(
+                f"no artifact path configured for model {name!r}"
+            )
+        recommender, privacy, index = self._build(source)
+        with self._lock:
+            slot = self._slots.setdefault(name, _Slot(source))
+            slot.versions += 1
             snapshot = LoadedModel(
                 recommender=recommender,
                 source=source,
-                version=self._versions,
+                version=slot.versions,
                 privacy=privacy,
                 loaded_at=time.time(),
+                name=name,
+                ann_index=index,
             )
-            self._current = snapshot
-            self._path = source
+            slot.current = snapshot
+            slot.path = source
         return snapshot
 
-    def reload(self) -> LoadedModel:
-        """Re-load the current source path (hot-reload).
+    def load_all(self) -> list[LoadedModel]:
+        """Load every registered model that has a path; returns snapshots."""
+        with self._lock:
+            names = [
+                name for name, slot in sorted(self._slots.items())
+                if slot.path is not None
+            ]
+        return [self.load(name=name) for name in names]
+
+    def reload(self, name: str = DEFAULT_MODEL) -> LoadedModel:
+        """Re-load one named model from its registered path (hot-reload).
 
         Raises whatever :meth:`load` raises; on failure the previously
-        published model keeps serving.
+        published snapshot keeps serving and every other name is
+        untouched.
         """
-        return self.load(self._path)
+        return self.load(name=name)
+
+    # -- resolution --------------------------------------------------------
+
+    def current(self, ref: "ModelRef | str | None" = None) -> LoadedModel:
+        """The published snapshot a :class:`ModelRef` resolves to.
+
+        Args:
+            ref: ``None`` / ``"name"`` / ``"name@version"`` /
+                :class:`ModelRef`; ``None`` means the default model.
+
+        Raises:
+            ServingError: unknown name, nothing published under it, or a
+                pinned version that is no longer (or not yet) current.
+        """
+        from repro.serving.api import ModelRef
+
+        parsed = ModelRef.parse(ref)
+        with self._lock:
+            slot = self._slots.get(parsed.name)
+            current = slot.current if slot is not None else None
+        if slot is None:
+            known = ", ".join(sorted(self._slots)) or "none"
+            raise ServingError(
+                f"unknown model {parsed.name!r} (hosted models: {known})"
+            )
+        if current is None:
+            raise ServingError(
+                f"no model loaded under {parsed.name!r}; call load() first"
+            )
+        if parsed.version is not None and current.version != parsed.version:
+            raise ServingError(
+                f"model {parsed.name!r} is at version {current.version}, "
+                f"not the requested @{parsed.version}"
+            )
+        return current

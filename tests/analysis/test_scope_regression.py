@@ -18,6 +18,14 @@ PR6_MODULES = (
     "src/repro/core/_pairs.py",
 )
 
+# The serving API redesign added the wire layer and the ANN index; both
+# export request/response payloads, so the export rules must keep firing
+# there.
+PR9_MODULES = (
+    "src/repro/serving/api.py",
+    "src/repro/serving/ann.py",
+)
+
 
 class TestRngDisciplineCoversNewModules:
     @pytest.mark.parametrize("path", PR6_MODULES)
@@ -54,3 +62,32 @@ class TestCountExportCoversStore:
             )
             == []
         )
+
+
+class TestCountExportCoversServingWireModules:
+    """DPL004 fires in the PR-9 wire/ANN modules (``repro/serving/`` scope)."""
+
+    @pytest.mark.parametrize("path", PR9_MODULES)
+    def test_dpl004_fires(self, path):
+        violations = lint_fixture("counts_bad.py", path, select=("DPL004",))
+        assert rule_ids(violations) == {"DPL004"}
+
+    @pytest.mark.parametrize("path", PR9_MODULES)
+    def test_dpl004_clean_fixture_passes(self, path):
+        assert lint_fixture("counts_good.py", path, select=("DPL004",)) == []
+
+
+class TestSensitiveFlowCoversServingWireModules:
+    """DPL006's export-module sinks (serialization) apply to the new files."""
+
+    @pytest.mark.parametrize("path", PR9_MODULES)
+    def test_dpl006_export_sinks_fire(self, path):
+        violations = lint_fixture("flow_bad.py", path, select=("DPL006",))
+        assert rule_ids(violations) == {"DPL006"}
+        # All four leaks, including the serialization (json.dumps) sink
+        # that is only active inside export modules.
+        assert len(violations) == 4
+
+    @pytest.mark.parametrize("path", PR9_MODULES)
+    def test_dpl006_clean_fixture_passes(self, path):
+        assert lint_fixture("flow_good.py", path, select=("DPL006",)) == []

@@ -1,0 +1,154 @@
+"""ClusteredIndex: the sublinear top-k path and its recall contract.
+
+The load-bearing assertion here is the recall property test: with the
+default ``nprobe``, recall@10 against the exact kernel is >= 0.95 across
+vocabulary sizes (the same contract ``BENCH_plp.json`` measures). The
+rest pins determinism, the ``nprobe`` degeneration to an exact scan, and
+the partition invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.models.embeddings import EmbeddingMatrix
+from repro.serving.ann import ClusteredIndex, default_num_clusters
+
+
+def clustered_embeddings(num_locations, dim=16, num_clusters=8, seed=5):
+    """Unit-normalized rows drawn around well-separated cluster centers."""
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((num_clusters, dim))
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    rows = centers[np.arange(num_locations) % num_clusters]
+    rows = rows + 0.25 * rng.standard_normal((num_locations, dim))
+    rows /= np.linalg.norm(rows, axis=1, keepdims=True)
+    return EmbeddingMatrix.from_normalized(rows)
+
+
+def exact_top_k(embeddings, profiles, top_k):
+    scores = profiles.astype(np.float32) @ embeddings.matrix32.T
+    return np.argsort(-scores, axis=1, kind="stable")[:, :top_k]
+
+
+def query_profiles(embeddings, every=7):
+    return embeddings.matrix32[::every]
+
+
+class TestConstruction:
+    def test_default_num_clusters_is_about_sqrt_l(self):
+        assert default_num_clusters(1) == 1
+        assert default_num_clusters(100) == 10
+        assert default_num_clusters(2048) == 45
+
+    def test_num_clusters_capped_at_row_count(self):
+        embeddings = clustered_embeddings(6)
+        index = ClusteredIndex(embeddings, num_clusters=50)
+        assert index.num_clusters == 6
+
+    def test_every_cluster_is_nonempty_and_sizes_sum_to_l(self):
+        embeddings = clustered_embeddings(200)
+        index = ClusteredIndex(embeddings, num_clusters=14)
+        sizes = index.cluster_sizes
+        assert sizes.shape == (14,)
+        assert int(sizes.sum()) == 200
+        assert int(sizes.min()) >= 1
+
+    def test_construction_is_deterministic(self):
+        embeddings = clustered_embeddings(300)
+        first = ClusteredIndex(embeddings, num_clusters=12, nprobe=3)
+        second = ClusteredIndex(embeddings, num_clusters=12, nprobe=3)
+        profiles = query_profiles(embeddings)
+        assert np.array_equal(first.probe(profiles), second.probe(profiles))
+        tokens_a, scores_a = first.search(profiles, top_k=10)
+        tokens_b, scores_b = second.search(profiles, top_k=10)
+        for row_a, row_b in zip(tokens_a, tokens_b):
+            assert np.array_equal(row_a, row_b)
+        for row_a, row_b in zip(scores_a, scores_b):
+            assert np.array_equal(row_a, row_b)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"num_clusters": 0}, {"nprobe": 0}, {"iterations": -1}]
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ClusteredIndex(clustered_embeddings(40), **kwargs)
+
+
+class TestRecallContract:
+    @pytest.mark.parametrize("num_locations", [64, 256, 1024, 2048])
+    def test_recall_at_10_meets_the_serving_floor(self, num_locations):
+        # The documented contract: default nprobe, recall@10 >= 0.95
+        # against the exact float32 kernel, across vocabulary sizes.
+        embeddings = clustered_embeddings(num_locations)
+        index = ClusteredIndex(embeddings)
+        profiles = query_profiles(embeddings)
+        exact = exact_top_k(embeddings, profiles, top_k=10)
+        assert index.recall_at_k(profiles, exact) >= 0.95
+
+    def test_probing_every_cluster_is_an_exact_scan(self):
+        embeddings = clustered_embeddings(150)
+        index = ClusteredIndex(embeddings, num_clusters=10, nprobe=10)
+        profiles = query_profiles(embeddings, every=11)
+        exact = exact_top_k(embeddings, profiles, top_k=10)
+        assert index.recall_at_k(profiles, exact) == 1.0
+
+    def test_nprobe_override_trades_recall_for_work(self):
+        embeddings = clustered_embeddings(512, num_clusters=16, seed=9)
+        index = ClusteredIndex(embeddings, num_clusters=16, nprobe=1)
+        profiles = query_profiles(embeddings)
+        exact = exact_top_k(embeddings, profiles, top_k=10)
+        narrow = index.recall_at_k(profiles, exact)
+        wide = index.recall_at_k(profiles, exact, nprobe=16)
+        assert wide == 1.0
+        assert narrow <= wide
+
+    def test_scores_match_the_exact_fast_kernel(self):
+        # A token both paths retrieve gets the same float32 dot product
+        # (up to BLAS accumulation order between mat-vec and matmul).
+        embeddings = clustered_embeddings(200)
+        index = ClusteredIndex(embeddings, num_clusters=10, nprobe=10)
+        profiles = query_profiles(embeddings)
+        tokens, scores = index.search(profiles, top_k=5)
+        full = profiles.astype(np.float32) @ embeddings.matrix32.T
+        for row, (row_tokens, row_scores) in enumerate(zip(tokens, scores)):
+            np.testing.assert_allclose(
+                row_scores, full[row, row_tokens], rtol=0, atol=1e-6
+            )
+            # Best first.
+            assert np.all(np.diff(row_scores) <= 0)
+
+
+class TestQueries:
+    def test_probe_shape_and_ordering(self):
+        embeddings = clustered_embeddings(300)
+        index = ClusteredIndex(embeddings, num_clusters=12, nprobe=4)
+        profiles = query_profiles(embeddings)
+        probed = index.probe(profiles)
+        assert probed.shape == (profiles.shape[0], 4)
+        # Most-similar cluster first.
+        similarity = profiles @ index._centroids.T
+        ranked = np.take_along_axis(similarity, probed, axis=1)
+        assert np.all(np.diff(ranked, axis=1) <= 1e-6)
+
+    def test_probe_rejects_wrong_shapes(self):
+        index = ClusteredIndex(clustered_embeddings(40, dim=16))
+        with pytest.raises(ConfigError, match="shape"):
+            index.probe(np.zeros((3, 5), dtype=np.float32))
+        with pytest.raises(ConfigError, match="shape"):
+            index.probe(np.zeros(16, dtype=np.float32))
+
+    def test_search_truncates_to_available_candidates(self):
+        embeddings = clustered_embeddings(30)
+        index = ClusteredIndex(embeddings, num_clusters=6, nprobe=1)
+        tokens, scores = index.search(embeddings.matrix32[:2], top_k=30)
+        for row_tokens, row_scores in zip(tokens, scores):
+            assert 1 <= row_tokens.size <= 30
+            assert row_tokens.size == row_scores.size
+
+    def test_search_rejects_bad_top_k(self):
+        index = ClusteredIndex(clustered_embeddings(40))
+        with pytest.raises(ConfigError, match="top_k"):
+            index.search(query_profiles(clustered_embeddings(40)), top_k=0)

@@ -1,0 +1,283 @@
+"""The versioned serving wire API: typed request/response/config objects.
+
+Pins the v1 wire contract from ``docs/serving.md``: v-less bodies decode
+as v1, unknown versions and unknown fields are rejected, ``top_k`` is
+strictly integral, and responses keep the legacy ``model_version`` /
+``fallback`` spellings alongside the v1 fields.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.serving.api import (
+    SERVED_BY,
+    WIRE_VERSION,
+    ModelRef,
+    RecommendRequest,
+    RecommendResponse,
+    ServingConfig,
+    validate_top_k,
+)
+
+
+class TestValidateTopK:
+    def test_accepts_plain_ints(self):
+        assert validate_top_k(1) == 1
+        assert validate_top_k(100) == 100
+
+    def test_accepts_numpy_integers_via_index_protocol(self):
+        value = validate_top_k(np.int64(7))
+        assert value == 7
+        assert type(value) is int
+
+    @pytest.mark.parametrize("bad", [True, False])
+    def test_rejects_bools_explicitly(self, bad):
+        # bool is an int subclass: int(True) == 1 used to slip through.
+        with pytest.raises(ConfigError, match="bool"):
+            validate_top_k(bad)
+
+    @pytest.mark.parametrize("bad", ["10", 3.0, 3.5, None, [3], {}])
+    def test_rejects_non_integral_types_naming_the_type(self, bad):
+        with pytest.raises(ConfigError, match=type(bad).__name__):
+            validate_top_k(bad)
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ConfigError, match=">= 1"):
+            validate_top_k(bad)
+
+    def test_limit_is_inclusive(self):
+        assert validate_top_k(100, limit=100) == 100
+        with pytest.raises(ConfigError, match=r"\[1, 100\]"):
+            validate_top_k(101, limit=100)
+
+
+class TestModelRef:
+    def test_defaults_to_unpinned_default_model(self):
+        ref = ModelRef()
+        assert (ref.name, ref.version) == ("default", None)
+        assert str(ref) == "default"
+
+    def test_parse_name_and_pinned_version(self):
+        assert ModelRef.parse("city") == ModelRef("city")
+        assert ModelRef.parse("city@3") == ModelRef("city", 3)
+        assert str(ModelRef.parse("city@3")) == "city@3"
+
+    def test_parse_none_is_default_and_refs_pass_through(self):
+        assert ModelRef.parse(None) == ModelRef()
+        pinned = ModelRef("beach", 2)
+        assert ModelRef.parse(pinned) is pinned
+
+    @pytest.mark.parametrize("bad", ["city@", "city@x", "city@-1", "city@1.5"])
+    def test_parse_rejects_malformed_versions(self, bad):
+        with pytest.raises(ConfigError, match="version"):
+            ModelRef.parse(bad)
+
+    def test_name_must_not_embed_at_sign(self):
+        with pytest.raises(ConfigError, match="ModelRef.parse"):
+            ModelRef("city@3")
+
+    @pytest.mark.parametrize("bad", ["", None, 7])
+    def test_name_must_be_nonempty_string(self, bad):
+        with pytest.raises(ConfigError):
+            ModelRef(bad)
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 1.0])
+    def test_version_must_be_positive_integer(self, bad):
+        with pytest.raises(ConfigError):
+            ModelRef("city", bad)
+
+    def test_parse_rejects_non_strings(self):
+        with pytest.raises(ConfigError, match="name"):
+            ModelRef.parse(7)
+
+
+class TestRecommendRequest:
+    def test_versionless_body_decodes_as_v1(self):
+        request = RecommendRequest.from_dict({"recent": ["a", "b"]})
+        assert request.v == WIRE_VERSION
+        assert request.recent == ("a", "b")
+        assert request.top_k == 10
+        assert request.model == ModelRef()
+
+    def test_explicit_v1_with_model_spec(self):
+        request = RecommendRequest.from_dict(
+            {"v": 1, "recent": ["a"], "top_k": 3, "model": "city@2"}
+        )
+        assert request.top_k == 3
+        assert request.model == ModelRef("city", 2)
+
+    @pytest.mark.parametrize("bad", [0, 2, 99, "1", True])
+    def test_unknown_wire_versions_are_rejected(self, bad):
+        with pytest.raises(ConfigError, match='"v"|version'):
+            RecommendRequest.from_dict({"v": bad, "recent": []})
+
+    def test_unknown_fields_are_rejected(self):
+        with pytest.raises(ConfigError, match="recnt"):
+            RecommendRequest.from_dict({"recnt": ["a"]})
+
+    def test_missing_recent_is_rejected(self):
+        with pytest.raises(ConfigError, match="recent"):
+            RecommendRequest.from_dict({"top_k": 3})
+
+    @pytest.mark.parametrize("bad", ["poi-0", b"poi-0", 7, None])
+    def test_recent_must_be_a_sequence(self, bad):
+        with pytest.raises(ConfigError, match="recent"):
+            RecommendRequest.from_dict({"recent": bad})
+
+    def test_top_k_strictness_applies_on_the_wire(self):
+        with pytest.raises(ConfigError, match="bool"):
+            RecommendRequest.from_dict({"recent": ["a"], "top_k": True})
+
+    def test_non_mapping_body_rejected(self):
+        with pytest.raises(ConfigError, match="object"):
+            RecommendRequest.from_dict(["recent"])
+
+    def test_as_dict_round_trips_and_carries_v(self):
+        request = RecommendRequest(recent=("a",), top_k=4, model=ModelRef("m", 2))
+        wire = request.as_dict()
+        assert wire["v"] == WIRE_VERSION
+        assert wire["model"] == "m@2"
+        assert RecommendRequest.from_dict(wire) == request
+
+
+class TestRecommendResponse:
+    def test_served_by_is_validated(self):
+        for path in SERVED_BY:
+            assert RecommendResponse(served_by=path).served_by == path
+        with pytest.raises(ConfigError, match="served_by"):
+            RecommendResponse(served_by="oracle")
+
+    def test_fallback_property_tracks_served_by(self):
+        assert RecommendResponse(served_by="popularity-prior").fallback is True
+        assert RecommendResponse(served_by="ann").fallback is False
+
+    def test_as_dict_keeps_legacy_spellings(self):
+        response = RecommendResponse(
+            recommendations=(("a", 0.5),), model="city", version=3, served_by="ann"
+        )
+        wire = response.as_dict()
+        assert wire["v"] == WIRE_VERSION
+        assert wire["model"] == "city"
+        assert wire["version"] == 3
+        assert wire["served_by"] == "ann"
+        # Pre-redesign consumers keep decoding responses unchanged.
+        assert wire["model_version"] == 3
+        assert wire["fallback"] is False
+
+    def test_from_dict_round_trips(self):
+        response = RecommendResponse(
+            recommendations=(("a", 0.5), ("b", 0.25)),
+            model="city",
+            version=3,
+            served_by="popularity-prior",
+        )
+        assert RecommendResponse.from_dict(response.as_dict()) == response
+
+    def test_legacy_body_infers_served_by_from_fallback(self):
+        legacy = {
+            "recommendations": [["a", 0.5]],
+            "model_version": 2,
+            "fallback": True,
+        }
+        response = RecommendResponse.from_dict(legacy)
+        assert response.v == WIRE_VERSION
+        assert response.model == "default"
+        assert response.version == 2
+        assert response.served_by == "popularity-prior"
+        legacy["fallback"] = False
+        assert RecommendResponse.from_dict(legacy).served_by == "exact"
+
+    def test_unknown_wire_version_rejected(self):
+        with pytest.raises(ConfigError, match="version"):
+            RecommendResponse.from_dict({"v": 2, "recommendations": []})
+
+
+class TestServingConfig:
+    def test_defaults_validate(self):
+        config = ServingConfig()
+        assert config.v == WIRE_VERSION
+        assert config.artifacts == ()
+        assert config.default_model == "default"
+
+    def test_artifacts_accept_mapping_and_pairs(self):
+        from_pairs = ServingConfig(
+            artifacts=(("city", "a.npz"), ("beach", "b.npz")), default_model="city"
+        )
+        from_mapping = ServingConfig(
+            artifacts={"city": "a.npz", "beach": "b.npz"}, default_model="city"
+        )
+        assert from_pairs.artifacts == from_mapping.artifacts
+
+    def test_bare_path_artifact_entries_are_rejected(self):
+        with pytest.raises(ConfigError, match="bare path"):
+            ServingConfig(artifacts=["a.npz"])
+
+    def test_duplicate_artifact_names_are_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            ServingConfig(artifacts=(("city", "a.npz"), ("city", "b.npz")))
+
+    def test_default_model_must_be_hosted(self):
+        with pytest.raises(ConfigError, match="default_model"):
+            ServingConfig(artifacts=(("city", "a.npz"),), default_model="beach")
+
+    def test_artifact_names_must_not_embed_versions(self):
+        with pytest.raises(ConfigError, match="'@'"):
+            ServingConfig(artifacts=(("city@2", "a.npz"),))
+
+    @pytest.mark.parametrize(
+        "field_name,bad",
+        [
+            ("nprobe", 0),
+            ("nprobe", True),
+            ("max_batch", 0),
+            ("max_queue", 0),
+            ("max_queue", True),
+            ("top_k_limit", 0),
+            ("num_clusters", 0),
+            ("num_clusters", True),
+        ],
+    )
+    def test_integer_knobs_reject_bools_and_non_positive(self, field_name, bad):
+        with pytest.raises(ConfigError, match=field_name):
+            ServingConfig(**{field_name: bad})
+
+    def test_mode_and_metrics_format_are_validated(self):
+        with pytest.raises(ConfigError, match="mode"):
+            ServingConfig(mode="approximate")
+        with pytest.raises(ConfigError, match="metrics_format"):
+            ServingConfig(metrics_format="xml")
+
+    def test_timing_knobs_are_validated(self):
+        with pytest.raises(ConfigError, match="max_wait_seconds"):
+            ServingConfig(max_wait_seconds=-0.001)
+        with pytest.raises(ConfigError, match="timeout_seconds"):
+            ServingConfig(timeout_seconds=0.0)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigError, match="max_qeue"):
+            ServingConfig.from_dict({"max_qeue": 4})
+
+    def test_from_dict_versionless_is_v1_and_round_trips(self):
+        config = ServingConfig(
+            artifacts={"city": "a.npz", "beach": "b.npz"},
+            default_model="beach",
+            ann=True,
+            nprobe=4,
+            max_queue=16,
+        )
+        wire = config.as_dict()
+        assert wire["artifacts"] == {"city": "a.npz", "beach": "b.npz"}
+        assert ServingConfig.from_dict(wire) == config
+        versionless = dict(wire)
+        del versionless["v"]
+        assert ServingConfig.from_dict(versionless) == config
+
+    def test_with_artifact_appends_without_mutating(self):
+        base = ServingConfig(artifacts=(("city", "a.npz"),), default_model="city")
+        grown = base.with_artifact("beach", "b.npz")
+        assert base.artifacts == (("city", "a.npz"),)
+        assert grown.artifacts == (("city", "a.npz"), ("beach", "b.npz"))

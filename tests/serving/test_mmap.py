@@ -1,0 +1,168 @@
+"""The shared read-only embedding store (mmap sidecar cache).
+
+Compressed ``.npz`` archives cannot be memory-mapped, so serving builds a
+``<artifact>.npz.mmapcache/`` sidecar of plain ``.npy`` files and maps
+them read-only. These tests pin the contract: byte-identical scores to
+the heap path, cache reuse across loads, staleness detection, and — the
+point of the exercise — N registries sharing one physical copy of θ
+instead of paying N private heap copies (the RSS assertion).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.models.embeddings import EmbeddingMatrix
+from repro.models.serialization import (
+    ensure_mmap_cache,
+    load_deployable_model,
+    save_deployable_model,
+)
+from repro.models.vocabulary import LocationVocabulary
+from repro.serving.registry import ModelRegistry
+
+
+def _cache_dir(artifact_path) -> Path:
+    path = Path(artifact_path)
+    return path.with_name(path.name + ".mmapcache")
+
+
+_RSS_PROBE = """
+import os, sys
+from repro.serving.registry import ModelRegistry
+
+def rss():
+    with open("/proc/self/statm") as handle:
+        return int(handle.read().split()[1]) * os.sysconf("SC_PAGE_SIZE")
+
+artifact, mmap, loads = sys.argv[1], sys.argv[2] == "mmap", int(sys.argv[3])
+ModelRegistry(artifact, mmap=mmap).load()  # pay imports/caches up front
+before = rss()
+snapshots = [ModelRegistry(artifact, mmap=mmap).load() for _ in range(loads)]
+for snapshot in snapshots:
+    snapshot.recommender.recommend(["poi-0"], top_k=5)  # touch the pages
+print(rss() - before)
+"""
+
+
+def _subprocess_load_delta(artifact, mmap: bool, loads: int) -> int:
+    """RSS growth of N retained registry loads, in a fresh interpreter."""
+    import repro
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).parent.parent)
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _RSS_PROBE,
+            str(artifact),
+            "mmap" if mmap else "heap",
+            str(loads),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+        timeout=120,
+    )
+    return int(result.stdout.strip())
+
+
+class TestSidecarCache:
+    def test_returns_readonly_memmaps_matching_the_heap_load(self, artifact_path):
+        matrix64, matrix32 = ensure_mmap_cache(artifact_path)
+        assert isinstance(matrix64, np.memmap)
+        assert isinstance(matrix32, np.memmap)
+        assert not matrix64.flags.writeable
+        assert not matrix32.flags.writeable
+        heap, _, _ = load_deployable_model(artifact_path)
+        # Byte-identical to the in-heap normalize-then-cast path.
+        assert np.array_equal(np.asarray(matrix64), heap.matrix)
+        assert np.array_equal(np.asarray(matrix32), heap.matrix32)
+
+    def test_cache_is_reused_not_rebuilt(self, artifact_path):
+        ensure_mmap_cache(artifact_path)
+        cache = _cache_dir(artifact_path)
+        stamps = {name: (cache / name).stat().st_mtime_ns for name in os.listdir(cache)}
+        ensure_mmap_cache(artifact_path)
+        assert {
+            name: (cache / name).stat().st_mtime_ns for name in os.listdir(cache)
+        } == stamps
+
+    def test_stale_cache_is_rebuilt_when_the_artifact_changes(self, tmp_path):
+        rng = np.random.default_rng(3)
+        vocabulary = LocationVocabulary.from_locations([f"p-{i}" for i in range(12)])
+        artifact = tmp_path / "model.npz"
+        save_deployable_model(
+            artifact, EmbeddingMatrix(rng.normal(size=(12, 4))), vocabulary
+        )
+        first, _ = ensure_mmap_cache(artifact)
+        save_deployable_model(
+            artifact, EmbeddingMatrix(rng.normal(size=(12, 4))), vocabulary
+        )
+        os.utime(artifact, ns=(os.stat(artifact).st_mtime_ns + 10**9,) * 2)
+        second, _ = ensure_mmap_cache(artifact)
+        assert not np.array_equal(np.asarray(first), np.asarray(second))
+        heap, _, _ = load_deployable_model(artifact)
+        assert np.array_equal(np.asarray(second), heap.matrix)
+
+
+class TestSharedServingLoads:
+    def test_registry_mmap_load_is_memmap_backed(self, artifact_path):
+        registry = ModelRegistry(artifact_path, mmap=True)
+        embeddings = registry.load().recommender.embeddings
+        assert isinstance(embeddings.matrix, np.memmap)
+        assert isinstance(embeddings.matrix32, np.memmap)
+        assert Path(embeddings.matrix.filename) == (
+            _cache_dir(artifact_path) / "embeddings64.npy"
+        )
+
+    def test_mmap_and_heap_loads_recommend_identically(self, artifact_path):
+        mapped = ModelRegistry(artifact_path, mmap=True).load().recommender
+        heap = ModelRegistry(artifact_path, mmap=False).load().recommender
+        query = ["poi-0", "poi-7"]
+        assert mapped.recommend(query, top_k=10) == heap.recommend(query, top_k=10)
+
+    def test_many_registries_map_one_physical_copy(self, artifact_path):
+        registries = [ModelRegistry(artifact_path, mmap=True) for _ in range(4)]
+        matrices = [r.load().recommender.embeddings.matrix for r in registries]
+        filenames = {m.filename for m in matrices}
+        assert len(filenames) == 1
+
+    def test_rss_stays_bounded_across_many_mmap_loads(self, tmp_path):
+        # A big-enough matrix that private copies dominate RSS: 6000 x 128
+        # float64 is ~6 MiB per heap load. Each measurement runs in a
+        # fresh subprocess so allocator arena reuse between the two
+        # phases cannot hide (or fake) the difference.
+        num_locations, dim, loads = 6000, 128, 8
+        rng = np.random.default_rng(17)
+        artifact = tmp_path / "big.npz"
+        save_deployable_model(
+            artifact,
+            EmbeddingMatrix(rng.normal(size=(num_locations, dim))),
+            LocationVocabulary.from_locations(
+                [f"poi-{i}" for i in range(num_locations)]
+            ),
+        )
+        float64_bytes = num_locations * dim * 8
+        ensure_mmap_cache(artifact)  # build cost paid outside the measurement
+
+        delta_mmap = _subprocess_load_delta(artifact, mmap=True, loads=loads)
+        delta_heap = _subprocess_load_delta(artifact, mmap=False, loads=loads)
+
+        # All N mmap loads map the same physical pages, so switching the
+        # heap path on must cost at least the extra private matrix
+        # copies. Both runs pay identical vocabulary/interpreter
+        # overhead, which therefore cancels out of the difference; the
+        # (loads - 3) floor absorbs allocator noise.
+        assert delta_mmap < delta_heap
+        assert delta_heap - delta_mmap > (loads - 3) * float64_bytes, (
+            f"mmap loads saved only {delta_heap - delta_mmap} bytes over "
+            f"{loads} heap loads (one matrix is {float64_bytes} bytes)"
+        )

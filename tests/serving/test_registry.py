@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
-from repro.exceptions import DataError, ServingError
+from repro.exceptions import ConfigError, DataError, ServingError
+from repro.serving.api import ModelRef
 from repro.serving.registry import ModelRegistry
 
 
@@ -79,3 +82,108 @@ def test_load_explicit_path_becomes_reload_default(artifact_path):
     registry = ModelRegistry()
     registry.load(artifact_path)
     assert registry.reload().source == artifact_path
+
+
+class TestMultiTenantRegistry:
+    def test_add_model_and_load_all(self, artifact_path, countless_artifact_path):
+        registry = ModelRegistry()
+        registry.add_model("city", artifact_path)
+        registry.add_model("beach", countless_artifact_path)
+        # The pathless "default" slot exists but never publishes.
+        assert registry.model_names() == ["beach", "city", "default"]
+        snapshots = registry.load_all()
+        assert [snapshot.name for snapshot in snapshots] == ["beach", "city"]
+        assert all(snapshot.version == 1 for snapshot in snapshots)
+        assert registry.models()["city"].source == artifact_path
+        assert registry.models()["default"] is None
+
+    def test_bad_model_names_are_rejected(self, artifact_path):
+        registry = ModelRegistry()
+        with pytest.raises(ConfigError):
+            registry.add_model("", artifact_path)
+        with pytest.raises(ConfigError):
+            registry.add_model("city@2", artifact_path)
+
+    def test_current_resolves_names_and_pinned_versions(
+        self, artifact_path, countless_artifact_path
+    ):
+        registry = ModelRegistry()
+        registry.add_model("city", artifact_path)
+        registry.add_model("beach", countless_artifact_path)
+        registry.load_all()
+        assert registry.current("city").name == "city"
+        assert registry.current(ModelRef("beach")).name == "beach"
+        assert registry.current("city@1").version == 1
+        with pytest.raises(ServingError):
+            registry.current("city@2")
+        with pytest.raises(ServingError):
+            registry.current("unregistered")
+
+    def test_stale_pin_rejected_after_reload_and_other_names_untouched(
+        self, artifact_path, countless_artifact_path
+    ):
+        registry = ModelRegistry()
+        registry.add_model("city", artifact_path)
+        registry.add_model("beach", countless_artifact_path)
+        registry.load_all()
+        registry.reload("city")
+        assert registry.current("city@2").version == 2
+        with pytest.raises(ServingError):
+            registry.current("city@1")
+        # Reloading one name never bumps (or disturbs) its neighbors.
+        assert registry.current("beach").version == 1
+
+    def test_registered_but_unloaded_name_raises_until_loaded(self, artifact_path):
+        registry = ModelRegistry()
+        registry.add_model("city", artifact_path)
+        with pytest.raises(ServingError):
+            registry.current("city")
+        registry.load(name="city")
+        assert registry.current("city").version == 1
+
+
+class TestReloadRaces:
+    def test_concurrent_reloads_keep_versions_unique_and_monotonic(
+        self, artifact_path
+    ):
+        registry = ModelRegistry(artifact_path)
+        registry.load()
+        writers, reloads_each = 4, 5
+        published = []
+        observed = [[] for _ in range(2)]
+        stop = threading.Event()
+        errors = []
+
+        def reloader():
+            try:
+                for _ in range(reloads_each):
+                    published.append(registry.reload().version)
+            except Exception as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        def reader(slot):
+            try:
+                while not stop.is_set():
+                    observed[slot].append(registry.current().version)
+            except Exception as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        threads = [threading.Thread(target=reloader) for _ in range(writers)]
+        readers = [threading.Thread(target=reader, args=(i,)) for i in range(2)]
+        for thread in readers + threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=30)
+
+        assert not errors
+        # Every reload got its own version, handed out atomically.
+        assert sorted(published) == list(range(2, 2 + writers * reloads_each))
+        assert registry.current().version == 1 + writers * reloads_each
+        # Readers racing the swaps only ever saw fully published
+        # snapshots, in non-decreasing version order — never a rollback
+        # or a half-built model.
+        for sequence in observed:
+            assert sequence == sorted(sequence)

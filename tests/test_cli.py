@@ -185,18 +185,50 @@ class TestTrainConfigResolution:
 
 
 class TestServeParser:
-    def test_serve_registered_with_model_required(self, capsys):
-        with pytest.raises(SystemExit):
-            _build_parser().parse_args(["serve"])
-        assert "--model" in capsys.readouterr().err
+    def test_serve_without_artifacts_is_a_config_error(self):
+        from repro.cli import _serve_config_from_args
+
+        args = _build_parser().parse_args(["serve"])
+        with pytest.raises(ConfigError, match="nothing to serve"):
+            _serve_config_from_args(args)
 
     def test_serve_defaults(self):
-        args = _build_parser().parse_args(["serve", "--model", "m.npz"])
+        args = _build_parser().parse_args(["serve", "m.npz"])
         assert args.mode == "fast"
         assert args.port == 8000
         assert args.max_batch == 64
+        assert args.max_queue == 1024
+        assert not args.ann
+        assert not args.mmap
         assert not args.exclude_input
         assert not args.no_fallback
+
+    def test_serve_builds_a_multi_model_config(self):
+        from repro.cli import _serve_config_from_args
+
+        args = _build_parser().parse_args(
+            [
+                "serve", "city=a.npz", "beach=b.npz",
+                "--model", "city", "--ann", "--mmap", "--max-queue", "64",
+            ]
+        )
+        config = _serve_config_from_args(args)
+        assert config.artifacts == (("city", "a.npz"), ("beach", "b.npz"))
+        assert config.default_model == "city"
+        assert config.ann and config.mmap
+        assert config.max_queue == 64
+
+    def test_serve_bare_path_defaults_to_the_default_model(self):
+        from repro.cli import _serve_config_from_args
+
+        config = _serve_config_from_args(_build_parser().parse_args(["serve", "m.npz"]))
+        assert config.artifacts == (("default", "m.npz"),)
+        assert config.default_model == "default"
+
+    def test_serve_ann_and_exact_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["serve", "m.npz", "--ann", "--exact"])
+        assert "--exact" in capsys.readouterr().err
 
 
 class TestEvaluate:

@@ -11,6 +11,7 @@ import warnings
 
 import pytest
 
+import repro.api  # noqa: F401 - registers the serve() shims
 import repro.cli  # noqa: F401 - registers the CLI flag shims
 import repro.core.config  # noqa: F401 - registers the PLPConfig kwarg shims
 import repro.core.engine.observers  # noqa: F401 - registers StepObserver
@@ -45,6 +46,28 @@ def _use_cli_flag(flag, value):
     return exercise
 
 
+def _use_api_serve_path():
+    # The asgi front end is mocked out: only the shim's warning matters.
+    from unittest import mock
+
+    with mock.patch("repro.serving.asgi.serve"):
+        repro.api.serve("m.npz")
+
+
+def _use_api_serve_include_counts():
+    from unittest import mock
+
+    with mock.patch("repro.serving.asgi.serve"):
+        repro.api.serve(include_counts=True)
+
+
+def _use_serve_model_path_flag():
+    from repro.cli import _build_parser, _serve_config_from_args
+
+    args = _build_parser().parse_args(["serve", "--model", "m.npz"])
+    _serve_config_from_args(args)
+
+
 def _use_observer_alias(module, name):
     def exercise():
         import importlib
@@ -61,6 +84,9 @@ EXERCISERS = {
         f"PLPConfig({alias}=...)": _use_config_alias(alias)
         for alias in _CONFIG_ALIASES
     },
+    "repro.api.serve(model_path)": _use_api_serve_path,
+    "repro.api.serve(include_counts=...)": _use_api_serve_include_counts,
+    "repro serve --model PATH": _use_serve_model_path_flag,
     "repro train --negatives": _use_cli_flag("--negatives", "4"),
     "repro train --metrics-jsonl": _use_cli_flag("--metrics-jsonl", "m.jsonl"),
     "repro.core.engine.observers.StepObserver": _use_observer_alias(
