@@ -19,6 +19,7 @@ try:
         compare_to_baseline,
         main,
         measure_kernel_speedup,
+        measure_sweep,
         run_benchmark,
         validate_report,
     )
@@ -30,6 +31,7 @@ except ImportError:  # script invocation without PYTHONPATH=src
         compare_to_baseline,
         main,
         measure_kernel_speedup,
+        measure_sweep,
         run_benchmark,
         validate_report,
     )
@@ -40,6 +42,7 @@ __all__ = [
     "compare_to_baseline",
     "main",
     "measure_kernel_speedup",
+    "measure_sweep",
     "run_benchmark",
     "validate_report",
 ]

@@ -70,13 +70,14 @@ __all__ = [
     "measure_kernel_speedup",
     "measure_serving",
     "measure_sharded_scaling",
+    "measure_sweep",
     "run_benchmark",
     "run_from_args",
     "run_out_of_core",
     "validate_report",
 ]
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Workload/config knobs per mode. ``quick`` finishes in seconds; ``full``
 #: trains to a meaningful fraction of the budget.
@@ -127,6 +128,17 @@ _SERVING_WORKLOAD = dict(
 #: ``nprobe=8``) is genuinely sublinear rather than a full scan.
 _ANN_WORKLOAD = dict(
     num_locations=2048, dim=32, num_clusters=24, spread=0.25, top_k=10,
+)
+
+#: The sweep-orchestrator workload: a 2-axis x 2-value x 2-seed grid (8
+#: runs) of seconds-scale configs dispatched across 2 workers, then
+#: resumed to measure the manifest/outcome-scan overhead. Independent of
+#: --quick for the same reason as the kernel workload: the orchestrator's
+#: dispatch/resume costs are what is being gated, on a fixed grid.
+_SWEEP_WORKLOAD = dict(
+    num_users=60, num_locations=40, num_clusters=5,
+    mean_checkins_per_user=20.0, holdout_users=10, max_steps=2,
+    workers=2,
 )
 
 #: Regression threshold for :func:`compare_to_baseline` (fractional).
@@ -360,6 +372,71 @@ def measure_ann_recall(seed: int = 7) -> dict:
         "profiles": int(profiles.shape[0]),
         "top_k": int(spec["top_k"]),
         "recall": float(recall),
+    }
+
+
+def _sweep_bench_spec(seed: int):
+    from repro.experiments.sweep import GridSpec
+
+    spec = _SWEEP_WORKLOAD
+    return GridSpec.from_dict({
+        "name": "bench-sweep",
+        "axes": {"epsilon": [1.0, 5.0], "grouping_factor": [1, 4]},
+        "base": {
+            "embedding_dim": 8, "num_negatives": 4,
+            "sampling_probability": 0.2, "noise_multiplier": 2.0,
+            "max_steps": spec["max_steps"],
+        },
+        "seeds": 2,
+        "seed": int(seed),
+        "workload": {
+            "synthetic": {
+                "num_users": spec["num_users"],
+                "num_locations": spec["num_locations"],
+                "num_clusters": spec["num_clusters"],
+                "mean_checkins_per_user": spec["mean_checkins_per_user"],
+            },
+            "holdout_users": spec["holdout_users"],
+        },
+    })
+
+
+def measure_sweep(seed: int = 7) -> dict:
+    """Benchmark the sweep orchestrator: parallel dispatch + resume.
+
+    Runs the fixed 8-run grid (``_SWEEP_WORKLOAD``) fresh across a
+    2-worker pool (runs/sec = end-to-end orchestration throughput,
+    including workload rebuild and outcome persistence), then resumes
+    the completed sweep to measure the manifest-scan overhead — the
+    resume pass must skip every run and cost a small fraction of the
+    fresh pass.
+    """
+    import tempfile
+
+    from repro.experiments.sweep import run_sweep
+
+    grid = _sweep_bench_spec(seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        out_dir = Path(tmp) / "sweep"
+        fresh_started = time.perf_counter()
+        fresh = run_sweep(grid, out_dir, workers=int(_SWEEP_WORKLOAD["workers"]))
+        fresh_seconds = time.perf_counter() - fresh_started
+        resume_started = time.perf_counter()
+        resumed = run_sweep(
+            grid, out_dir, workers=int(_SWEEP_WORKLOAD["workers"]), resume=True
+        )
+        resume_seconds = time.perf_counter() - resume_started
+    return {
+        "runs": int(fresh.total),
+        "workers": int(_SWEEP_WORKLOAD["workers"]),
+        "executed": int(fresh.executed),
+        "failed": int(fresh.failed),
+        "fresh_seconds": float(fresh_seconds),
+        "runs_per_second": float(fresh.total / fresh_seconds),
+        "resume_seconds": float(resume_seconds),
+        "resume_skipped": int(resumed.skipped),
+        "resume_executed": int(resumed.executed),
+        "resume_overhead_ratio": float(resume_seconds / fresh_seconds),
     }
 
 
@@ -735,6 +812,7 @@ def run_benchmark(
         ),
         "sharded": measure_sharded_scaling(seed=seed),
         "serving": measure_serving(seed=seed),
+        "sweep": measure_sweep(seed=seed),
         "evaluation": {
             "cases": result.num_cases,
             "skipped": result.num_skipped,
@@ -771,7 +849,7 @@ def validate_report(report: dict) -> None:
     top = {
         "schema_version": int, "quick": bool, "seed": int, "backend": str,
         "generated_unix": float, "workload": dict, "training": dict,
-        "kernels": dict, "sharded": dict, "serving": dict,
+        "kernels": dict, "sharded": dict, "serving": dict, "sweep": dict,
         "evaluation": dict, "recommend": dict,
     }
     for key, kind in top.items():
@@ -854,6 +932,9 @@ def validate_report(report: dict) -> None:
     serving = report.get("serving") or {}
     _validate_serving_section(serving, expect)
 
+    sweep = report.get("sweep") or {}
+    _validate_sweep_section(sweep, expect)
+
     evaluation = report.get("evaluation") or {}
     expect(isinstance(evaluation.get("hit_rate"), dict) and evaluation.get("hit_rate"),
            "evaluation.hit_rate: expected non-empty dict")
@@ -934,6 +1015,49 @@ def _validate_serving_section(serving: dict, expect) -> None:
     expect(
         isinstance(recall, float) and recall >= 0.95,
         "serving.ann.recall: below the 0.95 recall@10 contract",
+    )
+
+
+def _validate_sweep_section(sweep: dict, expect) -> None:
+    """Schema/sanity checks for the sweep-orchestrator section (helper of
+    :func:`validate_report`).
+
+    Gates the orchestrator's perf contract: the fixed 8-run grid must
+    complete without failures, parallel dispatch must make forward
+    progress (positive runs/sec), and a resume over the completed sweep
+    must skip every run while costing a small fraction of the fresh
+    pass.
+    """
+    expect(
+        isinstance(sweep.get("runs"), int) and sweep.get("runs", 0) >= 8,
+        "sweep.runs: expected the >=8-run benchmark grid",
+    )
+    expect(
+        isinstance(sweep.get("workers"), int) and sweep.get("workers", 0) >= 2,
+        "sweep.workers: expected a parallel (>=2 worker) dispatch",
+    )
+    expect(
+        sweep.get("executed") == sweep.get("runs"),
+        "sweep.executed: the fresh pass must execute every run",
+    )
+    expect(sweep.get("failed") == 0, "sweep.failed: expected zero failed runs")
+    for key in ("fresh_seconds", "runs_per_second", "resume_seconds"):
+        expect(
+            isinstance(sweep.get(key), float) and sweep.get(key, -1.0) > 0,
+            f"sweep.{key}: expected positive float",
+        )
+    expect(
+        sweep.get("resume_skipped") == sweep.get("runs"),
+        "sweep.resume_skipped: resume must skip every completed run",
+    )
+    expect(
+        sweep.get("resume_executed") == 0,
+        "sweep.resume_executed: resume must re-execute nothing",
+    )
+    ratio = sweep.get("resume_overhead_ratio")
+    expect(
+        isinstance(ratio, float) and 0.0 <= ratio < 0.5,
+        "sweep.resume_overhead_ratio: resume must cost <50% of a fresh run",
     )
 
 
@@ -1160,6 +1284,14 @@ def run_from_args(args: argparse.Namespace) -> int:
             f"identical ledger={sharded['ledger_identical']})"
         )
     _print_serving_summary(report["serving"])
+    sweep = report["sweep"]
+    print(
+        f"sweep[{sweep['workers']} workers]: {sweep['runs']} runs in "
+        f"{sweep['fresh_seconds']:.1f}s ({sweep['runs_per_second']:.2f} runs/s); "
+        f"resume skipped {sweep['resume_skipped']}/{sweep['runs']} in "
+        f"{sweep['resume_seconds']:.2f}s "
+        f"({sweep['resume_overhead_ratio']:.1%} of fresh)"
+    )
     print(
         f"recommend: p50={report['recommend']['p50_seconds'] * 1e3:.2f}ms "
         f"p95={report['recommend']['p95_seconds'] * 1e3:.2f}ms"

@@ -382,6 +382,67 @@ def _build_parser() -> argparse.ArgumentParser:
 
     add_bench_arguments(bench)
 
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a declarative experiment grid in parallel with "
+        "resumable state (docs/sweeps.md)",
+    )
+    sweep.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="sweep spec JSON (omit with --figures)",
+    )
+    sweep.add_argument(
+        "--out", required=True, help="output directory for manifest/outcomes/aggregate"
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="process-pool width (1 = in-process)"
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a previous sweep in --out, skipping completed runs",
+    )
+    sweep.add_argument(
+        "--subset", default=None, help="run only this named subset of the spec"
+    )
+    sweep.add_argument(
+        "--halt-after",
+        type=int,
+        default=None,
+        help="stop after this many newly executed runs (exit code 5; "
+        "resume later with --resume)",
+    )
+    sweep.add_argument(
+        "--figures",
+        action="store_true",
+        help="regenerate every paper figure as sweeps under --out",
+    )
+    sweep.add_argument(
+        "--scale",
+        choices=("smoke", "paper"),
+        default="smoke",
+        help="figure scale for --figures (default: smoke)",
+    )
+    sweep.add_argument("--fault-marker", default=None, help=argparse.SUPPRESS)
+    sweep.add_argument(
+        "--trace-jsonl",
+        default=None,
+        help="stream sweep spans to this JSON-lines trace file",
+    )
+    sweep.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the metrics registry to this file after the sweep",
+    )
+    sweep.add_argument(
+        "--metrics-format",
+        choices=("prometheus", "jsonl"),
+        default="prometheus",
+        help="format for --metrics-out (default: prometheus text)",
+    )
+
     return parser
 
 
@@ -683,6 +744,62 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return run_bench_from_args(args)
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import GridSpec, run_figures, run_sweep
+
+    observability = None
+    if args.trace_jsonl or args.metrics_out:
+        from repro.observability import with_observability
+
+        observability = with_observability(
+            trace_jsonl=args.trace_jsonl,
+            metrics_path=args.metrics_out,
+            metrics_format=args.metrics_format,
+        )
+    try:
+        if args.figures:
+            if args.spec is not None:
+                raise ConfigError("--figures takes no spec argument")
+            reports = run_figures(
+                args.out,
+                scale=args.scale,
+                workers=args.workers,
+                resume=args.resume,
+                observability=observability,
+            )
+        else:
+            if args.spec is None:
+                raise ConfigError("a sweep spec is required (or pass --figures)")
+            spec = GridSpec.from_file(args.spec)
+            if args.subset:
+                spec = spec.subset(args.subset)
+            reports = [
+                run_sweep(
+                    spec,
+                    args.out,
+                    workers=args.workers,
+                    resume=args.resume,
+                    halt_after=args.halt_after,
+                    fault_marker=args.fault_marker,
+                    observability=observability,
+                )
+            ]
+    finally:
+        if observability is not None:
+            observability.close()
+    for report in reports:
+        print(report.summary())
+        if report.table is not None:
+            print(report.table.render())
+        if report.aggregate_path is not None:
+            print(f"wrote aggregate to {report.aggregate_path}")
+    if any(report.halted for report in reports):
+        return 5
+    if any(report.failed for report in reports):
+        return 6
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
@@ -692,6 +809,7 @@ _COMMANDS = {
     "audit": _cmd_audit,
     "lint": run_from_args,
     "bench": _cmd_bench,
+    "sweep": _cmd_sweep,
 }
 
 

@@ -10,13 +10,51 @@ figures with it, and downstream users can script their own studies::
     runner = ExperimentRunner(train, holdout, base_config=PLPConfig(), seed=3)
     table = runner.sweep(SweepSpec(field="grouping_factor", values=[1, 2, 4, 6]))
     print(table.render())
+
+For fleet-scale grids, :mod:`repro.experiments.sweep` adds the
+declarative, resumable orchestrator behind ``repro sweep``::
+
+    from repro.experiments import GridSpec, run_sweep
+
+    spec = GridSpec.from_file("sweep.json")
+    report = run_sweep(spec, "out/", workers=8, resume=True)
+    print(report.summary())
+
+and :mod:`repro.experiments.figures` regenerates every paper figure in
+one invocation (``repro sweep --figures``).
 """
 
+from repro.experiments.figures import PAPER_FIGURES, figure_spec, figure_specs, run_figures
 from repro.experiments.runner import (
     ExperimentRunner,
     ResultTable,
     RunOutcome,
     SweepSpec,
 )
+from repro.experiments.sweep import (
+    GridSpec,
+    SweepReport,
+    SweepRun,
+    WorkloadSpec,
+    expand_spec,
+    run_sweep,
+    validate_aggregate,
+)
 
-__all__ = ["ExperimentRunner", "SweepSpec", "RunOutcome", "ResultTable"]
+__all__ = [
+    "ExperimentRunner",
+    "SweepSpec",
+    "RunOutcome",
+    "ResultTable",
+    "GridSpec",
+    "WorkloadSpec",
+    "SweepRun",
+    "SweepReport",
+    "expand_spec",
+    "run_sweep",
+    "validate_aggregate",
+    "PAPER_FIGURES",
+    "figure_spec",
+    "figure_specs",
+    "run_figures",
+]

@@ -1,0 +1,188 @@
+"""Built-in sweep specs that regenerate the paper's figures.
+
+Each entry of :data:`PAPER_FIGURES` is one figure from Ahuja, Ghinita &
+Shahabi (EDBT 2020) expressed as a :class:`~repro.experiments.sweep.GridSpec`
+axis: utility vs privacy budget (Fig. 7), vs sampling probability
+(Fig. 8), vs grouping factor (Fig. 10), vs noise multiplier (Fig. 11),
+vs clipping bound (Fig. 12), and vs negative-sample count (Fig. 13).
+:func:`run_figures` executes every figure as its own resumable sweep
+under one output root — the single parallel invocation behind
+``repro sweep --figures``.
+
+Two scales are built in: ``smoke`` (minutes on a laptop; the shapes,
+not the paper's absolute numbers) and ``paper`` (the paper's axis
+ranges over a paper-shaped workload; hours of compute).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.exceptions import ConfigError
+from repro.experiments.runner import SweepSpec
+from repro.experiments.sweep import (
+    GridSpec,
+    SweepReport,
+    WorkloadSpec,
+    _atomic_write_text,
+    run_sweep,
+)
+from repro.observability.hooks import Observability
+
+#: Figure name -> swept PLPConfig field + the paper's value range.
+PAPER_FIGURES: dict[str, dict[str, Any]] = {
+    "fig7_epsilon": {
+        "field": "epsilon",
+        "label": "privacy budget (epsilon)",
+        "paper_values": [0.5, 1.0, 2.0, 5.0, 10.0],
+        "smoke_values": [1.0, 5.0],
+    },
+    "fig8_sampling": {
+        "field": "sampling_probability",
+        "label": "user sampling probability (q)",
+        "paper_values": [0.02, 0.04, 0.06, 0.08],
+        "smoke_values": [0.1, 0.2],
+    },
+    "fig10_grouping": {
+        "field": "grouping_factor",
+        "label": "grouping factor (lambda)",
+        "paper_values": [1, 2, 4, 8],
+        "smoke_values": [1, 4],
+    },
+    "fig11_noise": {
+        "field": "noise_multiplier",
+        "label": "noise multiplier (sigma)",
+        "paper_values": [1.0, 2.5, 5.0],
+        "smoke_values": [1.0, 2.5],
+    },
+    "fig12_clipping": {
+        "field": "clip_bound",
+        "label": "clipping bound (C)",
+        "paper_values": [0.25, 0.5, 1.0, 2.0],
+        "smoke_values": [0.5, 1.0],
+    },
+    "fig13_negatives": {
+        "field": "num_negatives",
+        "label": "negative samples",
+        "paper_values": [8, 16, 32],
+        "smoke_values": [4, 8],
+    },
+}
+
+_SCALES = ("smoke", "paper")
+
+_SMOKE_WORKLOAD = WorkloadSpec(
+    synthetic={
+        "num_users": 80,
+        "num_locations": 60,
+        "num_clusters": 6,
+        "mean_checkins_per_user": 25.0,
+    },
+    holdout_users=15,
+    data_seed=123,
+    split_seed=5,
+)
+
+_SMOKE_BASE: dict[str, Any] = {
+    "embedding_dim": 8,
+    "num_negatives": 4,
+    "sampling_probability": 0.2,
+    "noise_multiplier": 2.0,
+    "epsilon": 50.0,
+    "max_steps": 3,
+}
+
+_PAPER_WORKLOAD = WorkloadSpec(
+    synthetic={
+        "num_users": 4602,
+        "num_locations": 1200,
+        "num_clusters": 40,
+        "mean_checkins_per_user": 160.0,
+    },
+    holdout_users=100,
+    data_seed=123,
+    split_seed=5,
+)
+
+_PAPER_BASE: dict[str, Any] = {}
+
+
+def figure_spec(figure: str, scale: str = "smoke", seeds: int | None = None) -> GridSpec:
+    """The :class:`GridSpec` for one named paper figure.
+
+    Raises:
+        ConfigError: unknown figure or scale.
+    """
+    if figure not in PAPER_FIGURES:
+        raise ConfigError(
+            f"unknown figure {figure!r}; available: {sorted(PAPER_FIGURES)}"
+        )
+    if scale not in _SCALES:
+        raise ConfigError(f"scale must be one of {_SCALES}, got {scale!r}")
+    entry = PAPER_FIGURES[figure]
+    values = entry["smoke_values"] if scale == "smoke" else entry["paper_values"]
+    base = dict(_SMOKE_BASE if scale == "smoke" else _PAPER_BASE)
+    base.pop(entry["field"], None)  # the swept field must come from the axis
+    return GridSpec(
+        name=f"{figure}-{scale}",
+        axes=(
+            SweepSpec(
+                field=entry["field"], values=tuple(values), label=entry["label"]
+            ),
+        ),
+        base=base,
+        methods=("plp",),
+        seeds=seeds if seeds is not None else (1 if scale == "smoke" else 3),
+        seed=7,
+        workload=_SMOKE_WORKLOAD if scale == "smoke" else _PAPER_WORKLOAD,
+    )
+
+
+def figure_specs(scale: str = "smoke", seeds: int | None = None) -> list[GridSpec]:
+    """Specs for every paper figure at the given scale."""
+    return [figure_spec(figure, scale, seeds) for figure in PAPER_FIGURES]
+
+
+def run_figures(
+    out_dir: str | Path,
+    *,
+    scale: str = "smoke",
+    seeds: int | None = None,
+    workers: int = 1,
+    resume: bool = False,
+    observability: Observability | None = None,
+) -> list[SweepReport]:
+    """Regenerate every paper figure as resumable sweeps under one root.
+
+    Each figure runs as its own sweep in ``out_dir/<figure>-<scale>/``
+    (internally parallel across ``workers``); a ``figures.json`` index
+    at the root maps figures to their aggregates. Re-running with
+    ``resume=True`` skips all completed runs of every figure.
+    """
+    root = Path(out_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    reports: list[SweepReport] = []
+    index: dict[str, Mapping[str, Any]] = {}
+    for spec in figure_specs(scale, seeds):
+        report = run_sweep(
+            spec,
+            root / spec.name,
+            workers=workers,
+            resume=resume,
+            observability=observability,
+        )
+        reports.append(report)
+        index[spec.name] = {
+            "aggregate": f"{spec.name}/aggregate.json",
+            "total": report.total,
+            "executed": report.executed,
+            "skipped": report.skipped,
+            "failed": report.failed,
+        }
+    _atomic_write_text(
+        root / "figures.json",
+        json.dumps({"scale": scale, "figures": index}, indent=2, sort_keys=True),
+    )
+    return reports

@@ -10,6 +10,7 @@ plain-text rendering and simple series extraction for plotting.
 from __future__ import annotations
 
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -20,6 +21,7 @@ from repro.data.checkins import CheckinDataset
 from repro.data.splitting import sessionize_dataset
 from repro.eval.evaluator import LeaveOneOutEvaluator
 from repro.exceptions import ConfigError
+from repro.rng import RngLike
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,7 +49,12 @@ class SweepSpec:
 
 @dataclass(frozen=True, slots=True)
 class RunOutcome:
-    """One training run's results."""
+    """One training run's results.
+
+    A run that raised during training/evaluation is recorded rather than
+    aborting its sweep: ``error`` carries the formatted traceback, the
+    metric fields are zeroed, and :attr:`ok` is ``False``.
+    """
 
     parameters: dict[str, Any]
     method: str
@@ -55,10 +62,59 @@ class RunOutcome:
     steps: int
     epsilon_spent: float
     train_seconds: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run completed (no training/evaluation error)."""
+        return self.error is None
 
     def hr(self, k: int = 10) -> float:
-        """HR@k shortcut."""
+        """HR@k shortcut.
+
+        Raises:
+            ConfigError: when the run failed and carries no hit rates.
+        """
+        if self.error is not None:
+            raise ConfigError(
+                f"run {self.parameters!r} failed; no HR@{k} available "
+                f"(see RunOutcome.error)"
+            )
         return self.hit_rate[k]
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (``hit_rate`` keys become strings)."""
+        return {
+            "parameters": dict(self.parameters),
+            "method": self.method,
+            "hit_rate": {str(k): v for k, v in self.hit_rate.items()},
+            "steps": self.steps,
+            "epsilon_spent": self.epsilon_spent,
+            "train_seconds": self.train_seconds,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "RunOutcome":
+        """Inverse of :meth:`as_dict`.
+
+        Raises:
+            ConfigError: on a malformed payload.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigError(f"RunOutcome payload must be a dict, got {type(payload).__name__}")
+        try:
+            return cls(
+                parameters=dict(payload["parameters"]),
+                method=str(payload["method"]),
+                hit_rate={int(k): float(v) for k, v in payload["hit_rate"].items()},
+                steps=int(payload["steps"]),
+                epsilon_spent=float(payload["epsilon_spent"]),
+                train_seconds=float(payload["train_seconds"]),
+                error=payload.get("error"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed RunOutcome payload: {exc}") from exc
 
 
 @dataclass(slots=True)
@@ -73,21 +129,30 @@ class ResultTable:
         self.outcomes.append(outcome)
 
     def series(self, parameter: str, k: int = 10) -> list[tuple[Any, float]]:
-        """``(parameter value, HR@k)`` points in insertion order."""
+        """``(parameter value, HR@k)`` points in insertion order.
+
+        Failed runs carry no hit rates and are skipped.
+        """
         return [
             (outcome.parameters.get(parameter), outcome.hr(k))
             for outcome in self.outcomes
+            if outcome.ok
         ]
 
+    def failed(self) -> list[RunOutcome]:
+        """The failed outcomes, in insertion order."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
     def best(self, k: int = 10) -> RunOutcome:
-        """The outcome with the highest HR@k.
+        """The completed outcome with the highest HR@k.
 
         Raises:
-            ConfigError: on an empty table.
+            ConfigError: on an empty table or when every run failed.
         """
-        if not self.outcomes:
-            raise ConfigError("result table is empty")
-        return max(self.outcomes, key=lambda outcome: outcome.hr(k))
+        completed = [outcome for outcome in self.outcomes if outcome.ok]
+        if not completed:
+            raise ConfigError("result table has no completed runs")
+        return max(completed, key=lambda outcome: outcome.hr(k))
 
     def render(self, k_values: Sequence[int] = (10,)) -> str:
         """Fixed-width text table of the results."""
@@ -102,12 +167,18 @@ class ResultTable:
         )
         rows = []
         for outcome in self.outcomes:
+            if outcome.ok:
+                metric_cells = [f"{outcome.hr(k):.4f}" for k in k_values]
+                tail = [str(outcome.steps), f"{outcome.epsilon_spent:.2f}"]
+            else:
+                metric_cells = ["FAILED" for _ in k_values]
+                tail = ["-", "-"]
             rows.append(
                 [outcome.method]
                 + [str(outcome.parameters.get(name, "")) for name in parameter_names]
-                + [f"{outcome.hr(k):.4f}" for k in k_values]
-                + [str(outcome.steps), f"{outcome.epsilon_spent:.2f}",
-                   f"{outcome.train_seconds:.1f}"]
+                + metric_cells
+                + tail
+                + [f"{outcome.train_seconds:.1f}"]
             )
         widths = [
             max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
@@ -161,13 +232,22 @@ class ExperimentRunner:
         overrides: dict[str, Any] | None = None,
         method: str = "plp",
         seed_offset: int = 0,
+        rng: RngLike = None,
     ) -> RunOutcome:
         """Train one configuration and evaluate it.
+
+        A run whose training or evaluation raises produces a *failed*
+        :class:`RunOutcome` (``error`` holds the traceback) instead of
+        aborting the sweep it belongs to. Misuse — an unknown method or
+        an invalid override — still raises :class:`ConfigError`.
 
         Args:
             overrides: PLPConfig field overrides for this run.
             method: ``"plp"`` or ``"dpsgd"``.
             seed_offset: added to the runner's base seed.
+            rng: explicit trainer seed material (overrides
+                ``seed + seed_offset``); sweeps pass draw-free derived
+                sub-streams here.
         """
         if method not in ("plp", "dpsgd"):
             raise ConfigError(f"method must be 'plp' or 'dpsgd', got {method!r}")
@@ -176,21 +256,31 @@ class ExperimentRunner:
         trainer_cls = UserLevelDPSGD if method == "dpsgd" else PrivateLocationPredictor
         trainer = trainer_cls(
             config,
-            rng=self.seed + seed_offset,
+            rng=rng if rng is not None else self.seed + seed_offset,
             executor=self.executor,
             workers=self.workers,
         )
         started = time.perf_counter()
-        history = trainer.fit(self.train)
-        seconds = time.perf_counter() - started
-        result = self.evaluator.evaluate(trainer.recommender())
+        try:
+            history = trainer.fit(self.train)
+            result = self.evaluator.evaluate(trainer.recommender())
+        except Exception:
+            return RunOutcome(
+                parameters=dict(overrides),
+                method=method,
+                hit_rate={},
+                steps=0,
+                epsilon_spent=0.0,
+                train_seconds=time.perf_counter() - started,
+                error=traceback.format_exc(),
+            )
         return RunOutcome(
             parameters=dict(overrides),
             method=method,
             hit_rate=dict(result.hit_rate),
             steps=len(history),
             epsilon_spent=history.final_epsilon,
-            train_seconds=seconds,
+            train_seconds=time.perf_counter() - started,
         )
 
     def sweep(

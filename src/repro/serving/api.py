@@ -258,13 +258,32 @@ class RecommendResponse:
                 "popularity-prior" if payload.get("fallback") else "exact"
             )
         model_version = payload.get("version", payload.get("model_version", 0))
+        if isinstance(model_version, bool) or not isinstance(model_version, int):
+            raise ConfigError(
+                f"response model version must be an integer, got {model_version!r}"
+            )
+        raw = payload.get("recommendations", ())
+        if isinstance(raw, (str, bytes)) or not isinstance(raw, Sequence):
+            raise ConfigError(
+                f"recommendations must be a list of [location, score] pairs, "
+                f"got {type(raw).__name__}"
+            )
+        recommendations = []
+        for entry in raw:
+            if (
+                isinstance(entry, (str, bytes))
+                or not isinstance(entry, Sequence)
+                or len(entry) != 2
+            ):
+                raise ConfigError(
+                    f"each recommendation must be a [location, score] pair, "
+                    f"got {entry!r}"
+                )
+            recommendations.append((entry[0], entry[1]))
         return cls(
-            recommendations=tuple(
-                (location, score)
-                for location, score in payload.get("recommendations", ())
-            ),
+            recommendations=tuple(recommendations),
             model=str(payload.get("model", "default")),
-            version=int(model_version),
+            version=model_version,
             served_by=str(served_by),
             v=version,
         )
@@ -373,6 +392,12 @@ class ServingConfig:
                 f"num_clusters must be a positive integer or None, "
                 f"got {self.num_clusters!r}"
             )
+        for name, value in (
+            ("max_wait_seconds", self.max_wait_seconds),
+            ("timeout_seconds", self.timeout_seconds),
+        ):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigError(f"{name} must be a number, got {value!r}")
         if self.max_wait_seconds < 0:
             raise ConfigError(
                 f"max_wait_seconds must be >= 0, got {self.max_wait_seconds}"
@@ -408,7 +433,12 @@ class ServingConfig:
         values = dict(payload)
         if "artifacts" in values:
             values["artifacts"] = _normalize_artifacts(values["artifacts"])
-        return cls(**values)
+        try:
+            return cls(**values)
+        except ConfigError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed serving config: {exc}") from exc
 
     def as_dict(self) -> dict:
         """The JSON wire shape (artifacts as a ``{name: path}`` object)."""
@@ -433,7 +463,12 @@ def _normalize_artifacts(artifacts: object) -> tuple[tuple[str, str], ...]:
                     "artifacts entries must be (name, path) pairs or a "
                     f"{{name: path}} mapping, got bare path {entry!r}"
                 )
-            name, path = entry
+            try:
+                name, path = entry
+            except (TypeError, ValueError) as exc:
+                raise ConfigError(
+                    f"artifacts entries must be (name, path) pairs, got {entry!r}"
+                ) from exc
             pairs.append((name, path))
     else:
         raise ConfigError(

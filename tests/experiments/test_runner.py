@@ -58,6 +58,98 @@ class TestRunOne:
         b = runner.run_one({"grouping_factor": 2}, seed_offset=1)
         assert a.hr(10) == b.hr(10)
 
+    def test_explicit_rng_overrides_seed_offset(self, runner):
+        a = runner.run_one({"grouping_factor": 2}, rng=99)
+        b = runner.run_one({"grouping_factor": 2}, seed_offset=7, rng=99)
+        assert a.hr(10) == b.hr(10)
+
+
+class TestFailedRuns:
+    """Runtime failures become failed RunOutcomes; misuse still raises."""
+
+    def test_training_exception_becomes_failed_outcome(self, runner, monkeypatch):
+        def boom(recommender):
+            raise RuntimeError("evaluation exploded")
+
+        monkeypatch.setattr(runner.evaluator, "evaluate", boom)
+        outcome = runner.run_one({"grouping_factor": 2})
+        assert not outcome.ok
+        assert outcome.error is not None
+        assert "RuntimeError: evaluation exploded" in outcome.error
+        assert "Traceback" in outcome.error
+        assert outcome.hit_rate == {}
+        assert outcome.steps == 0
+        assert outcome.epsilon_spent == 0.0
+        assert outcome.parameters == {"grouping_factor": 2}
+
+    def test_failed_outcome_hr_raises(self, runner, monkeypatch):
+        monkeypatch.setattr(
+            runner.evaluator, "evaluate", lambda rec: (_ for _ in ()).throw(ValueError)
+        )
+        outcome = runner.run_one()
+        with pytest.raises(ConfigError, match="failed"):
+            outcome.hr(10)
+
+    def test_invalid_override_still_raises(self, runner):
+        with pytest.raises(ConfigError):
+            runner.run_one({"epsilon": -1.0})
+
+    def test_unknown_override_still_raises(self, runner):
+        with pytest.raises(ConfigError):
+            runner.run_one({"warp_drive": 1})
+
+    def test_table_skips_failed_runs(self, runner, monkeypatch):
+        calls = {"n": 0}
+        real_evaluate = runner.evaluator.evaluate
+
+        def flaky(recommender):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("first run dies")
+            return real_evaluate(recommender)
+
+        monkeypatch.setattr(runner.evaluator, "evaluate", flaky)
+        table = runner.sweep(SweepSpec(field="grouping_factor", values=(1, 3)))
+        assert len(table.outcomes) == 2
+        assert len(table.failed()) == 1
+        assert [value for value, _ in table.series("grouping_factor")] == [3]
+        assert table.best().parameters == {"grouping_factor": 3}
+        text = table.render()
+        assert "FAILED" in text
+
+    def test_best_all_failed_rejected(self, runner, monkeypatch):
+        monkeypatch.setattr(
+            runner.evaluator,
+            "evaluate",
+            lambda rec: (_ for _ in ()).throw(RuntimeError("dead")),
+        )
+        table = runner.sweep(SweepSpec(field="grouping_factor", values=(1,)))
+        with pytest.raises(ConfigError, match="no completed runs"):
+            table.best()
+
+
+class TestRunOutcomeSerialization:
+    def test_round_trip(self, runner):
+        outcome = runner.run_one({"grouping_factor": 2})
+        clone = RunOutcome.from_dict(outcome.as_dict())
+        assert clone == outcome
+        assert all(isinstance(k, int) for k in clone.hit_rate)
+
+    def test_failed_round_trip(self):
+        outcome = RunOutcome(
+            parameters={"epsilon": 1.0}, method="plp", hit_rate={},
+            steps=0, epsilon_spent=0.0, train_seconds=0.1, error="Traceback: x",
+        )
+        clone = RunOutcome.from_dict(outcome.as_dict())
+        assert not clone.ok
+        assert clone.error == "Traceback: x"
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ConfigError, match="malformed"):
+            RunOutcome.from_dict({"parameters": {}})
+        with pytest.raises(ConfigError, match="dict"):
+            RunOutcome.from_dict("nope")  # type: ignore[arg-type]
+
 
 class TestSweep:
     def test_covers_all_values_and_methods(self, runner):

@@ -152,3 +152,48 @@ class TestQueries:
         index = ClusteredIndex(clustered_embeddings(40))
         with pytest.raises(ConfigError, match="top_k"):
             index.search(query_profiles(clustered_embeddings(40)), top_k=0)
+
+
+class TestDegenerateVocabularies:
+    """Tiny-vocabulary edges: the index must stay correct, not just alive."""
+
+    def test_vocab_smaller_than_requested_clusters(self):
+        embeddings = clustered_embeddings(3)
+        index = ClusteredIndex(embeddings, num_clusters=10, nprobe=10)
+        assert index.num_clusters == 3
+        assert index.nprobe == 3
+        assert int(index.cluster_sizes.sum()) == 3
+        assert int(index.cluster_sizes.min()) >= 1
+        # With every cluster probed the scan is exact over all 3 tokens.
+        tokens, scores = index.search(embeddings.matrix32, top_k=3)
+        for row, (row_tokens, row_scores) in enumerate(zip(tokens, scores)):
+            assert sorted(row_tokens.tolist()) == [0, 1, 2]
+            assert row_tokens[0] == exact_top_k(embeddings, embeddings.matrix32, 1)[row, 0]
+            assert np.all(np.diff(row_scores) <= 0)
+
+    def test_single_poi_vocabulary(self):
+        embeddings = clustered_embeddings(1)
+        index = ClusteredIndex(embeddings, num_clusters=4, nprobe=8)
+        assert index.num_clusters == 1
+        assert index.nprobe == 1
+        assert index.cluster_sizes.tolist() == [1]
+        tokens, scores = index.search(embeddings.matrix32, top_k=5)
+        assert tokens[0].tolist() == [0]
+        assert scores[0].size == 1
+        probed = index.probe(embeddings.matrix32)
+        assert probed.shape == (1, 1)
+        assert probed[0, 0] == 0
+
+    def test_nprobe_above_cluster_count_clamps(self):
+        embeddings = clustered_embeddings(50)
+        index = ClusteredIndex(embeddings, num_clusters=5, nprobe=99)
+        assert index.nprobe == 5
+        profiles = query_profiles(embeddings)
+        # Per-call oversubscription clamps too, and equals the full scan.
+        probed = index.probe(profiles, nprobe=1000)
+        assert probed.shape == (profiles.shape[0], 5)
+        tokens, _ = index.search(profiles, top_k=50, nprobe=1000)
+        expected = exact_top_k(embeddings, profiles, 50)
+        for row, row_tokens in enumerate(tokens):
+            assert row_tokens.size == 50
+            assert set(row_tokens.tolist()) == set(expected[row].tolist())

@@ -1,0 +1,188 @@
+"""Property tests for the serving wire API (v1).
+
+The wire boundary's contract is: *any* JSON-shaped junk thrown at a
+decoder either produces a valid wire object or raises
+:class:`~repro.exceptions.ConfigError` — never a bare ``TypeError`` /
+``ValueError`` / ``KeyError`` leaking out of the guts. Hypothesis
+generates the junk; the tests assert the typed-error contract and the
+encode/decode round trips.
+
+Requires the optional ``hypothesis`` dependency; skipped when absent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.exceptions import ConfigError  # noqa: E402
+from repro.serving.api import (  # noqa: E402
+    WIRE_VERSION,
+    ModelRef,
+    RecommendRequest,
+    RecommendResponse,
+    ServingConfig,
+    validate_top_k,
+)
+
+# JSON-shaped junk: anything a json.loads() could hand the decoders.
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+json_objects = st.dictionaries(st.text(max_size=12), json_values, max_size=6)
+
+REQUEST_FIELDS = st.sampled_from(["recent", "top_k", "model", "v"])
+RESPONSE_FIELDS = st.sampled_from(
+    ["recommendations", "model", "version", "model_version", "served_by", "fallback", "v"]
+)
+CONFIG_FIELDS = st.sampled_from(
+    ["artifacts", "mode", "nprobe", "max_batch", "max_wait_seconds",
+     "timeout_seconds", "max_queue", "top_k_limit", "metrics_format", "v"]
+)
+
+
+class TestJunkOnlyRaisesTypedErrors:
+    @given(payload=st.one_of(json_values, json_objects))
+    @settings(max_examples=200)
+    def test_request_decoder(self, payload):
+        try:
+            decoded = RecommendRequest.from_dict(payload)
+        except ConfigError:
+            return
+        assert isinstance(decoded, RecommendRequest)
+        assert decoded.v == WIRE_VERSION
+
+    @given(payload=st.dictionaries(REQUEST_FIELDS, json_values, max_size=4))
+    @settings(max_examples=200)
+    def test_request_decoder_known_fields(self, payload):
+        try:
+            decoded = RecommendRequest.from_dict(payload)
+        except ConfigError:
+            return
+        assert decoded.top_k >= 1
+
+    @given(payload=st.one_of(json_values, json_objects))
+    @settings(max_examples=200)
+    def test_response_decoder(self, payload):
+        try:
+            decoded = RecommendResponse.from_dict(payload)
+        except ConfigError:
+            return
+        assert isinstance(decoded, RecommendResponse)
+
+    @given(payload=st.dictionaries(RESPONSE_FIELDS, json_values, max_size=4))
+    @settings(max_examples=200)
+    def test_response_decoder_known_fields(self, payload):
+        try:
+            decoded = RecommendResponse.from_dict(payload)
+        except ConfigError:
+            return
+        assert decoded.served_by in ("exact", "ann", "popularity-prior")
+
+    @given(payload=st.one_of(json_values, st.dictionaries(CONFIG_FIELDS, json_values, max_size=4)))
+    @settings(max_examples=200)
+    def test_config_decoder(self, payload):
+        try:
+            decoded = ServingConfig.from_dict(payload)
+        except ConfigError:
+            return
+        assert isinstance(decoded, ServingConfig)
+
+    @given(spec=json_values)
+    @settings(max_examples=200)
+    def test_model_ref_parse(self, spec):
+        try:
+            ref = ModelRef.parse(spec)
+        except ConfigError:
+            return
+        assert isinstance(ref, ModelRef)
+        assert "@" not in ref.name
+
+    @given(top_k=json_values)
+    @settings(max_examples=200)
+    def test_validate_top_k(self, top_k):
+        try:
+            value = validate_top_k(top_k, limit=100)
+        except ConfigError:
+            return
+        assert isinstance(value, int)
+        assert not isinstance(value, bool)
+        assert 1 <= value <= 100
+
+
+class TestRoundTrips:
+    @given(
+        recent=st.lists(st.integers(min_value=0, max_value=10**6), max_size=8),
+        top_k=st.integers(min_value=1, max_value=1000),
+        name=st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+            min_size=1,
+            max_size=10,
+        ),
+        version=st.one_of(st.none(), st.integers(min_value=1, max_value=10**6)),
+    )
+    @settings(max_examples=100)
+    def test_request_round_trip(self, recent, top_k, name, version):
+        request = RecommendRequest(
+            recent=tuple(recent), top_k=top_k, model=ModelRef(name, version)
+        )
+        decoded = RecommendRequest.from_dict(request.as_dict())
+        assert decoded == request
+
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10**6),
+                st.floats(
+                    allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+                ),
+            ),
+            max_size=8,
+        ),
+        version=st.integers(min_value=0, max_value=10**6),
+        served_by=st.sampled_from(["exact", "ann", "popularity-prior"]),
+    )
+    @settings(max_examples=100)
+    def test_response_round_trip(self, pairs, version, served_by):
+        response = RecommendResponse(
+            recommendations=tuple(pairs),
+            model="m",
+            version=version,
+            served_by=served_by,
+        )
+        decoded = RecommendResponse.from_dict(response.as_dict())
+        assert decoded == response
+        # The legacy alias always mirrors served_by.
+        assert response.as_dict()["fallback"] == (served_by == "popularity-prior")
+
+    @given(version=st.integers().filter(lambda v: v != WIRE_VERSION))
+    @settings(max_examples=50)
+    def test_unknown_wire_version_always_rejected(self, version):
+        with pytest.raises(ConfigError, match="wire version"):
+            RecommendRequest.from_dict({"v": version, "recent": []})
+        with pytest.raises(ConfigError, match="wire version"):
+            RecommendResponse.from_dict({"v": version})
+
+    @given(name=st.text(max_size=10), version=st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=100)
+    def test_model_ref_str_parse_round_trip(self, name, version):
+        try:
+            ref = ModelRef(name=name, version=version)
+        except ConfigError:
+            return  # empty or '@'-bearing names are invalid by contract
+        assert ModelRef.parse(str(ref)) == ref

@@ -59,6 +59,19 @@ class TestQuickRun:
         assert evaluation["query_seconds_p50"] <= evaluation["query_seconds_p95"]
         assert evaluation["hit_rate"]
 
+    def test_sweep_section(self, report):
+        sweep = report["sweep"]
+        assert sweep["runs"] >= 8
+        assert sweep["workers"] >= 2
+        assert sweep["executed"] == sweep["runs"]
+        assert sweep["failed"] == 0
+        assert sweep["runs_per_second"] > 0
+        # The resume pass must skip every completed run and cost a small
+        # fraction of the fresh sweep.
+        assert sweep["resume_skipped"] == sweep["runs"]
+        assert sweep["resume_executed"] == 0
+        assert 0 <= sweep["resume_overhead_ratio"] < 0.5
+
 
 class TestValidateReport:
     def test_rejects_missing_section(self, report):
@@ -83,6 +96,24 @@ class TestValidateReport:
         broken = json.loads(json.dumps(report))
         del broken["kernels"]["speedup_vs_reference"]
         with pytest.raises(ValueError, match="speedup_vs_reference"):
+            validate_report(broken)
+
+    def test_rejects_missing_sweep_section(self, report):
+        broken = dict(report)
+        del broken["sweep"]
+        with pytest.raises(ValueError, match="sweep"):
+            validate_report(broken)
+
+    def test_rejects_incomplete_sweep_resume(self, report):
+        broken = json.loads(json.dumps(report))
+        broken["sweep"]["resume_skipped"] = broken["sweep"]["runs"] - 1
+        with pytest.raises(ValueError, match="resume_skipped"):
+            validate_report(broken)
+
+    def test_rejects_failed_sweep_runs(self, report):
+        broken = json.loads(json.dumps(report))
+        broken["sweep"]["failed"] = 1
+        with pytest.raises(ValueError, match="failed"):
             validate_report(broken)
 
 
